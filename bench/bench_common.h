@@ -1,0 +1,32 @@
+// Shared helpers for the experiment harnesses (E1..E10). Each binary prints
+// a self-contained table; see DESIGN.md section 4 for the experiment index
+// and EXPERIMENTS.md for recorded results.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace cpt::bench {
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cpt::bench

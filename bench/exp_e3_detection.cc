@@ -1,0 +1,67 @@
+// E3 -- Theorem 1: one-sided error. Planar inputs must be accepted always;
+// eps-far inputs rejected with probability 1 - 1/poly(n). Reports
+// accept/reject rates over seeds per family.
+#include "bench/bench_common.h"
+#include "core/tester.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/properties.h"
+
+using namespace cpt;
+
+namespace {
+
+struct Row {
+  const char* family;
+  Graph graph;
+  bool planar;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("E3: one-sided detection",
+                "Theorem 1: planar => all accept; eps-far => reject whp");
+  Rng rng(5);
+  std::vector<Row> rows;
+  rows.push_back({"grid 32x32 (planar)", gen::grid(32, 32), true});
+  rows.push_back({"apollonian 1k (planar)", gen::apollonian(1000, rng), true});
+  rows.push_back({"rnd-planar 1k (planar)", gen::random_planar(1000, 2400, rng), true});
+  rows.push_back({"tree 2k (planar)", gen::random_tree(2000, rng), true});
+  rows.push_back({"K5 x 60 (eps>=0.1-far)", gen::disjoint_copies(gen::complete(5), 60), false});
+  rows.push_back({"K33 x 60 (1/9-far)",
+                  gen::disjoint_copies(gen::complete_bipartite(3, 3), 60), false});
+  rows.push_back({"K5-blobs (far)", gen::planar_with_k5_blobs(400, 60, rng), false});
+  rows.push_back({"G(n,12/n) n=800 (far)", gen::gnp(800, 12.0 / 800, rng), false});
+  rows.push_back({"grid+6% noise (far)",
+                  gen::planar_plus_random_edges(gen::grid(24, 24),
+                                                /*extra=*/260, rng),
+                  false});
+
+  constexpr int kSeeds = 10;
+  std::printf("%-26s %-8s %-8s %-10s %-10s %-14s\n", "family", "n", "m",
+              "accepts", "rejects", "dist-lb (m-3n+6)");
+  for (const Row& row : rows) {
+    int accepts = 0;
+    int rejects = 0;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      TesterOptions opt;
+      opt.epsilon = 0.1;
+      opt.seed = seed;
+      const TesterResult r = test_planarity(row.graph, opt);
+      if (r.verdict == Verdict::kAccept) ++accepts;
+      if (r.verdict == Verdict::kReject) ++rejects;
+    }
+    std::printf("%-26s %-8u %-8u %-10d %-10d %-14llu\n", row.family,
+                row.graph.num_nodes(), row.graph.num_edges(), accepts, rejects,
+                static_cast<unsigned long long>(
+                    planarity_distance_lower_bound(row.graph)));
+    if (row.planar && rejects > 0) {
+      std::printf("  !! ONE-SIDEDNESS VIOLATION\n");
+    }
+    if (!row.planar && rejects < kSeeds) {
+      std::printf("  (missed detections: %d/%d)\n", kSeeds - rejects, kSeeds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E4 -- Claims 1, 3, 4 / Corollary 5: Stage I partition quality.
+// Reports, per phase: cut weight before/after (the Claim-1 contraction
+// factor must be <= 1 - 1/36), and at completion: cut <= eps*m/2 (Claim 3)
+// and the part diameters (Claim 4 / Corollary 5).
+#include "bench/bench_common.h"
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "partition/partition.h"
+
+using namespace cpt;
+
+int main() {
+  bench::header("E4: Stage I partition quality",
+                "Claim 1: w(G_{i+1}) <= (1-1/36) w(G_i); Claim 3: final cut "
+                "<= eps*m/2; Claim 4: diameter <= 4^i");
+  Rng rng(9);
+  struct Input {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Input> inputs;
+  inputs.push_back({"trigrid 48x48", gen::triangulated_grid(48, 48)});
+  inputs.push_back({"apollonian 2k", gen::apollonian(2000, rng)});
+  inputs.push_back({"rnd-planar 2k", gen::random_planar(2000, 4800, rng)});
+
+  const double eps = 0.25;
+  for (const Input& input : inputs) {
+    congest::Network net(input.g);
+    congest::Simulator sim(net);
+    congest::RoundLedger ledger;
+    Stage1Options opt;
+    opt.epsilon = eps;
+    const Stage1Result r = run_stage1(sim, input.g, opt, ledger);
+    std::printf("\n-- %s: n=%u m=%u, phases emulated %u/%u, rejected=%d\n",
+                input.name, input.g.num_nodes(), input.g.num_edges(),
+                r.phases_emulated, r.phases_total, r.rejected ? 1 : 0);
+    std::printf("%-7s %-10s %-10s %-9s %-8s %-8s %-8s %-7s\n", "phase",
+                "cut-before", "cut-after", "factor", "parts", "cv-it",
+                "T-height", "rounds");
+    for (std::size_t i = 0; i < r.phase_stats.size(); ++i) {
+      const PhaseStats& p = r.phase_stats[i];
+      const double factor =
+          p.cut_before == 0
+              ? 0.0
+              : static_cast<double>(p.cut_after) / p.cut_before;
+      std::printf("%-7zu %-10llu %-10llu %-9.3f %-8u %-8u %-8u %-7llu\n",
+                  i + 1, static_cast<unsigned long long>(p.cut_before),
+                  static_cast<unsigned long long>(p.cut_after), factor,
+                  p.parts_after, p.cv_iterations, p.marked_tree_height,
+                  static_cast<unsigned long long>(p.rounds));
+      if (p.cut_before > 0 && factor > 1.0 - 1.0 / 36.0 + 1e-9 &&
+          p.cut_after > 1) {
+        std::printf("  !! Claim 1 factor exceeded\n");
+      }
+    }
+    const PartitionStats stats = measure_partition(input.g, r.forest);
+    const double target = eps * input.g.num_edges() / 2.0;
+    std::printf("final: cut=%llu (target <= %.0f: %s)  parts=%u  "
+                "max-ecc=%u  max-tree-depth=%u\n",
+                static_cast<unsigned long long>(stats.cut_edges), target,
+                stats.cut_edges <= target ? "OK" : "VIOLATED",
+                stats.num_parts, stats.max_part_ecc, stats.max_tree_depth);
+  }
+  return 0;
+}

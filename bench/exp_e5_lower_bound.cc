@@ -1,0 +1,67 @@
+// E5 -- Theorem 2 / Claims 11, 12: the Omega(log n) lower-bound
+// construction. For each n: G(n, c/n) after short-cycle surgery stays
+// certifiably far from planar while its girth grows ~ log n -- so any
+// one-sided tester with fewer than (girth/2 - 1) rounds sees only trees and
+// must accept, while our tester (with its Theta(log n) budget) rejects.
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/tester.h"
+#include "lowerbound/construction.h"
+
+using namespace cpt;
+
+int main() {
+  bench::header("E5: lower-bound construction",
+                "Theorem 2: Omega(log n) rounds necessary; Claims 11/12: "
+                "far-from-planar with girth Theta(log n)");
+  std::printf("%-8s %-8s %-8s %-9s %-10s %-10s %-12s %-10s\n", "n", "m",
+              "girth", "~ln n", "removed", "eps-cert", "tester", "rounds");
+  for (std::uint32_t n = 1024; n <= 65536; n *= 4) {
+    LowerBoundOptions opt;
+    opt.n = n;
+    opt.avg_degree = 12.0;
+    opt.seed = 11;
+    const LowerBoundInstance inst = build_lower_bound_instance(opt);
+    TesterOptions topt;
+    topt.epsilon = 0.1;
+    topt.seed = 1;
+    const TesterResult r = test_planarity(inst.graph, topt);
+    std::printf("%-8u %-8u %-8u %-9.1f %-10llu %-10.3f %-12s %-10llu\n", n,
+                inst.graph.num_edges(), inst.girth,
+                std::log(static_cast<double>(n)),
+                static_cast<unsigned long long>(inst.removed_edges),
+                inst.certified_eps,
+                r.verdict == Verdict::kReject ? "reject" : "ACCEPT?!",
+                static_cast<unsigned long long>(r.rounds()));
+  }
+  std::printf(
+      "\n-- low-degree variant (avg degree 4): girth growth is clearly\n"
+      "visible; far-ness here rests on Claim 11's well-connectedness (the\n"
+      "edge-excess certificate needs avg degree > 6) and detection runs\n"
+      "through the Stage II sampling path instead of the arboricity check.\n");
+  std::printf("%-8s %-8s %-8s %-9s %-12s %-10s\n", "n", "m", "girth",
+              "~ln n", "tester", "rounds");
+  for (std::uint32_t n = 1024; n <= 65536; n *= 4) {
+    LowerBoundOptions opt;
+    opt.n = n;
+    opt.avg_degree = 4.0;
+    opt.seed = 13;
+    const LowerBoundInstance inst = build_lower_bound_instance(opt);
+    TesterOptions topt;
+    topt.epsilon = 0.1;
+    topt.seed = 2;
+    topt.stage1.adaptive = true;  // keep the run fast at 65k nodes
+    const TesterResult r = test_planarity(inst.graph, topt);
+    std::printf("%-8u %-8u %-8u %-9.1f %-12s %-10llu\n", n,
+                inst.graph.num_edges(), inst.girth,
+                std::log(static_cast<double>(n)),
+                r.verdict == Verdict::kReject ? "reject" : "accept(!)",
+                static_cast<unsigned long long>(r.rounds()));
+  }
+  std::printf(
+      "\ngirth grows with log n while the instance stays Theta(1)-far:\n"
+      "a one-sided algorithm limited to < girth/2 - 1 rounds sees only\n"
+      "trees around every node and cannot produce a witness.\n");
+  return 0;
+}

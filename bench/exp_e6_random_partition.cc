@@ -1,0 +1,92 @@
+// E6 -- Theorem 4 / Claim 14 / Lemma 13: the randomized partition.
+// (a) delta sweep: trials per phase = Theta(log 1/delta), success rate
+//     >= 1 - delta; (b) n sweep: rounds essentially independent of n
+//     (vs. the deterministic partition's log n super-round factor).
+#include "bench/bench_common.h"
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "partition/partition.h"
+#include "partition/random_partition.h"
+
+using namespace cpt;
+
+namespace {
+
+std::uint64_t run_det(const Graph& g, double eps) {
+  congest::Network net(g);
+  congest::Simulator sim(net);
+  congest::RoundLedger ledger;
+  Stage1Options opt;
+  opt.epsilon = eps;
+  run_stage1(sim, g, opt, ledger);
+  return ledger.total_rounds();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E6: randomized partition (Theorem 4)",
+                "O(poly(1/eps)(log(1/delta) + log* n)) rounds, success 1-delta");
+  const double eps = 0.3;
+
+  std::printf("-- (a) delta sweep, trigrid 32x32, %d seeds each\n", 8);
+  std::printf("%-8s %-8s %-12s %-12s %-14s\n", "delta", "trials",
+              "success", "avg-cut", "avg-rounds");
+  for (const double delta : {0.5, 0.25, 0.1, 0.01}) {
+    const Graph g = gen::triangulated_grid(32, 32);
+    int success = 0;
+    double cut_sum = 0;
+    double round_sum = 0;
+    std::uint32_t trials = 0;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      congest::Network net(g);
+      congest::Simulator sim(net);
+      congest::RoundLedger ledger;
+      RandomPartitionOptions opt;
+      opt.epsilon = eps;
+      opt.delta = delta;
+      opt.seed = seed;
+      const RandomPartitionResult r = run_random_partition(sim, g, opt, ledger);
+      trials = r.trials_per_phase;
+      const PartitionStats stats = measure_partition(g, r.forest);
+      cut_sum += static_cast<double>(stats.cut_edges);
+      round_sum += static_cast<double>(ledger.total_rounds());
+      if (stats.cut_edges <= eps * g.num_edges() / 2.0) ++success;
+    }
+    std::printf("%-8.2f %-8u %-12s %-12.0f %-14.0f\n", delta, trials,
+                (std::to_string(success) + "/8").c_str(), cut_sum / 8,
+                round_sum / 8);
+  }
+
+  std::printf("\n-- (b) n sweep at delta = 0.1: randomized vs deterministic rounds\n");
+  std::printf("%-8s %-14s %-14s %-10s\n", "n", "rand-rounds", "det-rounds",
+              "ratio");
+  for (std::uint32_t side = 16; side <= 96; side *= 2) {
+    const Graph g = gen::triangulated_grid(side, side);
+    congest::Network net(g);
+    congest::Simulator sim(net);
+    congest::RoundLedger ledger;
+    RandomPartitionOptions opt;
+    opt.epsilon = eps;
+    opt.delta = 0.1;
+    opt.seed = 5;
+    run_random_partition(sim, g, opt, ledger);
+    const std::uint64_t rand_rounds = ledger.total_rounds();
+    const std::uint64_t det_rounds = run_det(g, eps);
+    std::printf("%-8u %-14llu %-14llu %-10.2f\n", g.num_nodes(),
+                static_cast<unsigned long long>(rand_rounds),
+                static_cast<unsigned long long>(det_rounds),
+                static_cast<double>(det_rounds) /
+                    static_cast<double>(rand_rounds));
+  }
+  std::printf(
+      "\nHonest reading: at these sizes the randomized variant costs MORE\n"
+      "rounds overall -- Claim 14's weaker per-phase contraction (1 - 1/192\n"
+      "vs Claim 1's 1 - 1/36) means ~5x more phases, which dwarfs the\n"
+      "Theta(log n) peeling rounds it saves per phase. The log* n vs log n\n"
+      "asymptotic advantage only bites when log n exceeds the phase-count\n"
+      "gap, far beyond laptop sizes. The delta dependence (trials per\n"
+      "phase) matches Lemma 13 exactly.\n");
+  return 0;
+}

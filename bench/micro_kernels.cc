@@ -1,0 +1,82 @@
+// E11 -- google-benchmark microbenchmarks of the computational kernels:
+// LR planarity test, LR embedding extraction, the simulator's BFS pass,
+// and the violation sweep.
+#include <benchmark/benchmark.h>
+
+#include "congest/network.h"
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "core/violation.h"
+#include "graph/generators.h"
+#include "planar/lr_planarity.h"
+
+namespace cpt {
+namespace {
+
+void BM_LrPlanarityPlanar(benchmark::State& state) {
+  Rng rng(1);
+  const Graph g = gen::apollonian(static_cast<NodeId>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_planar(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_LrPlanarityPlanar)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_LrPlanarityRejects(benchmark::State& state) {
+  Rng rng(2);
+  const Graph g = gen::planar_plus_random_edges(
+      gen::apollonian(static_cast<NodeId>(state.range(0)), rng), 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_planar(g));
+  }
+}
+BENCHMARK(BM_LrPlanarityRejects)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_LrEmbedding(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::apollonian(static_cast<NodeId>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lr_planar_embedding(g));
+  }
+}
+BENCHMARK(BM_LrEmbedding)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_SimulatorBfsPass(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::triangulated_grid(side, side);
+  congest::Network net(g);
+  congest::Simulator sim(net);
+  std::vector<NodeId> part_root(g.num_nodes(), 0);
+  for (auto _ : state) {
+    congest::BfsForest bfs(part_root);
+    benchmark::DoNotOptimize(sim.run(bfs));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_SimulatorBfsPass)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ViolationSweep(benchmark::State& state) {
+  Rng rng(4);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<LabelPair> edges;
+  edges.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Label a(1 + rng.next_below(5));
+    Label b(1 + rng.next_below(5));
+    for (auto& x : a) x = static_cast<std::uint32_t>(rng.next_below(64));
+    for (auto& x : b) x = static_cast<std::uint32_t>(rng.next_below(64));
+    if (a == b) b.push_back(1);
+    edges.push_back(LabelPair::normalized(std::move(a), std::move(b)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_violating(edges));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_ViolationSweep)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace cpt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Scenario: everything Section 4 gives you once you know your network is
+// minor-free -- the partition itself (Theorems 3/4), cycle-freeness and
+// bipartiteness testing (Corollary 16), and spanners (Corollary 17),
+// deterministic and randomized variants side by side.
+#include <cstdio>
+
+#include "apps/bipartite.h"
+#include "apps/cycle_free.h"
+#include "apps/spanner.h"
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "partition/partition.h"
+#include "partition/random_partition.h"
+
+using namespace cpt;
+
+int main() {
+  const Graph g = gen::triangulated_grid(30, 30);
+  std::printf("input: 30x30 triangulated grid (planar => minor-free), "
+              "n=%u m=%u\n\n", g.num_nodes(), g.num_edges());
+
+  // --- The partition primitive itself. ---
+  {
+    congest::Network net(g);
+    congest::Simulator sim(net);
+    congest::RoundLedger ledger;
+    Stage1Options opt;
+    opt.epsilon = 0.2;
+    const Stage1Result r = run_stage1(sim, g, opt, ledger);
+    const PartitionStats s = measure_partition(g, r.forest);
+    std::printf("Theorem 3 (deterministic partition): %u parts, cut %llu, "
+                "max ecc %u, %llu rounds\n", s.num_parts,
+                static_cast<unsigned long long>(s.cut_edges), s.max_part_ecc,
+                static_cast<unsigned long long>(ledger.total_rounds()));
+  }
+  {
+    congest::Network net(g);
+    congest::Simulator sim(net);
+    congest::RoundLedger ledger;
+    RandomPartitionOptions opt;
+    opt.epsilon = 0.2;
+    opt.delta = 0.1;
+    opt.seed = 9;
+    const RandomPartitionResult r = run_random_partition(sim, g, opt, ledger);
+    const PartitionStats s = measure_partition(g, r.forest);
+    std::printf("Theorem 4 (randomized, delta=0.1):   %u parts, cut %llu, "
+                "max ecc %u, %llu rounds (%u trials/phase)\n\n", s.num_parts,
+                static_cast<unsigned long long>(s.cut_edges), s.max_part_ecc,
+                static_cast<unsigned long long>(ledger.total_rounds()),
+                r.trials_per_phase);
+  }
+
+  // --- Corollary 16 testers. ---
+  for (const bool randomized : {false, true}) {
+    MinorFreeOptions opt;
+    opt.epsilon = 0.25;
+    opt.randomized = randomized;
+    opt.delta = 0.1;
+    opt.seed = 4;
+    const AppResult cf = test_cycle_freeness(g, opt);
+    const AppResult bp = test_bipartiteness(g, opt);
+    std::printf("Corollary 16 (%s): cycle-free -> %s (%llu rounds), "
+                "bipartite -> %s (%llu rounds)\n",
+                randomized ? "randomized" : "deterministic",
+                cf.verdict == Verdict::kAccept ? "accept" : "reject",
+                static_cast<unsigned long long>(cf.rounds()),
+                bp.verdict == Verdict::kAccept ? "accept" : "reject",
+                static_cast<unsigned long long>(bp.rounds()));
+  }
+  std::printf("(the triangulated grid has many cycles and odd triangles:\n"
+              " both properties are correctly rejected)\n\n");
+
+  // --- Corollary 17 spanner. ---
+  MinorFreeOptions sopt;
+  sopt.epsilon = 0.1;
+  sopt.seed = 2;
+  const SpannerResult s = build_spanner(g, sopt);
+  Rng rng(1);
+  std::printf("Corollary 17: spanner with %zu edges (%.3f x n), stretch <= %u, "
+              "%llu rounds\n", s.edges.size(), s.size_ratio(g),
+              measure_edge_stretch(g, s.edges, 200, rng),
+              static_cast<unsigned long long>(s.ledger.total_rounds()));
+  return 0;
+}

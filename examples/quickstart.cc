@@ -1,0 +1,60 @@
+// Quickstart: build a graph, run the distributed planarity tester, inspect
+// the verdict and the round ledger.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/tester.h"
+#include "graph/generators.h"
+
+using namespace cpt;
+
+int main() {
+  // A planar road-grid-like network.
+  const Graph planar = gen::triangulated_grid(20, 20);
+
+  TesterOptions opt;
+  opt.epsilon = 0.25;  // distance parameter: reject if > eps*m edges must go
+  opt.seed = 42;
+
+  const TesterResult ok = test_planarity(planar, opt);
+  std::printf("planar 20x20 triangulated grid (n=%u, m=%u):\n",
+              planar.num_nodes(), planar.num_edges());
+  std::printf("  verdict : %s\n",
+              ok.verdict == Verdict::kAccept ? "ACCEPT (every node accepts)"
+                                             : "REJECT");
+  std::printf("  rounds  : %llu CONGEST rounds (%u stage-I phases)\n",
+              static_cast<unsigned long long>(ok.rounds()),
+              ok.stage1_phases_emulated);
+  std::printf("  cut     : %llu inter-part edges across %u parts\n\n",
+              static_cast<unsigned long long>(ok.partition.cut_edges),
+              ok.partition.num_parts);
+
+  // The same network after someone adds sixty K5 interchanges.
+  Rng rng(7);
+  const Graph far = gen::planar_with_k5_blobs(400, 60, rng);
+  const TesterResult bad = test_planarity(far, opt);
+  std::printf("planar backbone + 60 K5 blobs (n=%u, m=%u):\n",
+              far.num_nodes(), far.num_edges());
+  std::printf("  verdict : %s\n",
+              bad.verdict == Verdict::kReject ? "REJECT" : "ACCEPT");
+  std::printf("  reason  : %s\n", bad.reason.c_str());
+  std::printf("  witness : %zu rejecting node(s), first id %u\n",
+              bad.rejecting_nodes.size(),
+              bad.rejecting_nodes.empty() ? 0 : bad.rejecting_nodes.front());
+
+  // Round breakdown by pass family.
+  std::printf("\nround breakdown (planar run):\n");
+  std::printf("  stage I peeling   : %llu\n",
+              static_cast<unsigned long long>(
+                  ok.ledger.rounds_with_prefix("stage1/peel")));
+  std::printf("  stage I merging   : %llu\n",
+              static_cast<unsigned long long>(
+                  ok.ledger.total_rounds() -
+                  ok.ledger.rounds_with_prefix("stage1/peel") -
+                  ok.ledger.rounds_with_prefix("stage2/")));
+  std::printf("  stage II          : %llu\n",
+              static_cast<unsigned long long>(
+                  ok.ledger.rounds_with_prefix("stage2/")));
+  return 0;
+}

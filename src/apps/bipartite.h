@@ -1,0 +1,12 @@
+// Corollary 16: testing bipartiteness on (promised) minor-free graphs. A
+// same-part non-BFS-tree edge whose endpoints share level parity closes an
+// odd cycle; a part with no such edge is bipartite.
+#pragma once
+
+#include "apps/cycle_free.h"
+
+namespace cpt {
+
+AppResult test_bipartiteness(const Graph& g, const MinorFreeOptions& opt);
+
+}  // namespace cpt

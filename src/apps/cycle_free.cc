@@ -1,0 +1,32 @@
+#include "apps/cycle_free.h"
+
+#include "congest/network.h"
+#include "congest/simulator.h"
+
+namespace cpt {
+
+AppResult test_cycle_freeness(const Graph& g, const MinorFreeOptions& opt) {
+  AppResult result;
+  congest::Network net(g);
+  congest::Simulator sim(net);
+
+  const MinorFreePartition part = minor_free_partition(sim, g, opt, result.ledger);
+  result.partition = measure_partition(g, part.forest);
+  if (part.rejected) {
+    // Arboricity evidence is in particular a cycle witness.
+    result.verdict = Verdict::kReject;
+    result.rejecting_nodes = part.rejecting_nodes;
+    return result;
+  }
+  const BfsClassification cls = classify_edges(sim, g, part.forest, result.ledger);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!cls.assigned[v].empty()) {
+      // Any same-part non-tree edge closes a cycle.
+      result.rejecting_nodes.push_back(v);
+    }
+  }
+  if (!result.rejecting_nodes.empty()) result.verdict = Verdict::kReject;
+  return result;
+}
+
+}  // namespace cpt

@@ -1,0 +1,26 @@
+// Corollary 16: testing cycle-freeness on (promised) minor-free graphs in
+// O(poly(1/eps) log n) rounds deterministically, or
+// O(poly(1/eps)(log(1/delta) + log* n)) rounds with probability 1 - delta.
+// After partitioning, any same-part non-BFS-tree edge closes a cycle and its
+// holder rejects; if G is eps-far from cycle-free, some part must contain
+// such an edge.
+#pragma once
+
+#include "apps/minor_free_common.h"
+#include "congest/metrics.h"
+#include "core/stage2.h"  // Verdict
+
+namespace cpt {
+
+struct AppResult {
+  Verdict verdict = Verdict::kAccept;
+  std::vector<NodeId> rejecting_nodes;
+  congest::RoundLedger ledger;
+  PartitionStats partition;
+
+  std::uint64_t rounds() const { return ledger.total_rounds(); }
+};
+
+AppResult test_cycle_freeness(const Graph& g, const MinorFreeOptions& opt);
+
+}  // namespace cpt

@@ -1,0 +1,65 @@
+#include "apps/outerplanar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/ops.h"
+#include "planar/lr_planarity.h"
+
+namespace cpt {
+
+namespace {
+
+// Outerplanarity via the apex trick: G is outerplanar iff G + a universal
+// apex vertex is planar (the apex sits in the outer face touching everyone).
+bool is_outerplanar(const Graph& g) {
+  GraphBuilder b(g.num_nodes() + 1);
+  const NodeId apex = g.num_nodes();
+  for (const Endpoints e : g.edges()) b.add_edge(e.u, e.v);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) b.add_edge(v, apex);
+  return is_planar(std::move(b).build());
+}
+
+}  // namespace
+
+AppResult test_outerplanarity(const Graph& g, const MinorFreeOptions& opt) {
+  AppResult result;
+  congest::Network net(g);
+  congest::Simulator sim(net);
+
+  const MinorFreePartition part = minor_free_partition(sim, g, opt, result.ledger);
+  result.partition = measure_partition(g, part.forest);
+  if (part.rejected) {
+    result.verdict = Verdict::kReject;
+    result.rejecting_nodes = part.rejecting_nodes;
+    return result;
+  }
+  const BfsClassification cls = classify_edges(sim, g, part.forest, result.ledger);
+
+  // Per-part verification (centralized, charged at the per-part diameter
+  // bound like the Stage II embedding substitute).
+  std::vector<std::uint32_t> part_depth(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    part_depth[part.forest.root[v]] =
+        std::max(part_depth[part.forest.root[v]], cls.bfs.level[v]);
+  }
+  std::uint64_t max_check_rounds = 0;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (part.forest.root[root] != root) continue;
+    const InducedSubgraph sub = induced_subgraph(g, part.forest.members[root]);
+    if (!is_outerplanar(sub.graph)) {
+      result.rejecting_nodes.push_back(root);
+    }
+    const std::uint64_t d = part_depth[root];
+    const std::uint64_t log_n = static_cast<std::uint64_t>(std::ceil(
+        std::log2(std::max<double>(part.forest.members[root].size(), 2))));
+    max_check_rounds = std::max(max_check_rounds, 4 * d * std::min(log_n, d) + 1);
+  }
+  result.ledger.charge("app/outerplanar-check", max_check_rounds);
+  if (!result.rejecting_nodes.empty()) result.verdict = Verdict::kReject;
+  return result;
+}
+
+}  // namespace cpt

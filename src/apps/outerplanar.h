@@ -1,0 +1,14 @@
+// Corollary 16's closing remark instantiated for another hereditary
+// property: outerplanarity testing on (promised) minor-free graphs. A part
+// is outerplanar iff the part plus one apex node joined to all its nodes is
+// planar, so the per-part verification runs in diameter-bounded rounds
+// (charged like the embedding black box; the check itself is exact).
+#pragma once
+
+#include "apps/cycle_free.h"
+
+namespace cpt {
+
+AppResult test_outerplanarity(const Graph& g, const MinorFreeOptions& opt);
+
+}  // namespace cpt

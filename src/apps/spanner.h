@@ -1,0 +1,37 @@
+// Corollary 17: poly(1/eps)-spanners with (1 + O(eps))n edges for unweighted
+// minor-free graphs. The spanner is the union of the per-part BFS trees and
+// all inter-part edges: at most (n - #parts) + eps*n edges; an intra-part
+// edge is stretched by at most twice the part diameter = poly(1/eps).
+#pragma once
+
+#include <vector>
+
+#include "apps/minor_free_common.h"
+#include "congest/metrics.h"
+#include "util/rng.h"
+
+namespace cpt {
+
+struct SpannerResult {
+  std::vector<EdgeId> edges;  // the spanner, as edge ids into g
+  congest::RoundLedger ledger;
+  PartitionStats partition;
+  std::uint64_t tree_edges = 0;
+  std::uint64_t cut_edges = 0;
+
+  double size_ratio(const Graph& g) const {
+    return g.num_nodes() == 0
+               ? 0.0
+               : static_cast<double>(edges.size()) / g.num_nodes();
+  }
+};
+
+SpannerResult build_spanner(const Graph& g, const MinorFreeOptions& opt);
+
+// Measured multiplicative stretch of up to `samples` graph edges (the edge
+// stretch bounds the overall spanner stretch). Centralized measurement.
+std::uint32_t measure_edge_stretch(const Graph& g,
+                                   const std::vector<EdgeId>& spanner_edges,
+                                   std::uint32_t samples, Rng& rng);
+
+}  // namespace cpt

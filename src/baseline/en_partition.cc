@@ -1,0 +1,147 @@
+#include "baseline/en_partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/primitives.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace cpt {
+
+using congest::Exchange;
+using congest::Inbound;
+using congest::Msg;
+
+namespace {
+
+constexpr std::uint32_t kTagWave = 60;
+constexpr std::uint32_t kTagChild = 61;
+
+// Staggered BFS: the wave of center c starts at round (max_shift -
+// shift[c]) carrying value shift[c]; a claimed node relays value-1 the next
+// round. Higher values arrive strictly earlier, so first arrival (ties by
+// larger center id) is the argmax of shift[c] - d(c, u).
+class ShiftedBfs : public congest::Program {
+ public:
+  ShiftedBfs(const std::vector<std::uint32_t>& shift, std::uint32_t max_shift)
+      : shift_(&shift), max_shift_(max_shift) {
+    const std::size_t n = shift.size();
+    center.assign(n, kNoNode);
+    value_.assign(n, -1);
+    parent_edge.assign(n, kNoEdge);
+    children.assign(n, {});
+  }
+
+  void begin(congest::Simulator& sim) override {
+    for (NodeId v = 0; v < center.size(); ++v) sim.wake_next_round(v);
+  }
+
+  void on_wake(congest::Simulator& sim, NodeId v,
+               std::span<const Inbound> inbox) override {
+    // Adopt the best arrival of this round, if still unclaimed.
+    NodeId best_center = kNoNode;
+    std::int64_t best_value = -1;
+    std::uint32_t best_port = 0;
+    for (const Inbound& in : inbox) {
+      if (in.msg.tag == kTagChild) {
+        children[v].push_back(sim.network().arc(v, in.port).edge);
+        continue;
+      }
+      if (in.msg.tag != kTagWave) continue;
+      const NodeId c = static_cast<NodeId>(in.msg.w[0]);
+      const std::int64_t val = in.msg.w[1];
+      if (center[v] == kNoNode &&
+          (best_center == kNoNode || c > best_center)) {
+        best_center = c;
+        best_value = val;
+        best_port = in.port;
+      }
+    }
+    // Own candidacy activates at round (max_shift - shift[v]) + 1; an
+    // arrival in the same round has the same value, ties broken by id.
+    const std::uint64_t my_round =
+        static_cast<std::uint64_t>(max_shift_ - (*shift_)[v]) + 1;
+    if (center[v] == kNoNode && sim.current_round() >= my_round) {
+      if (best_center == kNoNode || v > best_center) {
+        best_center = v;
+        best_value = (*shift_)[v];
+        best_port = static_cast<std::uint32_t>(-1);
+      }
+    }
+    if (center[v] == kNoNode && best_center != kNoNode) {
+      // Claim and relay in the same round, so a wave carrying value w
+      // always arrives exactly at round (max_shift - w + 1): higher values
+      // strictly earlier, which makes first-arrival the argmax.
+      center[v] = best_center;
+      value_[v] = best_value;
+      for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
+        if (p == best_port) continue;
+        if (value_[v] > 0) {
+          sim.send(v, p, Msg::make(kTagWave,
+                                   static_cast<std::int64_t>(center[v]),
+                                   value_[v] - 1));
+        }
+      }
+      if (best_port != static_cast<std::uint32_t>(-1)) {
+        parent_edge[v] = sim.network().arc(v, best_port).edge;
+        sim.send(v, best_port, Msg::make(kTagChild));
+      }
+      return;
+    }
+    // Unclaimed nodes keep waiting for their activation round.
+    if (center[v] == kNoNode) sim.wake_next_round(v);
+  }
+
+  std::vector<NodeId> center;
+  std::vector<EdgeId> parent_edge;
+  std::vector<std::vector<EdgeId>> children;
+
+ private:
+  const std::vector<std::uint32_t>* shift_;
+  std::uint32_t max_shift_;
+  std::vector<std::int64_t> value_;
+};
+
+}  // namespace
+
+EnPartitionResult run_en_partition(congest::Simulator& sim, const Graph& g,
+                                   const EnPartitionOptions& opt,
+                                   congest::RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CPT_EXPECTS(opt.epsilon > 0 && opt.epsilon < 1);
+  const double beta = opt.epsilon * opt.beta_scale;
+  // Truncate shifts at 4 ln(n) / beta (exceeded with prob 1/n^3 per node).
+  const std::uint32_t cap = static_cast<std::uint32_t>(
+      std::ceil(4.0 * std::log(std::max<double>(n, 2)) / beta));
+
+  Rng rng(opt.seed ^ 0xe1c0ffeeULL);
+  std::vector<std::uint32_t> shift(n, 0);
+  std::uint32_t max_shift = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    shift[v] = std::min<std::uint32_t>(
+        cap, static_cast<std::uint32_t>(std::floor(rng.next_exponential(beta))));
+    max_shift = std::max(max_shift, shift[v]);
+  }
+
+  ShiftedBfs bfs(shift, max_shift);
+  const auto r = sim.run(bfs);
+  ledger.add_pass("en/shifted-bfs", r.rounds, r.messages);
+
+  EnPartitionResult result;
+  result.max_shift = max_shift;
+  PartForest& pf = result.forest;
+  pf.root.resize(n);
+  pf.parent_edge = bfs.parent_edge;
+  pf.children = bfs.children;
+  pf.members.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    CPT_ASSERT(bfs.center[v] != kNoNode);
+    pf.root[v] = bfs.center[v];
+    pf.members[bfs.center[v]].push_back(v);
+  }
+  pf.recompute_depths(g);
+  return result;
+}
+
+}  // namespace cpt

@@ -1,0 +1,34 @@
+// Baseline partition: random-shift clustering in the style of
+// Miller-Peng-Xu / Elkin-Neiman -- the alternative the paper mentions in
+// Section 1.1 ("the algorithm of Elkin and Neiman can be adapted to obtain
+// ... a partition of the nodes into parts of diameter O(log(n)/eps) such
+// that the number of edges between parts is at most eps*m" with high
+// probability). Every node draws an exponential shift delta_v ~ Exp(beta);
+// node u joins the cluster of the center maximizing delta_c - d(c, u),
+// computed by a genuinely message-passing staggered BFS. Shifts are
+// quantized to integers (ids break ties), which preserves the guarantees up
+// to constants; the bench measures the actual cut.
+#pragma once
+
+#include "congest/metrics.h"
+#include "congest/simulator.h"
+#include "partition/part_forest.h"
+
+namespace cpt {
+
+struct EnPartitionOptions {
+  double epsilon = 0.1;   // target cut fraction; beta = epsilon * beta_scale
+  double beta_scale = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct EnPartitionResult {
+  PartForest forest;
+  std::uint32_t max_shift = 0;  // O(log n / eps) whp; drives the round count
+};
+
+EnPartitionResult run_en_partition(congest::Simulator& sim, const Graph& g,
+                                   const EnPartitionOptions& opt,
+                                   congest::RoundLedger& ledger);
+
+}  // namespace cpt

@@ -1,0 +1,34 @@
+#include "baseline/en_tester.h"
+
+#include "baseline/en_partition.h"
+#include "congest/network.h"
+#include "congest/simulator.h"
+
+namespace cpt {
+
+TesterResult test_planarity_en(const Graph& g, const EnTesterOptions& opt) {
+  TesterResult result;
+  congest::Network net(g);
+  congest::Simulator sim(net);
+
+  EnPartitionOptions ep;
+  // Aim for a cut below eps*m/2, matching what Stage II assumes.
+  ep.epsilon = opt.epsilon;
+  ep.beta_scale = 0.5;
+  ep.seed = opt.seed;
+  EnPartitionResult part = run_en_partition(sim, g, ep, result.ledger);
+  result.partition = measure_partition(g, part.forest);
+
+  Stage2Options s2 = opt.stage2;
+  s2.epsilon = opt.epsilon;
+  s2.seed = opt.seed;
+  const Stage2Result stage2 =
+      run_stage2(sim, g, part.forest, s2, result.ledger);
+  result.verdict = stage2.verdict;
+  result.rejecting_nodes = stage2.rejecting_nodes;
+  result.reason = stage2.reason;
+  result.stage2 = stage2.stats;
+  return result;
+}
+
+}  // namespace cpt

@@ -1,0 +1,20 @@
+// Baseline planarity tester (Section 1.1 remark): the Elkin-Neiman-style
+// random-shift partition followed by the same Stage II verification. Round
+// complexity O(log^2(n) * poly(1/eps)) vs. our O(log(n) * poly(1/eps));
+// also the partition guarantee is only with high probability, so the cut
+// (and hence detection) can fail where Stage I's is deterministic.
+#pragma once
+
+#include "core/tester.h"
+
+namespace cpt {
+
+struct EnTesterOptions {
+  double epsilon = 0.1;
+  std::uint64_t seed = 1;
+  Stage2Options stage2;
+};
+
+TesterResult test_planarity_en(const Graph& g, const EnTesterOptions& opt);
+
+}  // namespace cpt

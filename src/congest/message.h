@@ -1,0 +1,31 @@
+// CONGEST messages. One word models Theta(log n) bits; a message carries a
+// tag plus at most three payload words, i.e. O(log n) bits total, which is
+// CONGEST-legal up to the usual constant factor. Logical payloads longer
+// than a constant number of words (e.g. Stage II node labels) must be
+// pipelined over multiple rounds -- the simulator enforces one message per
+// directed edge per round, so pipelining is what makes long payloads cost
+// rounds, exactly as in the paper's accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cpt::congest {
+
+struct Msg {
+  std::uint32_t tag = 0;
+  std::array<std::int64_t, 3> w{};
+
+  static Msg make(std::uint32_t tag, std::int64_t a = 0, std::int64_t b = 0,
+                  std::int64_t c = 0) {
+    return Msg{tag, {a, b, c}};
+  }
+};
+
+// A message as seen by its receiver: which local port it arrived on.
+struct Inbound {
+  std::uint32_t port;
+  Msg msg;
+};
+
+}  // namespace cpt::congest

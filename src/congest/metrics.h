@@ -1,0 +1,52 @@
+// Round/message accounting across the many passes of a distributed
+// algorithm. Passes executed on the simulator report measured rounds;
+// substituted black boxes (e.g. the Ghaffari-Haeupler embedding) charge
+// their documented round bounds explicitly (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpt::congest {
+
+struct PassStats {
+  std::string name;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+class RoundLedger {
+ public:
+  void add_pass(std::string name, std::uint64_t rounds, std::uint64_t messages) {
+    total_rounds_ += rounds;
+    total_messages_ += messages;
+    passes_.push_back({std::move(name), rounds, messages});
+  }
+
+  // Charge rounds without simulated messages (substituted black boxes,
+  // schedule padding for quiet super-rounds, fast-forwarded phases).
+  void charge(std::string name, std::uint64_t rounds) {
+    add_pass(std::move(name), rounds, 0);
+  }
+
+  std::uint64_t total_rounds() const { return total_rounds_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+  const std::vector<PassStats>& passes() const { return passes_; }
+
+  // Sums rounds over passes whose name starts with `prefix`.
+  std::uint64_t rounds_with_prefix(const std::string& prefix) const {
+    std::uint64_t sum = 0;
+    for (const PassStats& p : passes_) {
+      if (p.name.rfind(prefix, 0) == 0) sum += p.rounds;
+    }
+    return sum;
+  }
+
+ private:
+  std::uint64_t total_rounds_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::vector<PassStats> passes_;
+};
+
+}  // namespace cpt::congest

@@ -1,0 +1,16 @@
+#include "congest/network.h"
+
+namespace cpt::congest {
+
+Network::Network(const Graph& g) : g_(&g) {
+  port_.assign(2ULL * g.num_edges(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+      const Endpoints ep = g.endpoints(nbrs[p].edge);
+      port_[2ULL * nbrs[p].edge + (ep.u == v ? 0 : 1)] = p;
+    }
+  }
+}
+
+}  // namespace cpt::congest

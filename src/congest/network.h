@@ -1,0 +1,37 @@
+// The communication topology for the CONGEST simulator: an undirected graph
+// with per-node port numbering. Nodes address neighbors only through ports;
+// ids travel in message payloads, as in the standard model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpt::congest {
+
+class Network {
+ public:
+  explicit Network(const Graph& g);
+
+  const Graph& graph() const { return *g_; }
+  NodeId num_nodes() const { return g_->num_nodes(); }
+
+  std::uint32_t port_count(NodeId v) const { return g_->degree(v); }
+
+  // The arc (neighbor, edge) behind port `port` of node v.
+  Arc arc(NodeId v, std::uint32_t port) const { return g_->neighbors(v)[port]; }
+
+  // The port of node v on edge e. Precondition: v is an endpoint of e.
+  std::uint32_t port_of_edge(NodeId v, EdgeId e) const {
+    const Endpoints ep = g_->endpoints(e);
+    CPT_EXPECTS(ep.u == v || ep.v == v);
+    return port_[2ULL * e + (ep.u == v ? 0 : 1)];
+  }
+
+ private:
+  const Graph* g_;
+  std::vector<std::uint32_t> port_;  // indexed by half-edge (2e + side)
+};
+
+}  // namespace cpt::congest

@@ -1,0 +1,233 @@
+#include "congest/primitives.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpt::congest {
+namespace {
+
+enum Tag : std::uint32_t {
+  kTagRecord = 1,
+  kTagDone = 2,
+  kTagWave = 3,
+  kTagChild = 4,
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- Converge
+
+ConvergeRecords::ConvergeRecords(TreeView tree, Combine combine, std::uint32_t cap)
+    : tree_(tree), combine_(combine), cap_(cap) {
+  CPT_EXPECTS(tree_.parent_edge != nullptr && tree_.children != nullptr);
+  const std::size_t n = tree_.parent_edge->size();
+  initial.resize(n);
+  merged_.resize(n);
+  overflow_.assign(n, 0);
+  pending_.assign(n, 0);
+  cursor_.assign(n, 0);
+  done_sent_.assign(n, 0);
+}
+
+void ConvergeRecords::merge_record(NodeId v, Record r) {
+  if (overflow_[v]) return;
+  if (r.key == kOverflowKey) {
+    overflow_[v] = 1;
+    merged_[v].clear();
+    return;
+  }
+  for (Record& have : merged_[v]) {
+    if (have.key == r.key) {
+      switch (combine_) {
+        case Combine::kSum: have.value += r.value; break;
+        case Combine::kMin: have.value = std::min(have.value, r.value); break;
+        case Combine::kMax: have.value = std::max(have.value, r.value); break;
+      }
+      return;
+    }
+  }
+  merged_[v].push_back(r);
+  if (cap_ != 0 && merged_[v].size() > cap_) {
+    overflow_[v] = 1;
+    merged_[v].clear();
+  }
+}
+
+void ConvergeRecords::pump(Simulator& sim, NodeId v) {
+  // Stream one record (or the final DONE) per round toward the parent.
+  if (done_sent_[v]) return;
+  const EdgeId pe = (*tree_.parent_edge)[v];
+  CPT_ASSERT(pe != kNoEdge);
+  const std::uint32_t port = sim.network().port_of_edge(v, pe);
+  const std::vector<Record>& out =
+      overflow_[v] ? overflow_records_() : merged_[v];
+  if (cursor_[v] < out.size()) {
+    const Record& r = out[cursor_[v]++];
+    sim.send(v, port, Msg::make(kTagRecord, static_cast<std::int64_t>(r.key),
+                                r.value));
+    sim.wake_next_round(v);
+  } else {
+    sim.send(v, port, Msg::make(kTagDone));
+    done_sent_[v] = 1;
+  }
+}
+
+// A static single overflow record used as the outgoing stream of an
+// overflowed node.
+const std::vector<Record>& ConvergeRecords::overflow_records_() {
+  static const std::vector<Record> kOverflow{{kOverflowKey, 1}};
+  return kOverflow;
+}
+
+void ConvergeRecords::finalize(Simulator& sim, NodeId v) {
+  for (const Record& r : initial[v]) merge_record(v, r);
+  if ((*tree_.parent_edge)[v] == kNoEdge) return;  // root keeps its result
+  pump(sim, v);
+}
+
+void ConvergeRecords::begin(Simulator& sim) {
+  const NodeId n = static_cast<NodeId>(tree_.parent_edge->size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (!tree_.in(v)) continue;
+    pending_[v] = static_cast<std::uint32_t>((*tree_.children)[v].size());
+    if (pending_[v] == 0) finalize(sim, v);
+  }
+}
+
+void ConvergeRecords::on_wake(Simulator& sim, NodeId v,
+                              std::span<const Inbound> inbox) {
+  bool finalized_now = false;
+  for (const Inbound& in : inbox) {
+    if (in.msg.tag == kTagRecord) {
+      merge_record(v, {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
+    } else if (in.msg.tag == kTagDone) {
+      CPT_ASSERT(pending_[v] > 0);
+      if (--pending_[v] == 0) finalized_now = true;
+    }
+  }
+  if (finalized_now) {
+    finalize(sim, v);
+  } else if (pending_[v] == 0 && !done_sent_[v] &&
+             (*tree_.parent_edge)[v] != kNoEdge) {
+    pump(sim, v);  // wake-up to continue draining the queue
+  }
+}
+
+// ---------------------------------------------------------------- Broadcast
+
+BroadcastRecords::BroadcastRecords(TreeView tree) : tree_(tree) {
+  CPT_EXPECTS(tree_.parent_edge != nullptr && tree_.children != nullptr);
+  const std::size_t n = tree_.parent_edge->size();
+  stream.resize(n);
+  received.resize(n);
+  queue_.resize(n);
+  cursor_.assign(n, 0);
+  end_queued_.assign(n, 0);
+}
+
+void BroadcastRecords::pump(Simulator& sim, NodeId v) {
+  if (cursor_[v] >= queue_[v].size()) return;
+  const bool is_end =
+      end_queued_[v] && cursor_[v] + 1 == queue_[v].size();
+  const Record& r = queue_[v][cursor_[v]++];
+  for (const EdgeId ce : (*tree_.children)[v]) {
+    const std::uint32_t port = sim.network().port_of_edge(v, ce);
+    sim.send(v, port,
+             Msg::make(is_end ? kTagDone : kTagRecord,
+                       static_cast<std::int64_t>(r.key), r.value));
+  }
+  if (cursor_[v] < queue_[v].size()) sim.wake_next_round(v);
+}
+
+void BroadcastRecords::begin(Simulator& sim) {
+  const NodeId n = static_cast<NodeId>(tree_.parent_edge->size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (!tree_.in(v)) continue;
+    if ((*tree_.parent_edge)[v] != kNoEdge) continue;  // not a root
+    if (stream[v].empty() || (*tree_.children)[v].empty()) continue;
+    queue_[v] = stream[v];
+    queue_[v].push_back({});  // end marker slot
+    end_queued_[v] = 1;
+    pump(sim, v);
+  }
+}
+
+void BroadcastRecords::on_wake(Simulator& sim, NodeId v,
+                               std::span<const Inbound> inbox) {
+  for (const Inbound& in : inbox) {
+    if (in.msg.tag == kTagRecord) {
+      const Record r{static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]};
+      received[v].push_back(r);
+      queue_[v].push_back(r);
+    } else if (in.msg.tag == kTagDone) {
+      queue_[v].push_back({});
+      end_queued_[v] = 1;
+    }
+  }
+  pump(sim, v);
+}
+
+// ----------------------------------------------------------------- Exchange
+
+void Exchange::begin(Simulator& sim) {
+  std::vector<std::pair<std::uint32_t, Msg>> out;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    out.clear();
+    outgoing_(v, out);
+    for (const auto& [port, msg] : out) sim.send(v, port, msg);
+  }
+}
+
+void Exchange::on_wake(Simulator&, NodeId v, std::span<const Inbound> inbox) {
+  if (collect_) collect_(v, inbox);
+}
+
+// ---------------------------------------------------------------- BfsForest
+
+BfsForest::BfsForest(const std::vector<NodeId>& part_root)
+    : part_root_(&part_root) {
+  const std::size_t n = part_root.size();
+  parent_edge.assign(n, kNoEdge);
+  children.assign(n, {});
+  level.assign(n, 0);
+  joined_.assign(n, 0);
+}
+
+void BfsForest::begin(Simulator& sim) {
+  const NodeId n = static_cast<NodeId>(part_root_->size());
+  for (NodeId v = 0; v < n; ++v) {
+    if ((*part_root_)[v] != v) continue;  // not a root
+    joined_[v] = 1;
+    level[v] = 0;
+    for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
+      sim.send(v, p, Msg::make(kTagWave, static_cast<std::int64_t>(v), 0));
+    }
+  }
+}
+
+void BfsForest::on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) {
+  for (const Inbound& in : inbox) {
+    if (in.msg.tag == kTagChild) {
+      children[v].push_back(sim.network().arc(v, in.port).edge);
+      continue;
+    }
+    if (in.msg.tag != kTagWave) continue;
+    const NodeId wave_root = static_cast<NodeId>(in.msg.w[0]);
+    if (wave_root != (*part_root_)[v]) continue;  // foreign part's wave
+    if (joined_[v]) continue;
+    joined_[v] = 1;
+    parent_edge[v] = sim.network().arc(v, in.port).edge;
+    level[v] = static_cast<std::uint32_t>(in.msg.w[1]) + 1;
+    for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
+      if (p == in.port) {
+        sim.send(v, p, Msg::make(kTagChild));
+      } else {
+        sim.send(v, p, Msg::make(kTagWave, static_cast<std::int64_t>(wave_root),
+                                 level[v]));
+      }
+    }
+  }
+}
+
+}  // namespace cpt::congest

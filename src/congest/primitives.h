@@ -1,0 +1,138 @@
+// Reusable message-passing building blocks, each a genuine CONGEST node
+// program: record convergecast and broadcast over rooted part trees
+// (store-and-forward, one record per edge per round -- so record volume
+// costs rounds, as in the paper's emulation accounting), a one-round
+// neighbor exchange, and a per-part BFS tree builder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "congest/simulator.h"
+
+namespace cpt::congest {
+
+// A rooted spanning forest over (a subset of) the network's nodes.
+// parent_edge[v] == kNoEdge marks part roots; children[v] lists tree edges
+// to v's children. An optional participation mask restricts the pass.
+struct TreeView {
+  const std::vector<EdgeId>* parent_edge = nullptr;
+  const std::vector<std::vector<EdgeId>>* children = nullptr;
+  const std::vector<std::uint8_t>* participates = nullptr;  // optional
+
+  bool in(NodeId v) const {
+    return participates == nullptr || (*participates)[v] != 0;
+  }
+};
+
+struct Record {
+  std::uint64_t key = 0;
+  std::int64_t value = 0;
+};
+
+// Merged record sets that exceed their cap collapse to this single key,
+// mirroring the paper's "more than 3*alpha distinct roots => just 'Active'".
+inline constexpr std::uint64_t kOverflowKey = static_cast<std::uint64_t>(-1);
+
+enum class Combine { kSum, kMin, kMax };
+
+// Convergecast: each participating node merges its children's record sets
+// with its own (by key, with the given combine), then streams the result to
+// its parent one record per round, terminated by a DONE marker. Roots
+// deposit their merged set in `at_root()`.
+class ConvergeRecords : public Program {
+ public:
+  ConvergeRecords(TreeView tree, Combine combine, std::uint32_t cap);
+
+  // Caller fills `initial[v]` (distinct keys per node) before running.
+  std::vector<std::vector<Record>> initial;
+
+  void begin(Simulator& sim) override;
+  void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
+
+  const std::vector<Record>& at_root(NodeId root) const { return merged_[root]; }
+  bool overflowed(NodeId root) const { return overflow_[root] != 0; }
+
+ private:
+  void merge_record(NodeId v, Record r);
+  void finalize(Simulator& sim, NodeId v);
+  void pump(Simulator& sim, NodeId v);
+  static const std::vector<Record>& overflow_records_();
+
+  TreeView tree_;
+  Combine combine_;
+  std::uint32_t cap_;
+  std::vector<std::vector<Record>> merged_;
+  std::vector<std::uint8_t> overflow_;
+  std::vector<std::uint32_t> pending_;  // children DONEs still expected
+  std::vector<std::uint32_t> cursor_;   // next record to send to parent
+  std::vector<std::uint8_t> done_sent_;
+};
+
+// Broadcast: each participating root streams its record list down its tree,
+// one record per round per edge (pipelined store-and-forward). Every
+// non-root participant ends up with the full stream in `received[v]`.
+class BroadcastRecords : public Program {
+ public:
+  explicit BroadcastRecords(TreeView tree);
+
+  // Caller fills `stream[r]` for each participating root r.
+  std::vector<std::vector<Record>> stream;
+  std::vector<std::vector<Record>> received;
+
+  void begin(Simulator& sim) override;
+  void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
+
+ private:
+  void pump(Simulator& sim, NodeId v);
+
+  TreeView tree_;
+  std::vector<std::vector<Record>> queue_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::uint8_t> end_queued_;
+};
+
+// One-round exchange: `outgoing` lists (port, msg) pairs per node before the
+// round; `collect` sees each node's inbox after delivery.
+class Exchange : public Program {
+ public:
+  using OutgoingFn =
+      std::function<void(NodeId, std::vector<std::pair<std::uint32_t, Msg>>&)>;
+  using CollectFn = std::function<void(NodeId, std::span<const Inbound>)>;
+
+  Exchange(NodeId num_nodes, OutgoingFn outgoing, CollectFn collect)
+      : num_nodes_(num_nodes),
+        outgoing_(std::move(outgoing)),
+        collect_(std::move(collect)) {}
+
+  void begin(Simulator& sim) override;
+  void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
+
+ private:
+  NodeId num_nodes_;
+  OutgoingFn outgoing_;
+  CollectFn collect_;
+};
+
+// BFS forest: one wave per part root, restricted to the root's own part
+// (receivers discard waves carrying a foreign root id). Produces per-node
+// parent edge, children edges and BFS level.
+class BfsForest : public Program {
+ public:
+  // part_root[v] = id of the part root of v's part (part_root[r] == r).
+  explicit BfsForest(const std::vector<NodeId>& part_root);
+
+  void begin(Simulator& sim) override;
+  void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
+
+  std::vector<EdgeId> parent_edge;               // kNoEdge at roots
+  std::vector<std::vector<EdgeId>> children;
+  std::vector<std::uint32_t> level;
+
+ private:
+  const std::vector<NodeId>* part_root_;
+  std::vector<std::uint8_t> joined_;
+};
+
+}  // namespace cpt::congest

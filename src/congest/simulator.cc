@@ -1,0 +1,80 @@
+#include "congest/simulator.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpt::congest {
+
+void Simulator::send(NodeId from, std::uint32_t port, const Msg& msg) {
+  CPT_EXPECTS(port < net_->port_count(from));
+  // One message per directed edge per round (CONGEST bandwidth): detect
+  // duplicates with a round stamp per directed half-edge.
+  const Arc a = net_->arc(from, port);
+  const Endpoints ep = net_->graph().endpoints(a.edge);
+  const std::uint64_t half = 2ULL * a.edge + (ep.u == from ? 0 : 1);
+  CPT_EXPECTS(half_stamp_[half] != round_ &&
+              "one message per directed edge per round (CONGEST)");
+  half_stamp_[half] = round_;
+  next_out_.push_back(
+      {(static_cast<std::uint64_t>(a.to) << 20) | net_->port_of_edge(a.to, a.edge),
+       msg});
+}
+
+PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
+  next_out_.clear();
+  next_wake_.clear();
+  round_ = 0;
+  half_stamp_.assign(2ULL * net_->graph().num_edges(), ~0ULL);
+
+  PassResult result;
+  program.begin(*this);
+  std::vector<Delivery> current;
+  std::vector<NodeId> wakes;
+  while (!next_out_.empty() || !next_wake_.empty()) {
+    if (round_ >= max_rounds) {
+      result.quiesced = false;
+      break;
+    }
+    ++round_;
+    current = std::move(next_out_);
+    next_out_.clear();
+    wakes = std::move(next_wake_);
+    next_wake_.clear();
+    result.messages += current.size();
+
+    // Deterministic delivery order: group by destination, inbox sorted by
+    // receiving port (both encoded in the packed key).
+    std::sort(current.begin(), current.end(),
+              [](const Delivery& a, const Delivery& b) { return a.key < b.key; });
+    std::sort(wakes.begin(), wakes.end());
+    wakes.erase(std::unique(wakes.begin(), wakes.end()), wakes.end());
+
+    static thread_local std::vector<Inbound> inbox;
+    std::size_t i = 0;
+    std::size_t wi = 0;
+    while (i < current.size() || wi < wakes.size()) {
+      NodeId v;
+      if (i < current.size() &&
+          (wi >= wakes.size() ||
+           static_cast<NodeId>(current[i].key >> 20) <= wakes[wi])) {
+        v = static_cast<NodeId>(current[i].key >> 20);
+      } else {
+        v = wakes[wi];
+      }
+      inbox.clear();
+      while (i < current.size() &&
+             static_cast<NodeId>(current[i].key >> 20) == v) {
+        inbox.push_back({static_cast<std::uint32_t>(current[i].key & 0xfffff),
+                         current[i].msg});
+        ++i;
+      }
+      while (wi < wakes.size() && wakes[wi] <= v) ++wi;
+      program.on_wake(*this, v, inbox);
+    }
+  }
+  result.rounds = round_;
+  return result;
+}
+
+}  // namespace cpt::congest

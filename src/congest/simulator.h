@@ -1,0 +1,78 @@
+// Synchronous message-driven CONGEST simulator.
+//
+// A Program is a (flyweight) node algorithm: `begin` may inject initial
+// messages / wake-ups, then each round every node that received messages or
+// requested a wake-up gets `on_wake` with its inbox. Sending more than one
+// message over the same directed edge in one round is a contract violation
+// (CONGEST bandwidth). A pass ends when no messages are in flight and no
+// wake-ups are pending; the simulator reports measured rounds and messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/message.h"
+#include "congest/network.h"
+
+namespace cpt::congest {
+
+class Simulator;
+
+class Program {
+ public:
+  virtual ~Program() = default;
+  // Inject initial sends/wake-ups. Runs "before round 1".
+  virtual void begin(Simulator& sim) = 0;
+  // Node v runs its local computation for this round. `inbox` holds the
+  // messages delivered this round (possibly empty for pure wake-ups).
+  virtual void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) = 0;
+};
+
+struct PassResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  bool quiesced = true;  // false iff max_rounds was hit first
+};
+
+class Simulator {
+ public:
+  static constexpr std::uint64_t kDefaultMaxRounds = 1'000'000'000ULL;
+
+  explicit Simulator(const Network& net) : net_(&net) {}
+
+  // Runs the program to quiescence (or max_rounds) and returns measured cost.
+  PassResult run(Program& program, std::uint64_t max_rounds = kDefaultMaxRounds);
+
+  // ---- Callable from Program::begin / Program::on_wake ----
+
+  // Send msg from node `from` through its local port `port`; delivered to
+  // the neighbor at the start of the next round.
+  void send(NodeId from, std::uint32_t port, const Msg& msg);
+
+  // Ask to be woken next round even without incoming messages (used by
+  // nodes draining multi-round send queues).
+  void wake_next_round(NodeId v) { next_wake_.push_back(v); }
+
+  const Network& network() const { return *net_; }
+
+  // Round number of the round currently executing (1-based); 0 in begin().
+  std::uint64_t current_round() const { return round_; }
+
+ private:
+  struct Delivery {
+    // (dst << 20) | dst_port: a single sortable key. Ports are bounded by
+    // node degree < 2^20.
+    std::uint64_t key;
+    Msg msg;
+  };
+
+  const Network* net_;
+  std::vector<Delivery> next_out_;
+  std::vector<NodeId> next_wake_;
+  // Round stamp per directed half-edge: bandwidth enforcement.
+  std::vector<std::uint64_t> half_stamp_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace cpt::congest

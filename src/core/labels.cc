@@ -1,0 +1,310 @@
+#include "core/labels.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpt {
+
+using congest::Inbound;
+using congest::Msg;
+using congest::Simulator;
+
+namespace {
+constexpr std::uint32_t kTagWord = 40;
+constexpr std::uint32_t kTagEnd = 41;
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> child_edge_labels(
+    const Graph& g, const RotationSystem& rotation,
+    const std::vector<EdgeId>& bfs_parent,
+    const std::vector<std::vector<EdgeId>>& bfs_children) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<std::uint32_t>> labels(n);
+  std::vector<std::uint32_t> rank_of_edge;  // scratch, keyed by edge
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& rot = rotation[v];
+    const auto& kids = bfs_children[v];
+    labels[v].assign(kids.size(), 0);
+    if (kids.empty()) continue;
+    // Nodes of parts that dropped out earlier (edge-bound reject) have no
+    // rotation; their labels are never used.
+    if (rot.size() != g.degree(v)) continue;
+    // Start position: just after the parent edge; roots start at rot[0].
+    std::size_t start = 0;
+    if (bfs_parent[v] != kNoEdge) {
+      const auto it = std::find(rot.begin(), rot.end(), bfs_parent[v]);
+      CPT_ASSERT(it != rot.end());
+      start = static_cast<std::size_t>(it - rot.begin()) + 1;
+    }
+    // Rank child edges by rotation order from `start`.
+    std::uint32_t next_rank = 1;
+    for (std::size_t off = 0; off < rot.size(); ++off) {
+      const EdgeId e = rot[(start + off) % rot.size()];
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        if (kids[i] == e) {
+          labels[v][i] = next_rank++;
+          break;
+        }
+      }
+    }
+    CPT_ASSERT(next_rank == kids.size() + 1);
+  }
+  return labels;
+}
+
+// ---------------------------------------------------------- LabelDistribute
+
+LabelDistribute::LabelDistribute(
+    congest::TreeView tree,
+    const std::vector<std::vector<std::uint32_t>>& child_labels)
+    : tree_(tree), child_labels_(&child_labels) {
+  const std::size_t n = tree.parent_edge->size();
+  label_.resize(n);
+  forward_idx_.assign(n, 0);
+  got_end_.assign(n, 0);
+  tail_sent_.assign(n, 0);
+  end_sent_.assign(n, 0);
+}
+
+void LabelDistribute::begin(Simulator& sim) {
+  const NodeId n = static_cast<NodeId>(label_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (!tree_.in(v)) continue;
+    if ((*tree_.parent_edge)[v] != kNoEdge) continue;  // not a root
+    got_end_[v] = 1;  // root's own label is empty and final
+    if (!(*tree_.children)[v].empty()) sim.wake_next_round(v);
+  }
+}
+
+void LabelDistribute::step(Simulator& sim, NodeId v) {
+  const auto& kids = (*tree_.children)[v];
+  if (kids.empty()) return;
+  if (forward_idx_[v] < label_[v].size()) {
+    const std::int64_t word = label_[v][forward_idx_[v]++];
+    for (const EdgeId ce : kids) {
+      sim.send(v, sim.network().port_of_edge(v, ce), Msg::make(kTagWord, word));
+    }
+    sim.wake_next_round(v);
+    return;
+  }
+  if (got_end_[v] && !tail_sent_[v]) {
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      sim.send(v, sim.network().port_of_edge(v, kids[i]),
+               Msg::make(kTagWord, (*child_labels_)[v][i]));
+    }
+    tail_sent_[v] = 1;
+    sim.wake_next_round(v);
+    return;
+  }
+  if (got_end_[v] && tail_sent_[v] && !end_sent_[v]) {
+    for (const EdgeId ce : kids) {
+      sim.send(v, sim.network().port_of_edge(v, ce), Msg::make(kTagEnd));
+    }
+    end_sent_[v] = 1;
+  }
+}
+
+void LabelDistribute::on_wake(Simulator& sim, NodeId v,
+                              std::span<const Inbound> inbox) {
+  for (const Inbound& in : inbox) {
+    if (in.msg.tag == kTagWord) {
+      label_[v].push_back(static_cast<std::uint32_t>(in.msg.w[0]));
+    } else if (in.msg.tag == kTagEnd) {
+      got_end_[v] = 1;
+    }
+  }
+  step(sim, v);
+}
+
+std::uint32_t LabelDistribute::max_label_len() const {
+  std::size_t best = 0;
+  for (const Label& l : label_) best = std::max(best, l.size());
+  return static_cast<std::uint32_t>(best);
+}
+
+// ---------------------------------------------------------- EdgeLabelStream
+
+EdgeLabelStream::EdgeLabelStream(
+    NodeId n, const std::vector<Label>& labels,
+    const std::vector<std::vector<std::uint32_t>>& send_ports)
+    : labels_(&labels), send_ports_(&send_ports) {
+  cursor_.assign(n, 0);
+  end_sent_.assign(n, 0);
+  partial_.resize(n);
+  done_.resize(n);
+}
+
+void EdgeLabelStream::begin(Simulator& sim) {
+  const NodeId n = static_cast<NodeId>(cursor_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (!(*send_ports_)[v].empty()) step(sim, v);
+  }
+}
+
+void EdgeLabelStream::step(Simulator& sim, NodeId v) {
+  const auto& ports = (*send_ports_)[v];
+  if (ports.empty() || end_sent_[v]) return;
+  const Label& label = (*labels_)[v];
+  if (cursor_[v] < label.size()) {
+    const std::int64_t word = label[cursor_[v]++];
+    for (const std::uint32_t p : ports) {
+      sim.send(v, p, Msg::make(kTagWord, word));
+    }
+    sim.wake_next_round(v);
+  } else {
+    for (const std::uint32_t p : ports) {
+      sim.send(v, p, Msg::make(kTagEnd));
+    }
+    end_sent_[v] = 1;
+  }
+}
+
+void EdgeLabelStream::on_wake(Simulator& sim, NodeId v,
+                              std::span<const Inbound> inbox) {
+  for (const Inbound& in : inbox) {
+    if (in.msg.tag == kTagWord) {
+      auto it = std::find_if(partial_[v].begin(), partial_[v].end(),
+                             [&](const auto& pr) { return pr.first == in.port; });
+      if (it == partial_[v].end()) {
+        partial_[v].push_back({in.port, {}});
+        it = partial_[v].end() - 1;
+      }
+      it->second.push_back(static_cast<std::uint32_t>(in.msg.w[0]));
+    } else if (in.msg.tag == kTagEnd) {
+      auto it = std::find_if(partial_[v].begin(), partial_[v].end(),
+                             [&](const auto& pr) { return pr.first == in.port; });
+      if (it != partial_[v].end()) {
+        done_[v].push_back(std::move(*it));
+        partial_[v].erase(it);
+      } else {
+        done_[v].push_back({in.port, {}});  // empty label (root endpoint)
+      }
+    }
+  }
+  step(sim, v);
+}
+
+// ------------------------------------------------------------ UpStreamWords
+
+UpStreamWords::UpStreamWords(congest::TreeView tree) : tree_(tree) {
+  const std::size_t n = tree.parent_edge->size();
+  initial.resize(n);
+  out_q_.resize(n);
+  cursor_.assign(n, 0);
+  sources_.resize(n);
+  active_.assign(n, kNoSource);
+  active_remaining_.assign(n, -1);
+  partial_.resize(n);
+  frames_.resize(n);
+}
+
+void UpStreamWords::transfer(NodeId v) {
+  // Move buffered words into the out queue, cut-through: commit to one
+  // source until its current frame is fully moved; then pick the next
+  // source with buffered data.
+  while (true) {
+    if (active_[v] == kNoSource) {
+      for (std::uint32_t i = 0; i < sources_[v].size(); ++i) {
+        if (sources_[v][i].head < sources_[v][i].buf.size()) {
+          active_[v] = i;
+          active_remaining_[v] = -1;
+          break;
+        }
+      }
+      if (active_[v] == kNoSource) return;  // nothing buffered anywhere
+    }
+    Source& src = sources_[v][active_[v]];
+    bool frame_done = false;
+    while (src.head < src.buf.size()) {
+      const std::int64_t w = src.buf[src.head++];
+      out_q_[v].push_back(w);
+      if (active_remaining_[v] < 0) {
+        active_remaining_[v] = w;  // header: payload length
+      } else {
+        --active_remaining_[v];
+      }
+      if (active_remaining_[v] == 0) {
+        frame_done = true;
+        break;
+      }
+    }
+    if (!frame_done) return;  // mid-frame: wait for more words of this source
+    active_[v] = kNoSource;
+    active_remaining_[v] = -1;
+  }
+}
+
+void UpStreamWords::pump(Simulator& sim, NodeId v) {
+  if (cursor_[v] >= out_q_[v].size()) return;
+  const EdgeId pe = (*tree_.parent_edge)[v];
+  CPT_ASSERT(pe != kNoEdge);
+  sim.send(v, sim.network().port_of_edge(v, pe),
+           Msg::make(kTagWord, out_q_[v][cursor_[v]++]));
+  if (cursor_[v] < out_q_[v].size()) sim.wake_next_round(v);
+}
+
+void UpStreamWords::begin(Simulator& sim) {
+  const NodeId n = static_cast<NodeId>(out_q_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (!tree_.in(v)) continue;
+    if ((*tree_.parent_edge)[v] == kNoEdge) {
+      // Root: its own frames go straight to the result.
+      for (const auto& f : initial[v]) frames_[v].push_back(f);
+      continue;
+    }
+    if (!initial[v].empty()) {
+      Source local{kLocalSource, {}, 0};
+      for (const auto& f : initial[v]) {
+        local.buf.push_back(static_cast<std::int64_t>(f.size()));
+        local.buf.insert(local.buf.end(), f.begin(), f.end());
+      }
+      sources_[v].push_back(std::move(local));
+      transfer(v);
+      pump(sim, v);
+    }
+  }
+}
+
+void UpStreamWords::on_wake(Simulator& sim, NodeId v,
+                            std::span<const Inbound> inbox) {
+  const bool is_root = (*tree_.parent_edge)[v] == kNoEdge;
+  for (const Inbound& in : inbox) {
+    if (in.msg.tag != kTagWord) continue;
+    if (is_root) {
+      // Reassemble frames directly.
+      auto it = std::find_if(partial_[v].begin(), partial_[v].end(),
+                             [&](const Partial& p) { return p.port == in.port; });
+      if (it == partial_[v].end()) {
+        partial_[v].push_back({in.port, -1, {}});
+        it = partial_[v].end() - 1;
+      }
+      if (it->remaining < 0) {
+        it->remaining = in.msg.w[0];
+        it->payload.clear();
+      } else {
+        it->payload.push_back(in.msg.w[0]);
+        --it->remaining;
+      }
+      if (it->remaining == 0) {
+        frames_[v].push_back(std::move(it->payload));
+        it->remaining = -1;
+        it->payload.clear();
+      }
+      continue;
+    }
+    auto it = std::find_if(sources_[v].begin(), sources_[v].end(),
+                           [&](const Source& s) { return s.port == in.port; });
+    if (it == sources_[v].end()) {
+      sources_[v].push_back({in.port, {}, 0});
+      it = sources_[v].end() - 1;
+    }
+    it->buf.push_back(in.msg.w[0]);
+  }
+  if (!is_root) {
+    transfer(v);
+    pump(sim, v);
+  }
+}
+
+}  // namespace cpt

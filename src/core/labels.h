@@ -1,0 +1,143 @@
+// Stage II labeling (Section 2.2.2): child edges are labeled by their rank
+// in the node's rotation (circular order starting just after the parent
+// edge; the root starts at an arbitrary incident edge), and a node's label
+// is the concatenation of edge labels along its BFS-tree path from the
+// root. Labels compare lexicographically (footnote 5), which is exactly
+// std::vector's operator<.
+//
+// Also the three label-plumbing CONGEST passes:
+//   * LabelDistribute -- pipelined distribution of node labels down the
+//     BFS trees (one word per edge per round);
+//   * EdgeLabelStream -- endpoints stream their label across selected
+//     (non-tree) edges;
+//   * UpStreamWords -- framed word streams converging to the roots (used to
+//     collect sampled edge label pairs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "planar/embedding.h"
+
+namespace cpt {
+
+using Label = std::vector<std::uint32_t>;
+
+// Per node: labels of its BFS-children edges, aligned with bfs_children[v].
+// Children are ranked 1..k by rotation order starting after the parent edge.
+std::vector<std::vector<std::uint32_t>> child_edge_labels(
+    const Graph& g, const RotationSystem& rotation,
+    const std::vector<EdgeId>& bfs_parent,
+    const std::vector<std::vector<EdgeId>>& bfs_children);
+
+// ---- Passes ----------------------------------------------------------------
+
+class LabelDistribute : public congest::Program {
+ public:
+  // `alive_root[v]`: whether v's part participates (dead parts -- e.g.
+  // rejected by the edge-count check -- are skipped). child_labels aligned
+  // with tree.children lists.
+  LabelDistribute(congest::TreeView tree,
+                  const std::vector<std::vector<std::uint32_t>>& child_labels);
+
+  void begin(congest::Simulator& sim) override;
+  void on_wake(congest::Simulator& sim, NodeId v,
+               std::span<const congest::Inbound> inbox) override;
+
+  const Label& label(NodeId v) const { return label_[v]; }
+  std::uint32_t max_label_len() const;
+
+ private:
+  void step(congest::Simulator& sim, NodeId v);
+
+  congest::TreeView tree_;
+  const std::vector<std::vector<std::uint32_t>>* child_labels_;
+  std::vector<Label> label_;
+  std::vector<std::uint32_t> forward_idx_;
+  std::vector<std::uint8_t> got_end_;
+  std::vector<std::uint8_t> tail_sent_;
+  std::vector<std::uint8_t> end_sent_;
+};
+
+class EdgeLabelStream : public congest::Program {
+ public:
+  // Each node streams `labels[v]` + END over every port in send_ports[v].
+  EdgeLabelStream(NodeId n, const std::vector<Label>& labels,
+                  const std::vector<std::vector<std::uint32_t>>& send_ports);
+
+  void begin(congest::Simulator& sim) override;
+  void on_wake(congest::Simulator& sim, NodeId v,
+               std::span<const congest::Inbound> inbox) override;
+
+  // Completed incoming labels per node as (port, label) pairs.
+  const std::vector<std::vector<std::pair<std::uint32_t, Label>>>& received()
+      const {
+    return done_;
+  }
+
+ private:
+  void step(congest::Simulator& sim, NodeId v);
+
+  const std::vector<Label>* labels_;
+  const std::vector<std::vector<std::uint32_t>>* send_ports_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::uint8_t> end_sent_;
+  std::vector<std::vector<std::pair<std::uint32_t, Label>>> partial_;
+  std::vector<std::vector<std::pair<std::uint32_t, Label>>> done_;
+};
+
+// Framed word streams up the trees: each frame is [payload_len, payload...].
+// Forwarding is cut-through with frame granularity: a node commits to one
+// input stream (a child port or its own injected frames) until that frame
+// completes, buffering the other inputs meanwhile -- so frames never
+// interleave, yet a frame crosses the tree pipelined (total rounds ~ depth
+// + total words, not depth * words).
+class UpStreamWords : public congest::Program {
+ public:
+  explicit UpStreamWords(congest::TreeView tree);
+
+  // Caller fills frames to inject at each node before running.
+  std::vector<std::vector<std::vector<std::int64_t>>> initial;
+
+  void begin(congest::Simulator& sim) override;
+  void on_wake(congest::Simulator& sim, NodeId v,
+               std::span<const congest::Inbound> inbox) override;
+
+  const std::vector<std::vector<std::int64_t>>& frames_at_root(NodeId r) const {
+    return frames_[r];
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSource = static_cast<std::uint32_t>(-1);
+  static constexpr std::uint32_t kLocalSource = static_cast<std::uint32_t>(-2);
+
+  void transfer(NodeId v);  // move buffered words to the out queue
+  void pump(congest::Simulator& sim, NodeId v);
+
+  // One input stream per source: each child port plus the node's own
+  // injected frames (port == kLocalSource).
+  struct Source {
+    std::uint32_t port;
+    std::vector<std::int64_t> buf;
+    std::size_t head = 0;  // first word not yet moved to the out queue
+  };
+
+  congest::TreeView tree_;
+  std::vector<std::vector<std::int64_t>> out_q_;  // words to send upward
+  std::vector<std::size_t> cursor_;               // next word of out_q_
+  std::vector<std::vector<Source>> sources_;
+  std::vector<std::uint32_t> active_;           // index into sources_[v]
+  std::vector<std::int64_t> active_remaining_;  // frame words left (-1: header next)
+  // Root-side frame reassembly per receiving port.
+  struct Partial {
+    std::uint32_t port;
+    std::int64_t remaining;  // payload words still expected (-1: want header)
+    std::vector<std::int64_t> payload;
+  };
+  std::vector<std::vector<Partial>> partial_;
+  std::vector<std::vector<std::vector<std::int64_t>>> frames_;  // at roots
+};
+
+}  // namespace cpt

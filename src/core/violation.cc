@@ -1,0 +1,157 @@
+#include "core/violation.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpt {
+namespace {
+
+// Fenwick tree over positions 1..size counting insertions.
+class CountBit {
+ public:
+  explicit CountBit(std::size_t size) : tree_(size + 1, 0) {}
+
+  void add(std::size_t pos) {  // 0-based
+    for (std::size_t i = pos + 1; i < tree_.size(); i += i & (~i + 1)) {
+      ++tree_[i];
+    }
+  }
+
+  std::uint64_t prefix(std::size_t count) const {  // sum of first `count` slots
+    std::uint64_t sum = 0;
+    for (std::size_t i = count; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+  // Number of inserted positions p with lo < p < hi (exclusive, 0-based).
+  std::uint64_t count_strictly_between(std::size_t lo, std::size_t hi) const {
+    if (hi <= lo + 1) return 0;
+    return prefix(hi) - prefix(lo + 1);
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;
+};
+
+struct RankedEdge {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t index = 0;  // position in the input vector
+};
+
+std::vector<RankedEdge> rank_edges(const std::vector<LabelPair>& edges) {
+  std::vector<const Label*> labels;
+  labels.reserve(2 * edges.size());
+  for (const LabelPair& e : edges) {
+    labels.push_back(&e.lo);
+    labels.push_back(&e.hi);
+  }
+  std::sort(labels.begin(), labels.end(),
+            [](const Label* a, const Label* b) { return *a < *b; });
+  labels.erase(std::unique(labels.begin(), labels.end(),
+                           [](const Label* a, const Label* b) { return *a == *b; }),
+               labels.end());
+  const auto rank = [&](const Label& l) {
+    const auto it = std::lower_bound(
+        labels.begin(), labels.end(), &l,
+        [](const Label* a, const Label* b) { return *a < *b; });
+    return static_cast<std::size_t>(it - labels.begin());
+  };
+  std::vector<RankedEdge> out(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    out[i] = {rank(edges[i].lo), rank(edges[i].hi), i};
+  }
+  return out;
+}
+
+}  // namespace
+
+bool labels_intersect(const LabelPair& a, const LabelPair& b) {
+  const LabelPair* first = &a;
+  const LabelPair* second = &b;
+  if (second->lo < first->lo) std::swap(first, second);
+  if (!(first->lo < second->lo)) return false;  // shared lower endpoint
+  return second->lo < first->hi && first->hi < second->hi;
+}
+
+std::vector<bool> violating_mask(const std::vector<LabelPair>& edges) {
+  const std::size_t k = edges.size();
+  std::vector<bool> mask(k, false);
+  if (k < 2) return mask;
+  std::vector<RankedEdge> ranked = rank_edges(edges);
+  const std::size_t num_ranks = [&] {
+    std::size_t best = 0;
+    for (const RankedEdge& e : ranked) best = std::max(best, e.hi);
+    return best + 1;
+  }();
+
+  // Pass 1: edge e is the "outer-left" edge of an intersection, i.e. there
+  // exists e' with lo_e < lo' < hi_e < hi'. Process by decreasing hi so the
+  // BIT contains exactly the edges with hi' > hi_e (strictly); query lo'
+  // strictly inside (lo_e, hi_e).
+  {
+    std::vector<const RankedEdge*> order(k);
+    for (std::size_t i = 0; i < k; ++i) order[i] = &ranked[i];
+    std::sort(order.begin(), order.end(),
+              [](const RankedEdge* a, const RankedEdge* b) { return a->hi > b->hi; });
+    CountBit bit(num_ranks);
+    std::size_t i = 0;
+    while (i < k) {
+      std::size_t j = i;
+      while (j < k && order[j]->hi == order[i]->hi) ++j;
+      for (std::size_t t = i; t < j; ++t) {
+        if (bit.count_strictly_between(order[t]->lo, order[t]->hi) > 0) {
+          mask[order[t]->index] = true;
+        }
+      }
+      for (std::size_t t = i; t < j; ++t) bit.add(order[t]->lo);
+      i = j;
+    }
+  }
+  // Pass 2: edge e is the "outer-right" edge, i.e. there exists e' with
+  // lo' < lo_e < hi' < hi_e. Process by increasing lo; the BIT contains
+  // edges with lo' < lo_e (strictly); query hi' strictly inside
+  // (lo_e, hi_e).
+  {
+    std::vector<const RankedEdge*> order(k);
+    for (std::size_t i = 0; i < k; ++i) order[i] = &ranked[i];
+    std::sort(order.begin(), order.end(),
+              [](const RankedEdge* a, const RankedEdge* b) { return a->lo < b->lo; });
+    CountBit bit(num_ranks);
+    std::size_t i = 0;
+    while (i < k) {
+      std::size_t j = i;
+      while (j < k && order[j]->lo == order[i]->lo) ++j;
+      for (std::size_t t = i; t < j; ++t) {
+        if (bit.count_strictly_between(order[t]->lo, order[t]->hi) > 0) {
+          mask[order[t]->index] = true;
+        }
+      }
+      for (std::size_t t = i; t < j; ++t) bit.add(order[t]->hi);
+      i = j;
+    }
+  }
+  return mask;
+}
+
+std::uint64_t count_violating(const std::vector<LabelPair>& edges) {
+  std::uint64_t count = 0;
+  for (const bool b : violating_mask(edges)) count += b ? 1 : 0;
+  return count;
+}
+
+std::vector<bool> violating_mask_quadratic(const std::vector<LabelPair>& edges) {
+  std::vector<bool> mask(edges.size(), false);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      if (labels_intersect(edges[i], edges[j])) {
+        mask[i] = true;
+        mask[j] = true;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace cpt

@@ -1,0 +1,39 @@
+// Violating non-tree edges (Definition 7): for labeled non-tree edges
+// (u, v) with l(u) < l(v), edges (u, v) and (u', v') with l(u) < l(u')
+// intersect iff l(u) < l(u') < l(v) < l(v'). Claims 8 and 10: a subgraph
+// with no violating edge is planar, and a planar subgraph labeled through a
+// consistent embedding has none -- so a gamma-far subgraph has >= gamma*m
+// violating edges (Corollary 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labels.h"
+
+namespace cpt {
+
+// A labeled non-tree edge, normalized so lo < hi lexicographically.
+struct LabelPair {
+  Label lo;
+  Label hi;
+
+  static LabelPair normalized(Label a, Label b) {
+    if (b < a) std::swap(a, b);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+// Definition 7 for a single pair of edges.
+bool labels_intersect(const LabelPair& a, const LabelPair& b);
+
+// Exhaustive detection: mask[i] == true iff edges[i] intersects some other
+// edge. O(k log k) after label ranking (two Fenwick sweeps).
+std::vector<bool> violating_mask(const std::vector<LabelPair>& edges);
+
+std::uint64_t count_violating(const std::vector<LabelPair>& edges);
+
+// O(k^2) reference implementation (tests only).
+std::vector<bool> violating_mask_quadratic(const std::vector<LabelPair>& edges);
+
+}  // namespace cpt

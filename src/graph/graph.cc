@@ -1,0 +1,44 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace cpt {
+
+Graph GraphBuilder::build() && {
+  // Normalize and deduplicate: sort endpoint pairs (u < v), then unique.
+  // Edge ids are assigned after dedup, in sorted-normalized order of first
+  // insertion -- deterministic for a given edge multiset.
+  std::vector<Endpoints> edges = std::move(pending_);
+  for (Endpoints& e : edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Endpoints& a, const Endpoints& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Endpoints& a, const Endpoints& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+
+  Graph g;
+  g.edges_ = std::move(edges);
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const Endpoints& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.arcs_.resize(2 * static_cast<std::size_t>(g.edges_.size()));
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const Endpoints ep = g.edges_[e];
+    g.arcs_[cursor[ep.u]++] = {ep.v, e};
+    g.arcs_[cursor[ep.v]++] = {ep.u, e};
+  }
+  return g;
+}
+
+}  // namespace cpt

@@ -1,0 +1,118 @@
+// Static undirected simple graph in CSR form, plus a builder.
+//
+// Nodes are 0..n-1. Edges have stable ids 0..m-1 in insertion order; each
+// undirected edge appears as two arcs (one per endpoint adjacency list), both
+// carrying the same edge id. Self-loops are rejected; parallel edges are
+// deduplicated by the builder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace cpt {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+// One directed half of an undirected edge, as seen from its source node.
+struct Arc {
+  NodeId to;
+  EdgeId edge;
+};
+
+struct Endpoints {
+  NodeId u;
+  NodeId v;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  std::uint32_t degree(NodeId v) const {
+    CPT_EXPECTS(v < num_nodes());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const Arc> neighbors(NodeId v) const {
+    CPT_EXPECTS(v < num_nodes());
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  Endpoints endpoints(EdgeId e) const {
+    CPT_EXPECTS(e < num_edges());
+    return edges_[e];
+  }
+
+  NodeId other_endpoint(EdgeId e, NodeId v) const {
+    const Endpoints ep = endpoints(e);
+    CPT_EXPECTS(ep.u == v || ep.v == v);
+    return ep.u == v ? ep.v : ep.u;
+  }
+
+  bool has_edge(NodeId u, NodeId v) const {
+    if (u >= num_nodes() || v >= num_nodes() || u == v) return false;
+    const NodeId probe = degree(u) <= degree(v) ? u : v;
+    const NodeId want = probe == u ? v : u;
+    for (const Arc& a : neighbors(probe)) {
+      if (a.to == want) return true;
+    }
+    return false;
+  }
+
+  // Returns the edge id of {u,v}, or kNoEdge if absent.
+  EdgeId find_edge(NodeId u, NodeId v) const {
+    if (u >= num_nodes() || v >= num_nodes() || u == v) return kNoEdge;
+    const NodeId probe = degree(u) <= degree(v) ? u : v;
+    const NodeId want = probe == u ? v : u;
+    for (const Arc& a : neighbors(probe)) {
+      if (a.to == want) return a.edge;
+    }
+    return kNoEdge;
+  }
+
+  std::span<const Endpoints> edges() const { return edges_; }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::uint32_t> offsets_;  // size n+1
+  std::vector<Arc> arcs_;               // size 2m
+  std::vector<Endpoints> edges_;        // size m
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  // Adds an undirected edge; duplicates (in either orientation) are dropped
+  // at build() time. Self-loops are a precondition violation.
+  void add_edge(NodeId u, NodeId v) {
+    CPT_EXPECTS(u < num_nodes_ && v < num_nodes_);
+    CPT_EXPECTS(u != v);
+    pending_.push_back({u, v});
+  }
+
+  // Grow the node count (edges may only reference nodes added so far).
+  NodeId add_node() { return num_nodes_++; }
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  Graph build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Endpoints> pending_;
+};
+
+}  // namespace cpt

@@ -1,0 +1,65 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/contracts.h"
+
+namespace cpt {
+namespace {
+
+// Next content line (skipping comments/blanks); false at EOF.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i == line.size() || line[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  CPT_EXPECTS(next_line(in, line) && "edge list: missing header");
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  CPT_EXPECTS(static_cast<bool>(header >> n >> m) && "edge list: bad header");
+  GraphBuilder b(static_cast<NodeId>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    CPT_EXPECTS(next_line(in, line) && "edge list: truncated");
+    std::istringstream row(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    CPT_EXPECTS(static_cast<bool>(row >> u >> v) && "edge list: bad edge row");
+    b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return std::move(b).build();
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Endpoints e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+Graph load_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  CPT_EXPECTS(in.good() && "cannot open edge list file");
+  return read_edge_list(in);
+}
+
+void save_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  CPT_EXPECTS(out.good() && "cannot open output file");
+  write_edge_list(g, out);
+}
+
+}  // namespace cpt

@@ -1,0 +1,20 @@
+// Plain-text edge-list I/O:
+//   line 1: "<num_nodes> <num_edges>"
+//   next num_edges lines: "<u> <v>"
+// Comments (lines starting with '#') and blank lines are skipped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cpt {
+
+Graph read_edge_list(std::istream& in);
+void write_edge_list(const Graph& g, std::ostream& out);
+
+Graph load_edge_list_file(const std::string& path);
+void save_edge_list_file(const Graph& g, const std::string& path);
+
+}  // namespace cpt

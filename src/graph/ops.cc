@@ -1,0 +1,98 @@
+#include "graph/ops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cpt {
+
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
+  InducedSubgraph out;
+  out.from_original.assign(g.num_nodes(), kNoNode);
+  out.to_original.assign(nodes.begin(), nodes.end());
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    CPT_EXPECTS(nodes[i] < g.num_nodes());
+    CPT_EXPECTS(out.from_original[nodes[i]] == kNoNode);  // no duplicates
+    out.from_original[nodes[i]] = i;
+  }
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  for (const Endpoints e : g.edges()) {
+    const NodeId u = out.from_original[e.u];
+    const NodeId v = out.from_original[e.v];
+    if (u != kNoNode && v != kNoNode) builder.add_edge(u, v);
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+WeightedGraph contract(const Graph& g, std::span<const NodeId> part_of,
+                       NodeId num_parts) {
+  CPT_EXPECTS(part_of.size() == g.num_nodes());
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> weight;
+  for (const Endpoints e : g.edges()) {
+    NodeId pu = part_of[e.u];
+    NodeId pv = part_of[e.v];
+    CPT_EXPECTS(pu < num_parts && pv < num_parts);
+    if (pu == pv) continue;
+    if (pu > pv) std::swap(pu, pv);
+    ++weight[{pu, pv}];
+  }
+  GraphBuilder builder(num_parts);
+  for (const auto& [key, w] : weight) builder.add_edge(key.first, key.second);
+  WeightedGraph out;
+  out.graph = std::move(builder).build();
+  out.edge_weight.assign(out.graph.num_edges(), 0);
+  for (const auto& [key, w] : weight) {
+    const EdgeId e = out.graph.find_edge(key.first, key.second);
+    CPT_ASSERT(e != kNoEdge);
+    out.edge_weight[e] = w;
+  }
+  return out;
+}
+
+Graph disjoint_union(std::span<const Graph> graphs) {
+  NodeId total = 0;
+  for (const Graph& g : graphs) total += g.num_nodes();
+  GraphBuilder builder(total);
+  NodeId offset = 0;
+  for (const Graph& g : graphs) {
+    for (const Endpoints e : g.edges()) {
+      builder.add_edge(e.u + offset, e.v + offset);
+    }
+    offset += g.num_nodes();
+  }
+  return std::move(builder).build();
+}
+
+Graph relabel(const Graph& g, std::span<const NodeId> perm) {
+  CPT_EXPECTS(perm.size() == g.num_nodes());
+  GraphBuilder builder(g.num_nodes());
+  for (const Endpoints e : g.edges()) {
+    builder.add_edge(perm[e.u], perm[e.v]);
+  }
+  return std::move(builder).build();
+}
+
+Graph add_edges(const Graph& g, std::span<const Endpoints> extra) {
+  GraphBuilder builder(g.num_nodes());
+  for (const Endpoints e : g.edges()) builder.add_edge(e.u, e.v);
+  for (const Endpoints e : extra) builder.add_edge(e.u, e.v);
+  return std::move(builder).build();
+}
+
+Graph remove_edges(const Graph& g, std::span<const EdgeId> to_remove) {
+  std::vector<bool> removed(g.num_edges(), false);
+  for (const EdgeId e : to_remove) {
+    CPT_EXPECTS(e < g.num_edges());
+    removed[e] = true;
+  }
+  GraphBuilder builder(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!removed[e]) {
+      const Endpoints ep = g.endpoints(e);
+      builder.add_edge(ep.u, ep.v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace cpt

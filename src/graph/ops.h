@@ -1,0 +1,53 @@
+// Structural graph operations: induced subgraphs, contractions, unions,
+// relabelings, edge additions/removals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpt {
+
+// Result of taking an induced subgraph: the subgraph plus node mappings.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;    // subgraph node -> original node
+  std::vector<NodeId> from_original;  // original node -> subgraph node or kNoNode
+};
+
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+
+// A graph with 64-bit edge weights (used for contracted auxiliary graphs).
+struct WeightedGraph {
+  Graph graph;
+  std::vector<std::uint64_t> edge_weight;  // indexed by EdgeId
+
+  std::uint64_t total_weight() const {
+    std::uint64_t sum = 0;
+    for (const auto w : edge_weight) sum += w;
+    return sum;
+  }
+};
+
+// Contracts g according to `part_of` (node -> part id in [0, num_parts)).
+// Parallel edges between parts collapse into one weighted edge whose weight
+// is the number of original edges; intra-part edges disappear.
+WeightedGraph contract(const Graph& g, std::span<const NodeId> part_of,
+                       NodeId num_parts);
+
+// Disjoint union; node ids of the i-th input are shifted by the total size of
+// the previous inputs.
+Graph disjoint_union(std::span<const Graph> graphs);
+
+// Relabels nodes: node v of the input becomes perm[v] in the output.
+Graph relabel(const Graph& g, std::span<const NodeId> perm);
+
+// Copy of g with extra edges added (duplicates ignored).
+Graph add_edges(const Graph& g, std::span<const Endpoints> extra);
+
+// Copy of g with the given edge ids removed.
+Graph remove_edges(const Graph& g, std::span<const EdgeId> to_remove);
+
+}  // namespace cpt

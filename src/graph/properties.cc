@@ -1,0 +1,198 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cpt {
+
+ComponentInfo connected_components(const Graph& g) {
+  ComponentInfo info;
+  info.component_of.assign(g.num_nodes(), kNoNode);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (info.component_of[s] != kNoNode) continue;
+    const NodeId comp = info.num_components++;
+    info.component_of[s] = comp;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.neighbors(v)) {
+        if (info.component_of[a.to] == kNoNode) {
+          info.component_of[a.to] = comp;
+          stack.push_back(a.to);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  return connected_components(g).num_components == 1;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  CPT_EXPECTS(src < g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const Arc& a : g.neighbors(v)) {
+      if (dist[a.to] == kUnreachable) {
+        dist[a.to] = dist[v] + 1;
+        frontier.push(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId src) {
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : bfs_distances(g, src)) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    best = std::max(best, eccentricity(g, v));
+  }
+  return best;
+}
+
+std::uint32_t diameter_lower_bound(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  const auto dist = bfs_distances(g, 0);
+  NodeId far = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] > dist[far]) far = v;
+  }
+  return eccentricity(g, far);
+}
+
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g) {
+  std::vector<std::uint8_t> color(g.num_nodes(), 2);  // 2 = uncolored
+  std::queue<NodeId> frontier;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (color[s] != 2) continue;
+    color[s] = 0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const Arc& a : g.neighbors(v)) {
+        if (color[a.to] == 2) {
+          color[a.to] = static_cast<std::uint8_t>(1 - color[v]);
+          frontier.push(a.to);
+        } else if (color[a.to] == color[v]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return color;
+}
+
+bool is_bipartite(const Graph& g) { return bipartition(g).has_value(); }
+
+bool has_cycle(const Graph& g) {
+  const auto comps = connected_components(g);
+  return g.num_edges() + comps.num_components > g.num_nodes();
+}
+
+std::uint32_t girth(const Graph& g) {
+  // For each start node, BFS; a non-tree edge between nodes at depths d1, d2
+  // closes a cycle of length d1 + d2 + 1 through the root. Taking the minimum
+  // over all roots yields the exact girth for unweighted graphs.
+  std::uint32_t best = kUnreachable;
+  std::vector<std::uint32_t> dist(g.num_nodes());
+  std::vector<NodeId> parent_edge(g.num_nodes());
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::fill(parent_edge.begin(), parent_edge.end(), kNoEdge);
+    std::queue<NodeId> frontier;
+    dist[s] = 0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      if (best != kUnreachable && 2 * dist[v] >= best) break;
+      for (const Arc& a : g.neighbors(v)) {
+        if (a.edge == parent_edge[v]) continue;
+        if (dist[a.to] == kUnreachable) {
+          dist[a.to] = dist[v] + 1;
+          parent_edge[a.to] = a.edge;
+          frontier.push(a.to);
+        } else {
+          // Cycle through s of length <= dist[v] + dist[a.to] + 1.
+          best = std::min(best, dist[v] + dist[a.to] + 1);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0;
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket peeling (Matula-Beck) with lazy deletion: stale bucket entries
+  // (node already removed, or degree since decreased) are skipped on pop.
+  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
+  for (NodeId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  std::uint32_t degen = 0;
+  std::uint32_t cur = 0;
+  NodeId processed = 0;
+  while (processed < n) {
+    if (buckets[cur].empty()) {
+      ++cur;
+      CPT_ASSERT(cur <= max_deg);
+      continue;
+    }
+    const NodeId v = buckets[cur].back();
+    buckets[cur].pop_back();
+    if (removed[v] || deg[v] != cur) continue;  // stale entry
+    removed[v] = true;
+    ++processed;
+    degen = std::max(degen, cur);
+    for (const Arc& a : g.neighbors(v)) {
+      if (!removed[a.to]) {
+        --deg[a.to];
+        buckets[deg[a.to]].push_back(a.to);
+        if (deg[a.to] < cur) cur = deg[a.to];
+      }
+    }
+  }
+  return degen;
+}
+
+std::uint32_t arboricity_lower_bound(const Graph& g) {
+  if (g.num_nodes() < 2) return 0;
+  const std::uint64_t n = g.num_nodes();
+  const std::uint64_t m = g.num_edges();
+  return static_cast<std::uint32_t>((m + n - 2) / (n - 1));
+}
+
+std::uint64_t planarity_distance_lower_bound(const Graph& g) {
+  const std::int64_t n = g.num_nodes();
+  const std::int64_t m = g.num_edges();
+  const std::int64_t bound = std::max<std::int64_t>(0, 3 * n - 6);
+  return static_cast<std::uint64_t>(std::max<std::int64_t>(0, m - bound));
+}
+
+}  // namespace cpt

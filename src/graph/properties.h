@@ -1,0 +1,63 @@
+// Graph measurements: connectivity, distances, bipartiteness, girth,
+// degeneracy/arboricity bounds. Centralized code used by generators, tests
+// and benches (ground truth), not by the distributed algorithms themselves.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpt {
+
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+struct ComponentInfo {
+  std::vector<NodeId> component_of;  // node -> component id
+  NodeId num_components = 0;
+};
+
+ComponentInfo connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+// BFS distances from src (kUnreachable where not reachable).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src);
+
+// Largest finite BFS distance from src.
+std::uint32_t eccentricity(const Graph& g, NodeId src);
+
+// Exact diameter via all-pairs BFS; O(n * m), intended for small graphs.
+std::uint32_t diameter_exact(const Graph& g);
+
+// 2-approximate diameter: eccentricity from an arbitrary node, doubled bound
+// not applied -- returns ecc(furthest-from-0), a classic lower bound.
+std::uint32_t diameter_lower_bound(const Graph& g);
+
+// Two-coloring if bipartite; std::nullopt otherwise.
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g);
+
+bool is_bipartite(const Graph& g);
+
+// True iff the graph contains a cycle (m > n - #components).
+bool has_cycle(const Graph& g);
+
+// Exact girth (length of shortest cycle), or kUnreachable if acyclic.
+// O(n * m): BFS from every node.
+std::uint32_t girth(const Graph& g);
+
+// Degeneracy (max over subgraphs of min degree), via peeling. The arboricity
+// `a` satisfies ceil(degeneracy/2) <= a <= degeneracy.
+std::uint32_t degeneracy(const Graph& g);
+
+// Nash-Williams lower bound on arboricity for the whole graph:
+// ceil(m / (n - 1)) for connected graphs with n >= 2 (0 for smaller).
+std::uint32_t arboricity_lower_bound(const Graph& g);
+
+// Distance-to-planarity lower bound from edge excess over Euler's bound:
+// max(0, m - max(0, 3n - 6)). Every planar graph on n >= 3 nodes has at most
+// 3n-6 edges, so at least this many edges must be removed.
+std::uint64_t planarity_distance_lower_bound(const Graph& g);
+
+}  // namespace cpt

@@ -1,0 +1,117 @@
+#include "lowerbound/construction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "util/contracts.h"
+
+namespace cpt {
+namespace {
+
+// Removes one edge of every cycle of length <= max_len. Returns the number
+// of removed edges. Mutable adjacency with truncated BFS sweeps, repeated
+// until a full clean pass.
+std::uint64_t short_cycle_surgery(std::vector<std::vector<NodeId>>& adj,
+                                  std::uint32_t max_len) {
+  const NodeId n = static_cast<NodeId>(adj.size());
+  const std::uint32_t depth_cap = max_len / 2 + 1;
+  std::uint64_t removed = 0;
+  std::vector<std::uint32_t> dist(n);
+  std::vector<NodeId> parent(n);
+  std::vector<NodeId> touched;
+
+  const auto remove_edge = [&](NodeId a, NodeId b) {
+    auto& na = adj[a];
+    na.erase(std::find(na.begin(), na.end(), b));
+    auto& nb = adj[b];
+    nb.erase(std::find(nb.begin(), nb.end(), a));
+    ++removed;
+  };
+
+  bool dirty = true;
+  std::fill(dist.begin(), dist.end(), kUnreachable);
+  while (dirty) {
+    dirty = false;
+    for (NodeId s = 0; s < n; ++s) {
+      bool restart = true;
+      while (restart) {
+        restart = false;
+        for (const NodeId t : touched) dist[t] = kUnreachable;
+        touched.clear();
+        std::queue<NodeId> frontier;
+        dist[s] = 0;
+        parent[s] = kNoNode;
+        touched.push_back(s);
+        frontier.push(s);
+        while (!frontier.empty() && !restart) {
+          const NodeId v = frontier.front();
+          frontier.pop();
+          if (dist[v] >= depth_cap) break;
+          for (const NodeId w : adj[v]) {
+            if (w == parent[v]) continue;
+            if (dist[w] == kUnreachable) {
+              dist[w] = dist[v] + 1;
+              parent[w] = v;
+              touched.push_back(w);
+              frontier.push(w);
+            } else if (dist[v] + dist[w] + 1 <= max_len) {
+              // A cycle of length <= max_len (the BFS estimate can only
+              // overshoot the true length, so <= is conservative).
+              remove_edge(v, w);
+              dirty = true;
+              restart = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+LowerBoundInstance build_lower_bound_instance(const LowerBoundOptions& opt) {
+  CPT_EXPECTS(opt.n >= 8);
+  CPT_EXPECTS(opt.avg_degree > 1.0);
+  Rng rng(opt.seed);
+  LowerBoundInstance out;
+  out.girth_target =
+      opt.girth_target != 0
+          ? opt.girth_target
+          : std::max<std::uint32_t>(
+                4, static_cast<std::uint32_t>(std::floor(
+                       std::log(static_cast<double>(opt.n)) /
+                       std::log(opt.avg_degree))) +
+                       1);
+
+  const Graph base = gen::gnp(opt.n, opt.avg_degree / opt.n, rng);
+  std::vector<std::vector<NodeId>> adj(opt.n);
+  for (const Endpoints e : base.edges()) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  out.removed_edges = short_cycle_surgery(adj, out.girth_target - 1);
+
+  GraphBuilder builder(opt.n);
+  for (NodeId v = 0; v < opt.n; ++v) {
+    for (const NodeId w : adj[v]) {
+      if (v < w) builder.add_edge(v, w);
+    }
+  }
+  out.graph = std::move(builder).build();
+  out.girth = girth(out.graph);
+  CPT_ENSURES(out.girth >= out.girth_target);
+  out.distance_lb = planarity_distance_lower_bound(out.graph);
+  out.certified_eps =
+      out.graph.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(out.distance_lb) / out.graph.num_edges();
+  return out;
+}
+
+}  // namespace cpt

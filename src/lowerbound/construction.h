@@ -1,0 +1,37 @@
+// The Omega(log n) lower-bound construction (Section 3, Claims 11/12):
+// sample G(n, p), then remove one edge from every cycle shorter than the
+// girth target, yielding a graph that is still far from planarity (edge
+// excess over Euler's bound certifies the distance) while containing no
+// cycle shorter than Theta(log n). Any one-sided tester running in fewer
+// than girth/2 rounds sees only trees and must accept.
+//
+// Paper constants (p = 1000 k^2 / n) are proof-friendly; the defaults here
+// are scaled down and the bench *measures* girth and certified distance.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace cpt {
+
+struct LowerBoundOptions {
+  NodeId n = 1024;
+  double avg_degree = 12.0;      // p = avg_degree / n
+  std::uint32_t girth_target = 0;  // 0 = max(4, floor(ln n / ln avg_degree) + 1)
+  std::uint64_t seed = 1;
+};
+
+struct LowerBoundInstance {
+  Graph graph;
+  std::uint32_t girth_target = 0;
+  std::uint32_t girth = 0;          // measured (>= girth_target)
+  std::uint64_t removed_edges = 0;  // surgery cost
+  std::uint64_t distance_lb = 0;    // m - (3n - 6): certified edges-to-remove
+  double certified_eps = 0.0;       // distance_lb / m
+};
+
+LowerBoundInstance build_lower_bound_instance(const LowerBoundOptions& opt);
+
+}  // namespace cpt

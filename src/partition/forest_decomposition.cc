@@ -1,0 +1,162 @@
+#include "partition/forest_decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cpt {
+
+using congest::BroadcastRecords;
+using congest::Combine;
+using congest::ConvergeRecords;
+using congest::Exchange;
+using congest::Inbound;
+using congest::Msg;
+using congest::Record;
+using congest::TreeView;
+
+namespace {
+constexpr std::uint32_t kTagActive = 10;
+}
+
+PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
+                                       const PartForest& pf,
+                                       const PeelingOptions& opt,
+                                       congest::RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  const std::uint32_t cap = 3 * opt.alpha;
+  const std::uint32_t s =
+      opt.super_rounds != 0
+          ? opt.super_rounds
+          : static_cast<std::uint32_t>(
+                std::ceil(std::log(std::max<double>(n, 2)) / std::log(1.5))) + 1;
+
+  PeelingResult result;
+  result.out_records.resize(n);
+  result.neighbor_root.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.neighbor_root[v].assign(g.degree(v), kNoNode);
+  }
+
+  // Root-side state (driver arrays indexed by root node id).
+  std::vector<std::uint8_t> active(n, 0);
+  std::vector<std::uint8_t> learning(n, 0);
+  std::vector<std::vector<Record>> rec_at_inact(n);
+  // Node-side state: does my part announce in pass A this super-round?
+  std::vector<std::uint8_t> announces(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (pf.is_root(v)) active[v] = 1;
+    announces[v] = 1;  // all parts start active
+  }
+
+  // Scratch: per-node local records collected from pass A.
+  std::vector<std::vector<Record>> local_rec(n);
+  std::vector<std::uint8_t> participates(n, 0);
+
+  for (std::uint32_t ell = 1; ell <= s + 1; ++ell) {
+    bool any_active = false;
+    bool any_learning = false;
+    for (NodeId r = 0; r < n; ++r) {
+      if (pf.is_root(r)) {
+        any_active = any_active || active[r];
+        any_learning = any_learning || learning[r];
+      }
+    }
+    if (!any_active && !any_learning) {
+      // Remaining super-rounds are silent listening; the schedule still
+      // ticks one round each.
+      ledger.charge("stage1/peel-quiet", s + 1 - ell + 1);
+      break;
+    }
+    ++result.emulated_super_rounds;
+
+    // ---- Pass A: 'Active' announcements (one round). ----
+    for (auto& lr : local_rec) lr.clear();
+    Exchange exchange(
+        n,
+        [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& out) {
+          if (!announces[v]) return;
+          for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+            out.push_back(
+                {p, Msg::make(kTagActive,
+                              static_cast<std::int64_t>(pf.root[v]))});
+          }
+        },
+        [&](NodeId v, std::span<const Inbound> inbox) {
+          for (const Inbound& in : inbox) {
+            if (in.msg.tag != kTagActive) continue;
+            const NodeId r = static_cast<NodeId>(in.msg.w[0]);
+            result.neighbor_root[v][in.port] = r;
+            if (r != pf.root[v]) local_rec[v].push_back({r, 1});
+          }
+        });
+    const auto ra = sim.run(exchange);
+    ledger.add_pass("stage1/peel-exchange", std::max<std::uint64_t>(ra.rounds, 1),
+                    ra.messages);
+
+    // ---- Pass B: convergecast of distinct active foreign roots. ----
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId r = pf.root[v];
+      participates[v] = (active[r] || learning[r]) ? 1 : 0;
+    }
+    TreeView tree{&pf.parent_edge, &pf.children, &participates};
+    ConvergeRecords conv(tree, Combine::kSum, cap);
+    for (NodeId v = 0; v < n; ++v) {
+      if (participates[v]) conv.initial[v] = std::move(local_rec[v]);
+    }
+    const auto rb = sim.run(conv);
+    ledger.add_pass("stage1/peel-converge", rb.rounds, rb.messages);
+
+    // ---- Decisions at roots (local computation). ----
+    std::vector<NodeId> newly_inactive;
+    for (NodeId r = 0; r < n; ++r) {
+      if (!pf.is_root(r)) continue;
+      if (learning[r]) {
+        // One super-round after inactivation: neighbors still announcing
+        // now are the ones that stayed active; the rest of the
+        // at-inactivation list inactivated simultaneously.
+        learning[r] = 0;
+        const std::vector<Record>& now = conv.at_root(r);
+        CPT_ASSERT(!conv.overflowed(r));
+        for (const Record& rec : rec_at_inact[r]) {
+          const bool still_active =
+              std::any_of(now.begin(), now.end(),
+                          [&](const Record& x) { return x.key == rec.key; });
+          if (still_active || r < rec.key) {
+            result.out_records[r].push_back(rec);
+          }
+        }
+        continue;
+      }
+      if (!active[r] || ell > s) continue;
+      if (conv.overflowed(r)) continue;  // > 3*alpha active neighbors
+      // At most 3*alpha active neighbors: become inactive.
+      active[r] = 0;
+      learning[r] = 1;
+      rec_at_inact[r].assign(conv.at_root(r).begin(), conv.at_root(r).end());
+      newly_inactive.push_back(r);
+    }
+
+    // ---- Pass C: notify members of parts that just became inactive. ----
+    if (!newly_inactive.empty()) {
+      BroadcastRecords bc(TreeView{&pf.parent_edge, &pf.children, nullptr});
+      for (const NodeId r : newly_inactive) {
+        bc.stream[r] = {{0, 0}};
+        announces[r] = 0;  // the root itself
+      }
+      const auto rc = sim.run(bc);
+      ledger.add_pass("stage1/peel-broadcast", rc.rounds, rc.messages);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!bc.received[v].empty()) announces[v] = 0;
+      }
+    }
+  }
+
+  for (NodeId r = 0; r < n; ++r) {
+    if (pf.is_root(r) && active[r]) result.still_active_roots.push_back(r);
+  }
+  return result;
+}
+
+}  // namespace cpt

@@ -1,0 +1,710 @@
+#include "partition/merge.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpt {
+
+using congest::BroadcastRecords;
+using congest::Combine;
+using congest::ConvergeRecords;
+using congest::Exchange;
+using congest::Inbound;
+using congest::Msg;
+using congest::Record;
+using congest::TreeView;
+
+namespace {
+
+constexpr std::uint32_t kTagSignal = 20;  // generic single-record exchange
+
+constexpr std::int64_t kNoColor = -1;
+constexpr std::uint32_t kNoLevel = static_cast<std::uint32_t>(-1);
+constexpr std::uint32_t kNoPort = static_cast<std::uint32_t>(-1);
+
+// All driver-side state for one merge step. Arrays indexed by node id hold
+// root-local knowledge at root ids and node-local knowledge everywhere, as
+// in the rest of the Stage I emulation.
+struct MergeCtx {
+  congest::Simulator& sim;
+  const Graph& g;
+  PartForest& pf;
+  const std::vector<std::vector<NodeId>>& neighbor_root;
+  Selection& sel;
+  congest::RoundLedger& ledger;
+
+  NodeId n;
+  // Node-side: the single designated port of an in-charge node (or kNoPort).
+  std::vector<std::uint32_t> charge_port;
+  // Node-side: ports this node serves for neighboring parts' designated
+  // edges, and which of those are marked (belong to T_i).
+  std::vector<std::vector<std::uint32_t>> serve_ports;
+  std::vector<std::vector<std::uint32_t>> marked_serve_ports;
+  // Node-side participation masks for converge passes.
+  std::vector<std::uint8_t> sel_mask;    // part has a selection
+  std::vector<std::uint8_t> serve_mask;  // part serves >= 1 designated edge
+
+  // Root-side F_i / T_i state.
+  std::vector<std::int64_t> color;
+  std::vector<std::uint8_t> out_marked;
+  std::vector<std::int64_t> marked_children;  // count of marked in-edges
+  std::vector<std::uint32_t> level;
+  std::vector<std::int8_t> parity_bit;  // -1 unknown, else 0/1
+
+  MergeCtx(congest::Simulator& sim_, const Graph& g_, PartForest& pf_,
+           const std::vector<std::vector<NodeId>>& nr, Selection& sel_,
+           congest::RoundLedger& ledger_)
+      : sim(sim_),
+        g(g_),
+        pf(pf_),
+        neighbor_root(nr),
+        sel(sel_),
+        ledger(ledger_),
+        n(g_.num_nodes()),
+        charge_port(n, kNoPort),
+        serve_ports(n),
+        marked_serve_ports(n),
+        sel_mask(n, 0),
+        serve_mask(n, 0),
+        color(n, kNoColor),
+        out_marked(n, 0),
+        marked_children(n, 0),
+        level(n, kNoLevel),
+        parity_bit(n, -1) {}
+
+  bool has_sel(NodeId r) const { return sel.target[r] != kNoNode; }
+
+  TreeView tree(const std::vector<std::uint8_t>* mask) const {
+    return TreeView{&pf.parent_edge, &pf.children, mask};
+  }
+
+  std::vector<std::vector<Record>> empty_values() const {
+    return std::vector<std::vector<Record>>(n);
+  }
+
+  // --- Composite relay passes ------------------------------------------
+
+  // F_i-parent -> F_i-children: every part root with a value broadcasts it
+  // down its own tree; serving nodes forward the k-th record over the
+  // designated edges they serve (optionally only marked ones); the
+  // receiving in-charge nodes converge the records up their trees. Returns
+  // per-root received records (merged by key, summed).
+  std::vector<std::vector<Record>> relay_down(
+      const std::vector<std::vector<Record>>& values, bool marked_only,
+      const char* passname) {
+    auto out = empty_values();
+    BroadcastRecords bc(tree(nullptr));
+    std::size_t max_len = 0;
+    for (NodeId r = 0; r < n; ++r) {
+      if (pf.is_root(r) && !values[r].empty()) {
+        bc.stream[r] = values[r];
+        max_len = std::max(max_len, values[r].size());
+      }
+    }
+    if (max_len == 0) return out;
+    auto rb = sim.run(bc);
+    ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
+    for (NodeId r = 0; r < n; ++r) {
+      if (pf.is_root(r) && !values[r].empty()) bc.received[r] = values[r];
+    }
+    // Serving nodes push the stream across designated edges, one record per
+    // round per edge.
+    std::vector<std::vector<Record>> at_charge(n);
+    for (std::size_t k = 0; k < max_len; ++k) {
+      Exchange ex(
+          n,
+          [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& outv) {
+            const auto& ports =
+                marked_only ? marked_serve_ports[v] : serve_ports[v];
+            if (ports.empty() || bc.received[v].size() <= k) return;
+            const Record& rec = bc.received[v][k];
+            for (const std::uint32_t p : ports) {
+              outv.push_back({p, Msg::make(kTagSignal,
+                                           static_cast<std::int64_t>(rec.key),
+                                           rec.value)});
+            }
+          },
+          [&](NodeId v, std::span<const Inbound> inbox) {
+            for (const Inbound& in : inbox) {
+              if (in.msg.tag == kTagSignal && in.port == charge_port[v]) {
+                at_charge[v].push_back(
+                    {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
+              }
+            }
+          });
+      auto re = sim.run(ex);
+      ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
+    }
+    // Converge up the receiving (selection-holding) parts.
+    ConvergeRecords conv(tree(&sel_mask), Combine::kSum, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (sel_mask[v]) conv.initial[v] = std::move(at_charge[v]);
+    }
+    auto rc = sim.run(conv);
+    ledger.add_pass(std::string(passname) + "/conv", rc.rounds, rc.messages);
+    for (NodeId r = 0; r < n; ++r) {
+      if (pf.is_root(r) && has_sel(r)) {
+        out[r].assign(conv.at_root(r).begin(), conv.at_root(r).end());
+      }
+    }
+    return out;
+  }
+
+  // F_i-children -> F_i-parent: sending parts broadcast their records down
+  // to their in-charge node, which pushes them over the designated edge;
+  // the parent part converges the arriving records up its tree, summing by
+  // key. `senders` (optional) restricts which selection-holding parts send.
+  std::vector<std::vector<Record>> relay_up(
+      const std::vector<std::vector<Record>>& values, bool marked_only,
+      const std::vector<std::uint8_t>* senders, const char* passname) {
+    auto out = empty_values();
+    BroadcastRecords bc(tree(nullptr));
+    std::size_t max_len = 0;
+    for (NodeId r = 0; r < n; ++r) {
+      if (!pf.is_root(r) || !has_sel(r) || values[r].empty()) continue;
+      if (senders != nullptr && !(*senders)[r]) continue;
+      if (marked_only && !out_marked[r]) continue;
+      bc.stream[r] = values[r];
+      max_len = std::max(max_len, values[r].size());
+    }
+    if (max_len == 0) return out;
+    auto rb = sim.run(bc);
+    ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
+    for (NodeId r = 0; r < n; ++r) {
+      if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
+    }
+    std::vector<std::vector<Record>> at_serve(n);
+    for (std::size_t k = 0; k < max_len; ++k) {
+      Exchange ex(
+          n,
+          [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& outv) {
+            if (charge_port[v] == kNoPort) return;
+            if (bc.received[v].size() <= k) return;
+            const Record& rec = bc.received[v][k];
+            outv.push_back({charge_port[v],
+                            Msg::make(kTagSignal,
+                                      static_cast<std::int64_t>(rec.key),
+                                      rec.value)});
+          },
+          [&](NodeId v, std::span<const Inbound> inbox) {
+            for (const Inbound& in : inbox) {
+              if (in.msg.tag != kTagSignal) continue;
+              const auto& ports =
+                  marked_only ? marked_serve_ports[v] : serve_ports[v];
+              if (std::find(ports.begin(), ports.end(), in.port) !=
+                  ports.end()) {
+                at_serve[v].push_back(
+                    {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
+              }
+            }
+          });
+      auto re = sim.run(ex);
+      ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
+    }
+    ConvergeRecords conv(tree(&serve_mask), Combine::kSum, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (serve_mask[v]) conv.initial[v] = std::move(at_serve[v]);
+    }
+    auto rc = sim.run(conv);
+    ledger.add_pass(std::string(passname) + "/conv", rc.rounds, rc.messages);
+    for (NodeId r = 0; r < n; ++r) {
+      if (pf.is_root(r)) {
+        out[r].assign(conv.at_root(r).begin(), conv.at_root(r).end());
+      }
+    }
+    return out;
+  }
+};
+
+// ---- Sub-step 1 (emulation): designated physical edges -------------------
+
+void find_designated_edges(MergeCtx& ctx) {
+  const NodeId n = ctx.n;
+  // Dedup: if A and B selected each other's auxiliary edge, it becomes the
+  // out-edge of the smaller root id (Section 4's pseudo-forest rule; cannot
+  // trigger in the BE-oriented flow).
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r) || !ctx.has_sel(r)) continue;
+    const NodeId t = ctx.sel.target[r];
+    if (t < r && ctx.sel.target[t] == r) ctx.sel.target[r] = kNoNode;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    ctx.sel_mask[v] = ctx.has_sel(ctx.pf.root[v]) ? 1 : 0;
+  }
+
+  // SEEK passes for parts without a known physical edge.
+  bool any_seek = false;
+  BroadcastRecords bc(ctx.tree(nullptr));
+  for (NodeId r = 0; r < n; ++r) {
+    if (ctx.pf.is_root(r) && ctx.has_sel(r) &&
+        ctx.sel.charge_node[r] == kNoNode) {
+      bc.stream[r] = {{0, static_cast<std::int64_t>(ctx.sel.target[r])}};
+      any_seek = true;
+    }
+  }
+  if (any_seek) {
+    auto rb = ctx.sim.run(bc);
+    ctx.ledger.add_pass("stage1/seek/bcast", rb.rounds, rb.messages);
+    for (NodeId r = 0; r < n; ++r) {
+      if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
+    }
+    // Boundary nodes with an edge to the target nominate themselves (min id).
+    ConvergeRecords conv(ctx.tree(&ctx.sel_mask), Combine::kMin, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!ctx.sel_mask[v] || bc.received[v].empty()) continue;
+      const NodeId target = static_cast<NodeId>(bc.received[v][0].value);
+      for (std::uint32_t p = 0; p < ctx.g.degree(v); ++p) {
+        if (ctx.neighbor_root[v][p] == target) {
+          conv.initial[v] = {{0, static_cast<std::int64_t>(v)}};
+          break;
+        }
+      }
+    }
+    auto rc = ctx.sim.run(conv);
+    ctx.ledger.add_pass("stage1/seek/conv", rc.rounds, rc.messages);
+    // Notify the chosen in-charge node down the tree.
+    BroadcastRecords bc2(ctx.tree(nullptr));
+    for (NodeId r = 0; r < n; ++r) {
+      if (bc.stream[r].empty()) continue;
+      const auto& recs = conv.at_root(r);
+      CPT_ASSERT(!recs.empty() && "selection target must be a real neighbor");
+      ctx.sel.charge_node[r] = static_cast<NodeId>(recs[0].value);
+      bc2.stream[r] = {{1, recs[0].value}};
+    }
+    auto rb2 = ctx.sim.run(bc2);
+    ctx.ledger.add_pass("stage1/seek/notify", rb2.rounds, rb2.messages);
+  }
+
+  // In-charge nodes resolve their designated port (and edge id).
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r) || !ctx.has_sel(r)) continue;
+    const NodeId u = ctx.sel.charge_node[r];
+    CPT_ASSERT(u != kNoNode);
+    if (ctx.sel.charge_edge[r] != kNoEdge) {
+      ctx.charge_port[u] =
+          ctx.sim.network().port_of_edge(u, ctx.sel.charge_edge[r]);
+    } else {
+      const NodeId target = ctx.sel.target[r];
+      for (std::uint32_t p = 0; p < ctx.g.degree(u); ++p) {
+        if (ctx.neighbor_root[u][p] == target) {
+          ctx.charge_port[u] = p;
+          ctx.sel.charge_edge[r] = ctx.sim.network().arc(u, p).edge;
+          break;
+        }
+      }
+      CPT_ASSERT(ctx.sel.charge_edge[r] != kNoEdge);
+    }
+  }
+
+  // SERVE notifications: in-charge nodes tell the far endpoint (one round).
+  Exchange serve(
+      n,
+      [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& out) {
+        if (ctx.charge_port[v] != kNoPort) {
+          out.push_back({ctx.charge_port[v], Msg::make(kTagSignal, 1)});
+        }
+      },
+      [&](NodeId v, std::span<const Inbound> inbox) {
+        for (const Inbound& in : inbox) {
+          if (in.msg.tag == kTagSignal) ctx.serve_ports[v].push_back(in.port);
+        }
+      });
+  auto rs = ctx.sim.run(serve);
+  ctx.ledger.add_pass("stage1/seek/serve", rs.rounds, rs.messages);
+
+  // Serve mask: parts with at least one serving node learn it via one
+  // converge + one broadcast.
+  std::vector<std::uint8_t> all(n, 1);
+  ConvergeRecords conv(ctx.tree(&all), Combine::kSum, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!ctx.serve_ports[v].empty()) {
+      conv.initial[v] = {
+          {0, static_cast<std::int64_t>(ctx.serve_ports[v].size())}};
+    }
+  }
+  auto rc = ctx.sim.run(conv);
+  ctx.ledger.add_pass("stage1/seek/servemask-conv", rc.rounds, rc.messages);
+  BroadcastRecords bc3(ctx.tree(nullptr));
+  for (NodeId r = 0; r < n; ++r) {
+    if (ctx.pf.is_root(r) && !conv.at_root(r).empty()) {
+      bc3.stream[r] = {{0, 1}};
+      ctx.serve_mask[r] = 1;
+    }
+  }
+  auto rb3 = ctx.sim.run(bc3);
+  ctx.ledger.add_pass("stage1/seek/servemask-bcast", rb3.rounds, rb3.messages);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!bc3.received[v].empty()) ctx.serve_mask[v] = 1;
+  }
+}
+
+// ---- Sub-step 2a: Cole-Vishkin 3-coloring of F_i -------------------------
+
+std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
+  const NodeId n = ctx.n;
+  for (NodeId r = 0; r < n; ++r) {
+    if (ctx.pf.is_root(r)) ctx.color[r] = r;
+  }
+  std::uint32_t iterations = 0;
+  while (true) {
+    std::int64_t max_color = 0;
+    for (NodeId r = 0; r < n; ++r) {
+      if (ctx.pf.is_root(r)) max_color = std::max(max_color, ctx.color[r]);
+    }
+    if (max_color <= 5) break;
+    auto values = ctx.empty_values();
+    for (NodeId r = 0; r < n; ++r) {
+      // Only parts that serve a designated edge have F_i children that need
+      // their color.
+      if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
+    }
+    auto parent_color = ctx.relay_down(values, /*marked_only=*/false, "stage1/cv");
+    for (NodeId r = 0; r < n; ++r) {
+      if (!ctx.pf.is_root(r)) continue;
+      const std::int64_t c = ctx.color[r];
+      if (!ctx.has_sel(r)) {
+        ctx.color[r] = c & 1;  // F_i root keeps bit 0
+        continue;
+      }
+      CPT_ASSERT(!parent_color[r].empty());
+      const std::int64_t pc = parent_color[r][0].value;
+      CPT_ASSERT(pc != c);
+      int i = 0;
+      while (((c >> i) & 1) == ((pc >> i) & 1)) ++i;
+      ctx.color[r] = 2 * i + ((c >> i) & 1);
+    }
+    ++iterations;
+    CPT_ASSERT(iterations < 64);
+  }
+  // Reduce 6 -> 3 colors: shift-down, then recolor one class at a time.
+  for (std::int64_t target = 5; target >= 3; --target) {
+    auto values = ctx.empty_values();
+    for (NodeId r = 0; r < n; ++r) {
+      if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
+    }
+    auto pre = ctx.relay_down(values, false, "stage1/cv-shift");
+    std::vector<std::int64_t> old_color = ctx.color;
+    for (NodeId r = 0; r < n; ++r) {
+      if (!ctx.pf.is_root(r)) continue;
+      if (ctx.has_sel(r)) {
+        CPT_ASSERT(!pre[r].empty());
+        ctx.color[r] = pre[r][0].value;
+      } else {
+        ctx.color[r] = (ctx.color[r] + 1) % 3;
+      }
+    }
+    auto values2 = ctx.empty_values();
+    for (NodeId r = 0; r < n; ++r) {
+      if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values2[r] = {{0, ctx.color[r]}};
+    }
+    auto post = ctx.relay_down(values2, false, "stage1/cv-recolor");
+    for (NodeId r = 0; r < n; ++r) {
+      if (!ctx.pf.is_root(r) || ctx.color[r] != target) continue;
+      const std::int64_t forbid1 =
+          ctx.has_sel(r) && !post[r].empty() ? post[r][0].value : -1;
+      const std::int64_t forbid2 = old_color[r];  // children's current color
+      for (std::int64_t c = 0; c < 3; ++c) {
+        if (c != forbid1 && c != forbid2) {
+          ctx.color[r] = c;
+          break;
+        }
+      }
+    }
+  }
+  return iterations;
+}
+
+// ---- Sub-step 2b: marking -------------------------------------------------
+
+void mark_edges(MergeCtx& ctx) {
+  const NodeId n = ctx.n;
+  // Each selection-holding part learns its target's color.
+  auto values = ctx.empty_values();
+  for (NodeId r = 0; r < n; ++r) {
+    if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
+  }
+  auto target_color = ctx.relay_down(values, false, "stage1/mark-tcolor");
+
+  // Each part tells its F_i parent (color, weight) of its selected edge;
+  // the parent receives per-color weight sums.
+  auto up_values = ctx.empty_values();
+  for (NodeId r = 0; r < n; ++r) {
+    if (ctx.pf.is_root(r) && ctx.has_sel(r)) {
+      up_values[r] = {{static_cast<std::uint64_t>(ctx.color[r]),
+                       static_cast<std::int64_t>(ctx.sel.weight[r])}};
+    }
+  }
+  auto in_by_color = ctx.relay_up(up_values, false, nullptr, "stage1/mark-insum");
+
+  // Marking decisions (colors 0/1/2 stand for the paper's 1/2/3).
+  std::vector<std::uint8_t> mark_in_all(n, 0);
+  std::vector<std::uint8_t> mark_in_color2(n, 0);
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r)) continue;
+    std::int64_t sum_all = 0;
+    std::int64_t sum_c2 = 0;
+    for (const Record& rec : in_by_color[r]) {
+      sum_all += rec.value;
+      if (rec.key == 2) sum_c2 += rec.value;
+    }
+    if (ctx.color[r] == 0) {
+      if (ctx.has_sel(r) &&
+          static_cast<std::int64_t>(ctx.sel.weight[r]) >= sum_all) {
+        ctx.out_marked[r] = 1;
+      } else {
+        mark_in_all[r] = 1;
+      }
+    } else if (ctx.color[r] == 1) {
+      const bool target_is_2 =
+          ctx.has_sel(r) && !target_color[r].empty() &&
+          target_color[r][0].value == 2;
+      if (target_is_2 &&
+          static_cast<std::int64_t>(ctx.sel.weight[r]) >= sum_c2) {
+        ctx.out_marked[r] = 1;
+      } else {
+        mark_in_color2[r] = 1;
+      }
+    }
+  }
+
+  // Parent-side marks flow down to children: (1, -1) marks all incoming,
+  // (2, c) marks incoming edges from children colored c.
+  auto mark_values = ctx.empty_values();
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r)) continue;
+    if (mark_in_all[r]) mark_values[r] = {{1, -1}};
+    if (mark_in_color2[r]) mark_values[r] = {{2, 2}};
+  }
+  auto parent_marks = ctx.relay_down(mark_values, false, "stage1/mark-down");
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r) || !ctx.has_sel(r)) continue;
+    for (const Record& rec : parent_marks[r]) {
+      if (rec.key == 1 || (rec.key == 2 && ctx.color[r] == rec.value)) {
+        ctx.out_marked[r] = 1;
+      }
+    }
+  }
+
+  // In-charge nodes of marked out-edges notify the serving endpoint, so the
+  // T_i relays know which designated edges are marked (one round). The part
+  // root tells its in-charge node via one broadcast first.
+  BroadcastRecords bc(ctx.tree(nullptr));
+  for (NodeId r = 0; r < n; ++r) {
+    if (ctx.pf.is_root(r) && ctx.out_marked[r]) bc.stream[r] = {{0, 1}};
+  }
+  auto rb = ctx.sim.run(bc);
+  ctx.ledger.add_pass("stage1/mark-notify/bcast", rb.rounds, rb.messages);
+  for (NodeId r = 0; r < n; ++r) {
+    if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
+  }
+  Exchange ex(
+      n,
+      [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& out) {
+        if (ctx.charge_port[v] != kNoPort && !bc.received[v].empty() &&
+            ctx.out_marked[ctx.pf.root[v]]) {
+          out.push_back({ctx.charge_port[v], Msg::make(kTagSignal, 1)});
+        }
+      },
+      [&](NodeId v, std::span<const Inbound> inbox) {
+        for (const Inbound& in : inbox) {
+          if (in.msg.tag == kTagSignal) {
+            ctx.marked_serve_ports[v].push_back(in.port);
+          }
+        }
+      });
+  auto re = ctx.sim.run(ex);
+  ctx.ledger.add_pass("stage1/mark-notify/hop", re.rounds, re.messages);
+
+  // Count marked children per part (relay over marked edges only).
+  auto ones = ctx.empty_values();
+  for (NodeId r = 0; r < n; ++r) {
+    if (ctx.pf.is_root(r) && ctx.out_marked[r]) ones[r] = {{0, 1}};
+  }
+  auto counts = ctx.relay_up(ones, /*marked_only=*/true, nullptr,
+                             "stage1/mark-count");
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r)) continue;
+    for (const Record& rec : counts[r]) ctx.marked_children[r] += rec.value;
+  }
+}
+
+// ---- Sub-steps 3+4: levels, parity sums, decision, contraction -----------
+
+struct TPhaseResult {
+  std::uint32_t height = 0;
+  std::uint64_t contracted_weight = 0;
+  NodeId merges = 0;
+  std::uint32_t max_flip = 0;
+};
+
+TPhaseResult run_t_phase(MergeCtx& ctx) {
+  const NodeId n = ctx.n;
+  TPhaseResult out;
+
+  // T roots: marked incoming edges but no marked out-edge.
+  bool any_in_t = false;
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r)) continue;
+    if (ctx.marked_children[r] > 0 && !ctx.out_marked[r]) {
+      ctx.level[r] = 0;
+      any_in_t = true;
+    }
+    if (ctx.out_marked[r]) any_in_t = true;
+  }
+  if (!any_in_t) return out;
+
+  // Levels: iterate relay_down over marked edges until fixpoint.
+  for (std::uint32_t guard = 0;; ++guard) {
+    CPT_ASSERT(guard < 200 && "marked graph must be a forest (Claim 15)");
+    auto values = ctx.empty_values();
+    for (NodeId r = 0; r < n; ++r) {
+      if (ctx.pf.is_root(r) && ctx.serve_mask[r] && ctx.level[r] != kNoLevel) {
+        values[r] = {{0, ctx.level[r]}};
+      }
+    }
+    auto down = ctx.relay_down(values, /*marked_only=*/true, "stage1/t-level");
+    bool changed = false;
+    for (NodeId r = 0; r < n; ++r) {
+      if (!ctx.pf.is_root(r) || !ctx.out_marked[r] || ctx.level[r] != kNoLevel) {
+        continue;
+      }
+      if (!down[r].empty()) {
+        ctx.level[r] = static_cast<std::uint32_t>(down[r][0].value) + 1;
+        out.height = std::max(out.height, ctx.level[r]);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Parity-weight convergecast up T: a part reports (w0, w1) of its subtree
+  // once all its marked children reported. Keys: 0 = even-edge weight,
+  // 1 = odd-edge weight, 2 = reporter count.
+  std::vector<std::int64_t> acc_w0(n, 0);
+  std::vector<std::int64_t> acc_w1(n, 0);
+  std::vector<std::int64_t> acc_cnt(n, 0);
+  std::vector<std::uint8_t> reported(n, 0);
+  for (std::uint32_t guard = 0;; ++guard) {
+    CPT_ASSERT(guard < 200);
+    std::vector<std::uint8_t> ready(n, 0);
+    auto values = ctx.empty_values();
+    bool any_ready = false;
+    for (NodeId r = 0; r < n; ++r) {
+      if (!ctx.pf.is_root(r) || reported[r] || !ctx.out_marked[r]) continue;
+      if (ctx.level[r] == kNoLevel) continue;
+      if (acc_cnt[r] != ctx.marked_children[r]) continue;
+      // Subtree sums plus this part's own connecting (marked out-)edge:
+      // the edge's parity is this part's level parity (even level => even
+      // edge, contributing to w0).
+      std::int64_t w0 = acc_w0[r];
+      std::int64_t w1 = acc_w1[r];
+      if (ctx.level[r] % 2 == 0) {
+        w0 += static_cast<std::int64_t>(ctx.sel.weight[r]);
+      } else {
+        w1 += static_cast<std::int64_t>(ctx.sel.weight[r]);
+      }
+      values[r] = {{0, w0}, {1, w1}, {2, 1}};
+      ready[r] = 1;
+      reported[r] = 1;
+      any_ready = true;
+    }
+    if (!any_ready) break;
+    auto up = ctx.relay_up(values, /*marked_only=*/true, &ready, "stage1/t-wsum");
+    for (NodeId r = 0; r < n; ++r) {
+      if (!ctx.pf.is_root(r)) continue;
+      for (const Record& rec : up[r]) {
+        if (rec.key == 0) acc_w0[r] += rec.value;
+        if (rec.key == 1) acc_w1[r] += rec.value;
+        if (rec.key == 2) acc_cnt[r] += rec.value;
+      }
+    }
+  }
+
+  // T roots decide the parity to contract.
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r)) continue;
+    if (ctx.level[r] == 0 && acc_cnt[r] == ctx.marked_children[r]) {
+      ctx.parity_bit[r] = acc_w0[r] >= acc_w1[r] ? 0 : 1;
+    }
+  }
+  // Decision flows down T.
+  for (std::uint32_t guard = 0;; ++guard) {
+    CPT_ASSERT(guard < 200);
+    auto values = ctx.empty_values();
+    for (NodeId r = 0; r < n; ++r) {
+      if (ctx.pf.is_root(r) && ctx.serve_mask[r] && ctx.parity_bit[r] >= 0) {
+        values[r] = {{0, ctx.parity_bit[r]}};
+      }
+    }
+    auto down = ctx.relay_down(values, /*marked_only=*/true, "stage1/t-bit");
+    bool changed = false;
+    for (NodeId r = 0; r < n; ++r) {
+      if (!ctx.pf.is_root(r) || !ctx.out_marked[r] || ctx.parity_bit[r] >= 0) {
+        continue;
+      }
+      if (!down[r].empty()) {
+        ctx.parity_bit[r] = static_cast<std::int8_t>(down[r][0].value);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Contract: a part at level l with a marked out-edge contracts it iff
+  // l % 2 == bit (bit 0 = even edges, from even levels up to odd ones).
+  std::vector<NodeId> merging;
+  for (NodeId r = 0; r < n; ++r) {
+    if (!ctx.pf.is_root(r) || !ctx.out_marked[r]) continue;
+    if (ctx.level[r] == kNoLevel || ctx.parity_bit[r] < 0) continue;
+    if (ctx.level[r] % 2 == static_cast<std::uint32_t>(ctx.parity_bit[r])) {
+      merging.push_back(r);
+    }
+  }
+  for (const NodeId r : merging) {
+    const NodeId u = ctx.sel.charge_node[r];
+    const EdgeId e = ctx.sel.charge_edge[r];
+    const NodeId v = ctx.g.other_endpoint(e, u);
+    CPT_ASSERT(ctx.pf.root[u] == r);
+    CPT_ASSERT(ctx.pf.root[v] != r);
+    const std::uint32_t flip = ctx.pf.merge_into(ctx.g, u, e, v);
+    out.max_flip = std::max(out.max_flip, flip);
+    out.contracted_weight += ctx.sel.weight[r];
+    ++out.merges;
+  }
+  if (!merging.empty()) {
+    // New-root announcements and the path flip travel the old part trees.
+    ctx.ledger.charge("stage1/contract", 2ULL * out.max_flip + 2);
+    ctx.pf.recompute_depths(ctx.g);
+  }
+  return out;
+}
+
+}  // namespace
+
+MergeStats run_merge_step(congest::Simulator& sim, const Graph& g,
+                          PartForest& pf,
+                          const std::vector<std::vector<NodeId>>& neighbor_root,
+                          Selection sel, congest::RoundLedger& ledger) {
+  MergeStats stats;
+  bool any_selection = false;
+  for (NodeId r = 0; r < g.num_nodes(); ++r) {
+    if (pf.is_root(r) && sel.target[r] != kNoNode) {
+      any_selection = true;
+      break;
+    }
+  }
+  if (!any_selection) return stats;
+
+  MergeCtx ctx(sim, g, pf, neighbor_root, sel, ledger);
+  find_designated_edges(ctx);
+  stats.cv_iterations = color_pseudo_forest(ctx);
+  mark_edges(ctx);
+  const TPhaseResult t = run_t_phase(ctx);
+  stats.merges = t.merges;
+  stats.marked_tree_height = t.height;
+  stats.contracted_weight = t.contracted_weight;
+  return stats;
+}
+
+}  // namespace cpt

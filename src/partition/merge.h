@@ -1,0 +1,59 @@
+// Emulation of the merging step (paper Sections 2.1.2 and 2.1.6, following
+// Czygrinow-Hanckowiak-Wawrzyniak):
+//
+//   1. each part selects an incident auxiliary edge (selection policy is the
+//      caller's: heaviest BE out-edge for Theorem 1/3, weighted random draw
+//      for Theorem 4) and designates one physical edge (u, v) realizing it;
+//   2. the pseudo-forest F_i of selected edges is 3-colored by emulated
+//      Cole-Vishkin (+ shift-down color reduction), with every inter-part
+//      hop relayed through part trees and the designated edges;
+//   3. edges of F_i are marked according to the color rules, producing
+//      shallow subtrees T_i (Claim 15: always a forest);
+//   4. per subtree, levels and even/odd weight sums are computed, the root
+//      picks the heavier parity, and those edges are contracted: the child
+//      part re-roots onto the parent part via the designated edge (path
+//      flip, Lemma 6).
+#pragma once
+
+#include <vector>
+
+#include "congest/metrics.h"
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "partition/part_forest.h"
+
+namespace cpt {
+
+// Per part root: the selected F_i out-edge. Built by the caller.
+struct Selection {
+  std::vector<NodeId> target;          // target part root; kNoNode = none
+  std::vector<std::uint64_t> weight;   // auxiliary edge weight (edge count)
+  // Designated physical edge, if the selection process already produced one
+  // (the Theorem-4 random draw does); otherwise kNoNode/kNoEdge and the
+  // merge step runs the SEEK passes to find one.
+  std::vector<NodeId> charge_node;
+  std::vector<EdgeId> charge_edge;
+
+  explicit Selection(NodeId n)
+      : target(n, kNoNode),
+        weight(n, 0),
+        charge_node(n, kNoNode),
+        charge_edge(n, kNoEdge) {}
+};
+
+struct MergeStats {
+  NodeId merges = 0;
+  std::uint32_t cv_iterations = 0;       // Cole-Vishkin iterations to <= 6 colors
+  std::uint32_t marked_tree_height = 0;  // observed height of T_i ([10]: <= 10)
+  std::uint64_t contracted_weight = 0;   // total weight of contracted edges
+};
+
+// Executes one merging step, mutating `pf`. `neighbor_root` is the per-node,
+// per-port map of neighbor part roots (refreshed by the preceding peeling
+// or root-exchange pass).
+MergeStats run_merge_step(congest::Simulator& sim, const Graph& g,
+                          PartForest& pf,
+                          const std::vector<std::vector<NodeId>>& neighbor_root,
+                          Selection sel, congest::RoundLedger& ledger);
+
+}  // namespace cpt

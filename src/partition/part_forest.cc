@@ -1,0 +1,191 @@
+#include "partition/part_forest.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/contracts.h"
+
+namespace cpt {
+
+PartForest PartForest::singletons(NodeId n) {
+  PartForest pf;
+  pf.root.resize(n);
+  for (NodeId v = 0; v < n; ++v) pf.root[v] = v;
+  pf.parent_edge.assign(n, kNoEdge);
+  pf.children.assign(n, {});
+  pf.depth.assign(n, 0);
+  pf.members.resize(n);
+  for (NodeId v = 0; v < n; ++v) pf.members[v] = {v};
+  return pf;
+}
+
+std::vector<NodeId> PartForest::roots() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (root[v] == v) out.push_back(v);
+  }
+  return out;
+}
+
+std::uint32_t PartForest::max_depth() const {
+  std::uint32_t best = 0;
+  for (const std::uint32_t d : depth) best = std::max(best, d);
+  return best;
+}
+
+void PartForest::recompute_depths(const Graph& g) {
+  const NodeId n = num_nodes();
+  depth.assign(n, 0);
+  std::vector<std::uint8_t> known(n, 0);
+  std::vector<NodeId> chain;
+  for (NodeId v = 0; v < n; ++v) {
+    if (known[v]) continue;
+    NodeId x = v;
+    chain.clear();
+    while (!known[x] && parent_edge[x] != kNoEdge) {
+      chain.push_back(x);
+      x = parent_node(g, x);
+    }
+    std::uint32_t d = depth[x];  // 0 if x is a root not yet visited
+    known[x] = 1;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[*it] = ++d;
+      known[*it] = 1;
+    }
+  }
+}
+
+std::uint32_t PartForest::merge_into(const Graph& g, NodeId u, EdgeId e_uv,
+                                     NodeId v) {
+  const NodeId old_root = root[u];
+  const NodeId new_root = root[v];
+  CPT_EXPECTS(old_root != new_root);
+  CPT_EXPECTS(g.other_endpoint(e_uv, u) == v);
+
+  // Collect the path u -> old_root and its edges (the flip below mutates
+  // parent pointers, so they must be snapshotted first).
+  std::vector<NodeId> path{u};
+  std::vector<EdgeId> path_edges;
+  while (parent_edge[path.back()] != kNoEdge) {
+    path_edges.push_back(parent_edge[path.back()]);
+    path.push_back(parent_node(g, path.back()));
+  }
+  CPT_ASSERT(path.back() == old_root);
+
+  // Flip: each former parent becomes a child of its former child.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId child = path[i];
+    const NodeId par = path[i + 1];
+    const EdgeId e = path_edges[i];
+    auto& pc = children[par];
+    const auto it = std::find(pc.begin(), pc.end(), e);
+    CPT_ASSERT(it != pc.end());
+    pc.erase(it);
+    children[child].push_back(e);
+    parent_edge[par] = e;
+  }
+  parent_edge[u] = e_uv;
+  children[v].push_back(e_uv);
+
+  // Re-root the absorbed members.
+  for (const NodeId x : members[old_root]) root[x] = new_root;
+  auto& dst = members[new_root];
+  dst.insert(dst.end(), members[old_root].begin(), members[old_root].end());
+  members[old_root].clear();
+
+  return static_cast<std::uint32_t>(path.size() - 1);
+}
+
+PartForest::Dense PartForest::dense_index() const {
+  Dense d;
+  d.part_of.assign(num_nodes(), kNoNode);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (root[v] == v) {
+      d.part_of[v] = d.num_parts++;
+      d.root_of_part.push_back(v);
+    }
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) d.part_of[v] = d.part_of[root[v]];
+  return d;
+}
+
+bool validate_part_forest(const Graph& g, const PartForest& pf) {
+  const NodeId n = pf.num_nodes();
+  if (n != g.num_nodes()) return false;
+  std::vector<NodeId> seen_in_members(n, kNoNode);
+  for (NodeId r = 0; r < n; ++r) {
+    if (pf.root[r] == r) {
+      if (pf.parent_edge[r] != kNoEdge) return false;
+      for (const NodeId x : pf.members[r]) {
+        if (pf.root[x] != r || seen_in_members[x] != kNoNode) return false;
+        seen_in_members[x] = r;
+      }
+    } else if (!pf.members[r].empty()) {
+      return false;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (seen_in_members[v] == kNoNode) return false;  // not in any member list
+  }
+  // Parent/children consistency + tree edges stay within parts.
+  for (NodeId v = 0; v < n; ++v) {
+    for (const EdgeId ce : pf.children[v]) {
+      const NodeId w = g.other_endpoint(ce, v);
+      if (pf.parent_edge[w] != ce) return false;
+      if (pf.root[w] != pf.root[v]) return false;
+    }
+    if (pf.parent_edge[v] != kNoEdge) {
+      const NodeId p = pf.parent_node(g, v);
+      if (pf.root[p] != pf.root[v]) return false;
+      const auto& pc = pf.children[p];
+      if (std::count(pc.begin(), pc.end(), pf.parent_edge[v]) != 1) return false;
+    }
+  }
+  // Acyclic + depths correct: walk up from every node, bounded by n steps.
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId x = v;
+    std::uint32_t steps = 0;
+    while (pf.parent_edge[x] != kNoEdge) {
+      x = pf.parent_node(g, x);
+      if (++steps > n) return false;  // cycle
+    }
+    if (x != pf.root[v]) return false;
+    if (steps != pf.depth[v]) return false;
+  }
+  return true;
+}
+
+PartitionStats measure_partition(const Graph& g, const PartForest& pf) {
+  PartitionStats stats;
+  stats.max_tree_depth = pf.max_depth();
+  for (const Endpoints e : g.edges()) {
+    if (pf.root[e.u] != pf.root[e.v]) ++stats.cut_edges;
+  }
+  // Per-part eccentricity of the root, BFS restricted to the part.
+  std::vector<std::uint32_t> dist(g.num_nodes());
+  for (NodeId r = 0; r < g.num_nodes(); ++r) {
+    if (pf.root[r] != r) continue;
+    ++stats.num_parts;
+    std::queue<NodeId> frontier;
+    for (const NodeId x : pf.members[r]) dist[x] = static_cast<std::uint32_t>(-1);
+    dist[r] = 0;
+    frontier.push(r);
+    std::uint32_t ecc = 0;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      ecc = std::max(ecc, dist[v]);
+      for (const Arc& a : g.neighbors(v)) {
+        if (pf.root[a.to] != r) continue;
+        if (dist[a.to] == static_cast<std::uint32_t>(-1)) {
+          dist[a.to] = dist[v] + 1;
+          frontier.push(a.to);
+        }
+      }
+    }
+    stats.max_part_ecc = std::max(stats.max_part_ecc, ecc);
+  }
+  return stats;
+}
+
+}  // namespace cpt

@@ -1,0 +1,74 @@
+// The per-node state that Lemma 6 guarantees throughout Stage I: every node
+// knows its part's root, its parent edge and its children edges in a rooted
+// spanning tree of its part. Contractions re-root merged parts by flipping
+// the path from the old root to the designated boundary node, exactly as in
+// the paper's Sub-step 4 emulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpt {
+
+struct PartForest {
+  std::vector<NodeId> root;                   // per node: its part's root id
+  std::vector<EdgeId> parent_edge;            // per node: kNoEdge at roots
+  std::vector<std::vector<EdgeId>> children;  // per node: child tree edges
+  std::vector<std::uint32_t> depth;           // per node: depth in part tree
+  // Member lists, indexed by root id (empty vectors at non-roots). This is
+  // driver-side bookkeeping; the distributed state is the four arrays above.
+  std::vector<std::vector<NodeId>> members;
+
+  static PartForest singletons(NodeId n);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(root.size()); }
+  bool is_root(NodeId v) const { return root[v] == v; }
+
+  std::vector<NodeId> roots() const;
+  std::uint32_t max_depth() const;
+
+  // The parent node of v (resolves v's parent edge); kNoNode at roots.
+  NodeId parent_node(const Graph& g, NodeId v) const {
+    return parent_edge[v] == kNoEdge ? kNoNode
+                                     : g.other_endpoint(parent_edge[v], v);
+  }
+
+  // Recomputes `depth` from the parent pointers (O(n)).
+  void recompute_depths(const Graph& g);
+
+  // Merges the part rooted at root[u] into the part containing v: flips
+  // parent pointers along the path old-root -> u, attaches u below v via
+  // edge e_uv, and updates roots/members. Returns the flipped path length
+  // (the emulation's round-cost driver). Does NOT recompute depths; callers
+  // batch merges and call recompute_depths once. Precondition: u and v are
+  // in different parts and e_uv joins them.
+  std::uint32_t merge_into(const Graph& g, NodeId u, EdgeId e_uv, NodeId v);
+
+  // Dense part indexing for contraction and reporting.
+  struct Dense {
+    std::vector<NodeId> part_of;       // node -> dense part index
+    std::vector<NodeId> root_of_part;  // dense part index -> root node
+    NodeId num_parts = 0;
+  };
+  Dense dense_index() const;
+};
+
+// Structural validation (tests): parent/children consistency, acyclicity,
+// every part spanned by its tree, members match roots, depths correct.
+bool validate_part_forest(const Graph& g, const PartForest& pf);
+
+struct PartitionStats {
+  NodeId num_parts = 0;
+  std::uint64_t cut_edges = 0;       // edges between different parts
+  std::uint32_t max_tree_depth = 0;  // max depth over part trees
+  std::uint32_t max_part_ecc = 0;    // max graph eccentricity of a root
+                                     // within its part (the part's diameter
+                                     // is in [ecc, 2*ecc])
+};
+
+// Centralized measurement for reporting and tests.
+PartitionStats measure_partition(const Graph& g, const PartForest& pf);
+
+}  // namespace cpt

@@ -1,0 +1,52 @@
+// Stage I driver: the deterministic partitioning algorithm (Theorem 3, and
+// Stage I of the planarity tester, Theorem 1). Runs t = Theta(log 1/eps)
+// phases of forest-decomposition peeling + CHW merging. If the peeling ever
+// leaves an active node, that node's part root rejects (arboricity > 3*alpha
+// evidence) and the partition aborts.
+#pragma once
+
+#include <vector>
+
+#include "congest/metrics.h"
+#include "congest/simulator.h"
+#include "partition/part_forest.h"
+
+namespace cpt {
+
+struct Stage1Options {
+  double epsilon = 0.1;              // edge-cut parameter
+  std::uint32_t alpha = 3;           // arboricity bound (3 for planar)
+  std::uint32_t phase_override = 0;  // 0 = theory value (Claim 3)
+  std::uint32_t peel_super_rounds = 0;  // 0 = theory value
+  // Stop phases once the cut target (eps*m/2) is reached. Uses global
+  // knowledge for loop control; off by default (the paper runs all phases).
+  bool adaptive = false;
+};
+
+struct PhaseStats {
+  std::uint64_t cut_before = 0;
+  std::uint64_t cut_after = 0;
+  NodeId parts_before = 0;
+  NodeId parts_after = 0;
+  std::uint32_t cv_iterations = 0;
+  std::uint32_t marked_tree_height = 0;
+  std::uint64_t rounds = 0;
+};
+
+struct Stage1Result {
+  PartForest forest;
+  bool rejected = false;
+  std::vector<NodeId> rejecting_nodes;  // part roots with arboricity evidence
+  std::uint32_t phases_emulated = 0;    // phases actually simulated
+  std::uint32_t phases_total = 0;       // including fast-forwarded ones
+  std::vector<PhaseStats> phase_stats;
+};
+
+// Number of phases guaranteeing residual cut <= eps*m/2 when no reject
+// occurs (Claims 1 and 3): (1 - 1/(12*alpha))^t <= eps/2.
+std::uint32_t stage1_theory_phase_count(double epsilon, std::uint32_t alpha);
+
+Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
+                        const Stage1Options& opt, congest::RoundLedger& ledger);
+
+}  // namespace cpt

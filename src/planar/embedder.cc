@@ -1,0 +1,19 @@
+#include "planar/embedder.h"
+
+#include "planar/lr_planarity.h"
+
+namespace cpt {
+
+EmbeddingResult best_effort_embedding(const Graph& g) {
+  EmbeddingResult result;
+  if (auto rotation = lr_planar_embedding(g)) {
+    result.rotation = std::move(*rotation);
+    result.planar_certified = true;
+  } else {
+    result.rotation = adjacency_rotation(g);
+    result.planar_certified = false;
+  }
+  return result;
+}
+
+}  // namespace cpt

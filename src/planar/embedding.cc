@@ -1,0 +1,123 @@
+#include "planar/embedding.h"
+
+#include <algorithm>
+
+#include "graph/properties.h"
+
+namespace cpt {
+namespace {
+
+// Arc id of the half-edge of e leaving node v: 2e for the lower endpoint
+// (endpoints(e).u), 2e+1 for the higher.
+std::uint64_t arc_leaving(const Graph& g, EdgeId e, NodeId v) {
+  const Endpoints ep = g.endpoints(e);
+  CPT_EXPECTS(ep.u == v || ep.v == v);
+  return 2ULL * e + (ep.u == v ? 0 : 1);
+}
+
+}  // namespace
+
+bool is_valid_rotation(const Graph& g, const RotationSystem& rotation) {
+  if (rotation.size() != g.num_nodes()) return false;
+  std::vector<std::uint8_t> seen(g.num_edges(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (rotation[v].size() != g.degree(v)) return false;
+    for (const EdgeId e : rotation[v]) {
+      if (e >= g.num_edges()) return false;
+      const Endpoints ep = g.endpoints(e);
+      if (ep.u != v && ep.v != v) return false;
+      const int bit = ep.u == v ? 1 : 2;
+      if (seen[e] & bit) return false;  // duplicate within the node's list
+      seen[e] |= static_cast<std::uint8_t>(bit);
+    }
+  }
+  return true;
+}
+
+std::uint64_t count_faces(const Graph& g, const RotationSystem& rotation) {
+  CPT_EXPECTS(is_valid_rotation(g, rotation));
+  const std::uint64_t num_arcs = 2ULL * g.num_edges();
+  // Position of each leaving arc within its node's rotation.
+  std::vector<std::uint32_t> pos(num_arcs, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t i = 0; i < rotation[v].size(); ++i) {
+      pos[arc_leaving(g, rotation[v][i], v)] = i;
+    }
+  }
+  // Face tracing: from arc (u -> v) along e, the next arc leaves v along the
+  // rotation successor of e at v.
+  std::vector<bool> visited(num_arcs, false);
+  std::uint64_t faces = 0;
+  for (std::uint64_t start = 0; start < num_arcs; ++start) {
+    if (visited[start]) continue;
+    ++faces;
+    std::uint64_t arc = start;
+    while (!visited[arc]) {
+      visited[arc] = true;
+      const EdgeId e = static_cast<EdgeId>(arc / 2);
+      const Endpoints ep = g.endpoints(e);
+      const NodeId from = (arc % 2 == 0) ? ep.u : ep.v;
+      const NodeId to = (arc % 2 == 0) ? ep.v : ep.u;
+      const std::uint32_t idx = pos[arc_leaving(g, e, to)];
+      const std::uint32_t next_idx =
+          (idx + 1) % static_cast<std::uint32_t>(rotation[to].size());
+      const EdgeId next_edge = rotation[to][next_idx];
+      arc = arc_leaving(g, next_edge, to);
+      (void)from;
+    }
+  }
+  return faces;
+}
+
+bool verify_planar_embedding(const Graph& g, const RotationSystem& rotation) {
+  if (!is_valid_rotation(g, rotation)) return false;
+  // Count faces per component. Isolated nodes contribute one face each and
+  // satisfy Euler trivially (1 - 0 + 1 = 2).
+  const ComponentInfo comps = connected_components(g);
+  std::vector<std::int64_t> nodes(comps.num_components, 0);
+  std::vector<std::int64_t> edges(comps.num_components, 0);
+  std::vector<std::int64_t> faces(comps.num_components, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++nodes[comps.component_of[v]];
+  for (const Endpoints e : g.edges()) ++edges[comps.component_of[e.u]];
+
+  const std::uint64_t num_arcs = 2ULL * g.num_edges();
+  std::vector<std::uint32_t> pos(num_arcs, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t i = 0; i < rotation[v].size(); ++i) {
+      pos[arc_leaving(g, rotation[v][i], v)] = i;
+    }
+  }
+  std::vector<bool> visited(num_arcs, false);
+  for (std::uint64_t start = 0; start < num_arcs; ++start) {
+    if (visited[start]) continue;
+    const EdgeId start_edge = static_cast<EdgeId>(start / 2);
+    ++faces[comps.component_of[g.endpoints(start_edge).u]];
+    std::uint64_t arc = start;
+    while (!visited[arc]) {
+      visited[arc] = true;
+      const EdgeId e = static_cast<EdgeId>(arc / 2);
+      const Endpoints ep = g.endpoints(e);
+      const NodeId to = (arc % 2 == 0) ? ep.v : ep.u;
+      const std::uint32_t idx = pos[arc_leaving(g, e, to)];
+      const std::uint32_t next_idx =
+          (idx + 1) % static_cast<std::uint32_t>(rotation[to].size());
+      arc = arc_leaving(g, rotation[to][next_idx], to);
+    }
+  }
+  for (NodeId c = 0; c < comps.num_components; ++c) {
+    if (nodes[c] == 1) continue;  // isolated node: trivially planar
+    if (nodes[c] - edges[c] + faces[c] != 2) return false;
+  }
+  return true;
+}
+
+RotationSystem adjacency_rotation(const Graph& g) {
+  RotationSystem rotation(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    rotation[v].reserve(g.degree(v));
+    for (const Arc& a : g.neighbors(v)) rotation[v].push_back(a.edge);
+  }
+  return rotation;
+}
+
+}  // namespace cpt

@@ -1,0 +1,34 @@
+// Combinatorial embeddings (rotation systems) and their verification.
+//
+// A rotation system assigns every node a circular ordering of its incident
+// edges. A rotation system corresponds to a planar (genus-0) embedding iff
+// face tracing satisfies Euler's formula V - E + F = 2 on every connected
+// component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpt {
+
+// rotation[v] lists the edge ids incident to v in circular (clockwise) order.
+using RotationSystem = std::vector<std::vector<EdgeId>>;
+
+// True iff rotation[v] is a permutation of the edges incident to v, for all v.
+bool is_valid_rotation(const Graph& g, const RotationSystem& rotation);
+
+// Number of faces traced by the rotation system (over all components).
+// Precondition: is_valid_rotation.
+std::uint64_t count_faces(const Graph& g, const RotationSystem& rotation);
+
+// True iff the rotation system is a planar embedding: valid, and every
+// connected component satisfies V - E + F = 2 (faces counted per component).
+bool verify_planar_embedding(const Graph& g, const RotationSystem& rotation);
+
+// Rotation system listing each node's incident edges in adjacency order.
+// Not planar in general; used as the "best effort" fallback.
+RotationSystem adjacency_rotation(const Graph& g);
+
+}  // namespace cpt

@@ -1,0 +1,89 @@
+#include "planar/kuratowski.h"
+
+#include <algorithm>
+
+#include "planar/lr_planarity.h"
+#include "util/contracts.h"
+
+namespace cpt {
+namespace {
+
+Graph subgraph_from_edges(const Graph& g, const std::vector<EdgeId>& edges,
+                          EdgeId skip) {
+  GraphBuilder b(g.num_nodes());
+  for (const EdgeId e : edges) {
+    if (e == skip) continue;
+    const Endpoints ep = g.endpoints(e);
+    b.add_edge(ep.u, ep.v);
+  }
+  return std::move(b).build();
+}
+
+constexpr EdgeId kSkipNone = kNoEdge;
+
+}  // namespace
+
+std::optional<KuratowskiWitness> find_kuratowski_subdivision(const Graph& g) {
+  if (is_planar(g)) return std::nullopt;
+
+  // Greedy minimization: drop every edge whose removal keeps the subgraph
+  // non-planar. One forward sweep suffices: planarity is monotone under
+  // edge removal, so an edge that must stay now must stay forever.
+  std::vector<EdgeId> edges(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) edges[e] = e;
+  std::size_t i = 0;
+  while (i < edges.size()) {
+    const EdgeId candidate = edges[i];
+    if (!is_planar(subgraph_from_edges(g, edges, candidate))) {
+      edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  KuratowskiWitness w;
+  w.edges = std::move(edges);
+  std::vector<std::uint32_t> degree(g.num_nodes(), 0);
+  for (const EdgeId e : w.edges) {
+    const Endpoints ep = g.endpoints(e);
+    ++degree[ep.u];
+    ++degree[ep.v];
+  }
+  std::uint32_t deg3 = 0;
+  std::uint32_t deg4 = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (degree[v] == 3) {
+      ++deg3;
+      w.branch_nodes.push_back(v);
+    } else if (degree[v] == 4) {
+      ++deg4;
+      w.branch_nodes.push_back(v);
+    } else {
+      CPT_ASSERT(degree[v] == 0 || degree[v] == 2);
+    }
+  }
+  // A minimal non-planar graph is a K5 subdivision (five degree-4 branch
+  // nodes) or a K3,3 subdivision (six degree-3 branch nodes).
+  if (deg4 == 5 && deg3 == 0) {
+    w.kind = KuratowskiWitness::Kind::kK5;
+  } else {
+    CPT_ASSERT(deg3 == 6 && deg4 == 0);
+    w.kind = KuratowskiWitness::Kind::kK33;
+  }
+  return w;
+}
+
+bool validate_kuratowski_witness(const Graph& g, const KuratowskiWitness& w) {
+  // Non-planar as a whole...
+  if (is_planar(subgraph_from_edges(g, w.edges, kSkipNone))) return false;
+  // ...and minimal: removing any single edge restores planarity.
+  for (const EdgeId e : w.edges) {
+    if (!is_planar(subgraph_from_edges(g, w.edges, e))) return false;
+  }
+  // Branch count matches the kind.
+  const std::size_t expected =
+      w.kind == KuratowskiWitness::Kind::kK5 ? 5 : 6;
+  return w.branch_nodes.size() == expected;
+}
+
+}  // namespace cpt

@@ -1,0 +1,29 @@
+// Non-planarity certificates: an edge-minimal non-planar subgraph is a
+// subdivision of K5 or K3,3 (Kuratowski's theorem). Extraction is by greedy
+// edge minimization over the exact LR test -- O(m^2) worst case, intended
+// for witness reporting and tests, not for the round-critical path.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpt {
+
+struct KuratowskiWitness {
+  enum class Kind { kK5, kK33 };
+
+  Kind kind = Kind::kK5;
+  std::vector<EdgeId> edges;        // edge ids (into the input graph)
+  std::vector<NodeId> branch_nodes; // 5 nodes of degree 4, or 6 of degree 3
+};
+
+// A Kuratowski subdivision witness, or nullopt iff g is planar.
+std::optional<KuratowskiWitness> find_kuratowski_subdivision(const Graph& g);
+
+// Validation helper (tests): the witness edges form a non-planar,
+// edge-minimal subgraph whose branch structure matches `kind`.
+bool validate_kuratowski_witness(const Graph& g, const KuratowskiWitness& w);
+
+}  // namespace cpt

@@ -1,0 +1,471 @@
+#include "planar/lr_planarity.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace cpt {
+namespace {
+
+constexpr std::uint32_t kNone32 = static_cast<std::uint32_t>(-1);
+
+// One run of the LR algorithm. Phase 1 orients the graph by DFS and computes
+// lowpoints and nesting depths; phase 2 maintains a stack of conflict pairs
+// of intervals of back edges and fails exactly when the graph is non-planar;
+// phase 3 (optional) resolves edge sides and constructs a rotation system.
+class LrAlgorithm {
+ public:
+  explicit LrAlgorithm(const Graph& g)
+      : g_(g),
+        height_(g.num_nodes(), kNone32),
+        parent_edge_(g.num_nodes(), kNoEdge),
+        orient_src_(g.num_edges(), kNoNode),
+        lowpt_(g.num_edges(), 0),
+        lowpt2_(g.num_edges(), 0),
+        nesting_(g.num_edges(), 0),
+        ref_(g.num_edges(), kNoEdge),
+        side_(g.num_edges(), 1),
+        lowpt_edge_(g.num_edges(), kNoEdge),
+        stack_bottom_(g.num_edges(), 0) {}
+
+  // Returns true iff planar. If `rotation` is non-null and the graph is
+  // planar, fills it with a planar rotation system.
+  bool run(RotationSystem* rotation) {
+    const std::int64_t n = g_.num_nodes();
+    const std::int64_t m = g_.num_edges();
+    if (n >= 3 && m > 3 * n - 6) return false;  // Euler bound
+
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (height_[v] == kNone32) {
+        height_[v] = 0;
+        roots_.push_back(v);
+        orient_dfs(v);
+      }
+    }
+    build_ordered_out();
+    for (const NodeId root : roots_) {
+      if (!test_dfs(root)) return false;
+    }
+    if (rotation != nullptr) build_embedding(*rotation);
+    return true;
+  }
+
+ private:
+  struct Interval {
+    EdgeId lo = kNoEdge;
+    EdgeId hi = kNoEdge;
+    bool empty() const { return lo == kNoEdge && hi == kNoEdge; }
+  };
+
+  struct ConflictPair {
+    Interval left;
+    Interval right;
+    void swap_sides() { std::swap(left, right); }
+  };
+
+  NodeId src(EdgeId e) const { return orient_src_[e]; }
+  NodeId dst(EdgeId e) const { return g_.other_endpoint(e, orient_src_[e]); }
+
+  // ---- Phase 1: orientation ----
+
+  // Finalizes a fully explored oriented edge e: computes its nesting depth
+  // and folds its lowpoints into its parent edge's.
+  void finalize_edge(EdgeId e) {
+    const NodeId u = src(e);
+    nesting_[e] = 2 * static_cast<std::int64_t>(lowpt_[e]) +
+                  (lowpt2_[e] < height_[u] ? 1 : 0);
+    const EdgeId pe = parent_edge_[u];
+    if (pe == kNoEdge) return;
+    if (lowpt_[e] < lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt_[pe], lowpt2_[e]);
+      lowpt_[pe] = lowpt_[e];
+    } else if (lowpt_[e] > lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt_[e]);
+    } else {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt2_[e]);
+    }
+  }
+
+  void orient_dfs(NodeId root) {
+    struct Frame {
+      NodeId v;
+      std::uint32_t i;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const NodeId v = f.v;
+      const auto nbrs = g_.neighbors(v);
+      if (f.i < nbrs.size()) {
+        const Arc a = nbrs[f.i];
+        ++f.i;
+        if (orient_src_[a.edge] != kNoNode) continue;  // already oriented
+        orient_src_[a.edge] = v;
+        lowpt_[a.edge] = height_[v];
+        lowpt2_[a.edge] = height_[v];
+        if (height_[a.to] == kNone32) {  // tree edge
+          parent_edge_[a.to] = a.edge;
+          height_[a.to] = height_[v] + 1;
+          stack.push_back({a.to, 0});
+        } else {  // back edge
+          lowpt_[a.edge] = height_[a.to];
+          finalize_edge(a.edge);
+        }
+      } else {
+        stack.pop_back();
+        const EdgeId e = parent_edge_[v];
+        if (e != kNoEdge) finalize_edge(e);
+      }
+    }
+  }
+
+  void build_ordered_out() {
+    ordered_out_.assign(g_.num_nodes(), {});
+    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+      if (orient_src_[e] != kNoNode) ordered_out_[orient_src_[e]].push_back(e);
+    }
+    sort_ordered_out();
+  }
+
+  void sort_ordered_out() {
+    for (auto& out : ordered_out_) {
+      std::sort(out.begin(), out.end(), [this](EdgeId a, EdgeId b) {
+        return nesting_[a] != nesting_[b] ? nesting_[a] < nesting_[b] : a < b;
+      });
+    }
+  }
+
+  // ---- Phase 2: testing ----
+
+  bool conflicting(const Interval& i, EdgeId b) const {
+    return !i.empty() && lowpt_[i.hi] > lowpt_[b];
+  }
+
+  std::uint32_t lowest(const ConflictPair& p) const {
+    CPT_ASSERT(!(p.left.empty() && p.right.empty()));
+    if (p.left.empty()) return lowpt_[p.right.lo];
+    if (p.right.empty()) return lowpt_[p.left.lo];
+    return std::min(lowpt_[p.left.lo], lowpt_[p.right.lo]);
+  }
+
+  // Integrates the constraints of edge ei (just fully processed) with those
+  // of its preceding siblings, all children of parent edge e.
+  bool add_constraints(EdgeId ei, EdgeId e) {
+    ConflictPair p;
+    // Merge return edges of ei into p.right.
+    do {
+      CPT_ASSERT(S_.size() > stack_bottom_[ei]);
+      ConflictPair q = S_.back();
+      S_.pop_back();
+      if (!q.left.empty()) q.swap_sides();
+      if (!q.left.empty()) return false;  // not planar
+      CPT_ASSERT(q.right.lo != kNoEdge);
+      if (lowpt_[q.right.lo] > lowpt_[e]) {
+        // Merge intervals.
+        if (p.right.empty()) {
+          p.right.hi = q.right.hi;
+        } else {
+          ref_[p.right.lo] = q.right.hi;
+        }
+        p.right.lo = q.right.lo;
+      } else {
+        // Align.
+        ref_[q.right.lo] = lowpt_edge_[e];
+      }
+    } while (S_.size() > stack_bottom_[ei]);
+    // Merge conflicting return edges of previous siblings into p.left.
+    while (!S_.empty() &&
+           (conflicting(S_.back().left, ei) || conflicting(S_.back().right, ei))) {
+      ConflictPair q = S_.back();
+      S_.pop_back();
+      if (conflicting(q.right, ei)) q.swap_sides();
+      if (conflicting(q.right, ei)) return false;  // not planar
+      // Merge interval below lowpt(ei) into p.right.
+      if (p.right.lo != kNoEdge) ref_[p.right.lo] = q.right.hi;
+      if (q.right.lo != kNoEdge) p.right.lo = q.right.lo;
+      if (p.left.empty()) {
+        p.left.hi = q.left.hi;
+      } else {
+        ref_[p.left.lo] = q.left.hi;
+      }
+      p.left.lo = q.left.lo;
+    }
+    if (!(p.left.empty() && p.right.empty())) S_.push_back(p);
+    return true;
+  }
+
+  // Removes back edges that end at the parent u of edge e, after e's subtree
+  // has been fully processed.
+  void remove_back_edges(EdgeId e) {
+    const NodeId u = src(e);
+    // Drop entire conflict pairs whose lowest return point is u.
+    while (!S_.empty() && lowest(S_.back()) == height_[u]) {
+      ConflictPair p = S_.back();
+      S_.pop_back();
+      if (p.left.lo != kNoEdge) side_[p.left.lo] = -1;
+    }
+    if (S_.empty()) return;
+    // Trim the topmost remaining pair.
+    ConflictPair p = S_.back();
+    S_.pop_back();
+    while (p.left.hi != kNoEdge && dst(p.left.hi) == u) p.left.hi = ref_[p.left.hi];
+    if (p.left.hi == kNoEdge && p.left.lo != kNoEdge) {
+      // Left interval just became empty.
+      ref_[p.left.lo] = p.right.lo;
+      side_[p.left.lo] = -1;
+      p.left.lo = kNoEdge;
+    }
+    while (p.right.hi != kNoEdge && dst(p.right.hi) == u) p.right.hi = ref_[p.right.hi];
+    if (p.right.hi == kNoEdge && p.right.lo != kNoEdge) {
+      ref_[p.right.lo] = p.left.lo;
+      side_[p.right.lo] = -1;
+      p.right.lo = kNoEdge;
+    }
+    S_.push_back(p);
+  }
+
+  // Handles the constraint bookkeeping after edge `ei` (the i-th ordered
+  // out-edge of v) has been fully processed.
+  bool integrate_edge(NodeId v, EdgeId parent, EdgeId ei, std::uint32_t i) {
+    if (lowpt_[ei] < height_[v]) {  // ei has a return edge
+      if (i == 0) {
+        CPT_ASSERT(parent != kNoEdge);
+        lowpt_edge_[parent] = lowpt_edge_[ei];
+      } else if (!add_constraints(ei, parent)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool test_dfs(NodeId root) {
+    struct Frame {
+      NodeId v;
+      std::uint32_t i = 0;
+      bool resume = false;  // true when returning from a tree-edge child
+    };
+    std::vector<Frame> stack{{root}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const NodeId v = f.v;
+      const EdgeId e = parent_edge_[v];
+      const auto& out = ordered_out_[v];
+      if (f.resume) {
+        f.resume = false;
+        if (!integrate_edge(v, e, out[f.i], f.i)) return false;
+        ++f.i;
+        continue;
+      }
+      if (f.i < out.size()) {
+        const EdgeId ei = out[f.i];
+        stack_bottom_[ei] = static_cast<std::uint32_t>(S_.size());
+        const NodeId w = dst(ei);
+        if (parent_edge_[w] == ei) {  // tree edge
+          f.resume = true;
+          stack.push_back({w});
+        } else {  // back edge
+          lowpt_edge_[ei] = ei;
+          S_.push_back(ConflictPair{{}, {ei, ei}});
+          if (!integrate_edge(v, e, ei, f.i)) return false;
+          ++f.i;
+        }
+        continue;
+      }
+      // All out-edges of v processed.
+      if (e != kNoEdge) {
+        remove_back_edges(e);
+        const NodeId u = src(e);
+        if (lowpt_[e] < height_[u]) {  // e has a return edge
+          CPT_ASSERT(!S_.empty());
+          const EdgeId hl = S_.back().left.hi;
+          const EdgeId hr = S_.back().right.hi;
+          if (hl != kNoEdge && (hr == kNoEdge || lowpt_[hl] > lowpt_[hr])) {
+            ref_[e] = hl;
+          } else {
+            ref_[e] = hr;
+          }
+        }
+      }
+      stack.pop_back();
+    }
+    return true;
+  }
+
+  // ---- Phase 3: embedding ----
+
+  // Resolves the side of e through its ref chain (iteratively).
+  int sign(EdgeId e) {
+    chain_.clear();
+    while (ref_[e] != kNoEdge) {
+      chain_.push_back(e);
+      e = ref_[e];
+    }
+    int s = side_[e];
+    for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+      side_[*it] = static_cast<std::int8_t>(side_[*it] * s);
+      ref_[*it] = kNoEdge;
+      s = side_[*it];
+    }
+    return s;
+  }
+
+  // Circular doubly-linked lists of half-edges per node. The half-edge of
+  // edge e at node v is addressed as 2e (+1 if v is the higher endpoint).
+  std::uint64_t half(EdgeId e, NodeId v) const {
+    const Endpoints ep = g_.endpoints(e);
+    return 2ULL * e + (ep.u == v ? 0 : 1);
+  }
+
+  void list_init_singleton(NodeId v, EdgeId e) {
+    const std::uint64_t a = half(e, v);
+    nxt_[a] = a;
+    prv_[a] = a;
+    first_[v] = a;
+  }
+
+  void insert_after(std::uint64_t pos, std::uint64_t a) {
+    nxt_[a] = nxt_[pos];
+    prv_[a] = pos;
+    prv_[nxt_[pos]] = a;
+    nxt_[pos] = a;
+  }
+
+  void add_half_edge_cw(NodeId v, EdgeId e, EdgeId ref_edge) {
+    CPT_ASSERT(ref_edge != kNoEdge);
+    insert_after(half(ref_edge, v), half(e, v));
+  }
+
+  void add_half_edge_ccw(NodeId v, EdgeId e, EdgeId ref_edge) {
+    CPT_ASSERT(ref_edge != kNoEdge);
+    const std::uint64_t r = half(ref_edge, v);
+    insert_after(prv_[r], half(e, v));
+    if (first_[v] == r) first_[v] = half(e, v);
+  }
+
+  void add_half_edge_first(NodeId v, EdgeId e) {
+    if (first_[v] == kNoHalf) {
+      list_init_singleton(v, e);
+    } else {
+      const std::uint64_t f0 = first_[v];
+      insert_after(prv_[f0], half(e, v));
+      first_[v] = half(e, v);
+    }
+  }
+
+  void embed_dfs(NodeId root) {
+    struct Frame {
+      NodeId v;
+      std::uint32_t i = 0;
+    };
+    std::vector<Frame> stack{{root}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const NodeId v = f.v;
+      const auto& out = ordered_out_[v];
+      if (f.i >= out.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const EdgeId ei = out[f.i];
+      ++f.i;
+      const NodeId w = dst(ei);
+      if (parent_edge_[w] == ei) {  // tree edge: (w -> v) becomes w's first
+        add_half_edge_first(w, ei);
+        left_ref_[v] = ei;
+        right_ref_[v] = ei;
+        stack.push_back({w});
+      } else {  // back edge into ancestor w
+        if (side_[ei] == 1) {
+          add_half_edge_cw(w, ei, right_ref_[w]);
+        } else {
+          add_half_edge_ccw(w, ei, left_ref_[w]);
+          left_ref_[w] = ei;
+        }
+      }
+    }
+  }
+
+  void build_embedding(RotationSystem& rotation) {
+    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+      if (orient_src_[e] != kNoNode) nesting_[e] *= sign(e);
+    }
+    sort_ordered_out();
+
+    nxt_.assign(2ULL * g_.num_edges(), kNoHalf);
+    prv_.assign(2ULL * g_.num_edges(), kNoHalf);
+    first_.assign(g_.num_nodes(), kNoHalf);
+    left_ref_.assign(g_.num_nodes(), kNoEdge);
+    right_ref_.assign(g_.num_nodes(), kNoEdge);
+
+    // Initialize each node's list with its outgoing half-edges in signed
+    // nesting-depth order.
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      for (const EdgeId e : ordered_out_[v]) {
+        if (first_[v] == kNoHalf) {
+          list_init_singleton(v, e);
+        } else {
+          insert_after(prv_[first_[v]], half(e, v));  // append at end
+        }
+      }
+    }
+    for (const NodeId root : roots_) embed_dfs(root);
+
+    rotation.assign(g_.num_nodes(), {});
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (first_[v] == kNoHalf) {
+        CPT_ASSERT(g_.degree(v) == 0);
+        continue;
+      }
+      rotation[v].reserve(g_.degree(v));
+      std::uint64_t a = first_[v];
+      do {
+        rotation[v].push_back(static_cast<EdgeId>(a / 2));
+        a = nxt_[a];
+      } while (a != first_[v]);
+      CPT_ASSERT(rotation[v].size() == g_.degree(v));
+    }
+  }
+
+  static constexpr std::uint64_t kNoHalf = static_cast<std::uint64_t>(-1);
+
+  const Graph& g_;
+  std::vector<std::uint32_t> height_;
+  std::vector<EdgeId> parent_edge_;  // per node
+  std::vector<NodeId> orient_src_;   // per edge; kNoNode = unoriented
+  std::vector<std::uint32_t> lowpt_;
+  std::vector<std::uint32_t> lowpt2_;
+  std::vector<std::int64_t> nesting_;
+  std::vector<EdgeId> ref_;
+  std::vector<std::int8_t> side_;
+  std::vector<EdgeId> lowpt_edge_;
+  std::vector<std::uint32_t> stack_bottom_;
+  std::vector<ConflictPair> S_;
+  std::vector<std::vector<EdgeId>> ordered_out_;
+  std::vector<NodeId> roots_;
+  std::vector<EdgeId> chain_;  // scratch for sign()
+
+  // Embedding phase state.
+  std::vector<std::uint64_t> nxt_;
+  std::vector<std::uint64_t> prv_;
+  std::vector<std::uint64_t> first_;
+  std::vector<EdgeId> left_ref_;
+  std::vector<EdgeId> right_ref_;
+};
+
+}  // namespace
+
+bool is_planar(const Graph& g) {
+  LrAlgorithm algo(g);
+  return algo.run(nullptr);
+}
+
+std::optional<RotationSystem> lr_planar_embedding(const Graph& g) {
+  LrAlgorithm algo(g);
+  RotationSystem rotation;
+  if (!algo.run(&rotation)) return std::nullopt;
+  return rotation;
+}
+
+}  // namespace cpt

@@ -1,0 +1,24 @@
+// Exact planarity testing and planar embedding via the left-right (LR)
+// algorithm (Brandes, "The left-right planarity test"). Linear time up to
+// adjacency-list sorting; fully iterative, so arbitrarily deep DFS trees
+// (paths, long cycles) are safe.
+//
+// This is a *centralized* substrate: the distributed tester uses it (a) as a
+// stand-in for the Ghaffari-Haeupler distributed embedding black box (see
+// DESIGN.md substitution #2) and (b) as ground truth in tests and benches.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.h"
+#include "planar/embedding.h"
+
+namespace cpt {
+
+// True iff g (simple, undirected, possibly disconnected) is planar.
+bool is_planar(const Graph& g);
+
+// A combinatorial planar embedding of g, or nullopt iff g is not planar.
+std::optional<RotationSystem> lr_planar_embedding(const Graph& g);
+
+}  // namespace cpt

@@ -1,0 +1,42 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace cpt {
+
+double Rng::next_exponential(double lambda) {
+  CPT_EXPECTS(lambda > 0);
+  // Avoid log(0): next_double() is in [0,1), so 1-u is in (0,1].
+  return -std::log(1.0 - next_double()) / lambda;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::uint32_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::uint32_t>(next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  CPT_EXPECTS(k <= n);
+  std::unordered_set<std::uint32_t> chosen;
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(next_below(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace cpt

@@ -1,0 +1,97 @@
+// Deterministic, seedable random number generation used everywhere in the
+// library. We ship our own xoshiro256** so results are reproducible across
+// standard libraries (std::mt19937 streams are portable, but distributions
+// are not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace cpt {
+
+// SplitMix64; used to seed xoshiro and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be positive. Uses Lemire's method.
+  std::uint64_t next_below(std::uint64_t bound) {
+    CPT_EXPECTS(bound > 0);
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    CPT_EXPECTS(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  // Standard exponential with rate lambda (> 0).
+  double next_exponential(double lambda);
+
+  // Random permutation of {0,..,n-1} (Fisher-Yates).
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+  // Sample k distinct values from {0,..,n-1} (Floyd's algorithm), unsorted.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+  // Derive an independent child stream; deterministic in (this stream state,
+  // salt). Useful for giving each simulated node its own generator.
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t mix = state_[0] ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(mix));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace cpt

@@ -1,0 +1,32 @@
+#include "util/union_find.h"
+
+#include "util/contracts.h"
+
+namespace cpt {
+
+UnionFind::UnionFind(std::uint32_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  for (std::uint32_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  CPT_EXPECTS(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t x, std::uint32_t y) {
+  std::uint32_t rx = find(x);
+  std::uint32_t ry = find(y);
+  if (rx == ry) return false;
+  if (size_[rx] < size_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  size_[rx] += size_[ry];
+  --num_sets_;
+  return true;
+}
+
+}  // namespace cpt

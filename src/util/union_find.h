@@ -1,0 +1,30 @@
+// Disjoint-set forest with union by size and path halving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cpt {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n);
+
+  std::uint32_t find(std::uint32_t x);
+
+  // Returns true if x and y were in different sets (i.e., a merge happened).
+  bool unite(std::uint32_t x, std::uint32_t y);
+
+  bool same(std::uint32_t x, std::uint32_t y) { return find(x) == find(y); }
+
+  std::uint32_t set_size(std::uint32_t x) { return size_[find(x)]; }
+
+  std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::uint32_t num_sets_;
+};
+
+}  // namespace cpt

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "apps/bipartite.h"
+#include "apps/cycle_free.h"
+#include "apps/spanner.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/properties.h"
+#include "util/union_find.h"
+
+namespace cpt {
+namespace {
+
+MinorFreeOptions opts(double eps, bool randomized = false,
+                      std::uint64_t seed = 1) {
+  MinorFreeOptions o;
+  o.epsilon = eps;
+  o.randomized = randomized;
+  o.seed = seed;
+  o.delta = 0.1;
+  return o;
+}
+
+TEST(CycleFree, TreesAccepted) {
+  Rng rng(3);
+  for (const bool randomized : {false, true}) {
+    const AppResult r =
+        test_cycle_freeness(gen::random_tree(200, rng), opts(0.25, randomized));
+    EXPECT_EQ(r.verdict, Verdict::kAccept);
+  }
+}
+
+TEST(CycleFree, ForestsAccepted) {
+  Rng rng(5);
+  const std::vector<Graph> parts = {gen::random_tree(50, rng), gen::path(30),
+                                    gen::binary_tree(40)};
+  const AppResult r = test_cycle_freeness(disjoint_union(parts), opts(0.25));
+  EXPECT_EQ(r.verdict, Verdict::kAccept);
+}
+
+TEST(CycleFree, FarFromCycleFreeRejected) {
+  // A triangulated grid is Theta(1)-far from cycle-free: m ~ 3n vs n-1.
+  for (const bool randomized : {false, true}) {
+    const AppResult r =
+        test_cycle_freeness(gen::triangulated_grid(10, 10), opts(0.25, randomized));
+    EXPECT_EQ(r.verdict, Verdict::kReject) << "randomized=" << randomized;
+  }
+}
+
+TEST(CycleFree, ManySmallCyclesRejected) {
+  const AppResult r =
+      test_cycle_freeness(gen::disjoint_copies(gen::cycle(4), 50), opts(0.2));
+  EXPECT_EQ(r.verdict, Verdict::kReject);
+}
+
+TEST(Bipartite, BipartitePlanarAccepted) {
+  for (const bool randomized : {false, true}) {
+    EXPECT_EQ(test_bipartiteness(gen::grid(10, 12), opts(0.25, randomized)).verdict,
+              Verdict::kAccept);
+    EXPECT_EQ(test_bipartiteness(gen::cycle(24), opts(0.25, randomized)).verdict,
+              Verdict::kAccept);
+  }
+  Rng rng(7);
+  EXPECT_EQ(test_bipartiteness(gen::random_tree(150, rng), opts(0.25)).verdict,
+            Verdict::kAccept);
+}
+
+TEST(Bipartite, FarFromBipartiteRejected) {
+  // Triangulated grids have ~rows*cols odd triangles: Theta(1)-far.
+  for (const bool randomized : {false, true}) {
+    const AppResult r =
+        test_bipartiteness(gen::triangulated_grid(10, 10), opts(0.25, randomized));
+    EXPECT_EQ(r.verdict, Verdict::kReject) << "randomized=" << randomized;
+  }
+}
+
+TEST(Bipartite, OddCycleUnionRejected) {
+  const AppResult r =
+      test_bipartiteness(gen::disjoint_copies(gen::cycle(3), 40), opts(0.2));
+  EXPECT_EQ(r.verdict, Verdict::kReject);
+}
+
+TEST(Bipartite, OneSidedNeverRejectsBipartite) {
+  Rng rng(9);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::grid(6 + seed, 7);
+    EXPECT_EQ(test_bipartiteness(g, opts(0.3, true, seed)).verdict,
+              Verdict::kAccept);
+  }
+}
+
+TEST(Spanner, SizeMeetsCorollary17) {
+  Rng rng(11);
+  for (const bool randomized : {false, true}) {
+    const Graph g = gen::triangulated_grid(12, 12);
+    const SpannerResult s = build_spanner(g, opts(0.25, randomized));
+    // (1 + O(eps)) n edges: tree edges <= n-1, cut edges <= eps*m/2.
+    EXPECT_LE(s.edges.size(),
+              g.num_nodes() - 1 + 0.125 * g.num_edges());
+  }
+}
+
+TEST(Spanner, PreservesConnectivity) {
+  Rng rng(13);
+  const Graph g = gen::random_planar(200, 500, rng);
+  const SpannerResult s = build_spanner(g, opts(0.25));
+  UnionFind uf(g.num_nodes());
+  for (const EdgeId e : s.edges) {
+    const Endpoints ep = g.endpoints(e);
+    uf.unite(ep.u, ep.v);
+  }
+  for (const Endpoints e : g.edges()) {
+    EXPECT_TRUE(uf.same(e.u, e.v));
+  }
+}
+
+TEST(Spanner, StretchIsBounded) {
+  Rng rng(15);
+  const Graph g = gen::triangulated_grid(10, 14);
+  const SpannerResult s = build_spanner(g, opts(0.25));
+  Rng sample_rng(99);
+  const std::uint32_t stretch = measure_edge_stretch(g, s.edges, 200, sample_rng);
+  // Stretch is bounded by ~2x the max part diameter + 1.
+  EXPECT_LE(stretch, 4u * s.partition.max_part_ecc + 1u);
+  EXPECT_GE(stretch, 1u);
+}
+
+TEST(Spanner, TreeInputsYieldTheTreeItself) {
+  Rng rng(17);
+  const Graph g = gen::random_tree(100, rng);
+  const SpannerResult s = build_spanner(g, opts(0.3));
+  EXPECT_EQ(s.edges.size(), g.num_edges());  // every edge needed
+}
+
+TEST(Spanner, EdgesAreRealAndUnique) {
+  Rng rng(19);
+  const Graph g = gen::apollonian(150, rng);
+  const SpannerResult s = build_spanner(g, opts(0.25));
+  std::vector<bool> seen(g.num_edges(), false);
+  for (const EdgeId e : s.edges) {
+    ASSERT_LT(e, g.num_edges());
+    EXPECT_FALSE(seen[e]);
+    seen[e] = true;
+  }
+}
+
+TEST(Spanner, UltraSparseRegime) {
+  // Section 1.2: for minor-free graphs and eps = o(1) the spanner is
+  // ultra-sparse, size (1 + O(eps)) n. Check the ratio at small eps.
+  Rng rng(21);
+  const Graph g = gen::apollonian(600, rng);
+  const SpannerResult s = build_spanner(g, opts(0.05));
+  EXPECT_LE(s.size_ratio(g), 1.4);
+}
+
+TEST(Apps, RoundLedgersPopulated) {
+  const Graph g = gen::grid(8, 8);
+  const AppResult cf = test_cycle_freeness(g, opts(0.25));
+  EXPECT_GT(cf.ledger.total_rounds(), 0u);
+  const SpannerResult s = build_spanner(g, opts(0.25));
+  EXPECT_GT(s.ledger.total_rounds(), 0u);
+}
+
+}  // namespace
+}  // namespace cpt

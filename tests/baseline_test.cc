@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "baseline/en_partition.h"
+#include "baseline/en_tester.h"
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace cpt {
+namespace {
+
+EnPartitionResult run_part(const Graph& g, double eps, std::uint64_t seed,
+                           congest::RoundLedger* ledger_out = nullptr) {
+  congest::Network net(g);
+  congest::Simulator sim(net);
+  congest::RoundLedger ledger;
+  EnPartitionOptions opt;
+  opt.epsilon = eps;
+  opt.seed = seed;
+  EnPartitionResult r = run_en_partition(sim, g, opt, ledger);
+  if (ledger_out != nullptr) *ledger_out = ledger;
+  return r;
+}
+
+TEST(EnPartition, ForestIsValid) {
+  Rng rng(3);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = gen::random_planar(200, 450, rng);
+    const EnPartitionResult r = run_part(g, 0.2, seed);
+    EXPECT_TRUE(validate_part_forest(g, r.forest));
+  }
+}
+
+TEST(EnPartition, CutIsSmallOnAverage) {
+  // MPX-style clustering cuts each edge with probability O(beta); across
+  // seeds the average cut must stay well below m.
+  const Graph g = gen::triangulated_grid(14, 14);
+  double total_cut = 0;
+  constexpr int kSeeds = 6;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const EnPartitionResult r = run_part(g, 0.2, seed);
+    total_cut += static_cast<double>(measure_partition(g, r.forest).cut_edges);
+  }
+  EXPECT_LE(total_cut / kSeeds, 0.35 * g.num_edges());
+}
+
+TEST(EnPartition, PartRadiusBoundedByMaxShift) {
+  const Graph g = gen::grid(16, 16);
+  const EnPartitionResult r = run_part(g, 0.2, 7);
+  const PartitionStats stats = measure_partition(g, r.forest);
+  EXPECT_LE(stats.max_tree_depth, r.max_shift + 1);
+}
+
+TEST(EnPartition, RoundsScaleWithLogNOverEps) {
+  congest::RoundLedger tight;
+  congest::RoundLedger loose;
+  const Graph g = gen::grid(14, 14);
+  run_part(g, 0.05, 3, &tight);
+  run_part(g, 0.4, 3, &loose);
+  EXPECT_GT(tight.total_rounds(), loose.total_rounds());
+}
+
+TEST(EnTester, PlanarAccepted) {
+  Rng rng(5);
+  EnTesterOptions opt;
+  opt.epsilon = 0.25;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    opt.seed = seed;
+    const Graph g = gen::random_planar(150, 330, rng);
+    const TesterResult r = test_planarity_en(g, opt);
+    EXPECT_EQ(r.verdict, Verdict::kAccept) << r.reason;
+  }
+}
+
+TEST(EnTester, FarGraphsRejected) {
+  EnTesterOptions opt;
+  opt.epsilon = 0.2;
+  opt.seed = 3;
+  EXPECT_EQ(test_planarity_en(gen::disjoint_copies(gen::complete(5), 40), opt)
+                .verdict,
+            Verdict::kReject);
+  Rng rng(7);
+  EXPECT_EQ(
+      test_planarity_en(gen::planar_with_k5_blobs(200, 30, rng), opt).verdict,
+      Verdict::kReject);
+}
+
+TEST(EnTester, LedgerPopulated) {
+  Rng rng(9);
+  EnTesterOptions opt;
+  opt.epsilon = 0.25;
+  opt.seed = 1;
+  const TesterResult r = test_planarity_en(gen::apollonian(120, rng), opt);
+  EXPECT_GT(r.ledger.rounds_with_prefix("en/shifted-bfs"), 0u);
+  EXPECT_GT(r.ledger.rounds_with_prefix("stage2/"), 0u);
+}
+
+}  // namespace
+}  // namespace cpt

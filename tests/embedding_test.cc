@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "planar/embedder.h"
+#include "planar/embedding.h"
+#include "planar/lr_planarity.h"
+
+namespace cpt {
+namespace {
+
+TEST(Embedding, AdjacencyRotationIsValid) {
+  const Graph g = gen::triangulated_grid(4, 5);
+  EXPECT_TRUE(is_valid_rotation(g, adjacency_rotation(g)));
+}
+
+TEST(Embedding, InvalidRotationsDetected) {
+  const Graph g = gen::complete(4);
+  RotationSystem rot = adjacency_rotation(g);
+  // Wrong size.
+  RotationSystem truncated = rot;
+  truncated[0].pop_back();
+  EXPECT_FALSE(is_valid_rotation(g, truncated));
+  // Foreign edge.
+  RotationSystem wrong = rot;
+  wrong[0][0] = wrong[1].back() == wrong[0][0] ? wrong[1][0] : g.find_edge(1, 2);
+  EXPECT_FALSE(is_valid_rotation(g, wrong));
+  // Duplicate entry.
+  RotationSystem dup = rot;
+  dup[0][1] = dup[0][0];
+  EXPECT_FALSE(is_valid_rotation(g, dup));
+}
+
+TEST(Embedding, FaceCountsOnKnownEmbeddings) {
+  // A cycle has 2 faces with any (necessarily unique) rotation.
+  EXPECT_EQ(count_faces(gen::cycle(8), adjacency_rotation(gen::cycle(8))), 2u);
+  // A tree has exactly 1 face.
+  EXPECT_EQ(count_faces(gen::path(6), adjacency_rotation(gen::path(6))), 1u);
+  EXPECT_EQ(count_faces(gen::star(7), adjacency_rotation(gen::star(7))), 1u);
+}
+
+TEST(Embedding, TreesAreAlwaysPlanarUnderAnyRotation) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::random_tree(100, rng);
+    EXPECT_TRUE(verify_planar_embedding(g, adjacency_rotation(g)));
+  }
+}
+
+TEST(Embedding, K4AdjacencyRotationHappensToMatter) {
+  // For K4 the adjacency rotation may or may not be planar; the LR
+  // embedding must always be.
+  const Graph g = gen::complete(4);
+  const auto emb = lr_planar_embedding(g);
+  ASSERT_TRUE(emb.has_value());
+  EXPECT_TRUE(verify_planar_embedding(g, *emb));
+  const std::uint64_t faces = count_faces(g, *emb);
+  EXPECT_EQ(faces, 4u);  // Euler: 4 - 6 + F = 2
+}
+
+TEST(Embedding, NonPlanarRotationFailsEuler) {
+  // K5 has no planar rotation at all.
+  const Graph g = gen::complete(5);
+  EXPECT_FALSE(verify_planar_embedding(g, adjacency_rotation(g)));
+}
+
+TEST(Embedding, DisconnectedGraphsVerifyPerComponent) {
+  const std::vector<Graph> parts = {gen::cycle(5), gen::grid(3, 3)};
+  const Graph g = disjoint_union(parts);
+  const auto emb = lr_planar_embedding(g);
+  ASSERT_TRUE(emb.has_value());
+  EXPECT_TRUE(verify_planar_embedding(g, *emb));
+}
+
+TEST(Embedder, BestEffortCertifiesExactly) {
+  Rng rng(7);
+  const Graph planar = gen::apollonian(60, rng);
+  const EmbeddingResult ok = best_effort_embedding(planar);
+  EXPECT_TRUE(ok.planar_certified);
+  EXPECT_TRUE(verify_planar_embedding(planar, ok.rotation));
+
+  const Graph nonplanar = gen::complete_bipartite(3, 3);
+  const EmbeddingResult bad = best_effort_embedding(nonplanar);
+  EXPECT_FALSE(bad.planar_certified);
+  // Best effort still yields a structurally valid rotation.
+  EXPECT_TRUE(is_valid_rotation(nonplanar, bad.rotation));
+  EXPECT_FALSE(verify_planar_embedding(nonplanar, bad.rotation));
+}
+
+// Property sweep: LR embeddings of random planar graphs satisfy Euler's
+// formula on every component.
+class EmbedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmbedSweep, LrEmbeddingVerifies) {
+  Rng rng(4000 + GetParam());
+  const NodeId n = 10 + static_cast<NodeId>(rng.next_below(300));
+  const EdgeId m = n - 1 + static_cast<EdgeId>(rng.next_below(2 * n - 5));
+  const Graph g = gen::random_planar(n, m, rng);
+  const auto emb = lr_planar_embedding(g);
+  ASSERT_TRUE(emb.has_value());
+  EXPECT_TRUE(is_valid_rotation(g, *emb));
+  EXPECT_TRUE(verify_planar_embedding(g, *emb));
+}
+
+TEST_P(EmbedSweep, EulerFaceCountMatches) {
+  Rng rng(5000 + GetParam());
+  const NodeId n = 20 + static_cast<NodeId>(rng.next_below(200));
+  const Graph g = gen::apollonian(n, rng);
+  const auto emb = lr_planar_embedding(g);
+  ASSERT_TRUE(emb.has_value());
+  // Connected: V - E + F = 2.
+  EXPECT_EQ(count_faces(g, *emb),
+            2u + g.num_edges() - g.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmbedSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace cpt

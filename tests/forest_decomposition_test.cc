@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "partition/forest_decomposition.h"
+#include "tests/test_util.h"
+
+namespace cpt {
+namespace {
+
+struct PeelFixture {
+  Graph g;
+  congest::Network net;
+  congest::Simulator sim;
+  congest::RoundLedger ledger;
+
+  explicit PeelFixture(Graph graph) : g(std::move(graph)), net(g), sim(net) {}
+
+  PeelingResult run(const PartForest& pf, std::uint32_t alpha = 3) {
+    PeelingOptions opt;
+    opt.alpha = alpha;
+    return run_forest_decomposition(sim, g, pf, opt, ledger);
+  }
+};
+
+TEST(ForestDecomposition, PlanarSingletonsNeverReject) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    PeelFixture f(gen::apollonian(100 + 30 * trial, rng));
+    const PartForest pf = PartForest::singletons(f.g.num_nodes());
+    const PeelingResult r = f.run(pf);
+    EXPECT_TRUE(r.still_active_roots.empty());
+  }
+}
+
+TEST(ForestDecomposition, OutDegreeAtMost3Alpha) {
+  Rng rng(5);
+  PeelFixture f(gen::triangulated_grid(10, 10));
+  const PartForest pf = PartForest::singletons(f.g.num_nodes());
+  const PeelingResult r = f.run(pf);
+  ASSERT_TRUE(r.still_active_roots.empty());
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    EXPECT_LE(r.out_records[v].size(), 9u);
+  }
+}
+
+TEST(ForestDecomposition, OrientationCoversEachAdjacentPairOnce) {
+  // With singleton parts, each edge {u, v} must appear as an out-record of
+  // exactly one endpoint, with weight 1.
+  Rng rng(7);
+  PeelFixture f(gen::random_planar(120, 260, rng));
+  const PartForest pf = PartForest::singletons(f.g.num_nodes());
+  const PeelingResult r = f.run(pf);
+  ASSERT_TRUE(r.still_active_roots.empty());
+  std::map<std::pair<NodeId, NodeId>, int> covered;
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    for (const congest::Record& rec : r.out_records[v]) {
+      EXPECT_EQ(rec.value, 1);
+      NodeId a = v;
+      NodeId b = static_cast<NodeId>(rec.key);
+      EXPECT_TRUE(f.g.has_edge(a, b));
+      if (a > b) std::swap(a, b);
+      ++covered[{a, b}];
+    }
+  }
+  EXPECT_EQ(covered.size(), f.g.num_edges());
+  for (const auto& [edge, count] : covered) EXPECT_EQ(count, 1);
+}
+
+TEST(ForestDecomposition, WeightsMatchContractedMultiplicities) {
+  // Two parts, three parallel edges between them.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);  // part A path
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);  // part B path
+  b.add_edge(0, 3);
+  b.add_edge(1, 4);
+  b.add_edge(2, 5);  // cut edges
+  PeelFixture f(std::move(b).build());
+  PartForest pf;
+  pf.root = {0, 0, 0, 3, 3, 3};
+  pf.parent_edge.assign(6, kNoEdge);
+  pf.children.assign(6, {});
+  pf.members.assign(6, {});
+  pf.members[0] = {0, 1, 2};
+  pf.members[3] = {3, 4, 5};
+  pf.parent_edge[1] = f.g.find_edge(0, 1);
+  pf.parent_edge[2] = f.g.find_edge(1, 2);
+  pf.children[0] = {f.g.find_edge(0, 1)};
+  pf.children[1] = {f.g.find_edge(1, 2)};
+  pf.parent_edge[4] = f.g.find_edge(3, 4);
+  pf.parent_edge[5] = f.g.find_edge(4, 5);
+  pf.children[3] = {f.g.find_edge(3, 4)};
+  pf.children[4] = {f.g.find_edge(4, 5)};
+  pf.depth = {0, 1, 2, 0, 1, 2};
+  ASSERT_TRUE(validate_part_forest(f.g, pf));
+
+  const PeelingResult r = f.run(pf);
+  ASSERT_TRUE(r.still_active_roots.empty());
+  // One of the two roots holds the out-record with weight 3.
+  const auto& rec0 = r.out_records[0];
+  const auto& rec3 = r.out_records[3];
+  ASSERT_EQ(rec0.size() + rec3.size(), 1u);
+  const congest::Record& rec = rec0.empty() ? rec3[0] : rec0[0];
+  EXPECT_EQ(rec.value, 3);
+}
+
+TEST(ForestDecomposition, DenseGraphRejects) {
+  // K20 with threshold 3*alpha = 9: every node has 19 active neighbors
+  // forever, so the peeling must leave active nodes (arboricity evidence).
+  PeelFixture f(gen::complete(20));
+  const PartForest pf = PartForest::singletons(f.g.num_nodes());
+  const PeelingResult r = f.run(pf);
+  EXPECT_EQ(r.still_active_roots.size(), 20u);
+}
+
+TEST(ForestDecomposition, HigherAlphaAcceptsDenserGraphs) {
+  // K20 peels fine with alpha = 7 (threshold 21 > 19).
+  PeelFixture f(gen::complete(20));
+  const PartForest pf = PartForest::singletons(f.g.num_nodes());
+  const PeelingResult r = f.run(pf, /*alpha=*/7);
+  EXPECT_TRUE(r.still_active_roots.empty());
+}
+
+TEST(ForestDecomposition, NeighborRootsLearned) {
+  Rng rng(9);
+  PeelFixture f(gen::grid(5, 5));
+  const PartForest pf = PartForest::singletons(f.g.num_nodes());
+  const PeelingResult r = f.run(pf);
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    const auto nbrs = f.g.neighbors(v);
+    for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+      EXPECT_EQ(r.neighbor_root[v][p], nbrs[p].to);
+    }
+  }
+}
+
+TEST(ForestDecomposition, QuietSuperRoundsStillChargeRounds) {
+  // An edgeless graph inactivates instantly, but the schedule still ticks
+  // one round per remaining super-round: total >= super-round count.
+  PeelFixture f(gen::path(1));
+  GraphBuilder b(64);
+  PeelFixture f2(std::move(b).build());
+  const PartForest pf = PartForest::singletons(f2.g.num_nodes());
+  const PeelingResult r = f2.run(pf);
+  EXPECT_TRUE(r.still_active_roots.empty());
+  // ceil(log_{1.5} 64) + 1 = 12 super-rounds, plus the learning round.
+  EXPECT_GE(f2.ledger.total_rounds(), 12u);
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "planar/lr_planarity.h"
+
+namespace cpt {
+namespace {
+
+TEST(Generators, BasicShapes) {
+  EXPECT_EQ(gen::path(5).num_edges(), 4u);
+  EXPECT_EQ(gen::cycle(5).num_edges(), 5u);
+  EXPECT_EQ(gen::star(5).num_edges(), 4u);
+  EXPECT_EQ(gen::complete(6).num_edges(), 15u);
+  EXPECT_EQ(gen::complete_bipartite(3, 4).num_edges(), 12u);
+  EXPECT_EQ(gen::grid(3, 4).num_edges(), 3u * 3 + 2u * 4);
+  EXPECT_EQ(gen::hypercube(4).num_edges(), 32u);
+  EXPECT_EQ(gen::binary_tree(15).num_edges(), 14u);
+}
+
+TEST(Generators, TriangulatedGridAddsOneDiagonalPerCell) {
+  const Graph g = gen::triangulated_grid(4, 5);
+  EXPECT_EQ(g.num_edges(), gen::grid(4, 5).num_edges() + 3u * 4);
+}
+
+TEST(Generators, RandomTreeIsATree) {
+  Rng rng(5);
+  for (NodeId n : {1u, 2u, 10u, 500u}) {
+    const Graph g = gen::random_tree(n, rng);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_FALSE(has_cycle(g));
+  }
+}
+
+TEST(Generators, ApollonianIsMaximalPlanar) {
+  Rng rng(7);
+  for (NodeId n : {3u, 4u, 10u, 200u}) {
+    const Graph g = gen::apollonian(n, rng);
+    EXPECT_EQ(g.num_edges(), 3u * n - 6);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(is_planar(g));
+    if (n >= 5) {
+      // Maximal: adding any random edge breaks planarity. (K3 and K4 are
+      // already complete, so there is nothing to add below n = 5.)
+      const Graph bad = gen::planar_plus_random_edges(g, 1, rng);
+      EXPECT_FALSE(is_planar(bad));
+    }
+  }
+}
+
+TEST(Generators, OuterplanarChordsAreNonCrossing) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId n = 20 + static_cast<NodeId>(rng.next_below(60));
+    const NodeId chords = static_cast<NodeId>(rng.next_below(n - 3));
+    const Graph g = gen::outerplanar(n, chords, rng);
+    EXPECT_EQ(g.num_edges(), n + chords);
+    EXPECT_TRUE(is_planar(g));
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomPlanarHitsRequestedEdgeCount) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId n = 10 + static_cast<NodeId>(rng.next_below(100));
+    const EdgeId m =
+        n - 1 + static_cast<EdgeId>(rng.next_below(2 * n - 5));
+    const Graph g = gen::random_planar(n, m, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), m);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(is_planar(g));
+  }
+}
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  Rng rng(13);
+  const NodeId n = 2000;
+  const double p = 4.0 / n;
+  const Graph g = gen::gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.15 * expected);
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(15);
+  EXPECT_EQ(gen::gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::gnp(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST(Generators, GnmExactCount) {
+  Rng rng(17);
+  const Graph g = gen::gnm(100, 321, rng);
+  EXPECT_EQ(g.num_edges(), 321u);
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  Rng rng(19);
+  for (std::uint32_t d : {2u, 3u, 4u}) {
+    const Graph g = gen::random_regular(60, d, rng);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), d);
+  }
+}
+
+TEST(Generators, DisjointCopiesScale) {
+  const Graph g = gen::disjoint_copies(gen::complete(5), 7);
+  EXPECT_EQ(g.num_nodes(), 35u);
+  EXPECT_EQ(g.num_edges(), 70u);
+  EXPECT_FALSE(is_planar(g));
+}
+
+TEST(Generators, K5BlobsAreConnectedAndNonPlanar) {
+  Rng rng(21);
+  const Graph g = gen::planar_with_k5_blobs(100, 10, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_planar(g));
+  // Distance certificate: removing one edge per K5 makes it planar, so
+  // distance <= 10; and each K5 forces at least one removal.
+  EXPECT_EQ(g.num_nodes(), 150u);
+}
+
+TEST(Generators, PlanarPlusRandomEdgesAddsExactly) {
+  Rng rng(23);
+  const Graph base = gen::grid(8, 8);
+  const Graph g = gen::planar_plus_random_edges(base, 17, rng);
+  EXPECT_EQ(g.num_edges(), base.num_edges() + 17);
+}
+
+// Parameterized planarity sweep over the named planar families.
+class PlanarFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanarFamilies, AreAllPlanar) {
+  Rng rng(100 + GetParam());
+  EXPECT_TRUE(is_planar(gen::apollonian(50 + GetParam() * 13, rng)));
+  EXPECT_TRUE(is_planar(gen::random_planar(60 + GetParam() * 11,
+                                           100 + GetParam() * 7, rng)));
+  EXPECT_TRUE(is_planar(gen::outerplanar(30 + GetParam() * 5,
+                                         GetParam() * 2, rng)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanarFamilies, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/ops.h"
+
+namespace cpt {
+namespace {
+
+TEST(GraphBuilder, DeduplicatesAndNormalizes) {
+  GraphBuilder b(4);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);  // duplicate in the other orientation
+  b.add_edge(2, 3);
+  b.add_edge(2, 3);  // exact duplicate
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, DegreesAndNeighborsConsistent) {
+  const Graph g = gen::grid(3, 4);
+  std::uint64_t degree_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degree_sum += g.degree(v);
+    for (const Arc& a : g.neighbors(v)) {
+      EXPECT_EQ(g.other_endpoint(a.edge, v), a.to);
+      EXPECT_TRUE(g.has_edge(v, a.to));
+    }
+  }
+  EXPECT_EQ(degree_sum, 2ull * g.num_edges());
+}
+
+TEST(Graph, FindEdgeRoundTrips) {
+  const Graph g = gen::triangulated_grid(4, 4);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Endpoints ep = g.endpoints(e);
+    EXPECT_EQ(g.find_edge(ep.u, ep.v), e);
+    EXPECT_EQ(g.find_edge(ep.v, ep.u), e);
+  }
+  EXPECT_EQ(g.find_edge(0, 0), kNoEdge);
+}
+
+TEST(Graph, EdgeIdsAreStableAndCoverEdgeList) {
+  const Graph g = gen::cycle(10);
+  EXPECT_EQ(g.edges().size(), 10u);
+  for (const Endpoints e : g.edges()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+}
+
+TEST(Ops, InducedSubgraphKeepsInternalEdgesOnly) {
+  const Graph g = gen::grid(3, 3);
+  const std::vector<NodeId> nodes = {0, 1, 3, 4};  // top-left square
+  const InducedSubgraph sub = induced_subgraph(g, nodes);
+  EXPECT_EQ(sub.graph.num_nodes(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 4u);  // the 4-cycle
+  for (NodeId sv = 0; sv < 4; ++sv) {
+    EXPECT_EQ(sub.from_original[sub.to_original[sv]], sv);
+  }
+}
+
+TEST(Ops, ContractCollapsesParallelEdgesIntoWeights) {
+  // Two parts with three crossing edges.
+  GraphBuilder b(4);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(1, 2);
+  b.add_edge(0, 1);  // intra-part
+  const Graph g = std::move(b).build();
+  const std::vector<NodeId> part_of = {0, 0, 1, 1};
+  const WeightedGraph wg = contract(g, part_of, 2);
+  EXPECT_EQ(wg.graph.num_nodes(), 2u);
+  ASSERT_EQ(wg.graph.num_edges(), 1u);
+  EXPECT_EQ(wg.edge_weight[0], 3u);
+  EXPECT_EQ(wg.total_weight(), 3u);
+}
+
+TEST(Ops, DisjointUnionShiftsIds) {
+  const std::vector<Graph> parts = {gen::complete(3), gen::path(4)};
+  const Graph g = disjoint_union(parts);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 3u + 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(Ops, RelabelPreservesStructure) {
+  const Graph g = gen::cycle(6);
+  const std::vector<NodeId> perm = {5, 4, 3, 2, 1, 0};
+  const Graph h = relabel(g, perm);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (const Endpoints e : g.edges()) {
+    EXPECT_TRUE(h.has_edge(perm[e.u], perm[e.v]));
+  }
+}
+
+TEST(Ops, AddAndRemoveEdges) {
+  const Graph g = gen::path(5);
+  const std::vector<Endpoints> extra = {{0, 4}, {1, 3}};
+  const Graph h = add_edges(g, extra);
+  EXPECT_EQ(h.num_edges(), g.num_edges() + 2);
+  EXPECT_TRUE(h.has_edge(0, 4));
+
+  const std::vector<EdgeId> del = {h.find_edge(0, 4)};
+  const Graph back = remove_edges(h, del);
+  EXPECT_EQ(back.num_edges(), h.num_edges() - 1);
+  EXPECT_FALSE(back.has_edge(0, 4));
+  EXPECT_TRUE(back.has_edge(1, 3));
+}
+
+TEST(Ops, AddEdgesIgnoresDuplicates) {
+  const Graph g = gen::path(3);
+  const std::vector<Endpoints> extra = {{0, 1}};  // already present
+  EXPECT_EQ(add_edges(g, extra).num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace cpt {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesGraph) {
+  Rng rng(3);
+  const Graph g = gen::random_planar(80, 180, rng);
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_EQ(back.num_nodes(), g.num_nodes());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (const Endpoints e : g.edges()) {
+    EXPECT_TRUE(back.has_edge(e.u, e.v));
+  }
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  std::stringstream in;
+  in << "# a triangle\n\n3 3\n0 1\n# middle comment\n1 2\n\n0 2\n";
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, EmptyGraph) {
+  std::stringstream in("0 0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphIo, IsolatedNodesSurvive) {
+  std::stringstream in("5 1\n0 4\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(7);
+  const Graph g = gen::triangulated_grid(6, 7);
+  const std::string path = ::testing::TempDir() + "/cpt_io_test.edges";
+  save_edge_list_file(g, path);
+  const Graph back = load_edge_list_file(path);
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "planar/kuratowski.h"
+#include "planar/lr_planarity.h"
+
+namespace cpt {
+namespace {
+
+TEST(Kuratowski, PlanarGraphsHaveNoWitness) {
+  Rng rng(3);
+  EXPECT_FALSE(find_kuratowski_subdivision(gen::grid(6, 6)).has_value());
+  EXPECT_FALSE(find_kuratowski_subdivision(gen::complete(4)).has_value());
+  EXPECT_FALSE(find_kuratowski_subdivision(gen::apollonian(60, rng)).has_value());
+  EXPECT_FALSE(find_kuratowski_subdivision(gen::random_tree(50, rng)).has_value());
+}
+
+TEST(Kuratowski, K5YieldsK5Witness) {
+  const Graph g = gen::complete(5);
+  const auto w = find_kuratowski_subdivision(g);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->kind, KuratowskiWitness::Kind::kK5);
+  EXPECT_EQ(w->edges.size(), 10u);
+  EXPECT_EQ(w->branch_nodes.size(), 5u);
+  EXPECT_TRUE(validate_kuratowski_witness(g, *w));
+}
+
+TEST(Kuratowski, K33YieldsK33Witness) {
+  const Graph g = gen::complete_bipartite(3, 3);
+  const auto w = find_kuratowski_subdivision(g);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->kind, KuratowskiWitness::Kind::kK33);
+  EXPECT_EQ(w->edges.size(), 9u);
+  EXPECT_TRUE(validate_kuratowski_witness(g, *w));
+}
+
+TEST(Kuratowski, PetersenContainsAWitness) {
+  GraphBuilder pb(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    pb.add_edge(i, (i + 1) % 5);
+    pb.add_edge(i, i + 5);
+    pb.add_edge(i + 5, 5 + (i + 2) % 5);
+  }
+  const Graph g = std::move(pb).build();
+  const auto w = find_kuratowski_subdivision(g);
+  ASSERT_TRUE(w.has_value());
+  // The Petersen graph famously contains a K3,3 subdivision (it is
+  // 3-regular, so no K5 subdivision fits).
+  EXPECT_EQ(w->kind, KuratowskiWitness::Kind::kK33);
+  EXPECT_TRUE(validate_kuratowski_witness(g, *w));
+}
+
+TEST(Kuratowski, ToroidalGridIsNonPlanarWithWitness) {
+  const Graph g = gen::toroidal_grid(4, 4);
+  ASSERT_FALSE(is_planar(g));
+  const auto w = find_kuratowski_subdivision(g);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(validate_kuratowski_witness(g, *w));
+}
+
+// Property sweep: witnesses of noised planar graphs always validate, and
+// hide inside the noisy region.
+class KuratowskiSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KuratowskiSweep, NoisyPlanarWitnessesValidate) {
+  Rng rng(6000 + GetParam());
+  const Graph base = gen::random_planar(60, 130, rng);
+  const Graph g = gen::planar_plus_random_edges(base, 6, rng);
+  const auto w = find_kuratowski_subdivision(g);
+  if (!w.has_value()) {
+    EXPECT_TRUE(is_planar(g));  // noise may keep it planar: then no witness
+    return;
+  }
+  EXPECT_TRUE(validate_kuratowski_witness(g, *w));
+  // Witness edges are a subset of the graph's edges.
+  for (const EdgeId e : w->edges) EXPECT_LT(e, g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KuratowskiSweep, ::testing::Range(0, 8));
+
+TEST(Kuratowski, SubdividedWitnessStillMinimal) {
+  // A K5 with every edge subdivided once: the witness must be the whole
+  // graph (20 edges), still classified as K5.
+  const Graph k5 = gen::complete(5);
+  GraphBuilder b(5);
+  for (const Endpoints e : k5.edges()) {
+    const NodeId mid = b.add_node();
+    b.add_edge(e.u, mid);
+    b.add_edge(mid, e.v);
+  }
+  const Graph g = std::move(b).build();
+  const auto w = find_kuratowski_subdivision(g);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->kind, KuratowskiWitness::Kind::kK5);
+  EXPECT_EQ(w->edges.size(), 20u);
+  EXPECT_TRUE(validate_kuratowski_witness(g, *w));
+}
+
+}  // namespace
+}  // namespace cpt

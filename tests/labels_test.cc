@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congest/network.h"
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "core/labels.h"
+#include "graph/generators.h"
+#include "planar/lr_planarity.h"
+#include "tests/test_util.h"
+
+namespace cpt {
+namespace {
+
+using congest::BfsForest;
+using congest::Network;
+using congest::Simulator;
+using congest::TreeView;
+using testutil::whole_graph_parts;
+
+// Centralized reference label computation.
+std::vector<Label> reference_labels(
+    const Graph& g, const std::vector<EdgeId>& parent,
+    const std::vector<std::vector<EdgeId>>& children,
+    const std::vector<std::vector<std::uint32_t>>& kid_labels) {
+  std::vector<Label> labels(g.num_nodes());
+  // Repeated relaxation down the tree (depth passes).
+  for (NodeId pass = 0; pass < g.num_nodes(); ++pass) {
+    bool changed = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (std::size_t i = 0; i < children[v].size(); ++i) {
+        const NodeId w = g.other_endpoint(children[v][i], v);
+        Label want = labels[v];
+        want.push_back(kid_labels[v][i]);
+        if (labels[w] != want) {
+          labels[w] = want;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  (void)parent;
+  return labels;
+}
+
+TEST(ChildEdgeLabels, RanksFollowRotationFromParent) {
+  // Star with center 1: nodes 0..3, edges 1-0, 1-2, 1-3. BFS root 0, so at
+  // node 1 the parent edge is (0,1) and children are 2 and 3.
+  GraphBuilder b(4);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  const Graph g = std::move(b).build();
+  const PartForest pf = whole_graph_parts(g);
+  RotationSystem rot(4);
+  const EdgeId e10 = g.find_edge(1, 0);
+  const EdgeId e12 = g.find_edge(1, 2);
+  const EdgeId e13 = g.find_edge(1, 3);
+  rot[0] = {e10};
+  rot[1] = {e12, e10, e13};  // rotation: 2, parent, 3
+  rot[2] = {e12};
+  rot[3] = {e13};
+  const auto kid = child_edge_labels(g, rot, pf.parent_edge, pf.children);
+  // Children of 1 in pf order; the rank must start after the parent edge:
+  // (1,3) is rank 1, (1,2) is rank 2.
+  ASSERT_EQ(pf.children[1].size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const EdgeId ce = pf.children[1][i];
+    EXPECT_EQ(kid[1][i], ce == e13 ? 1u : 2u);
+  }
+}
+
+TEST(ChildEdgeLabels, RootStartsAtFirstRotationEntry) {
+  const Graph g = gen::star(4);  // center 0
+  const PartForest pf = whole_graph_parts(g);
+  RotationSystem rot = adjacency_rotation(g);
+  const auto kid = child_edge_labels(g, rot, pf.parent_edge, pf.children);
+  ASSERT_EQ(kid[0].size(), 3u);
+  // Ranks are 1..3 in rotation order.
+  std::vector<std::uint32_t> sorted = kid[0];
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(LabelDistribute, MatchesCentralizedReference) {
+  Rng rng(5);
+  const Graph g = gen::random_planar(120, 260, rng);
+  const PartForest pf = whole_graph_parts(g);
+  const auto rot = *lr_planar_embedding(g);
+  const auto kid = child_edge_labels(g, rot, pf.parent_edge, pf.children);
+
+  Network net(g);
+  Simulator sim(net);
+  LabelDistribute dist(TreeView{&pf.parent_edge, &pf.children, nullptr}, kid);
+  const auto r = sim.run(dist);
+  EXPECT_TRUE(r.quiesced);
+
+  const auto ref = reference_labels(g, pf.parent_edge, pf.children, kid);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(dist.label(v), ref[v]) << "node " << v;
+  }
+}
+
+TEST(LabelDistribute, PipelinedRoundBound) {
+  // Rounds should be about depth + max label length, not their product.
+  const Graph g = gen::path(64);
+  const PartForest pf = whole_graph_parts(g);
+  std::vector<std::vector<std::uint32_t>> kid(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    kid[v].assign(pf.children[v].size(), 1);
+  }
+  Network net(g);
+  Simulator sim(net);
+  LabelDistribute dist(TreeView{&pf.parent_edge, &pf.children, nullptr}, kid);
+  const auto r = sim.run(dist);
+  EXPECT_EQ(dist.label(63).size(), 63u);
+  EXPECT_LE(r.rounds, 2u * 63u + 4u);
+}
+
+TEST(LabelLexOrder, EqualsTreePreorder) {
+  // Sorting nodes by label must equal a preorder traversal that visits
+  // children in kid-label order.
+  Rng rng(7);
+  const Graph g = gen::random_tree(200, rng);
+  const PartForest pf = whole_graph_parts(g);
+  const auto rot = adjacency_rotation(g);  // any rotation works on a tree
+  const auto kid = child_edge_labels(g, rot, pf.parent_edge, pf.children);
+  const auto labels = reference_labels(g, pf.parent_edge, pf.children, kid);
+
+  std::vector<NodeId> by_label(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) by_label[v] = v;
+  std::sort(by_label.begin(), by_label.end(),
+            [&](NodeId a, NodeId b) { return labels[a] < labels[b]; });
+
+  std::vector<NodeId> preorder;
+  std::vector<NodeId> stack{0};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    preorder.push_back(v);
+    // Children sorted by descending kid label so the smallest pops first.
+    std::vector<std::pair<std::uint32_t, NodeId>> kids;
+    for (std::size_t i = 0; i < pf.children[v].size(); ++i) {
+      kids.push_back({kid[v][i], g.other_endpoint(pf.children[v][i], v)});
+    }
+    std::sort(kids.rbegin(), kids.rend());
+    for (const auto& [label, w] : kids) stack.push_back(w);
+  }
+  EXPECT_EQ(by_label, preorder);
+}
+
+TEST(EdgeLabelStream, DeliversLabelsAcrossSelectedEdges) {
+  const Graph g = gen::cycle(6);
+  Network net(g);
+  Simulator sim(net);
+  std::vector<Label> labels(6);
+  labels[2] = {7, 8, 9};
+  labels[5] = {1};
+  std::vector<std::vector<std::uint32_t>> send_ports(6);
+  // Node 2 streams to both neighbors; node 5 to one.
+  send_ports[2] = {0, 1};
+  send_ports[5] = {0};
+  EdgeLabelStream stream(6, labels, send_ports);
+  const auto r = sim.run(stream);
+  EXPECT_TRUE(r.quiesced);
+  int deliveries = 0;
+  for (NodeId v = 0; v < 6; ++v) {
+    for (const auto& [port, label] : stream.received()[v]) {
+      const NodeId from = net.arc(v, port).to;
+      EXPECT_EQ(label, labels[from]);
+      ++deliveries;
+    }
+  }
+  EXPECT_EQ(deliveries, 3);
+}
+
+TEST(UpStreamWords, FramesNeverInterleave) {
+  // Star: 6 leaves each injecting a distinct frame; the root must receive
+  // all 6 frames intact.
+  const Graph g = gen::star(7);
+  const PartForest pf = whole_graph_parts(g);
+  Network net(g);
+  Simulator sim(net);
+  UpStreamWords up(TreeView{&pf.parent_edge, &pf.children, nullptr});
+  for (NodeId v = 1; v < 7; ++v) {
+    up.initial[v].push_back({static_cast<std::int64_t>(v), 100 + v, 200 + v});
+    up.initial[v].push_back({-static_cast<std::int64_t>(v)});
+  }
+  const auto r = sim.run(up);
+  EXPECT_TRUE(r.quiesced);
+  const auto& frames = up.frames_at_root(0);
+  ASSERT_EQ(frames.size(), 12u);
+  int long_frames = 0;
+  for (const auto& f : frames) {
+    if (f.size() == 3) {
+      ++long_frames;
+      EXPECT_EQ(f[1], f[0] + 100);
+      EXPECT_EQ(f[2], f[0] + 200);
+    } else {
+      ASSERT_EQ(f.size(), 1u);
+      EXPECT_LT(f[0], 0);
+    }
+  }
+  EXPECT_EQ(long_frames, 6);
+}
+
+TEST(UpStreamWords, DeepTreePipelines) {
+  const Graph g = gen::path(40);
+  PartForest pf = whole_graph_parts(g);
+  Network net(g);
+  Simulator sim(net);
+  UpStreamWords up(TreeView{&pf.parent_edge, &pf.children, nullptr});
+  up.initial[39].push_back({1, 2, 3, 4});
+  const auto r = sim.run(up);
+  ASSERT_EQ(up.frames_at_root(0).size(), 1u);
+  EXPECT_EQ(up.frames_at_root(0)[0], (std::vector<std::int64_t>{1, 2, 3, 4}));
+  EXPECT_LE(r.rounds, 39u + 5u + 2u);
+}
+
+TEST(UpStreamWords, RootOwnFramesGoStraightToResult) {
+  const Graph g = gen::path(3);
+  PartForest pf = whole_graph_parts(g);
+  Network net(g);
+  Simulator sim(net);
+  UpStreamWords up(TreeView{&pf.parent_edge, &pf.children, nullptr});
+  up.initial[0].push_back({42});
+  const auto r = sim.run(up);
+  EXPECT_EQ(r.messages, 0u);
+  ASSERT_EQ(up.frames_at_root(0).size(), 1u);
+  EXPECT_EQ(up.frames_at_root(0)[0][0], 42);
+}
+
+}  // namespace
+}  // namespace cpt

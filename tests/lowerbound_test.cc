@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/tester.h"
+#include "graph/properties.h"
+#include "graph/ops.h"
+#include "lowerbound/construction.h"
+
+namespace cpt {
+namespace {
+
+TEST(LowerBound, GirthMeetsTarget) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    LowerBoundOptions opt;
+    opt.n = 1024;
+    opt.avg_degree = 12.0;
+    opt.seed = seed;
+    const LowerBoundInstance inst = build_lower_bound_instance(opt);
+    EXPECT_GE(inst.girth, inst.girth_target);
+    EXPECT_GE(inst.girth_target, 4u);
+  }
+}
+
+TEST(LowerBound, StaysFarFromPlanarAfterSurgery) {
+  LowerBoundOptions opt;
+  opt.n = 2048;
+  opt.avg_degree = 12.0;
+  opt.seed = 1;
+  const LowerBoundInstance inst = build_lower_bound_instance(opt);
+  // Certified distance (edge excess) must remain a constant fraction.
+  EXPECT_GT(inst.distance_lb, 0u);
+  EXPECT_GT(inst.certified_eps, 0.2);
+  // Surgery must not have removed most of the graph.
+  EXPECT_LT(inst.removed_edges, inst.graph.num_edges());
+}
+
+TEST(LowerBound, GirthGrowsWithN) {
+  LowerBoundOptions small;
+  small.n = 256;
+  small.avg_degree = 4.0;
+  small.seed = 3;
+  LowerBoundOptions large;
+  large.n = 16384;
+  large.avg_degree = 4.0;
+  large.seed = 3;
+  const auto a = build_lower_bound_instance(small);
+  const auto b = build_lower_bound_instance(large);
+  EXPECT_GT(b.girth_target, a.girth_target);
+}
+
+TEST(LowerBound, ExplicitGirthTargetHonored) {
+  LowerBoundOptions opt;
+  opt.n = 512;
+  opt.avg_degree = 8.0;
+  opt.girth_target = 7;
+  opt.seed = 5;
+  const LowerBoundInstance inst = build_lower_bound_instance(opt);
+  EXPECT_GE(inst.girth, 7u);
+}
+
+TEST(LowerBound, TesterStillRejectsTheInstance) {
+  // The tester has Theta(log n) rounds available, enough to see cycles of
+  // length ~ girth; the instance is far from planar and must be rejected
+  // (the avg degree alone forces arboricity evidence in Stage I).
+  LowerBoundOptions opt;
+  opt.n = 1024;
+  opt.avg_degree = 12.0;
+  opt.seed = 7;
+  const LowerBoundInstance inst = build_lower_bound_instance(opt);
+  TesterOptions topt;
+  topt.epsilon = 0.2;
+  topt.seed = 1;
+  EXPECT_EQ(test_planarity(inst.graph, topt).verdict, Verdict::kReject);
+}
+
+TEST(LowerBound, LocalViewsAreTreesWithinGirthRadius) {
+  // The lower-bound argument: any r-round algorithm with r < girth/2 - 1
+  // sees a tree around every node, indistinguishable from a planar graph.
+  LowerBoundOptions opt;
+  opt.n = 1024;
+  opt.avg_degree = 10.0;
+  opt.seed = 9;
+  const LowerBoundInstance inst = build_lower_bound_instance(opt);
+  const std::uint32_t radius = (inst.girth - 1) / 2;
+  EXPECT_GE(radius, 1u);
+  // Spot-check: BFS balls of that radius contain no cycle (their edge count
+  // equals node count - 1).
+  Rng rng(1);
+  for (int probe = 0; probe < 10; ++probe) {
+    const NodeId s =
+        static_cast<NodeId>(rng.next_below(inst.graph.num_nodes()));
+    const auto dist = bfs_distances(inst.graph, s);
+    std::vector<NodeId> ball;
+    for (NodeId v = 0; v < inst.graph.num_nodes(); ++v) {
+      if (dist[v] != kUnreachable && dist[v] < radius) ball.push_back(v);
+    }
+    const InducedSubgraph sub = induced_subgraph(inst.graph, ball);
+    EXPECT_FALSE(has_cycle(sub.graph)) << "cycle inside radius-" << radius
+                                       << " ball around " << s;
+  }
+}
+
+}  // namespace
+}  // namespace cpt

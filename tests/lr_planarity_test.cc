@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "planar/lr_planarity.h"
+
+namespace cpt {
+namespace {
+
+// Subdivides every edge of g `times` times (Kuratowski subdivisions keep
+// (non-)planarity).
+Graph subdivide(const Graph& g, int times) {
+  GraphBuilder b(g.num_nodes());
+  for (const Endpoints e : g.edges()) {
+    NodeId prev = e.u;
+    for (int i = 0; i < times; ++i) {
+      const NodeId mid = b.add_node();
+      b.add_edge(prev, mid);
+      prev = mid;
+    }
+    b.add_edge(prev, e.v);
+  }
+  return std::move(b).build();
+}
+
+TEST(LrPlanarity, SmallKnownGraphs) {
+  EXPECT_TRUE(is_planar(Graph{}));
+  EXPECT_TRUE(is_planar(gen::path(1)));
+  EXPECT_TRUE(is_planar(gen::complete(4)));
+  EXPECT_FALSE(is_planar(gen::complete(5)));
+  EXPECT_FALSE(is_planar(gen::complete(6)));
+  EXPECT_FALSE(is_planar(gen::complete_bipartite(3, 3)));
+  EXPECT_TRUE(is_planar(gen::complete_bipartite(2, 7)));
+  EXPECT_TRUE(is_planar(gen::hypercube(3)));
+  EXPECT_FALSE(is_planar(gen::hypercube(4)));
+}
+
+TEST(LrPlanarity, PetersenIsNonPlanar) {
+  GraphBuilder pb(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    pb.add_edge(i, (i + 1) % 5);
+    pb.add_edge(i, i + 5);
+    pb.add_edge(i + 5, 5 + (i + 2) % 5);
+  }
+  EXPECT_FALSE(is_planar(std::move(pb).build()));
+}
+
+TEST(LrPlanarity, KuratowskiSubdivisionsStayNonPlanar) {
+  for (int times = 1; times <= 4; ++times) {
+    EXPECT_FALSE(is_planar(subdivide(gen::complete(5), times)));
+    EXPECT_FALSE(is_planar(subdivide(gen::complete_bipartite(3, 3), times)));
+  }
+}
+
+TEST(LrPlanarity, SubdivisionsOfPlanarStayPlanar) {
+  for (int times = 1; times <= 3; ++times) {
+    EXPECT_TRUE(is_planar(subdivide(gen::complete(4), times)));
+    EXPECT_TRUE(is_planar(subdivide(gen::grid(4, 4), times)));
+  }
+}
+
+TEST(LrPlanarity, DeepStructuresDontOverflow) {
+  EXPECT_TRUE(is_planar(gen::path(200000)));
+  EXPECT_TRUE(is_planar(gen::cycle(200000)));
+}
+
+TEST(LrPlanarity, DisjointUnions) {
+  const std::vector<Graph> ok = {gen::grid(5, 5), gen::cycle(9), gen::complete(4)};
+  EXPECT_TRUE(is_planar(disjoint_union(ok)));
+  const std::vector<Graph> bad = {gen::grid(5, 5), gen::complete(5)};
+  EXPECT_FALSE(is_planar(disjoint_union(bad)));
+}
+
+TEST(LrPlanarity, EulerBoundShortCircuit) {
+  Rng rng(3);
+  // Any graph with m > 3n-6 must be declared non-planar.
+  const Graph g = gen::gnm(30, 85, rng);  // 85 > 84
+  EXPECT_FALSE(is_planar(g));
+}
+
+TEST(LrPlanarity, EmbeddingExistsIffPlanar) {
+  Rng rng(5);
+  EXPECT_TRUE(lr_planar_embedding(gen::grid(6, 6)).has_value());
+  EXPECT_FALSE(lr_planar_embedding(gen::complete(5)).has_value());
+  EXPECT_FALSE(lr_planar_embedding(gen::hypercube(4)).has_value());
+  EXPECT_TRUE(lr_planar_embedding(gen::apollonian(77, rng)).has_value());
+}
+
+// Property sweep: random planar graphs are planar; one extra edge on a
+// maximal planar graph is not.
+class LrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LrSweep, RandomPlanarAccepted) {
+  Rng rng(1000 + GetParam());
+  const NodeId n = 10 + static_cast<NodeId>(rng.next_below(400));
+  const EdgeId m = n - 1 + static_cast<EdgeId>(rng.next_below(2 * n - 5));
+  EXPECT_TRUE(is_planar(gen::random_planar(n, m, rng)));
+}
+
+TEST_P(LrSweep, MaximalPlanarPlusEdgeRejected) {
+  Rng rng(2000 + GetParam());
+  const NodeId n = 8 + static_cast<NodeId>(rng.next_below(150));
+  const Graph g = gen::apollonian(n, rng);
+  EXPECT_FALSE(is_planar(gen::planar_plus_random_edges(g, 1, rng)));
+}
+
+TEST_P(LrSweep, SparseGnpMatchesExpectation) {
+  // Very sparse G(n, c/n) with c < 1 is a forest plus few unicyclic parts:
+  // always planar.
+  Rng rng(3000 + GetParam());
+  const Graph g = gen::gnp(500, 0.8 / 500, rng);
+  EXPECT_TRUE(is_planar(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LrSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace cpt

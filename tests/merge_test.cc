@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "partition/merge.h"
+#include "tests/test_util.h"
+
+namespace cpt {
+namespace {
+
+// Driver that feeds run_merge_step a hand-built Selection over singleton
+// parts (every node its own part; neighbor roots are just neighbor ids).
+struct MergeFixture {
+  Graph g;
+  congest::Network net;
+  congest::Simulator sim;
+  congest::RoundLedger ledger;
+  PartForest pf;
+  std::vector<std::vector<NodeId>> neighbor_root;
+
+  explicit MergeFixture(Graph graph)
+      : g(std::move(graph)),
+        net(g),
+        sim(net),
+        pf(PartForest::singletons(g.num_nodes())) {
+    neighbor_root.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      neighbor_root[v].resize(nbrs.size());
+      for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+        neighbor_root[v][p] = nbrs[p].to;
+      }
+    }
+  }
+
+  MergeStats run(Selection sel) {
+    return run_merge_step(sim, g, pf, neighbor_root, std::move(sel), ledger);
+  }
+
+  std::uint64_t cut() const {
+    std::uint64_t cut = 0;
+    for (const Endpoints e : g.edges()) {
+      if (pf.root[e.u] != pf.root[e.v]) ++cut;
+    }
+    return cut;
+  }
+};
+
+TEST(MergeStep, EmptySelectionIsANoOp) {
+  MergeFixture f(gen::grid(3, 3));
+  const MergeStats stats = f.run(Selection(f.g.num_nodes()));
+  EXPECT_EQ(stats.merges, 0u);
+  EXPECT_EQ(f.ledger.total_rounds(), 0u);
+  EXPECT_TRUE(validate_part_forest(f.g, f.pf));
+}
+
+TEST(MergeStep, SinglePairMerges) {
+  MergeFixture f(gen::path(2));
+  Selection sel(2);
+  sel.target[0] = 1;
+  sel.weight[0] = 1;
+  const MergeStats stats = f.run(std::move(sel));
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_EQ(stats.contracted_weight, 1u);
+  EXPECT_TRUE(validate_part_forest(f.g, f.pf));
+  EXPECT_EQ(f.pf.root[0], f.pf.root[1]);
+  EXPECT_EQ(f.cut(), 0u);
+}
+
+TEST(MergeStep, MutualSelectionDeduplicates) {
+  // Both endpoints select the shared auxiliary edge: the smaller root id
+  // keeps it (Section 4's rule); exactly one merge happens, no crash.
+  MergeFixture f(gen::path(2));
+  Selection sel(2);
+  sel.target[0] = 1;
+  sel.weight[0] = 1;
+  sel.target[1] = 0;
+  sel.weight[1] = 1;
+  const MergeStats stats = f.run(std::move(sel));
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_TRUE(validate_part_forest(f.g, f.pf));
+  EXPECT_EQ(f.pf.root[0], f.pf.root[1]);
+}
+
+TEST(MergeStep, StarSelectionFormsOnePart) {
+  // All leaves of a star select the hub: the marked structure is a star in
+  // F_i, and every leaf contracts into the hub in one step (the hub is the
+  // T root at level 0; leaves at level 1 contract iff the odd parity wins,
+  // which it does since all weight sits on odd edges).
+  const NodeId n = 8;
+  MergeFixture f(gen::star(n));
+  Selection sel(n);
+  for (NodeId v = 1; v < n; ++v) {
+    sel.target[v] = 0;
+    sel.weight[v] = 1;
+  }
+  const MergeStats stats = f.run(std::move(sel));
+  EXPECT_EQ(stats.merges, n - 1);
+  EXPECT_TRUE(validate_part_forest(f.g, f.pf));
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(f.pf.root[v], f.pf.root[0]);
+  EXPECT_EQ(f.cut(), 0u);
+  EXPECT_LE(stats.marked_tree_height, 1u);
+}
+
+TEST(MergeStep, ChainSelectionsRespectClaim15) {
+  // Path selections v -> v+1 form one long F_i path; the marked subgraph
+  // must stay a forest (Claim 15) and contraction must make progress
+  // without ever corrupting the part trees.
+  const NodeId n = 12;
+  MergeFixture f(gen::path(n));
+  Selection sel(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    sel.target[v] = v + 1;
+    sel.weight[v] = 1;
+  }
+  const MergeStats stats = f.run(std::move(sel));
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_TRUE(validate_part_forest(f.g, f.pf));
+  EXPECT_LT(f.cut(), n - 1);  // progress on the cut
+}
+
+TEST(MergeStep, DirectedCycleSelectionsTerminate) {
+  // Selections around a cycle produce a directed cycle in the pseudo-forest
+  // (the Theorem 4 regime); the Cole-Vishkin emulation and the shift-down
+  // recoloring must still terminate with a proper structure.
+  const NodeId n = 9;
+  MergeFixture f(gen::cycle(n));
+  Selection sel(n);
+  for (NodeId v = 0; v < n; ++v) {
+    sel.target[v] = (v + 1) % n;
+    sel.weight[v] = 1;
+  }
+  const MergeStats stats = f.run(std::move(sel));
+  EXPECT_TRUE(validate_part_forest(f.g, f.pf));
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_LT(stats.cv_iterations, 64u);
+}
+
+TEST(MergeStep, HeavierEdgesWinTheParityContest) {
+  // Two parts both select the middle part: the even/odd decision follows
+  // the heavier side (Sub-step 3).
+  //    0 --(w=1)-- 1 --(w=1)-- 2, with 0 and 2 selecting 1.
+  MergeFixture f(gen::path(3));
+  Selection sel(3);
+  sel.target[0] = 1;
+  sel.weight[0] = 1;
+  sel.target[2] = 1;
+  sel.weight[2] = 1;
+  const MergeStats stats = f.run(std::move(sel));
+  // Both children of the T-root contract (same parity level 1... level
+  // parity 1 edges are odd: both or neither): here both.
+  EXPECT_EQ(stats.merges, 2u);
+  EXPECT_EQ(f.pf.root[0], f.pf.root[2]);
+  EXPECT_TRUE(validate_part_forest(f.g, f.pf));
+}
+
+TEST(MergeStep, RoundsAreChargedForEveryPhase) {
+  MergeFixture f(gen::grid(4, 4));
+  Selection sel(f.g.num_nodes());
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    const auto nbrs = f.g.neighbors(v);
+    sel.target[v] = nbrs[0].to;
+    sel.weight[v] = 1;
+  }
+  f.run(std::move(sel));
+  EXPECT_GT(f.ledger.rounds_with_prefix("stage1/seek"), 0u);
+  EXPECT_GT(f.ledger.rounds_with_prefix("stage1/cv"), 0u);
+  EXPECT_GT(f.ledger.rounds_with_prefix("stage1/mark"), 0u);
+}
+
+TEST(MergeStep, PreexistingMultiNodePartsMergeViaBoundary) {
+  // Two 2-node parts joined by one boundary edge; the designated in-charge
+  // node is found by the SEEK passes and the path flip reroots correctly.
+  const Graph g = gen::path(4);  // 0-1-2-3; parts {0,1} rooted 0, {2,3} rooted 2
+  MergeFixture f(g);
+  f.pf.merge_into(g, 1, g.find_edge(0, 1), 0);  // part {1} joins part {0}
+  f.pf.merge_into(g, 3, g.find_edge(2, 3), 2);  // part {3} joins part {2}
+  f.pf.recompute_depths(g);
+  ASSERT_TRUE(validate_part_forest(g, f.pf));
+  // Refresh neighbor roots to reflect the 2-node parts.
+  for (NodeId v = 0; v < 4; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+      f.neighbor_root[v][p] = f.pf.root[nbrs[p].to];
+    }
+  }
+  Selection sel(4);
+  sel.target[0] = 2;
+  sel.weight[0] = 1;
+  const MergeStats stats = f.run(std::move(sel));
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_TRUE(validate_part_forest(g, f.pf));
+  EXPECT_EQ(f.pf.root[0], f.pf.root[3]);
+}
+
+}  // namespace
+}  // namespace cpt

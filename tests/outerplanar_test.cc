@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "apps/outerplanar.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+
+namespace cpt {
+namespace {
+
+MinorFreeOptions opts(double eps, bool randomized = false) {
+  MinorFreeOptions o;
+  o.epsilon = eps;
+  o.randomized = randomized;
+  o.delta = 0.1;
+  o.seed = 1;
+  return o;
+}
+
+TEST(Outerplanar, OuterplanarInputsAccepted) {
+  Rng rng(3);
+  for (const bool randomized : {false, true}) {
+    EXPECT_EQ(test_outerplanarity(gen::cycle(40), opts(0.25, randomized)).verdict,
+              Verdict::kAccept);
+    EXPECT_EQ(
+        test_outerplanarity(gen::outerplanar(60, 30, rng), opts(0.25, randomized))
+            .verdict,
+        Verdict::kAccept);
+    EXPECT_EQ(test_outerplanarity(gen::caterpillar(30, 40, rng),
+                                  opts(0.25, randomized))
+                  .verdict,
+              Verdict::kAccept);
+  }
+}
+
+TEST(Outerplanar, WheelUnionIsFarAndRejected) {
+  // Each W6 wheel (hub + 5-cycle) needs at least one edge removed to become
+  // outerplanar: the union is 1/10-far from outerplanarity.
+  const Graph g = gen::disjoint_copies(gen::wheel(6), 40);
+  for (const bool randomized : {false, true}) {
+    EXPECT_EQ(test_outerplanarity(g, opts(0.15, randomized)).verdict,
+              Verdict::kReject);
+  }
+}
+
+TEST(Outerplanar, TriangulatedGridRejected) {
+  // Maximal-planar-ish density is far from outerplanar (outerplanar graphs
+  // have at most 2n-3 edges; trigrids have ~3n).
+  EXPECT_EQ(test_outerplanarity(gen::triangulated_grid(10, 10), opts(0.2)).verdict,
+            Verdict::kReject);
+}
+
+TEST(Outerplanar, OneSidedOverSeeds) {
+  Rng rng(5);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    MinorFreeOptions o = opts(0.3, true);
+    o.seed = seed;
+    const Graph g = gen::outerplanar(80, 20, rng);
+    EXPECT_EQ(test_outerplanarity(g, o).verdict, Verdict::kAccept);
+  }
+}
+
+TEST(Outerplanar, LedgerIncludesCheckCharge) {
+  const AppResult r = test_outerplanarity(gen::cycle(30), opts(0.25));
+  EXPECT_GT(r.ledger.rounds_with_prefix("app/outerplanar-check"), 0u);
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/part_forest.h"
+#include "tests/test_util.h"
+
+namespace cpt {
+namespace {
+
+using testutil::whole_graph_parts;
+
+TEST(PartForest, SingletonsValidate) {
+  const Graph g = gen::grid(4, 4);
+  const PartForest pf = PartForest::singletons(g.num_nodes());
+  EXPECT_TRUE(validate_part_forest(g, pf));
+  EXPECT_EQ(pf.roots().size(), g.num_nodes());
+  EXPECT_EQ(pf.max_depth(), 0u);
+}
+
+TEST(PartForest, WholeGraphPartsValidate) {
+  Rng rng(3);
+  const Graph g = gen::apollonian(80, rng);
+  const PartForest pf = whole_graph_parts(g);
+  EXPECT_TRUE(validate_part_forest(g, pf));
+  EXPECT_EQ(pf.roots().size(), 1u);
+}
+
+TEST(PartForest, MergeIntoFlipsPathAndReroots) {
+  // Path 0-1-2-3-4: two parts {0,1,2} rooted at 2 (so the path 2->1->0 must
+  // flip when 0 merges into 4's part {3,4} rooted at 3... exercising a
+  // nontrivial flip).
+  const Graph g = gen::path(5);
+  PartForest pf;
+  pf.root = {2, 2, 2, 3, 3};
+  pf.parent_edge.assign(5, kNoEdge);
+  pf.children.assign(5, {});
+  pf.members.assign(5, {});
+  // Tree of part {0,1,2}: 2 -> 1 -> 0 (parent edges toward 2).
+  pf.parent_edge[1] = g.find_edge(1, 2);
+  pf.parent_edge[0] = g.find_edge(0, 1);
+  pf.children[2] = {g.find_edge(1, 2)};
+  pf.children[1] = {g.find_edge(0, 1)};
+  // Tree of part {3,4}: 3 -> 4.
+  pf.parent_edge[4] = g.find_edge(3, 4);
+  pf.children[3] = {g.find_edge(3, 4)};
+  pf.members[2] = {0, 1, 2};
+  pf.members[3] = {3, 4};
+  pf.depth = {2, 1, 0, 0, 1};
+  ASSERT_TRUE(validate_part_forest(g, pf));
+
+  // Part rooted at 2 merges into part of 3, via designated edge (2-3)?
+  // No: u must be a boundary node of the merging part: u=2, v=3.
+  const std::uint32_t flip = pf.merge_into(g, 2, g.find_edge(2, 3), 3);
+  EXPECT_EQ(flip, 0u);  // u was the root: nothing to flip
+  pf.recompute_depths(g);
+  EXPECT_TRUE(validate_part_forest(g, pf));
+  EXPECT_EQ(pf.root[0], 3u);
+  EXPECT_EQ(pf.root[2], 3u);
+  EXPECT_EQ(pf.members[3].size(), 5u);
+}
+
+TEST(PartForest, MergeIntoWithDeepFlip) {
+  // Part {0,1,2,3} rooted at 0 as a path 0<-1<-2<-3; boundary node 3
+  // merges into singleton part {4}: the whole path must flip.
+  const Graph g = gen::path(5);
+  PartForest pf;
+  pf.root = {0, 0, 0, 0, 4};
+  pf.parent_edge.assign(5, kNoEdge);
+  pf.children.assign(5, {});
+  pf.members.assign(5, {});
+  for (NodeId v = 1; v <= 3; ++v) {
+    pf.parent_edge[v] = g.find_edge(v - 1, v);
+    pf.children[v - 1] = {g.find_edge(v - 1, v)};
+  }
+  pf.members[0] = {0, 1, 2, 3};
+  pf.members[4] = {4};
+  pf.depth = {0, 1, 2, 3, 0};
+  ASSERT_TRUE(validate_part_forest(g, pf));
+
+  const std::uint32_t flip = pf.merge_into(g, 3, g.find_edge(3, 4), 4);
+  EXPECT_EQ(flip, 3u);
+  pf.recompute_depths(g);
+  EXPECT_TRUE(validate_part_forest(g, pf));
+  EXPECT_EQ(pf.root[0], 4u);
+  EXPECT_EQ(pf.depth[0], 4u);  // 0 is now the deepest node
+  EXPECT_EQ(pf.parent_edge[4], kNoEdge);
+}
+
+TEST(PartForest, DenseIndexCoversAllParts) {
+  const Graph g = gen::disjoint_copies(gen::cycle(4), 3);
+  const PartForest pf = whole_graph_parts(g);
+  const PartForest::Dense d = pf.dense_index();
+  EXPECT_EQ(d.num_parts, 3u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LT(d.part_of[v], d.num_parts);
+    EXPECT_EQ(pf.root[v], d.root_of_part[d.part_of[v]]);
+  }
+}
+
+TEST(PartForest, ValidateCatchesCorruption) {
+  const Graph g = gen::grid(3, 3);
+  {
+    PartForest pf = whole_graph_parts(g);
+    pf.root[5] = 5;  // inconsistent with members
+    EXPECT_FALSE(validate_part_forest(g, pf));
+  }
+  {
+    PartForest pf = whole_graph_parts(g);
+    pf.depth[8] += 1;
+    EXPECT_FALSE(validate_part_forest(g, pf));
+  }
+  {
+    PartForest pf = whole_graph_parts(g);
+    // Orphan a child edge.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!pf.children[v].empty()) {
+        pf.children[v].pop_back();
+        break;
+      }
+    }
+    EXPECT_FALSE(validate_part_forest(g, pf));
+  }
+}
+
+TEST(PartForest, MeasurePartitionStats) {
+  // Two 2x2 grid parts joined by 2 edges.
+  GraphBuilder b(8);
+  // part A: 0,1,2,3 as a square; part B: 4,5,6,7 as a square
+  b.add_edge(0, 1); b.add_edge(1, 3); b.add_edge(3, 2); b.add_edge(2, 0);
+  b.add_edge(4, 5); b.add_edge(5, 7); b.add_edge(7, 6); b.add_edge(6, 4);
+  b.add_edge(1, 4);
+  b.add_edge(3, 6);
+  const Graph g = std::move(b).build();
+  PartForest pf;
+  pf.root = {0, 0, 0, 0, 4, 4, 4, 4};
+  pf.parent_edge.assign(8, kNoEdge);
+  pf.children.assign(8, {});
+  pf.members.assign(8, {});
+  pf.members[0] = {0, 1, 2, 3};
+  pf.members[4] = {4, 5, 6, 7};
+  pf.parent_edge[1] = g.find_edge(0, 1);
+  pf.parent_edge[2] = g.find_edge(0, 2);
+  pf.parent_edge[3] = g.find_edge(1, 3);
+  pf.children[0] = {g.find_edge(0, 1), g.find_edge(0, 2)};
+  pf.children[1] = {g.find_edge(1, 3)};
+  pf.parent_edge[5] = g.find_edge(4, 5);
+  pf.parent_edge[6] = g.find_edge(4, 6);
+  pf.parent_edge[7] = g.find_edge(5, 7);
+  pf.children[4] = {g.find_edge(4, 5), g.find_edge(4, 6)};
+  pf.children[5] = {g.find_edge(5, 7)};
+  pf.depth = {0, 1, 1, 2, 0, 1, 1, 2};
+  ASSERT_TRUE(validate_part_forest(g, pf));
+
+  const PartitionStats stats = measure_partition(g, pf);
+  EXPECT_EQ(stats.num_parts, 2u);
+  EXPECT_EQ(stats.cut_edges, 2u);
+  EXPECT_EQ(stats.max_tree_depth, 2u);
+  EXPECT_EQ(stats.max_part_ecc, 2u);
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "partition/partition.h"
+#include "tests/test_util.h"
+
+namespace cpt {
+namespace {
+
+Stage1Result run(const Graph& g, double epsilon,
+                 congest::RoundLedger* ledger_out = nullptr,
+                 std::uint32_t phase_override = 0) {
+  congest::Network net(g);
+  congest::Simulator sim(net);
+  congest::RoundLedger ledger;
+  Stage1Options opt;
+  opt.epsilon = epsilon;
+  opt.phase_override = phase_override;
+  Stage1Result r = run_stage1(sim, g, opt, ledger);
+  if (ledger_out != nullptr) *ledger_out = ledger;
+  return r;
+}
+
+TEST(Stage1, TheoryPhaseCountMatchesClaim3) {
+  // (1 - 1/36)^t <= eps/2.
+  for (const double eps : {0.5, 0.25, 0.1, 0.05}) {
+    const std::uint32_t t = stage1_theory_phase_count(eps, 3);
+    EXPECT_LE(std::pow(1.0 - 1.0 / 36.0, t), eps / 2.0);
+    EXPECT_GT(std::pow(1.0 - 1.0 / 36.0, t - 2), eps / 2.0);
+  }
+}
+
+TEST(Stage1, PlanarNeverRejectsAndMeetsCutTarget) {
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = gen::random_planar(150 + 40 * trial, 350 + 60 * trial, rng);
+    const Stage1Result r = run(g, 0.25);
+    EXPECT_FALSE(r.rejected);
+    EXPECT_TRUE(validate_part_forest(g, r.forest));
+    const PartitionStats stats = measure_partition(g, r.forest);
+    EXPECT_LE(stats.cut_edges, g.num_edges() / 8);  // eps*m/2 = m/8
+  }
+}
+
+TEST(Stage1, CutWeightNeverIncreasesAcrossPhases) {
+  Rng rng(5);
+  const Graph g = gen::apollonian(200, rng);
+  const Stage1Result r = run(g, 0.25);
+  for (std::size_t i = 0; i + 1 < r.phase_stats.size(); ++i) {
+    EXPECT_LE(r.phase_stats[i].cut_after, r.phase_stats[i].cut_before);
+    EXPECT_EQ(r.phase_stats[i].cut_after, r.phase_stats[i + 1].cut_before);
+  }
+}
+
+TEST(Stage1, ContractionFactorBeatsClaim1OnAverage) {
+  // Claim 1 guarantees w(G_{i+1}) <= (1 - 1/36) w(G_i); measured phases
+  // must at least meet the bound (they usually do far better).
+  Rng rng(7);
+  const Graph g = gen::triangulated_grid(14, 14);
+  const Stage1Result r = run(g, 0.25);
+  for (const PhaseStats& p : r.phase_stats) {
+    if (p.cut_before == 0) continue;
+    EXPECT_LE(static_cast<double>(p.cut_after),
+              (1.0 - 1.0 / 36.0) * static_cast<double>(p.cut_before) + 1.0);
+  }
+}
+
+TEST(Stage1, PartsConnectedWithKnownRootsAndTrees) {
+  Rng rng(9);
+  const Graph g = gen::grid(12, 12);
+  const Stage1Result r = run(g, 0.3);
+  ASSERT_FALSE(r.rejected);
+  EXPECT_TRUE(validate_part_forest(g, r.forest));
+}
+
+TEST(Stage1, DiameterBoundedBy4ToThePhases) {
+  // Claim 4: diameter of parts after phase i is at most 4^i. The measured
+  // eccentricity is a lower bound on diameter, so check ecc <= 4^phases.
+  Rng rng(11);
+  const Graph g = gen::random_planar(250, 600, rng);
+  const Stage1Result r = run(g, 0.25);
+  const PartitionStats stats = measure_partition(g, r.forest);
+  const double bound = std::pow(4.0, r.phases_emulated);
+  EXPECT_LE(static_cast<double>(stats.max_part_ecc), bound);
+}
+
+TEST(Stage1, CliqueIsRejectedWithArboricityEvidence) {
+  const Graph g = gen::complete(24);
+  const Stage1Result r = run(g, 0.25);
+  EXPECT_TRUE(r.rejected);
+  EXPECT_FALSE(r.rejecting_nodes.empty());
+}
+
+TEST(Stage1, FastForwardChargesRemainingPhases) {
+  // A tree collapses to one part quickly; phases_total must still reflect
+  // the full strict schedule and rounds must include the fast-forward.
+  Rng rng(13);
+  const Graph g = gen::random_tree(100, rng);
+  congest::RoundLedger ledger;
+  const Stage1Result r = run(g, 0.25, &ledger);
+  EXPECT_FALSE(r.rejected);
+  EXPECT_EQ(r.phases_total, stage1_theory_phase_count(0.25, 3));
+  EXPECT_LT(r.phases_emulated, r.phases_total);
+  EXPECT_GT(ledger.rounds_with_prefix("stage1/fast-forward"), 0u);
+}
+
+TEST(Stage1, PhaseOverrideShortensSchedule) {
+  Rng rng(15);
+  const Graph g = gen::apollonian(150, rng);
+  congest::RoundLedger full;
+  congest::RoundLedger two;
+  run(g, 0.25, &full);
+  const Stage1Result r2 = run(g, 0.25, &two, /*phase_override=*/2);
+  EXPECT_EQ(r2.phases_total, 2u);
+  EXPECT_LT(two.total_rounds(), full.total_rounds());
+}
+
+TEST(Stage1, AdaptiveStopsEarlyWithSameGuarantee) {
+  Rng rng(17);
+  const Graph g = gen::triangulated_grid(12, 12);
+  congest::Network net(g);
+  congest::Simulator sim(net);
+  congest::RoundLedger ledger;
+  Stage1Options opt;
+  opt.epsilon = 0.25;
+  opt.adaptive = true;
+  const Stage1Result r = run_stage1(sim, g, opt, ledger);
+  EXPECT_FALSE(r.rejected);
+  const PartitionStats stats = measure_partition(g, r.forest);
+  EXPECT_LE(stats.cut_edges, g.num_edges() / 8);
+}
+
+TEST(Stage1, DisconnectedInputsPartitionPerComponent) {
+  const Graph g = gen::disjoint_copies(gen::grid(4, 4), 3);
+  const Stage1Result r = run(g, 0.25);
+  ASSERT_FALSE(r.rejected);
+  EXPECT_TRUE(validate_part_forest(g, r.forest));
+  // Parts never span components.
+  const auto comps = connected_components(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(comps.component_of[v], comps.component_of[r.forest.root[v]]);
+  }
+}
+
+TEST(Stage1, RoundsLedgerIsConsistent) {
+  Rng rng(19);
+  const Graph g = gen::random_planar(120, 280, rng);
+  congest::RoundLedger ledger;
+  run(g, 0.25, &ledger);
+  std::uint64_t sum = 0;
+  for (const auto& p : ledger.passes()) sum += p.rounds;
+  EXPECT_EQ(sum, ledger.total_rounds());
+  EXPECT_GT(ledger.total_rounds(), 0u);
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congest/network.h"
+#include "congest/primitives.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/properties.h"
+#include "tests/test_util.h"
+
+namespace cpt::congest {
+namespace {
+
+using testutil::whole_graph_parts;
+
+struct Fixture {
+  Graph g;
+  Network net;
+  Simulator sim;
+  PartForest pf;
+
+  explicit Fixture(Graph graph)
+      : g(std::move(graph)), net(g), sim(net), pf(whole_graph_parts(g)) {}
+
+  TreeView tree() { return TreeView{&pf.parent_edge, &pf.children, nullptr}; }
+};
+
+TEST(ConvergeRecords, SumsUpTheTree) {
+  Fixture f(gen::binary_tree(15));
+  ConvergeRecords conv(f.tree(), Combine::kSum, 0);
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    conv.initial[v] = {{0, 1}, {1, static_cast<std::int64_t>(v)}};
+  }
+  const PassResult r = f.sim.run(conv);
+  EXPECT_TRUE(r.quiesced);
+  const auto& at_root = conv.at_root(0);
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  for (const Record& rec : at_root) {
+    if (rec.key == 0) count = rec.value;
+    if (rec.key == 1) sum = rec.value;
+  }
+  EXPECT_EQ(count, 15);
+  EXPECT_EQ(sum, 15 * 14 / 2);
+}
+
+TEST(ConvergeRecords, MinAndMax) {
+  Fixture f(gen::path(20));
+  {
+    ConvergeRecords conv(f.tree(), Combine::kMin, 0);
+    for (NodeId v = 0; v < 20; ++v) {
+      conv.initial[v] = {{0, 100 - static_cast<std::int64_t>(v)}};
+    }
+    f.sim.run(conv);
+    EXPECT_EQ(conv.at_root(0)[0].value, 81);
+  }
+  {
+    ConvergeRecords conv(f.tree(), Combine::kMax, 0);
+    for (NodeId v = 0; v < 20; ++v) {
+      conv.initial[v] = {{0, static_cast<std::int64_t>(v) % 7}};
+    }
+    f.sim.run(conv);
+    EXPECT_EQ(conv.at_root(0)[0].value, 6);
+  }
+}
+
+TEST(ConvergeRecords, CapTriggersOverflow) {
+  Fixture f(gen::star(10));  // root 0, leaves 1..9
+  ConvergeRecords conv(f.tree(), Combine::kSum, 4);
+  for (NodeId v = 1; v < 10; ++v) {
+    conv.initial[v] = {{v, 1}};  // 9 distinct keys > cap 4
+  }
+  f.sim.run(conv);
+  EXPECT_TRUE(conv.overflowed(0));
+}
+
+TEST(ConvergeRecords, CapNotTriggeredAtBoundary) {
+  Fixture f(gen::star(5));
+  ConvergeRecords conv(f.tree(), Combine::kSum, 4);
+  for (NodeId v = 1; v < 5; ++v) conv.initial[v] = {{v, 2}};
+  f.sim.run(conv);
+  EXPECT_FALSE(conv.overflowed(0));
+  EXPECT_EQ(conv.at_root(0).size(), 4u);
+}
+
+TEST(ConvergeRecords, RoundsScaleWithDepthAndRecords) {
+  Fixture f(gen::path(30));
+  ConvergeRecords conv(f.tree(), Combine::kSum, 0);
+  for (NodeId v = 0; v < 30; ++v) conv.initial[v] = {{0, 1}};
+  const PassResult r = f.sim.run(conv);
+  // Store-and-forward of 2 messages (1 record + DONE) per level: ~2*depth.
+  EXPECT_GE(r.rounds, 29u);
+  EXPECT_LE(r.rounds, 2u * 29u + 2u);
+}
+
+TEST(BroadcastRecords, StreamsReachAllNodesInOrder) {
+  Fixture f(gen::binary_tree(31));
+  BroadcastRecords bc(f.tree());
+  bc.stream[0] = {{1, 10}, {2, 20}, {3, 30}};
+  const PassResult r = f.sim.run(bc);
+  EXPECT_TRUE(r.quiesced);
+  for (NodeId v = 1; v < 31; ++v) {
+    ASSERT_EQ(bc.received[v].size(), 3u) << "node " << v;
+    EXPECT_EQ(bc.received[v][0].key, 1u);
+    EXPECT_EQ(bc.received[v][1].key, 2u);
+    EXPECT_EQ(bc.received[v][2].key, 3u);
+    EXPECT_EQ(bc.received[v][2].value, 30);
+  }
+  // Pipelined: depth + stream length, not depth * length.
+  EXPECT_LE(r.rounds, 4u + 3u + 2u);
+}
+
+TEST(BroadcastRecords, EmptyStreamsAreFree) {
+  Fixture f(gen::binary_tree(7));
+  BroadcastRecords bc(f.tree());
+  const PassResult r = f.sim.run(bc);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Exchange, OneRoundNeighborInfo) {
+  Fixture f(gen::cycle(6));
+  std::vector<int> received(6, 0);
+  Exchange ex(
+      6,
+      [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& out) {
+        for (std::uint32_t p = 0; p < f.net.port_count(v); ++p) {
+          out.push_back({p, Msg::make(9, static_cast<std::int64_t>(v))});
+        }
+      },
+      [&](NodeId v, std::span<const Inbound> inbox) {
+        for (const Inbound& in : inbox) {
+          received[v] += static_cast<int>(in.msg.w[0]) + 1;
+        }
+      });
+  const PassResult r = f.sim.run(ex);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_EQ(r.messages, 12u);
+  for (NodeId v = 0; v < 6; ++v) {
+    const int left = static_cast<int>((v + 5) % 6) + 1;
+    const int right = static_cast<int>((v + 1) % 6) + 1;
+    EXPECT_EQ(received[v], left + right);
+  }
+}
+
+TEST(BfsForest, LevelsMatchBfsDistances) {
+  const Graph g = gen::triangulated_grid(6, 7);
+  Network net(g);
+  Simulator sim(net);
+  std::vector<NodeId> part_root(g.num_nodes(), 0);
+  BfsForest bfs(part_root);
+  const PassResult r = sim.run(bfs);
+  EXPECT_TRUE(r.quiesced);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(bfs.level[v], dist[v]) << "node " << v;
+    if (v != 0) {
+      ASSERT_NE(bfs.parent_edge[v], kNoEdge);
+      const NodeId p = g.other_endpoint(bfs.parent_edge[v], v);
+      EXPECT_EQ(bfs.level[p] + 1, bfs.level[v]);
+      // Parent lists v as a child.
+      const auto& pc = bfs.children[p];
+      EXPECT_NE(std::find(pc.begin(), pc.end(), bfs.parent_edge[v]), pc.end());
+    }
+  }
+}
+
+TEST(BfsForest, RespectsPartBoundaries) {
+  // Two 3x3 grids joined by one edge; parts split along it.
+  const Graph base = gen::disjoint_copies(gen::grid(3, 3), 2);
+  const std::vector<Endpoints> bridge = {{4, 13}};
+  const Graph g = add_edges(base, bridge);
+  std::vector<NodeId> part_root(g.num_nodes());
+  for (NodeId v = 0; v < 9; ++v) part_root[v] = 0;
+  for (NodeId v = 9; v < 18; ++v) part_root[v] = 9;
+  Network net(g);
+  Simulator sim(net);
+  BfsForest bfs(part_root);
+  sim.run(bfs);
+  for (NodeId v = 0; v < 18; ++v) {
+    if (v == 0 || v == 9) {
+      EXPECT_EQ(bfs.parent_edge[v], kNoEdge);
+      continue;
+    }
+    const NodeId p = g.other_endpoint(bfs.parent_edge[v], v);
+    EXPECT_EQ(part_root[p], part_root[v]) << "tree edge crosses parts";
+  }
+}
+
+}  // namespace
+}  // namespace cpt::congest

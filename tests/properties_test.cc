@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/properties.h"
+
+namespace cpt {
+namespace {
+
+TEST(Properties, ConnectedComponents) {
+  const std::vector<Graph> parts = {gen::cycle(4), gen::path(3), gen::complete(5)};
+  const Graph g = disjoint_union(parts);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components, 3u);
+  EXPECT_EQ(info.component_of[0], info.component_of[3]);
+  EXPECT_NE(info.component_of[0], info.component_of[4]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(gen::grid(4, 4)));
+}
+
+TEST(Properties, BfsDistancesOnGrid) {
+  const Graph g = gen::grid(3, 3);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[4], 2u);  // center
+  EXPECT_EQ(dist[8], 4u);  // opposite corner
+}
+
+TEST(Properties, DiameterKnownValues) {
+  EXPECT_EQ(diameter_exact(gen::path(10)), 9u);
+  EXPECT_EQ(diameter_exact(gen::cycle(10)), 5u);
+  EXPECT_EQ(diameter_exact(gen::complete(6)), 1u);
+  EXPECT_EQ(diameter_exact(gen::grid(4, 7)), 3u + 6u);
+  EXPECT_GE(diameter_exact(gen::path(50)), diameter_lower_bound(gen::path(50)));
+}
+
+TEST(Properties, BipartitenessKnownCases) {
+  EXPECT_TRUE(is_bipartite(gen::grid(5, 6)));
+  EXPECT_TRUE(is_bipartite(gen::cycle(8)));
+  EXPECT_FALSE(is_bipartite(gen::cycle(9)));
+  EXPECT_TRUE(is_bipartite(gen::binary_tree(31)));
+  EXPECT_FALSE(is_bipartite(gen::complete(3)));
+  EXPECT_TRUE(is_bipartite(gen::complete_bipartite(4, 5)));
+  EXPECT_FALSE(is_bipartite(gen::triangulated_grid(3, 3)));
+}
+
+TEST(Properties, BipartitionIsProper) {
+  const Graph g = gen::hypercube(4);
+  const auto coloring = bipartition(g);
+  ASSERT_TRUE(coloring.has_value());
+  for (const Endpoints e : g.edges()) {
+    EXPECT_NE((*coloring)[e.u], (*coloring)[e.v]);
+  }
+}
+
+TEST(Properties, HasCycle) {
+  EXPECT_FALSE(has_cycle(gen::path(10)));
+  EXPECT_FALSE(has_cycle(gen::binary_tree(20)));
+  EXPECT_TRUE(has_cycle(gen::cycle(3)));
+  const std::vector<Graph> parts = {gen::path(5), gen::cycle(4)};
+  EXPECT_TRUE(has_cycle(disjoint_union(parts)));
+}
+
+TEST(Properties, GirthKnownValues) {
+  EXPECT_EQ(girth(gen::cycle(7)), 7u);
+  EXPECT_EQ(girth(gen::grid(4, 4)), 4u);
+  EXPECT_EQ(girth(gen::complete(5)), 3u);
+  EXPECT_EQ(girth(gen::complete_bipartite(3, 3)), 4u);
+  EXPECT_EQ(girth(gen::path(10)), kUnreachable);  // acyclic
+  EXPECT_EQ(girth(gen::hypercube(4)), 4u);
+  // Petersen graph: girth 5.
+  GraphBuilder pb(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    pb.add_edge(i, (i + 1) % 5);
+    pb.add_edge(i, i + 5);
+    pb.add_edge(i + 5, 5 + (i + 2) % 5);
+  }
+  EXPECT_EQ(girth(std::move(pb).build()), 5u);
+}
+
+TEST(Properties, DegeneracyKnownValues) {
+  EXPECT_EQ(degeneracy(gen::path(10)), 1u);
+  EXPECT_EQ(degeneracy(gen::binary_tree(20)), 1u);
+  EXPECT_EQ(degeneracy(gen::cycle(12)), 2u);
+  EXPECT_EQ(degeneracy(gen::complete(6)), 5u);
+  EXPECT_EQ(degeneracy(gen::grid(5, 5)), 2u);
+  Rng rng(3);
+  // Apollonian networks are 3-degenerate.
+  EXPECT_EQ(degeneracy(gen::apollonian(100, rng)), 3u);
+}
+
+TEST(Properties, ArboricityLowerBound) {
+  EXPECT_EQ(arboricity_lower_bound(gen::complete(5)), 3u);  // ceil(10/4)
+  EXPECT_EQ(arboricity_lower_bound(gen::path(10)), 1u);
+  Rng rng(5);
+  // Planar graphs have arboricity <= 3; the bound must respect that.
+  EXPECT_LE(arboricity_lower_bound(gen::apollonian(200, rng)), 3u);
+}
+
+TEST(Properties, PlanarityDistanceLowerBound) {
+  EXPECT_EQ(planarity_distance_lower_bound(gen::complete(5)), 1u);   // 10 - 9
+  EXPECT_EQ(planarity_distance_lower_bound(gen::grid(5, 5)), 0u);
+  EXPECT_EQ(planarity_distance_lower_bound(gen::complete(8)), 28u - 18u);
+  Rng rng(7);
+  EXPECT_EQ(planarity_distance_lower_bound(gen::apollonian(64, rng)), 0u);
+}
+
+TEST(Properties, EccentricityMatchesDiameterOnPaths) {
+  const Graph g = gen::path(20);
+  EXPECT_EQ(eccentricity(g, 0), 19u);
+  EXPECT_EQ(eccentricity(g, 10), 10u);
+}
+
+}  // namespace
+}  // namespace cpt

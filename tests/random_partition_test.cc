@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "congest/simulator.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "partition/random_partition.h"
+#include "tests/test_util.h"
+
+namespace cpt {
+namespace {
+
+RandomPartitionResult run(const Graph& g, double epsilon, double delta,
+                          std::uint64_t seed,
+                          congest::RoundLedger* ledger_out = nullptr) {
+  congest::Network net(g);
+  congest::Simulator sim(net);
+  congest::RoundLedger ledger;
+  RandomPartitionOptions opt;
+  opt.epsilon = epsilon;
+  opt.delta = delta;
+  opt.seed = seed;
+  RandomPartitionResult r = run_random_partition(sim, g, opt, ledger);
+  if (ledger_out != nullptr) *ledger_out = ledger;
+  return r;
+}
+
+TEST(RandomPartition, ForestStaysValidOnPlanarInputs) {
+  Rng rng(3);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = gen::random_planar(150, 350, rng);
+    const RandomPartitionResult r = run(g, 0.3, 0.2, seed);
+    EXPECT_TRUE(validate_part_forest(g, r.forest));
+  }
+}
+
+TEST(RandomPartition, MeetsCutTargetOnMinorFreeGraphs) {
+  // Theorem 4: cut <= eps*n with probability >= 1-delta. Check the eps*m/2
+  // working target across seeds, allowing the occasional failure.
+  Rng rng(5);
+  const Graph g = gen::triangulated_grid(12, 12);
+  int successes = 0;
+  constexpr int kSeeds = 6;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const RandomPartitionResult r = run(g, 0.3, 0.1, seed);
+    const PartitionStats stats = measure_partition(g, r.forest);
+    if (stats.cut_edges <= 0.15 * g.num_edges()) ++successes;
+  }
+  EXPECT_GE(successes, kSeeds - 1);
+}
+
+TEST(RandomPartition, TrialCountFollowsLemma13) {
+  const Graph g = gen::grid(6, 6);
+  const RandomPartitionResult strict = run(g, 0.3, 0.001, 1);
+  const RandomPartitionResult loose = run(g, 0.3, 0.5, 1);
+  EXPECT_GT(strict.trials_per_phase, loose.trials_per_phase);
+}
+
+TEST(RandomPartition, PhaseCountFollowsClaim14) {
+  EXPECT_GT(random_partition_theory_phase_count(0.1, 3),
+            random_partition_theory_phase_count(0.5, 3));
+}
+
+TEST(RandomPartition, CutWeightMonotone) {
+  Rng rng(9);
+  const Graph g = gen::apollonian(150, rng);
+  const RandomPartitionResult r = run(g, 0.25, 0.2, 7);
+  for (const PhaseStats& p : r.phase_stats) {
+    EXPECT_LE(p.cut_after, p.cut_before);
+  }
+}
+
+TEST(RandomPartition, DeterministicForFixedSeed) {
+  Rng rng(11);
+  const Graph g = gen::random_planar(100, 220, rng);
+  const RandomPartitionResult a = run(g, 0.3, 0.2, 42);
+  const RandomPartitionResult b = run(g, 0.3, 0.2, 42);
+  EXPECT_EQ(a.forest.root, b.forest.root);
+  EXPECT_EQ(a.phases_emulated, b.phases_emulated);
+}
+
+TEST(RandomPartition, SeedsProduceDifferentPartitions) {
+  Rng rng(13);
+  const Graph g = gen::triangulated_grid(10, 10);
+  const RandomPartitionResult a = run(g, 0.3, 0.2, 1);
+  const RandomPartitionResult b = run(g, 0.3, 0.2, 2);
+  EXPECT_NE(a.forest.root, b.forest.root);
+}
+
+TEST(RandomPartition, WorksOnDisconnectedInputs) {
+  const Graph g = gen::disjoint_copies(gen::grid(4, 4), 3);
+  const RandomPartitionResult r = run(g, 0.3, 0.2, 5);
+  EXPECT_TRUE(validate_part_forest(g, r.forest));
+  const auto comps = connected_components(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(comps.component_of[v], comps.component_of[r.forest.root[v]]);
+  }
+}
+
+TEST(RandomPartition, RoundsGrowSublinearlyInN) {
+  // Theorem 4's round count has no log n factor, but the merged parts'
+  // diameters (poly(1/eps), here larger than the graph diameters) still
+  // grow with the instance at these sizes. Quadrupling n must stay well
+  // below quadrupling rounds.
+  congest::RoundLedger small;
+  congest::RoundLedger large;
+  run(gen::grid(8, 8), 0.3, 0.2, 3, &small);
+  run(gen::grid(16, 16), 0.3, 0.2, 3, &large);
+  EXPECT_LT(static_cast<double>(large.total_rounds()),
+            3.0 * static_cast<double>(small.total_rounds()));
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/union_find.h"
+
+namespace cpt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.next_in(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialIsPositiveWithCorrectMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.next_exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);  // mean 1/lambda
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(17);
+  for (std::uint32_t n : {0u, 1u, 2u, 10u, 257u}) {
+    auto perm = rng.permutation(n);
+    std::sort(perm.begin(), perm.end());
+    ASSERT_EQ(perm.size(), n);
+    for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(perm[i], i);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t n = 50;
+    const std::uint32_t k = 20;
+    const auto sample = rng.sample_without_replacement(n, k);
+    ASSERT_EQ(sample.size(), k);
+    std::set<std::uint32_t> seen(sample.begin(), sample.end());
+    EXPECT_EQ(seen.size(), k);
+    for (const auto x : sample) EXPECT_LT(x, n);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(23);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += f1.next_u64() == f2.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(UnionFind, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReportsFreshness) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 2));
+  EXPECT_TRUE(uf.same(1, 3));
+  EXPECT_FALSE(uf.same(1, 4));
+  EXPECT_EQ(uf.set_size(3), 4u);
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFind, ChainMergeKeepsCounts) {
+  const std::uint32_t n = 1000;
+  UnionFind uf(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) EXPECT_TRUE(uf.unite(i, i + 1));
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.set_size(500), n);
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/violation.h"
+#include "util/rng.h"
+
+namespace cpt {
+namespace {
+
+LabelPair mk(std::initializer_list<std::uint32_t> a,
+             std::initializer_list<std::uint32_t> b) {
+  return LabelPair::normalized(Label(a), Label(b));
+}
+
+TEST(LabelsIntersect, InterleavedPairs) {
+  // l(u) < l(u') < l(v) < l(v').
+  EXPECT_TRUE(labels_intersect(mk({1}, {3}), mk({2}, {4})));
+  EXPECT_TRUE(labels_intersect(mk({2}, {4}), mk({1}, {3})));  // symmetric
+  EXPECT_TRUE(labels_intersect(mk({1}, {2, 1}), mk({2}, {3})));
+}
+
+TEST(LabelsIntersect, NestedPairsDoNot) {
+  EXPECT_FALSE(labels_intersect(mk({1}, {4}), mk({2}, {3})));
+  EXPECT_FALSE(labels_intersect(mk({2}, {3}), mk({1}, {4})));
+}
+
+TEST(LabelsIntersect, DisjointPairsDoNot) {
+  EXPECT_FALSE(labels_intersect(mk({1}, {2}), mk({3}, {4})));
+}
+
+TEST(LabelsIntersect, SharedEndpointsDoNot) {
+  // Strict inequalities: shared labels break the pattern.
+  EXPECT_FALSE(labels_intersect(mk({1}, {2}), mk({1}, {3})));
+  EXPECT_FALSE(labels_intersect(mk({1}, {2}), mk({2}, {3})));
+  EXPECT_FALSE(labels_intersect(mk({1}, {3}), mk({2}, {3})));
+}
+
+TEST(LabelsIntersect, PrefixOrderSemantics) {
+  // {1} < {1,1} < {1,2} < {2} in footnote-5 lex order.
+  EXPECT_TRUE(labels_intersect(mk({1}, {1, 2}), mk({1, 1}, {2})));
+  EXPECT_FALSE(labels_intersect(mk({1}, {2}), mk({1, 1}, {1, 2})));  // nested
+}
+
+TEST(ViolatingMask, SmallKnownConfigurations) {
+  // Chain of interleaves: e0-e1 interleave, e2 disjoint from both.
+  std::vector<LabelPair> edges = {mk({1}, {3}), mk({2}, {4}), mk({5}, {6})};
+  const auto mask = violating_mask(edges);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+  EXPECT_EQ(count_violating(edges), 2u);
+}
+
+TEST(ViolatingMask, AllNestedIsClean) {
+  std::vector<LabelPair> edges;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    edges.push_back(mk({10 + i}, {100 - i}));
+  }
+  EXPECT_EQ(count_violating(edges), 0u);
+}
+
+TEST(ViolatingMask, EveryPairInterleaves) {
+  // Edges (i, i+50) for i = 0..29: every pair interleaves.
+  std::vector<LabelPair> edges;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    edges.push_back(mk({i}, {50 + i}));
+  }
+  EXPECT_EQ(count_violating(edges), 30u);
+}
+
+TEST(ViolatingMask, EmptyAndSingleton) {
+  EXPECT_EQ(count_violating({}), 0u);
+  std::vector<LabelPair> one = {mk({1}, {2})};
+  EXPECT_EQ(count_violating(one), 0u);
+}
+
+// Property fuzz: the sweep implementation must agree with the quadratic
+// reference on random label-pair sets.
+class ViolationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViolationFuzz, SweepMatchesQuadratic) {
+  Rng rng(9000 + GetParam());
+  const int k = 5 + static_cast<int>(rng.next_below(120));
+  std::vector<LabelPair> edges;
+  for (int i = 0; i < k; ++i) {
+    const auto mk_label = [&] {
+      Label l(1 + rng.next_below(4));
+      for (auto& x : l) x = static_cast<std::uint32_t>(rng.next_below(6));
+      return l;
+    };
+    Label a = mk_label();
+    Label b = mk_label();
+    if (a == b) b.push_back(1);
+    edges.push_back(LabelPair::normalized(std::move(a), std::move(b)));
+  }
+  EXPECT_EQ(violating_mask(edges), violating_mask_quadratic(edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViolationFuzz, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cpt
