@@ -1,0 +1,106 @@
+#include "bench/bench_json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cpt::bench {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string render_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void BenchJson::meta(const std::string& key, const std::string& value) {
+  std::string rendered;
+  append_escaped(rendered, value);
+  meta_.push_back({key, std::move(rendered)});
+}
+
+void BenchJson::meta(const std::string& key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  meta_.push_back({key, buf});
+}
+
+void BenchJson::metric(const std::string& name, double value,
+                       const std::string& unit) {
+  metrics_.push_back({name, value, unit});
+}
+
+std::string BenchJson::to_string() const {
+  std::string out = "{\n  \"name\": ";
+  append_escaped(out, name_);
+  for (const Meta& m : meta_) {
+    out += ",\n  ";
+    append_escaped(out, m.key);
+    out += ": ";
+    out += m.value;
+  }
+  out += ",\n  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, metrics_[i].name);
+    out += ", \"value\": ";
+    out += render_double(metrics_[i].value);
+    out += ", \"unit\": ";
+    append_escaped(out, metrics_[i].unit);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool BenchJson::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_string();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace cpt::bench

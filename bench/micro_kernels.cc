@@ -1,14 +1,21 @@
 // E11 -- google-benchmark microbenchmarks of the computational kernels:
-// LR planarity test, LR embedding extraction, the simulator's BFS pass,
-// and the violation sweep.
+// LR planarity test, LR embedding extraction, the simulator's BFS and
+// saturated-delivery passes, and the violation sweep. Besides the normal
+// google-benchmark output, results are mirrored into
+// BENCH_micro_kernels.json (bench_json schema, see bench/README.md) so the
+// kernel trajectory is tracked alongside BENCH_congest_sim.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/bench_json.h"
 #include "congest/network.h"
 #include "congest/primitives.h"
 #include "congest/simulator.h"
 #include "core/violation.h"
 #include "graph/generators.h"
 #include "planar/lr_planarity.h"
+#include "util/indexed_bitset.h"
 
 namespace cpt {
 namespace {
@@ -56,6 +63,62 @@ void BM_SimulatorBfsPass(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorBfsPass)->Arg(32)->Arg(64)->Arg(128);
 
+// Full CONGEST load: every node echoes on every port each round. Exercises
+// only the delivery engine (send + bucketed scatter + inbox assembly).
+void BM_SimulatorSaturatedDelivery(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::triangulated_grid(side, side);
+  congest::Network net(g);
+  congest::Simulator sim(net);
+
+  class Saturate : public congest::Program {
+   public:
+    void begin(congest::Simulator& sim) override {
+      const NodeId n = sim.network().num_nodes();
+      for (NodeId v = 0; v < n; ++v) {
+        for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
+          sim.send(v, p, congest::Msg::make(p));
+        }
+      }
+    }
+    void on_wake(congest::Simulator& sim, NodeId v,
+                 std::span<const congest::Inbound> inbox) override {
+      if (sim.current_round() >= 8) return;
+      for (const congest::Inbound& in : inbox) sim.send(v, in.port, in.msg);
+    }
+  };
+
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    Saturate sat;
+    const congest::PassResult r = sim.run(sat);
+    messages += r.messages;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+}
+BENCHMARK(BM_SimulatorSaturatedDelivery)->Arg(64)->Arg(128)->Arg(256);
+
+// The ordered-bitset min-extraction underlying sort-free delivery.
+void BM_IndexedBitsetDrain(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  IndexedBitset set(1 << 22);
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < k; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      set.insert(x & ((1 << 22) - 1));
+    }
+    std::size_t sum = 0;
+    while (!set.empty()) sum += set.pop_front();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_IndexedBitsetDrain)->Arg(1 << 10)->Arg(1 << 16);
+
 void BM_ViolationSweep(benchmark::State& state) {
   Rng rng(4);
   const auto k = static_cast<std::size_t>(state.range(0));
@@ -76,7 +139,50 @@ void BM_ViolationSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ViolationSweep)->Arg(1 << 10)->Arg(1 << 14);
 
+// Mirrors every benchmark result into the BENCH_*.json trajectory file
+// while still printing the normal console report.
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTrajectoryReporter(bench::BenchJson* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      out_->metric(run.benchmark_name() + "/real_time",
+                   run.GetAdjustedRealTime(), "ns");
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        out_->metric(run.benchmark_name() + "/items_per_second",
+                     items->second.value, "1/s");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJson* out_;
+};
+
 }  // namespace
 }  // namespace cpt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cpt::bench::BenchJson out("micro_kernels");
+#ifdef NDEBUG
+  out.meta("build", "release");
+#else
+  out.meta("build", "debug");
+#endif
+  cpt::JsonTrajectoryReporter reporter(&out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  out.meta("peak_rss_bytes",
+           static_cast<std::int64_t>(cpt::bench::peak_rss_bytes()));
+  if (!out.write("BENCH_micro_kernels.json")) {
+    std::fprintf(stderr, "failed to write BENCH_micro_kernels.json\n");
+    return 1;
+  }
+  return 0;
+}

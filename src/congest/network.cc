@@ -3,12 +3,20 @@
 namespace cpt::congest {
 
 Network::Network(const Graph& g) : g_(&g) {
+  // Arc indices (and the simulator's packed delivery ids) are 32-bit; 2m
+  // must fit. Any graph this size is far beyond what the simulator can
+  // process anyway, so reject it loudly instead of overflowing.
+  CPT_EXPECTS(g.num_edges() <= (static_cast<EdgeId>(-1) >> 1) &&
+              "graph too large: 2m must fit in 32 bits");
   port_.assign(2ULL * g.num_edges(), 0);
+  owner_.assign(2ULL * g.num_edges(), 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     const auto nbrs = g.neighbors(v);
+    const std::uint32_t base = g.arc_offset(v);
     for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
       const Endpoints ep = g.endpoints(nbrs[p].edge);
       port_[2ULL * nbrs[p].edge + (ep.u == v ? 0 : 1)] = p;
+      owner_[base + p] = v;
     }
   }
 }

@@ -19,7 +19,7 @@ class Network {
 
   std::uint32_t port_count(NodeId v) const { return g_->degree(v); }
 
-  // The arc (neighbor, edge) behind port `port` of node v.
+  // The arc (neighbor, edge, peer_port) behind port `port` of node v.
   Arc arc(NodeId v, std::uint32_t port) const { return g_->neighbors(v)[port]; }
 
   // The port of node v on edge e. Precondition: v is an endpoint of e.
@@ -29,9 +29,20 @@ class Network {
     return port_[2ULL * e + (ep.u == v ? 0 : 1)];
   }
 
+  // Global arc (directed half-edge) indexing: arc_base(v) + p is the id of
+  // v's port p, so ids order all arcs by (owner, port) — which is exactly
+  // the simulator's delivery order. arc_owner inverts the mapping.
+  std::uint32_t num_arcs() const { return 2 * g_->num_edges(); }
+  std::uint32_t arc_base(NodeId v) const { return g_->arc_offset(v); }
+  NodeId arc_owner(std::uint32_t arc_index) const {
+    CPT_EXPECTS(arc_index < owner_.size());
+    return owner_[arc_index];
+  }
+
  private:
   const Graph* g_;
   std::vector<std::uint32_t> port_;  // indexed by half-edge (2e + side)
+  std::vector<NodeId> owner_;        // indexed by global arc index
 };
 
 }  // namespace cpt::congest

@@ -16,14 +16,46 @@ enum Tag : std::uint32_t {
 
 }  // namespace
 
+// ---------------------------------------------------------------- TreePorts
+
+void TreePorts::build(const Network& net, const std::vector<EdgeId>& parent_edge,
+                      const std::vector<std::vector<EdgeId>>& children) {
+  const std::size_t n = parent_edge.size();
+  parent_port.assign(n, 0);
+  if (child_offset.size() != n + 1) child_offset.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total += children[v].size();
+    child_offset[v + 1] = static_cast<std::uint32_t>(total);
+  }
+  child_port.clear();
+  child_port.reserve(total);
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_edge[v] != kNoEdge) {
+      parent_port[v] = net.port_of_edge(v, parent_edge[v]);
+    }
+    for (const EdgeId ce : children[v]) {
+      child_port.push_back(net.port_of_edge(v, ce));
+    }
+  }
+}
+
 // ---------------------------------------------------------------- Converge
 
-ConvergeRecords::ConvergeRecords(TreeView tree, Combine combine, std::uint32_t cap)
-    : tree_(tree), combine_(combine), cap_(cap) {
-  CPT_EXPECTS(tree_.parent_edge != nullptr && tree_.children != nullptr);
+ConvergeRecords::ConvergeRecords(TreeView tree, Combine combine, std::uint32_t cap) {
+  reset(tree, combine, cap);
+}
+
+void ConvergeRecords::reset(TreeView tree, Combine combine, std::uint32_t cap,
+                            const TreePorts* ports) {
+  CPT_EXPECTS(tree.parent_edge != nullptr && tree.children != nullptr);
+  tree_ = tree;
+  combine_ = combine;
+  cap_ = cap;
+  ports_ = ports;
   const std::size_t n = tree_.parent_edge->size();
-  initial.resize(n);
-  merged_.resize(n);
+  clear_record_table(initial, n);
+  clear_record_table(merged_, n);
   overflow_.assign(n, 0);
   pending_.assign(n, 0);
   cursor_.assign(n, 0);
@@ -57,9 +89,8 @@ void ConvergeRecords::merge_record(NodeId v, Record r) {
 void ConvergeRecords::pump(Simulator& sim, NodeId v) {
   // Stream one record (or the final DONE) per round toward the parent.
   if (done_sent_[v]) return;
-  const EdgeId pe = (*tree_.parent_edge)[v];
-  CPT_ASSERT(pe != kNoEdge);
-  const std::uint32_t port = sim.network().port_of_edge(v, pe);
+  CPT_ASSERT((*tree_.parent_edge)[v] != kNoEdge);
+  const std::uint32_t port = parent_ports_[v];
   const std::vector<Record>& out =
       overflow_[v] ? overflow_records_() : merged_[v];
   if (cursor_[v] < out.size()) {
@@ -88,6 +119,17 @@ void ConvergeRecords::finalize(Simulator& sim, NodeId v) {
 
 void ConvergeRecords::begin(Simulator& sim) {
   const NodeId n = static_cast<NodeId>(tree_.parent_edge->size());
+  if (ports_ != nullptr) {
+    parent_ports_ = ports_->parent_port.data();
+  } else {
+    parent_port_.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!tree_.in(v)) continue;
+      const EdgeId pe = (*tree_.parent_edge)[v];
+      if (pe != kNoEdge) parent_port_[v] = sim.network().port_of_edge(v, pe);
+    }
+    parent_ports_ = parent_port_.data();
+  }
   for (NodeId v = 0; v < n; ++v) {
     if (!tree_.in(v)) continue;
     pending_[v] = static_cast<std::uint32_t>((*tree_.children)[v].size());
@@ -116,12 +158,16 @@ void ConvergeRecords::on_wake(Simulator& sim, NodeId v,
 
 // ---------------------------------------------------------------- Broadcast
 
-BroadcastRecords::BroadcastRecords(TreeView tree) : tree_(tree) {
-  CPT_EXPECTS(tree_.parent_edge != nullptr && tree_.children != nullptr);
+BroadcastRecords::BroadcastRecords(TreeView tree) { reset(tree); }
+
+void BroadcastRecords::reset(TreeView tree, const TreePorts* ports) {
+  CPT_EXPECTS(tree.parent_edge != nullptr && tree.children != nullptr);
+  tree_ = tree;
+  ports_ = ports;
   const std::size_t n = tree_.parent_edge->size();
-  stream.resize(n);
-  received.resize(n);
-  queue_.resize(n);
+  clear_record_table(stream, n);
+  clear_record_table(received, n);
+  clear_record_table(queue_, n);
   cursor_.assign(n, 0);
   end_queued_.assign(n, 0);
 }
@@ -131,17 +177,38 @@ void BroadcastRecords::pump(Simulator& sim, NodeId v) {
   const bool is_end =
       end_queued_[v] && cursor_[v] + 1 == queue_[v].size();
   const Record& r = queue_[v][cursor_[v]++];
-  for (const EdgeId ce : (*tree_.children)[v]) {
-    const std::uint32_t port = sim.network().port_of_edge(v, ce);
-    sim.send(v, port,
-             Msg::make(is_end ? kTagDone : kTagRecord,
-                       static_cast<std::int64_t>(r.key), r.value));
+  const Msg msg = Msg::make(is_end ? kTagDone : kTagRecord,
+                            static_cast<std::int64_t>(r.key), r.value);
+  for (std::uint32_t i = child_offset_view_[v]; i < child_offset_view_[v + 1];
+       ++i) {
+    sim.send(v, child_port_view_[i], msg);
   }
   if (cursor_[v] < queue_[v].size()) sim.wake_next_round(v);
 }
 
 void BroadcastRecords::begin(Simulator& sim) {
   const NodeId n = static_cast<NodeId>(tree_.parent_edge->size());
+  if (ports_ != nullptr) {
+    child_port_view_ = ports_->child_port.data();
+    child_offset_view_ = ports_->child_offset.data();
+  } else {
+    child_ports_offset_.assign(n + 1, 0);
+    std::size_t total_children = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (tree_.in(v)) total_children += (*tree_.children)[v].size();
+      child_ports_offset_[v + 1] = static_cast<std::uint32_t>(total_children);
+    }
+    child_ports_.clear();
+    child_ports_.reserve(total_children);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!tree_.in(v)) continue;
+      for (const EdgeId ce : (*tree_.children)[v]) {
+        child_ports_.push_back(sim.network().port_of_edge(v, ce));
+      }
+    }
+    child_port_view_ = child_ports_.data();
+    child_offset_view_ = child_ports_offset_.data();
+  }
   for (NodeId v = 0; v < n; ++v) {
     if (!tree_.in(v)) continue;
     if ((*tree_.parent_edge)[v] != kNoEdge) continue;  // not a root
@@ -172,10 +239,15 @@ void BroadcastRecords::on_wake(Simulator& sim, NodeId v,
 
 void Exchange::begin(Simulator& sim) {
   std::vector<std::pair<std::uint32_t, Msg>> out;
-  for (NodeId v = 0; v < num_nodes_; ++v) {
+  const auto emit = [&](NodeId v) {
     out.clear();
     outgoing_(v, out);
     for (const auto& [port, msg] : out) sim.send(v, port, msg);
+  };
+  if (senders_ != nullptr) {
+    for (const NodeId v : *senders_) emit(v);
+  } else {
+    for (NodeId v = 0; v < num_nodes_; ++v) emit(v);
   }
 }
 

@@ -31,9 +31,35 @@ struct Record {
   std::int64_t value = 0;
 };
 
+// Precomputed tree-edge ports for a rooted forest: the port of each node's
+// parent edge, and each node's child-edge ports in CSR layout. The forest
+// topology is fixed between contractions, so drivers running many converge
+// / broadcast passes over the same trees build one TreePorts and hand it to
+// every reset(): the passes then skip their per-pass port_of_edge sweeps.
+struct TreePorts {
+  std::vector<std::uint32_t> parent_port;        // per node (0 at roots)
+  std::vector<std::uint32_t> child_port;         // CSR payload
+  std::vector<std::uint32_t> child_offset;       // size n+1
+
+  void build(const Network& net, const std::vector<EdgeId>& parent_edge,
+             const std::vector<std::vector<EdgeId>>& children);
+};
+
 // Merged record sets that exceed their cap collapse to this single key,
 // mirroring the paper's "more than 3*alpha distinct roots => just 'Active'".
 inline constexpr std::uint64_t kOverflowKey = static_cast<std::uint64_t>(-1);
+
+// Clears a per-node record table in place, keeping every inner buffer's
+// capacity — the idiom behind all cross-pass buffer pooling (primitive
+// reset()s, MergeScratch, PeelScratch).
+inline void clear_record_table(std::vector<std::vector<Record>>& table,
+                               std::size_t n) {
+  if (table.size() != n) {
+    table.assign(n, {});
+    return;
+  }
+  for (auto& recs : table) recs.clear();
+}
 
 enum class Combine { kSum, kMin, kMax };
 
@@ -43,7 +69,18 @@ enum class Combine { kSum, kMin, kMax };
 // deposit their merged set in `at_root()`.
 class ConvergeRecords : public Program {
  public:
+  // A default-constructed pass is an empty shell: reset() must run before
+  // the simulator does.
+  ConvergeRecords() = default;
   ConvergeRecords(TreeView tree, Combine combine, std::uint32_t cap);
+
+  // Re-arms the pass for a fresh run, keeping every per-node buffer's
+  // capacity. Drivers that run one converge pass per phase should own one
+  // ConvergeRecords and reset() it instead of constructing a new one: the
+  // steady state is then allocation-free. `ports` (optional, must outlive
+  // the run and match `tree`) skips the per-pass parent-port sweep.
+  void reset(TreeView tree, Combine combine, std::uint32_t cap,
+             const TreePorts* ports = nullptr);
 
   // Caller fills `initial[v]` (distinct keys per node) before running.
   std::vector<std::vector<Record>> initial;
@@ -61,13 +98,16 @@ class ConvergeRecords : public Program {
   static const std::vector<Record>& overflow_records_();
 
   TreeView tree_;
-  Combine combine_;
-  std::uint32_t cap_;
+  Combine combine_ = Combine::kSum;
+  std::uint32_t cap_ = 0;
   std::vector<std::vector<Record>> merged_;
   std::vector<std::uint8_t> overflow_;
   std::vector<std::uint32_t> pending_;  // children DONEs still expected
   std::vector<std::uint32_t> cursor_;   // next record to send to parent
   std::vector<std::uint8_t> done_sent_;
+  std::vector<std::uint32_t> parent_port_;  // own cache, filled in begin()
+  const TreePorts* ports_ = nullptr;        // shared cache, overrides own
+  const std::uint32_t* parent_ports_ = nullptr;  // active view (set in begin)
 };
 
 // Broadcast: each participating root streams its record list down its tree,
@@ -75,7 +115,15 @@ class ConvergeRecords : public Program {
 // non-root participant ends up with the full stream in `received[v]`.
 class BroadcastRecords : public Program {
  public:
+  // A default-constructed pass is an empty shell: reset() must run before
+  // the simulator does.
+  BroadcastRecords() = default;
   explicit BroadcastRecords(TreeView tree);
+
+  // Re-arms the pass for a fresh run, keeping per-node buffer capacity
+  // (see ConvergeRecords::reset). `ports` (optional, must outlive the run
+  // and match `tree`) skips the per-pass child-port sweep.
+  void reset(TreeView tree, const TreePorts* ports = nullptr);
 
   // Caller fills `stream[r]` for each participating root r.
   std::vector<std::vector<Record>> stream;
@@ -91,20 +139,34 @@ class BroadcastRecords : public Program {
   std::vector<std::vector<Record>> queue_;
   std::vector<std::uint32_t> cursor_;
   std::vector<std::uint8_t> end_queued_;
+  // Child ports per node in CSR layout, cached once in begin(): pump()
+  // runs every round of a pipelined stream and must not pay a port_of_edge
+  // lookup (nor a per-node allocation) per child per record.
+  std::vector<std::uint32_t> child_ports_;
+  std::vector<std::uint32_t> child_ports_offset_;  // size n+1
+  const TreePorts* ports_ = nullptr;               // shared cache, overrides own
+  const std::uint32_t* child_port_view_ = nullptr;    // active views
+  const std::uint32_t* child_offset_view_ = nullptr;  // (set in begin)
 };
 
 // One-round exchange: `outgoing` lists (port, msg) pairs per node before the
-// round; `collect` sees each node's inbox after delivery.
+// round; `collect` sees each node's inbox after delivery. `senders`
+// (optional) names the nodes that may send — any superset of the actual
+// senders leaves the pass's messages unchanged while skipping the `outgoing`
+// callback for everyone else; drivers that run many exchanges where few
+// nodes speak (relay hops, notification rounds) should pass it.
 class Exchange : public Program {
  public:
   using OutgoingFn =
       std::function<void(NodeId, std::vector<std::pair<std::uint32_t, Msg>>&)>;
   using CollectFn = std::function<void(NodeId, std::span<const Inbound>)>;
 
-  Exchange(NodeId num_nodes, OutgoingFn outgoing, CollectFn collect)
+  Exchange(NodeId num_nodes, OutgoingFn outgoing, CollectFn collect,
+           const std::vector<NodeId>* senders = nullptr)
       : num_nodes_(num_nodes),
         outgoing_(std::move(outgoing)),
-        collect_(std::move(collect)) {}
+        collect_(std::move(collect)),
+        senders_(senders) {}
 
   void begin(Simulator& sim) override;
   void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
@@ -113,6 +175,7 @@ class Exchange : public Program {
   NodeId num_nodes_;
   OutgoingFn outgoing_;
   CollectFn collect_;
+  const std::vector<NodeId>* senders_;
 };
 
 // BFS forest: one wave per part root, restricted to the root's own part

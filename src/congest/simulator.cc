@@ -1,77 +1,80 @@
 #include "congest/simulator.h"
 
-#include <algorithm>
-
 #include "util/contracts.h"
 
 namespace cpt::congest {
 
-void Simulator::send(NodeId from, std::uint32_t port, const Msg& msg) {
-  CPT_EXPECTS(port < net_->port_count(from));
-  // One message per directed edge per round (CONGEST bandwidth): detect
-  // duplicates with a round stamp per directed half-edge.
-  const Arc a = net_->arc(from, port);
-  const Endpoints ep = net_->graph().endpoints(a.edge);
-  const std::uint64_t half = 2ULL * a.edge + (ep.u == from ? 0 : 1);
-  CPT_EXPECTS(half_stamp_[half] != round_ &&
-              "one message per directed edge per round (CONGEST)");
-  half_stamp_[half] = round_;
-  next_out_.push_back(
-      {(static_cast<std::uint64_t>(a.to) << 20) | net_->port_of_edge(a.to, a.edge),
-       msg});
-}
-
 PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
-  next_out_.clear();
-  next_wake_.clear();
+  // Drop anything left in flight by a previous run that hit max_rounds.
+  // O(leftover): a quiesced simulator pays nothing here.
+  for (Flight& f : flight_) {
+    f.arcs.clear();
+    f.msgs.clear();
+    f.wakes.clear();
+  }
   round_ = 0;
-  half_stamp_.assign(2ULL * net_->graph().num_edges(), ~0ULL);
+  cur_ = 0;
 
   PassResult result;
   program.begin(*this);
-  std::vector<Delivery> current;
-  std::vector<NodeId> wakes;
-  while (!next_out_.empty() || !next_wake_.empty()) {
+  while (!flight_[cur_ ^ 1].arcs.empty() || !flight_[cur_ ^ 1].wakes.empty()) {
     if (round_ >= max_rounds) {
       result.quiesced = false;
       break;
     }
     ++round_;
-    current = std::move(next_out_);
-    next_out_.clear();
-    wakes = std::move(next_wake_);
-    next_wake_.clear();
-    result.messages += current.size();
+    cur_ ^= 1;
+    Flight& in = flight_[cur_];
+    result.messages += in.msgs.size();
 
-    // Deterministic delivery order: group by destination, inbox sorted by
-    // receiving port (both encoded in the packed key).
-    std::sort(current.begin(), current.end(),
-              [](const Delivery& a, const Delivery& b) { return a.key < b.key; });
-    std::sort(wakes.begin(), wakes.end());
-    wakes.erase(std::unique(wakes.begin(), wakes.end()), wakes.end());
-
-    static thread_local std::vector<Inbound> inbox;
-    std::size_t i = 0;
-    std::size_t wi = 0;
-    while (i < current.size() || wi < wakes.size()) {
-      NodeId v;
-      if (i < current.size() &&
-          (wi >= wakes.size() ||
-           static_cast<NodeId>(current[i].key >> 20) <= wakes[wi])) {
-        v = static_cast<NodeId>(current[i].key >> 20);
-      } else {
-        v = wakes[wi];
+    // Drain arcs in increasing index order == (destination, port) order:
+    // deterministic node processing and port-sorted inboxes, merged with
+    // the wake-up set. Sends during on_wake go to the other flight, so the
+    // cached minima stay valid across the program callback.
+    constexpr std::size_t kDrained = ~std::size_t{0};
+    std::size_t ri = in.arcs.empty() ? kDrained : in.arcs.front();
+    std::size_t wake = in.wakes.empty() ? kDrained : in.wakes.front();
+    while (ri != kDrained || wake != kDrained) {
+      const NodeId mv = ri == kDrained
+                            ? kNoNode
+                            : net_->arc_owner(static_cast<std::uint32_t>(ri));
+      const NodeId wv = wake == kDrained ? kNoNode : static_cast<NodeId>(wake);
+      const NodeId v = mv <= wv ? mv : wv;
+      std::span<const Inbound> box{};
+      if (mv == v) {
+        // Single-message inboxes (the common case in pipelined passes) are
+        // handed out as a span into the flight buffer; only multi-message
+        // inboxes gather into inbox_ to make the port-sorted view
+        // contiguous. Receiving ports are filled in here (send() leaves
+        // them blank to stay lookup-free).
+        const std::uint32_t base = net_->arc_base(v);
+        const std::uint32_t end = base + net_->port_count(v);
+        const std::uint32_t first = in.slot[ri];
+        in.msgs[first].port = static_cast<std::uint32_t>(ri) - base;
+        std::size_t cnt = 1;
+        in.arcs.erase(ri);
+        ri = in.arcs.empty() ? kDrained : in.arcs.front();
+        while (ri < end) {
+          if (cnt == 1) {
+            inbox_.clear();
+            inbox_.push_back(in.msgs[first]);
+          }
+          inbox_.push_back({static_cast<std::uint32_t>(ri) - base,
+                            in.msgs[in.slot[ri]].msg});
+          ++cnt;
+          in.arcs.erase(ri);
+          ri = in.arcs.empty() ? kDrained : in.arcs.front();
+        }
+        box = cnt == 1 ? std::span<const Inbound>{&in.msgs[first], 1}
+                       : std::span<const Inbound>{inbox_};
       }
-      inbox.clear();
-      while (i < current.size() &&
-             static_cast<NodeId>(current[i].key >> 20) == v) {
-        inbox.push_back({static_cast<std::uint32_t>(current[i].key & 0xfffff),
-                         current[i].msg});
-        ++i;
+      if (wv == v) {
+        in.wakes.erase(wake);
+        wake = in.wakes.empty() ? kDrained : in.wakes.front();
       }
-      while (wi < wakes.size() && wakes[wi] <= v) ++wi;
-      program.on_wake(*this, v, inbox);
+      program.on_wake(*this, v, box);
     }
+    in.msgs.clear();
   }
   result.rounds = round_;
   return result;

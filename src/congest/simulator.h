@@ -6,6 +6,19 @@
 // message over the same directed edge in one round is a contract violation
 // (CONGEST bandwidth). A pass ends when no messages are in flight and no
 // wake-ups are pending; the simulator reports measured rounds and messages.
+//
+// Delivery engine: sort-free and allocation-free in steady state. A send
+// addresses the *receiving* half-edge directly — global arc index
+// arc_base(dst) + dst_port, with dst_port precomputed in Arc::peer_port —
+// and marks it in an ordered bitset over all 2m arcs. Since arc indices
+// order arcs by (destination, port), draining that bitset in increasing
+// order visits nodes in id order with each inbox already port-sorted: no
+// per-round std::sort of delivery records. The same membership bit doubles
+// as the CONGEST bandwidth check (a second send over a directed edge in one
+// round finds its bit already set), replacing the seed's per-half-edge round
+// stamps and their O(m) per-pass reinitialization. All buffers are owned by
+// the Simulator and reused across rounds and passes; clearing costs
+// O(in-flight), never O(m) or O(n).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +27,7 @@
 
 #include "congest/message.h"
 #include "congest/network.h"
+#include "util/indexed_bitset.h"
 
 namespace cpt::congest {
 
@@ -39,7 +53,13 @@ class Simulator {
  public:
   static constexpr std::uint64_t kDefaultMaxRounds = 1'000'000'000ULL;
 
-  explicit Simulator(const Network& net) : net_(&net) {}
+  explicit Simulator(const Network& net) : net_(&net) {
+    for (Flight& f : flight_) {
+      f.arcs.reset(net.num_arcs());
+      f.slot.resize(net.num_arcs());
+      f.wakes.reset(net.num_nodes());
+    }
+  }
 
   // Runs the program to quiescence (or max_rounds) and returns measured cost.
   PassResult run(Program& program, std::uint64_t max_rounds = kDefaultMaxRounds);
@@ -48,11 +68,26 @@ class Simulator {
 
   // Send msg from node `from` through its local port `port`; delivered to
   // the neighbor at the start of the next round.
-  void send(NodeId from, std::uint32_t port, const Msg& msg);
+  void send(NodeId from, std::uint32_t port, const Msg& msg) {
+    CPT_EXPECTS(port < net_->port_count(from));
+    const Arc a = net_->arc(from, port);
+    const std::uint32_t ri = a.peer_arc;  // receiving half-edge, zero lookups
+    Flight& out = flight_[cur_ ^ 1];
+    [[maybe_unused]] const bool fresh = out.arcs.insert(ri);
+    CPT_EXPECTS(fresh && "one message per directed edge per round (CONGEST)");
+    out.slot[ri] = static_cast<std::uint32_t>(out.msgs.size());
+    // The receiving port is filled in at delivery (where the receiver's
+    // arc base is already at hand): a single-message inbox is then a span
+    // straight into this buffer, no copy.
+    out.msgs.push_back({0, msg});
+  }
 
   // Ask to be woken next round even without incoming messages (used by
-  // nodes draining multi-round send queues).
-  void wake_next_round(NodeId v) { next_wake_.push_back(v); }
+  // nodes draining multi-round send queues). Duplicate requests coalesce.
+  void wake_next_round(NodeId v) {
+    CPT_EXPECTS(v < net_->num_nodes());
+    flight_[cur_ ^ 1].wakes.insert(v);
+  }
 
   const Network& network() const { return *net_; }
 
@@ -60,18 +95,21 @@ class Simulator {
   std::uint64_t current_round() const { return round_; }
 
  private:
-  struct Delivery {
-    // (dst << 20) | dst_port: a single sortable key. Ports are bounded by
-    // node degree < 2^20.
-    std::uint64_t key;
-    Msg msg;
+  // Everything in flight toward one round: per-receiving-arc membership
+  // (ordered), the message payloads in send order, and the arc -> payload
+  // mapping. Double-buffered: programs running round r fill the other
+  // buffer for round r+1.
+  struct Flight {
+    IndexedBitset arcs;               // in-flight receiving half-edges
+    std::vector<Inbound> msgs;        // receiver-ready payloads, send order
+    std::vector<std::uint32_t> slot;  // arc index -> index into msgs
+    IndexedBitset wakes;              // nodes to wake regardless of inbox
   };
 
   const Network* net_;
-  std::vector<Delivery> next_out_;
-  std::vector<NodeId> next_wake_;
-  // Round stamp per directed half-edge: bandwidth enforcement.
-  std::vector<std::uint64_t> half_stamp_;
+  Flight flight_[2];
+  unsigned cur_ = 0;  // index of the flight being delivered this round
+  std::vector<Inbound> inbox_;
   std::uint64_t round_ = 0;
 };
 

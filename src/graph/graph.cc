@@ -35,8 +35,26 @@ Graph GraphBuilder::build() && {
   std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (EdgeId e = 0; e < g.edges_.size(); ++e) {
     const Endpoints ep = g.edges_[e];
-    g.arcs_[cursor[ep.u]++] = {ep.v, e};
-    g.arcs_[cursor[ep.v]++] = {ep.u, e};
+    g.arcs_[cursor[ep.u]++] = {ep.v, e, 0};
+    g.arcs_[cursor[ep.v]++] = {ep.u, e, 0};
+  }
+
+  // Fill Arc::peer_arc: record each endpoint's global arc index per
+  // half-edge, then hand every arc the index of its reverse.
+  std::vector<std::uint32_t> side_arc(g.arcs_.size());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (std::uint32_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      const Arc& a = g.arcs_[i];
+      const std::uint32_t side = g.edges_[a.edge].u == v ? 0u : 1u;
+      side_arc[2ULL * a.edge + side] = i;
+    }
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (std::uint32_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      Arc& a = g.arcs_[i];
+      const std::uint32_t side = g.edges_[a.edge].u == v ? 0u : 1u;
+      a.peer_arc = side_arc[2ULL * a.edge + (side ^ 1)];
+    }
   }
   return g;
 }

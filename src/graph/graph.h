@@ -22,9 +22,14 @@ inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
 
 // One directed half of an undirected edge, as seen from its source node.
+// `peer_arc` is the global index (arc_offset(to) + port of the source in
+// `to`'s adjacency list) of this arc's reverse, precomputed at build time
+// so message delivery can address the receiving half-edge with zero
+// lookups (see congest::Simulator).
 struct Arc {
   NodeId to;
   EdgeId edge;
+  std::uint32_t peer_arc;
 };
 
 struct Endpoints {
@@ -47,6 +52,15 @@ class Graph {
   std::span<const Arc> neighbors(NodeId v) const {
     CPT_EXPECTS(v < num_nodes());
     return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  // Index of v's first arc in the global arc array (CSR offset). Arc
+  // indices order all 2m arcs by (owner node, port); `arc_offset(v) + p`
+  // is the global id of v's port p. Accepts v == num_nodes() as the end
+  // sentinel.
+  std::uint32_t arc_offset(NodeId v) const {
+    CPT_EXPECTS(v <= num_nodes());
+    return offsets_.empty() ? 0 : offsets_[v];
   }
 
   Endpoints endpoints(EdgeId e) const {

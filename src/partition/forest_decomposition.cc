@@ -20,10 +20,10 @@ namespace {
 constexpr std::uint32_t kTagActive = 10;
 }
 
-PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
-                                       const PartForest& pf,
-                                       const PeelingOptions& opt,
-                                       congest::RoundLedger& ledger) {
+void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
+                              const PartForest& pf, const PeelingOptions& opt,
+                              congest::RoundLedger& ledger,
+                              PeelingResult& result, PeelScratch* scratch) {
   const NodeId n = g.num_nodes();
   const std::uint32_t cap = 3 * opt.alpha;
   const std::uint32_t s =
@@ -32,27 +32,47 @@ PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
           : static_cast<std::uint32_t>(
                 std::ceil(std::log(std::max<double>(n, 2)) / std::log(1.5))) + 1;
 
-  PeelingResult result;
-  result.out_records.resize(n);
-  result.neighbor_root.resize(n);
+  PeelScratch local_scratch;
+  PeelScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+
+  result.still_active_roots.clear();
+  result.emulated_super_rounds = 0;
+  congest::clear_record_table(result.out_records, n);
+  if (result.neighbor_root.size() != n) result.neighbor_root.resize(n);
   for (NodeId v = 0; v < n; ++v) {
     result.neighbor_root[v].assign(g.degree(v), kNoNode);
   }
 
   // Root-side state (driver arrays indexed by root node id).
-  std::vector<std::uint8_t> active(n, 0);
-  std::vector<std::uint8_t> learning(n, 0);
-  std::vector<std::vector<Record>> rec_at_inact(n);
+  auto& active = sc.active;
+  auto& learning = sc.learning;
+  auto& rec_at_inact = sc.rec_at_inact;
   // Node-side state: does my part announce in pass A this super-round?
-  std::vector<std::uint8_t> announces(n, 0);
+  auto& announces = sc.announces;
+  active.assign(n, 0);
+  learning.assign(n, 0);
+  congest::clear_record_table(rec_at_inact, n);
+  announces.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
     if (pf.is_root(v)) active[v] = 1;
     announces[v] = 1;  // all parts start active
   }
 
-  // Scratch: per-node local records collected from pass A.
-  std::vector<std::vector<Record>> local_rec(n);
-  std::vector<std::uint8_t> participates(n, 0);
+  // Scratch: per-node local records collected from pass A. The converge /
+  // broadcast passes are pooled across super-rounds and calls (reset()
+  // keeps per-node buffer capacity), so the loop is allocation-free in
+  // steady state.
+  auto& local_rec = sc.local_rec;
+  congest::clear_record_table(local_rec, n);
+  auto& participates = sc.participates;
+  participates.assign(n, 0);
+  auto& announcing = sc.announcing;
+  TreeView tree{&pf.parent_edge, &pf.children, &participates};
+  ConvergeRecords& conv = sc.conv;
+  BroadcastRecords& bc = sc.bc;
+  // The part forest is fixed for the whole peeling: one port sweep serves
+  // every converge/broadcast pass below.
+  sc.tree_ports.build(sim.network(), pf.parent_edge, pf.children);
 
   for (std::uint32_t ell = 1; ell <= s + 1; ++ell) {
     bool any_active = false;
@@ -73,6 +93,10 @@ PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
 
     // ---- Pass A: 'Active' announcements (one round). ----
     for (auto& lr : local_rec) lr.clear();
+    announcing.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      if (announces[v]) announcing.push_back(v);
+    }
     Exchange exchange(
         n,
         [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& out) {
@@ -90,7 +114,8 @@ PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
             result.neighbor_root[v][in.port] = r;
             if (r != pf.root[v]) local_rec[v].push_back({r, 1});
           }
-        });
+        },
+        &announcing);
     const auto ra = sim.run(exchange);
     ledger.add_pass("stage1/peel-exchange", std::max<std::uint64_t>(ra.rounds, 1),
                     ra.messages);
@@ -100,10 +125,9 @@ PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
       const NodeId r = pf.root[v];
       participates[v] = (active[r] || learning[r]) ? 1 : 0;
     }
-    TreeView tree{&pf.parent_edge, &pf.children, &participates};
-    ConvergeRecords conv(tree, Combine::kSum, cap);
+    conv.reset(tree, Combine::kSum, cap, &sc.tree_ports);
     for (NodeId v = 0; v < n; ++v) {
-      if (participates[v]) conv.initial[v] = std::move(local_rec[v]);
+      if (participates[v]) conv.initial[v] = local_rec[v];
     }
     const auto rb = sim.run(conv);
     ledger.add_pass("stage1/peel-converge", rb.rounds, rb.messages);
@@ -140,7 +164,8 @@ PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
 
     // ---- Pass C: notify members of parts that just became inactive. ----
     if (!newly_inactive.empty()) {
-      BroadcastRecords bc(TreeView{&pf.parent_edge, &pf.children, nullptr});
+      bc.reset(TreeView{&pf.parent_edge, &pf.children, nullptr},
+               &sc.tree_ports);
       for (const NodeId r : newly_inactive) {
         bc.stream[r] = {{0, 0}};
         announces[r] = 0;  // the root itself
@@ -156,6 +181,14 @@ PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
   for (NodeId r = 0; r < n; ++r) {
     if (pf.is_root(r) && active[r]) result.still_active_roots.push_back(r);
   }
+}
+
+PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
+                                       const PartForest& pf,
+                                       const PeelingOptions& opt,
+                                       congest::RoundLedger& ledger) {
+  PeelingResult result;
+  run_forest_decomposition(sim, g, pf, opt, ledger, result, nullptr);
   return result;
 }
 

@@ -42,6 +42,28 @@ struct PeelingResult {
   std::uint32_t emulated_super_rounds = 0;  // super-rounds needing messages
 };
 
+// Reusable buffers for the peeling emulation. Passing one instance across
+// the phases of a partition run keeps every per-node buffer's capacity, so
+// repeated peelings are allocation-free in steady state. Purely a
+// performance knob: contents carry no state between calls.
+struct PeelScratch {
+  congest::ConvergeRecords conv;
+  congest::BroadcastRecords bc;
+  congest::TreePorts tree_ports;
+  std::vector<std::vector<congest::Record>> local_rec;
+  std::vector<std::vector<congest::Record>> rec_at_inact;
+  std::vector<std::uint8_t> active, learning, announces, participates;
+  std::vector<NodeId> announcing;
+};
+
+// Overwrites `result` completely (capacity is reused across calls).
+void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
+                              const PartForest& pf, const PeelingOptions& opt,
+                              congest::RoundLedger& ledger,
+                              PeelingResult& result,
+                              PeelScratch* scratch = nullptr);
+
+// Convenience wrapper returning a fresh result.
 PeelingResult run_forest_decomposition(congest::Simulator& sim, const Graph& g,
                                        const PartForest& pf,
                                        const PeelingOptions& opt,

@@ -52,9 +52,27 @@ struct MergeCtx {
   std::vector<std::uint32_t> level;
   std::vector<std::int8_t> parity_bit;  // -1 unknown, else 0/1
 
+  // Pooled passes and tables (living in the cross-phase MergeScratch),
+  // reset()/cleared per use so the dozens of relay passes in one merge step
+  // reuse per-node buffers instead of re-allocating them. Two broadcast
+  // pools because find_designated_edges keeps two broadcasts' state alive
+  // at once; the sender lists let relay hops skip silent nodes.
+  BroadcastRecords& bc_pool;
+  BroadcastRecords& bc_pool2;
+  ConvergeRecords& conv_pool;
+  congest::TreePorts& tree_ports;  // built once: forest fixed until contraction
+  std::vector<std::vector<Record>>& at_pool;
+  std::vector<std::uint8_t>& all_mask;
+  std::vector<NodeId>& charge_nodes;
+  std::vector<NodeId>& serving_nodes;
+  std::vector<std::vector<Record>>& values_a;
+  std::vector<std::vector<Record>>& values_b;
+  std::vector<std::vector<Record>>& out_a;
+  std::vector<std::vector<Record>>& out_b;
+
   MergeCtx(congest::Simulator& sim_, const Graph& g_, PartForest& pf_,
            const std::vector<std::vector<NodeId>>& nr, Selection& sel_,
-           congest::RoundLedger& ledger_)
+           congest::RoundLedger& ledger_, MergeScratch& scratch)
       : sim(sim_),
         g(g_),
         pf(pf_),
@@ -71,7 +89,33 @@ struct MergeCtx {
         out_marked(n, 0),
         marked_children(n, 0),
         level(n, kNoLevel),
-        parity_bit(n, -1) {}
+        parity_bit(n, -1),
+        bc_pool(scratch.bc_a),
+        bc_pool2(scratch.bc_b),
+        conv_pool(scratch.conv),
+        tree_ports(scratch.tree_ports),
+        at_pool(scratch.at),
+        all_mask(scratch.all_mask),
+        charge_nodes(scratch.charge_nodes),
+        serving_nodes(scratch.serving_nodes),
+        values_a(scratch.values_a),
+        values_b(scratch.values_b),
+        out_a(scratch.out_a),
+        out_b(scratch.out_b) {
+    if (at_pool.size() != n) at_pool.assign(n, {});
+    if (all_mask.size() != n) all_mask.assign(n, 1);
+    tree_ports.build(sim.network(), pf.parent_edge, pf.children);
+  }
+
+  std::vector<std::vector<Record>>& claim_at_pool() {
+    for (auto& recs : at_pool) recs.clear();
+    return at_pool;
+  }
+
+  // Clears a per-root table in place, keeping inner capacity.
+  void clear_values(std::vector<std::vector<Record>>& table) const {
+    congest::clear_record_table(table, n);
+  }
 
   bool has_sel(NodeId r) const { return sel.target[r] != kNoNode; }
 
@@ -79,22 +123,20 @@ struct MergeCtx {
     return TreeView{&pf.parent_edge, &pf.children, mask};
   }
 
-  std::vector<std::vector<Record>> empty_values() const {
-    return std::vector<std::vector<Record>>(n);
-  }
-
   // --- Composite relay passes ------------------------------------------
 
   // F_i-parent -> F_i-children: every part root with a value broadcasts it
   // down its own tree; serving nodes forward the k-th record over the
   // designated edges they serve (optionally only marked ones); the
-  // receiving in-charge nodes converge the records up their trees. Returns
-  // per-root received records (merged by key, summed).
-  std::vector<std::vector<Record>> relay_down(
-      const std::vector<std::vector<Record>>& values, bool marked_only,
-      const char* passname) {
-    auto out = empty_values();
-    BroadcastRecords bc(tree(nullptr));
+  // receiving in-charge nodes converge the records up their trees. Fills
+  // `out` (cleared here; must not alias `values`) with per-root received
+  // records (merged by key, summed).
+  void relay_down(const std::vector<std::vector<Record>>& values,
+                  bool marked_only, const char* passname,
+                  std::vector<std::vector<Record>>& out) {
+    clear_values(out);
+    bc_pool.reset(tree(nullptr), &tree_ports);
+    BroadcastRecords& bc = bc_pool;
     std::size_t max_len = 0;
     for (NodeId r = 0; r < n; ++r) {
       if (pf.is_root(r) && !values[r].empty()) {
@@ -102,7 +144,7 @@ struct MergeCtx {
         max_len = std::max(max_len, values[r].size());
       }
     }
-    if (max_len == 0) return out;
+    if (max_len == 0) return;
     auto rb = sim.run(bc);
     ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
     for (NodeId r = 0; r < n; ++r) {
@@ -110,7 +152,7 @@ struct MergeCtx {
     }
     // Serving nodes push the stream across designated edges, one record per
     // round per edge.
-    std::vector<std::vector<Record>> at_charge(n);
+    auto& at_charge = claim_at_pool();
     for (std::size_t k = 0; k < max_len; ++k) {
       Exchange ex(
           n,
@@ -132,14 +174,16 @@ struct MergeCtx {
                     {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
               }
             }
-          });
+          },
+          &serving_nodes);
       auto re = sim.run(ex);
       ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
     }
     // Converge up the receiving (selection-holding) parts.
-    ConvergeRecords conv(tree(&sel_mask), Combine::kSum, 0);
+    conv_pool.reset(tree(&sel_mask), Combine::kSum, 0, &tree_ports);
+    ConvergeRecords& conv = conv_pool;
     for (NodeId v = 0; v < n; ++v) {
-      if (sel_mask[v]) conv.initial[v] = std::move(at_charge[v]);
+      if (sel_mask[v]) conv.initial[v] = at_charge[v];
     }
     auto rc = sim.run(conv);
     ledger.add_pass(std::string(passname) + "/conv", rc.rounds, rc.messages);
@@ -148,18 +192,19 @@ struct MergeCtx {
         out[r].assign(conv.at_root(r).begin(), conv.at_root(r).end());
       }
     }
-    return out;
   }
 
   // F_i-children -> F_i-parent: sending parts broadcast their records down
   // to their in-charge node, which pushes them over the designated edge;
   // the parent part converges the arriving records up its tree, summing by
   // key. `senders` (optional) restricts which selection-holding parts send.
-  std::vector<std::vector<Record>> relay_up(
-      const std::vector<std::vector<Record>>& values, bool marked_only,
-      const std::vector<std::uint8_t>* senders, const char* passname) {
-    auto out = empty_values();
-    BroadcastRecords bc(tree(nullptr));
+  // Fills `out` (cleared here; must not alias `values`).
+  void relay_up(const std::vector<std::vector<Record>>& values,
+                bool marked_only, const std::vector<std::uint8_t>* senders,
+                const char* passname, std::vector<std::vector<Record>>& out) {
+    clear_values(out);
+    bc_pool.reset(tree(nullptr), &tree_ports);
+    BroadcastRecords& bc = bc_pool;
     std::size_t max_len = 0;
     for (NodeId r = 0; r < n; ++r) {
       if (!pf.is_root(r) || !has_sel(r) || values[r].empty()) continue;
@@ -168,13 +213,13 @@ struct MergeCtx {
       bc.stream[r] = values[r];
       max_len = std::max(max_len, values[r].size());
     }
-    if (max_len == 0) return out;
+    if (max_len == 0) return;
     auto rb = sim.run(bc);
     ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
     for (NodeId r = 0; r < n; ++r) {
       if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
     }
-    std::vector<std::vector<Record>> at_serve(n);
+    auto& at_serve = claim_at_pool();
     for (std::size_t k = 0; k < max_len; ++k) {
       Exchange ex(
           n,
@@ -198,13 +243,15 @@ struct MergeCtx {
                     {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
               }
             }
-          });
+          },
+          &charge_nodes);
       auto re = sim.run(ex);
       ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
     }
-    ConvergeRecords conv(tree(&serve_mask), Combine::kSum, 0);
+    conv_pool.reset(tree(&serve_mask), Combine::kSum, 0, &tree_ports);
+    ConvergeRecords& conv = conv_pool;
     for (NodeId v = 0; v < n; ++v) {
-      if (serve_mask[v]) conv.initial[v] = std::move(at_serve[v]);
+      if (serve_mask[v]) conv.initial[v] = at_serve[v];
     }
     auto rc = sim.run(conv);
     ledger.add_pass(std::string(passname) + "/conv", rc.rounds, rc.messages);
@@ -213,7 +260,6 @@ struct MergeCtx {
         out[r].assign(conv.at_root(r).begin(), conv.at_root(r).end());
       }
     }
-    return out;
   }
 };
 
@@ -235,7 +281,8 @@ void find_designated_edges(MergeCtx& ctx) {
 
   // SEEK passes for parts without a known physical edge.
   bool any_seek = false;
-  BroadcastRecords bc(ctx.tree(nullptr));
+  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports);
+  BroadcastRecords& bc = ctx.bc_pool;
   for (NodeId r = 0; r < n; ++r) {
     if (ctx.pf.is_root(r) && ctx.has_sel(r) &&
         ctx.sel.charge_node[r] == kNoNode) {
@@ -250,7 +297,8 @@ void find_designated_edges(MergeCtx& ctx) {
       if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
     }
     // Boundary nodes with an edge to the target nominate themselves (min id).
-    ConvergeRecords conv(ctx.tree(&ctx.sel_mask), Combine::kMin, 0);
+    ctx.conv_pool.reset(ctx.tree(&ctx.sel_mask), Combine::kMin, 0, &ctx.tree_ports);
+    ConvergeRecords& conv = ctx.conv_pool;
     for (NodeId v = 0; v < n; ++v) {
       if (!ctx.sel_mask[v] || bc.received[v].empty()) continue;
       const NodeId target = static_cast<NodeId>(bc.received[v][0].value);
@@ -263,8 +311,10 @@ void find_designated_edges(MergeCtx& ctx) {
     }
     auto rc = ctx.sim.run(conv);
     ctx.ledger.add_pass("stage1/seek/conv", rc.rounds, rc.messages);
-    // Notify the chosen in-charge node down the tree.
-    BroadcastRecords bc2(ctx.tree(nullptr));
+    // Notify the chosen in-charge node down the tree. (Second pool:
+    // bc.stream is still being read below.)
+    ctx.bc_pool2.reset(ctx.tree(nullptr), &ctx.tree_ports);
+    BroadcastRecords& bc2 = ctx.bc_pool2;
     for (NodeId r = 0; r < n; ++r) {
       if (bc.stream[r].empty()) continue;
       const auto& recs = conv.at_root(r);
@@ -296,6 +346,10 @@ void find_designated_edges(MergeCtx& ctx) {
       CPT_ASSERT(ctx.sel.charge_edge[r] != kNoEdge);
     }
   }
+  ctx.charge_nodes.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (ctx.charge_port[v] != kNoPort) ctx.charge_nodes.push_back(v);
+  }
 
   // SERVE notifications: in-charge nodes tell the far endpoint (one round).
   Exchange serve(
@@ -309,14 +363,19 @@ void find_designated_edges(MergeCtx& ctx) {
         for (const Inbound& in : inbox) {
           if (in.msg.tag == kTagSignal) ctx.serve_ports[v].push_back(in.port);
         }
-      });
+      },
+      &ctx.charge_nodes);
   auto rs = ctx.sim.run(serve);
   ctx.ledger.add_pass("stage1/seek/serve", rs.rounds, rs.messages);
+  ctx.serving_nodes.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (!ctx.serve_ports[v].empty()) ctx.serving_nodes.push_back(v);
+  }
 
   // Serve mask: parts with at least one serving node learn it via one
   // converge + one broadcast.
-  std::vector<std::uint8_t> all(n, 1);
-  ConvergeRecords conv(ctx.tree(&all), Combine::kSum, 0);
+  ctx.conv_pool.reset(ctx.tree(&ctx.all_mask), Combine::kSum, 0, &ctx.tree_ports);
+  ConvergeRecords& conv = ctx.conv_pool;
   for (NodeId v = 0; v < n; ++v) {
     if (!ctx.serve_ports[v].empty()) {
       conv.initial[v] = {
@@ -325,7 +384,8 @@ void find_designated_edges(MergeCtx& ctx) {
   }
   auto rc = ctx.sim.run(conv);
   ctx.ledger.add_pass("stage1/seek/servemask-conv", rc.rounds, rc.messages);
-  BroadcastRecords bc3(ctx.tree(nullptr));
+  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports);
+  BroadcastRecords& bc3 = ctx.bc_pool;
   for (NodeId r = 0; r < n; ++r) {
     if (ctx.pf.is_root(r) && !conv.at_root(r).empty()) {
       bc3.stream[r] = {{0, 1}};
@@ -353,13 +413,15 @@ std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
       if (ctx.pf.is_root(r)) max_color = std::max(max_color, ctx.color[r]);
     }
     if (max_color <= 5) break;
-    auto values = ctx.empty_values();
+    auto& values = ctx.values_a;
+    ctx.clear_values(values);
     for (NodeId r = 0; r < n; ++r) {
       // Only parts that serve a designated edge have F_i children that need
       // their color.
       if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
     }
-    auto parent_color = ctx.relay_down(values, /*marked_only=*/false, "stage1/cv");
+    auto& parent_color = ctx.out_a;
+    ctx.relay_down(values, /*marked_only=*/false, "stage1/cv", parent_color);
     for (NodeId r = 0; r < n; ++r) {
       if (!ctx.pf.is_root(r)) continue;
       const std::int64_t c = ctx.color[r];
@@ -378,13 +440,16 @@ std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
     CPT_ASSERT(iterations < 64);
   }
   // Reduce 6 -> 3 colors: shift-down, then recolor one class at a time.
+  std::vector<std::int64_t> old_color;
   for (std::int64_t target = 5; target >= 3; --target) {
-    auto values = ctx.empty_values();
+    auto& values = ctx.values_a;
+    ctx.clear_values(values);
     for (NodeId r = 0; r < n; ++r) {
       if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
     }
-    auto pre = ctx.relay_down(values, false, "stage1/cv-shift");
-    std::vector<std::int64_t> old_color = ctx.color;
+    auto& pre = ctx.out_a;
+    ctx.relay_down(values, false, "stage1/cv-shift", pre);
+    old_color = ctx.color;
     for (NodeId r = 0; r < n; ++r) {
       if (!ctx.pf.is_root(r)) continue;
       if (ctx.has_sel(r)) {
@@ -394,11 +459,13 @@ std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
         ctx.color[r] = (ctx.color[r] + 1) % 3;
       }
     }
-    auto values2 = ctx.empty_values();
+    auto& values2 = ctx.values_b;
+    ctx.clear_values(values2);
     for (NodeId r = 0; r < n; ++r) {
       if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values2[r] = {{0, ctx.color[r]}};
     }
-    auto post = ctx.relay_down(values2, false, "stage1/cv-recolor");
+    auto& post = ctx.out_b;
+    ctx.relay_down(values2, false, "stage1/cv-recolor", post);
     for (NodeId r = 0; r < n; ++r) {
       if (!ctx.pf.is_root(r) || ctx.color[r] != target) continue;
       const std::int64_t forbid1 =
@@ -420,22 +487,26 @@ std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
 void mark_edges(MergeCtx& ctx) {
   const NodeId n = ctx.n;
   // Each selection-holding part learns its target's color.
-  auto values = ctx.empty_values();
+  auto& values = ctx.values_a;
+  ctx.clear_values(values);
   for (NodeId r = 0; r < n; ++r) {
     if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
   }
-  auto target_color = ctx.relay_down(values, false, "stage1/mark-tcolor");
+  auto& target_color = ctx.out_a;
+  ctx.relay_down(values, false, "stage1/mark-tcolor", target_color);
 
   // Each part tells its F_i parent (color, weight) of its selected edge;
   // the parent receives per-color weight sums.
-  auto up_values = ctx.empty_values();
+  auto& up_values = ctx.values_b;
+  ctx.clear_values(up_values);
   for (NodeId r = 0; r < n; ++r) {
     if (ctx.pf.is_root(r) && ctx.has_sel(r)) {
       up_values[r] = {{static_cast<std::uint64_t>(ctx.color[r]),
                        static_cast<std::int64_t>(ctx.sel.weight[r])}};
     }
   }
-  auto in_by_color = ctx.relay_up(up_values, false, nullptr, "stage1/mark-insum");
+  auto& in_by_color = ctx.out_b;
+  ctx.relay_up(up_values, false, nullptr, "stage1/mark-insum", in_by_color);
 
   // Marking decisions (colors 0/1/2 stand for the paper's 1/2/3).
   std::vector<std::uint8_t> mark_in_all(n, 0);
@@ -469,14 +540,17 @@ void mark_edges(MergeCtx& ctx) {
   }
 
   // Parent-side marks flow down to children: (1, -1) marks all incoming,
-  // (2, c) marks incoming edges from children colored c.
-  auto mark_values = ctx.empty_values();
+  // (2, c) marks incoming edges from children colored c. (target_color and
+  // in_by_color are dead by now, so their tables can be recycled.)
+  auto& mark_values = ctx.values_a;
+  ctx.clear_values(mark_values);
   for (NodeId r = 0; r < n; ++r) {
     if (!ctx.pf.is_root(r)) continue;
     if (mark_in_all[r]) mark_values[r] = {{1, -1}};
     if (mark_in_color2[r]) mark_values[r] = {{2, 2}};
   }
-  auto parent_marks = ctx.relay_down(mark_values, false, "stage1/mark-down");
+  auto& parent_marks = ctx.out_a;
+  ctx.relay_down(mark_values, false, "stage1/mark-down", parent_marks);
   for (NodeId r = 0; r < n; ++r) {
     if (!ctx.pf.is_root(r) || !ctx.has_sel(r)) continue;
     for (const Record& rec : parent_marks[r]) {
@@ -489,7 +563,8 @@ void mark_edges(MergeCtx& ctx) {
   // In-charge nodes of marked out-edges notify the serving endpoint, so the
   // T_i relays know which designated edges are marked (one round). The part
   // root tells its in-charge node via one broadcast first.
-  BroadcastRecords bc(ctx.tree(nullptr));
+  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports);
+  BroadcastRecords& bc = ctx.bc_pool;
   for (NodeId r = 0; r < n; ++r) {
     if (ctx.pf.is_root(r) && ctx.out_marked[r]) bc.stream[r] = {{0, 1}};
   }
@@ -512,17 +587,20 @@ void mark_edges(MergeCtx& ctx) {
             ctx.marked_serve_ports[v].push_back(in.port);
           }
         }
-      });
+      },
+      &ctx.charge_nodes);
   auto re = ctx.sim.run(ex);
   ctx.ledger.add_pass("stage1/mark-notify/hop", re.rounds, re.messages);
 
   // Count marked children per part (relay over marked edges only).
-  auto ones = ctx.empty_values();
+  auto& ones = ctx.values_b;
+  ctx.clear_values(ones);
   for (NodeId r = 0; r < n; ++r) {
     if (ctx.pf.is_root(r) && ctx.out_marked[r]) ones[r] = {{0, 1}};
   }
-  auto counts = ctx.relay_up(ones, /*marked_only=*/true, nullptr,
-                             "stage1/mark-count");
+  auto& counts = ctx.out_b;
+  ctx.relay_up(ones, /*marked_only=*/true, nullptr, "stage1/mark-count",
+               counts);
   for (NodeId r = 0; r < n; ++r) {
     if (!ctx.pf.is_root(r)) continue;
     for (const Record& rec : counts[r]) ctx.marked_children[r] += rec.value;
@@ -557,13 +635,15 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
   // Levels: iterate relay_down over marked edges until fixpoint.
   for (std::uint32_t guard = 0;; ++guard) {
     CPT_ASSERT(guard < 200 && "marked graph must be a forest (Claim 15)");
-    auto values = ctx.empty_values();
+    auto& values = ctx.values_a;
+    ctx.clear_values(values);
     for (NodeId r = 0; r < n; ++r) {
       if (ctx.pf.is_root(r) && ctx.serve_mask[r] && ctx.level[r] != kNoLevel) {
         values[r] = {{0, ctx.level[r]}};
       }
     }
-    auto down = ctx.relay_down(values, /*marked_only=*/true, "stage1/t-level");
+    auto& down = ctx.out_a;
+    ctx.relay_down(values, /*marked_only=*/true, "stage1/t-level", down);
     bool changed = false;
     for (NodeId r = 0; r < n; ++r) {
       if (!ctx.pf.is_root(r) || !ctx.out_marked[r] || ctx.level[r] != kNoLevel) {
@@ -585,10 +665,12 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
   std::vector<std::int64_t> acc_w1(n, 0);
   std::vector<std::int64_t> acc_cnt(n, 0);
   std::vector<std::uint8_t> reported(n, 0);
+  std::vector<std::uint8_t> ready;
   for (std::uint32_t guard = 0;; ++guard) {
     CPT_ASSERT(guard < 200);
-    std::vector<std::uint8_t> ready(n, 0);
-    auto values = ctx.empty_values();
+    ready.assign(n, 0);
+    auto& values = ctx.values_a;
+    ctx.clear_values(values);
     bool any_ready = false;
     for (NodeId r = 0; r < n; ++r) {
       if (!ctx.pf.is_root(r) || reported[r] || !ctx.out_marked[r]) continue;
@@ -610,7 +692,8 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
       any_ready = true;
     }
     if (!any_ready) break;
-    auto up = ctx.relay_up(values, /*marked_only=*/true, &ready, "stage1/t-wsum");
+    auto& up = ctx.out_a;
+    ctx.relay_up(values, /*marked_only=*/true, &ready, "stage1/t-wsum", up);
     for (NodeId r = 0; r < n; ++r) {
       if (!ctx.pf.is_root(r)) continue;
       for (const Record& rec : up[r]) {
@@ -631,13 +714,15 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
   // Decision flows down T.
   for (std::uint32_t guard = 0;; ++guard) {
     CPT_ASSERT(guard < 200);
-    auto values = ctx.empty_values();
+    auto& values = ctx.values_a;
+    ctx.clear_values(values);
     for (NodeId r = 0; r < n; ++r) {
       if (ctx.pf.is_root(r) && ctx.serve_mask[r] && ctx.parity_bit[r] >= 0) {
         values[r] = {{0, ctx.parity_bit[r]}};
       }
     }
-    auto down = ctx.relay_down(values, /*marked_only=*/true, "stage1/t-bit");
+    auto& down = ctx.out_a;
+    ctx.relay_down(values, /*marked_only=*/true, "stage1/t-bit", down);
     bool changed = false;
     for (NodeId r = 0; r < n; ++r) {
       if (!ctx.pf.is_root(r) || !ctx.out_marked[r] || ctx.parity_bit[r] >= 0) {
@@ -685,7 +770,8 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
 MergeStats run_merge_step(congest::Simulator& sim, const Graph& g,
                           PartForest& pf,
                           const std::vector<std::vector<NodeId>>& neighbor_root,
-                          Selection sel, congest::RoundLedger& ledger) {
+                          Selection sel, congest::RoundLedger& ledger,
+                          MergeScratch* scratch) {
   MergeStats stats;
   bool any_selection = false;
   for (NodeId r = 0; r < g.num_nodes(); ++r) {
@@ -696,7 +782,9 @@ MergeStats run_merge_step(congest::Simulator& sim, const Graph& g,
   }
   if (!any_selection) return stats;
 
-  MergeCtx ctx(sim, g, pf, neighbor_root, sel, ledger);
+  MergeScratch local_scratch;
+  MergeCtx ctx(sim, g, pf, neighbor_root, sel, ledger,
+               scratch != nullptr ? *scratch : local_scratch);
   find_designated_edges(ctx);
   stats.cv_iterations = color_pseudo_forest(ctx);
   mark_edges(ctx);

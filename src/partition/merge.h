@@ -48,12 +48,31 @@ struct MergeStats {
   std::uint64_t contracted_weight = 0;   // total weight of contracted edges
 };
 
+// Reusable buffers for run_merge_step. Passing one instance across the
+// phases of a partition run makes the dozens of relay passes per phase
+// allocation-free in steady state (every per-node/per-root buffer keeps its
+// capacity); with nullptr each merge step allocates privately. Purely a
+// performance knob: contents carry no state between calls.
+struct MergeScratch {
+  congest::BroadcastRecords bc_a, bc_b;
+  congest::ConvergeRecords conv;
+  congest::TreePorts tree_ports;
+  std::vector<std::vector<congest::Record>> at;        // relay hop collection
+  std::vector<std::vector<congest::Record>> values_a;  // relay inputs
+  std::vector<std::vector<congest::Record>> values_b;
+  std::vector<std::vector<congest::Record>> out_a;     // relay outputs
+  std::vector<std::vector<congest::Record>> out_b;
+  std::vector<std::uint8_t> all_mask;
+  std::vector<NodeId> charge_nodes, serving_nodes;
+};
+
 // Executes one merging step, mutating `pf`. `neighbor_root` is the per-node,
 // per-port map of neighbor part roots (refreshed by the preceding peeling
 // or root-exchange pass).
 MergeStats run_merge_step(congest::Simulator& sim, const Graph& g,
                           PartForest& pf,
                           const std::vector<std::vector<NodeId>>& neighbor_root,
-                          Selection sel, congest::RoundLedger& ledger);
+                          Selection sel, congest::RoundLedger& ledger,
+                          MergeScratch* scratch = nullptr);
 
 }  // namespace cpt

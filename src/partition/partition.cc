@@ -71,6 +71,10 @@ Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
   PeelingOptions peel_opt;
   peel_opt.alpha = opt.alpha;
   peel_opt.super_rounds = opt.peel_super_rounds;
+  // Peeling/merge buffers amortized across phases.
+  PeelingResult peel;
+  PeelScratch peel_scratch;
+  MergeScratch merge_scratch;
 
   for (std::uint32_t phase = 1; phase <= result.phases_total; ++phase) {
     PhaseStats stats;
@@ -78,8 +82,8 @@ Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
     stats.parts_before = count_parts(result.forest);
     const std::uint64_t rounds_at_start = ledger.total_rounds();
 
-    PeelingResult peel =
-        run_forest_decomposition(sim, g, result.forest, peel_opt, ledger);
+    run_forest_decomposition(sim, g, result.forest, peel_opt, ledger, peel,
+                             &peel_scratch);
     if (!peel.still_active_roots.empty()) {
       result.rejected = true;
       result.rejecting_nodes = std::move(peel.still_active_roots);
@@ -92,7 +96,7 @@ Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
     Selection sel = heaviest_out_edge_selection(g, result.forest, peel);
     const MergeStats merge = run_merge_step(sim, g, result.forest,
                                             peel.neighbor_root, std::move(sel),
-                                            ledger);
+                                            ledger, &merge_scratch);
 
     stats.cut_after = cut_weight(g, result.forest);
     stats.parts_after = count_parts(result.forest);
@@ -104,11 +108,12 @@ Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
 
     if (stats.cut_after == 0 && phase < result.phases_total) {
       // All remaining phases are no-ops with identical cost: emulate one
-      // frozen phase to measure it, then charge the rest.
+      // frozen phase to measure it, then charge the rest. (Reuses `peel`:
+      // its previous contents are no longer needed.)
       const std::uint64_t frozen_start = ledger.total_rounds();
-      PeelingResult frozen =
-          run_forest_decomposition(sim, g, result.forest, peel_opt, ledger);
-      CPT_ASSERT(frozen.still_active_roots.empty());
+      run_forest_decomposition(sim, g, result.forest, peel_opt, ledger, peel,
+                               &peel_scratch);
+      CPT_ASSERT(peel.still_active_roots.empty());
       const std::uint64_t frozen_cost = ledger.total_rounds() - frozen_start;
       ++result.phases_emulated;
       const std::uint32_t remaining = result.phases_total - phase - 1;

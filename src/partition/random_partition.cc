@@ -183,6 +183,7 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
 
   std::vector<std::vector<NodeId>> neighbor_root(n);
   for (NodeId v = 0; v < n; ++v) neighbor_root[v].assign(g.degree(v), kNoNode);
+  MergeScratch merge_scratch;  // relay buffers amortized across phases
 
   for (std::uint32_t phase = 1; phase <= result.phases_total; ++phase) {
     PartForest& pf = result.forest;
@@ -279,8 +280,9 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
       }
     }
 
-    const MergeStats merge =
-        run_merge_step(sim, g, pf, neighbor_root, std::move(sel), ledger);
+    const MergeStats merge = run_merge_step(sim, g, pf, neighbor_root,
+                                            std::move(sel), ledger,
+                                            &merge_scratch);
 
     stats.cut_after = cut_weight(g, pf);
     stats.parts_after = count_parts(pf);
