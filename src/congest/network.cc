@@ -10,6 +10,7 @@ Network::Network(const Graph& g) : g_(&g) {
               "graph too large: 2m must fit in 32 bits");
   port_.assign(2ULL * g.num_edges(), 0);
   owner_.assign(2ULL * g.num_edges(), 0);
+  peer_arc_.assign(2ULL * g.num_edges(), 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     const auto nbrs = g.neighbors(v);
     const std::uint32_t base = g.arc_offset(v);
@@ -17,6 +18,7 @@ Network::Network(const Graph& g) : g_(&g) {
       const Endpoints ep = g.endpoints(nbrs[p].edge);
       port_[2ULL * nbrs[p].edge + (ep.u == v ? 0 : 1)] = p;
       owner_[base + p] = v;
+      peer_arc_[base + p] = nbrs[p].peer_arc;
     }
   }
 }

@@ -22,6 +22,17 @@ class Network {
   // The arc (neighbor, edge, peer_port) behind port `port` of node v.
   Arc arc(NodeId v, std::uint32_t port) const { return g_->neighbors(v)[port]; }
 
+  // The receiving half-edge of (v, port), as a flat lookup: the only part
+  // of the Arc the simulator's send path needs, without materializing the
+  // adjacency span. Same values as arc(v, port).peer_arc.
+  std::uint32_t peer_arc(NodeId v, std::uint32_t port) const {
+    const std::uint32_t base = g_->arc_offset(v);
+    // Checked as a degree comparison, not `base + port < end`: sentinel
+    // ports like 0xffffffff must not wrap past the bound.
+    CPT_EXPECTS(port < g_->arc_offset(v + 1) - base);
+    return peer_arc_[base + port];
+  }
+
   // The port of node v on edge e. Precondition: v is an endpoint of e.
   std::uint32_t port_of_edge(NodeId v, EdgeId e) const {
     const Endpoints ep = g_->endpoints(e);
@@ -41,8 +52,9 @@ class Network {
 
  private:
   const Graph* g_;
-  std::vector<std::uint32_t> port_;  // indexed by half-edge (2e + side)
-  std::vector<NodeId> owner_;        // indexed by global arc index
+  std::vector<std::uint32_t> port_;      // indexed by half-edge (2e + side)
+  std::vector<NodeId> owner_;            // indexed by global arc index
+  std::vector<std::uint32_t> peer_arc_;  // indexed by global arc index
 };
 
 }  // namespace cpt::congest

@@ -12,7 +12,12 @@ enum Tag : std::uint32_t {
   kTagDone = 2,
   kTagWave = 3,
   kTagChild = 4,
+  // Pipelined streams: the stream's last record, folding the DONE marker
+  // into the payload round (see primitives.h).
+  kTagLast = 5,
 };
+
+constexpr std::uint32_t kNil = RecordTable::kNilSlot;
 
 }  // namespace
 
@@ -47,18 +52,19 @@ ConvergeRecords::ConvergeRecords(TreeView tree, Combine combine, std::uint32_t c
 }
 
 void ConvergeRecords::reset(TreeView tree, Combine combine, std::uint32_t cap,
-                            const TreePorts* ports) {
+                            const TreePorts* ports, bool pipelined) {
   CPT_EXPECTS(tree.parent_edge != nullptr && tree.children != nullptr);
   tree_ = tree;
   combine_ = combine;
   cap_ = cap;
   ports_ = ports;
+  pipelined_ = pipelined;
   const std::size_t n = tree_.parent_edge->size();
-  clear_record_table(initial, n);
-  clear_record_table(merged_, n);
+  initial.reset(n);
+  merged_.reset(n);
   overflow_.assign(n, 0);
+  ovf_sent_.assign(n, 0);
   pending_.assign(n, 0);
-  cursor_.assign(n, 0);
   done_sent_.assign(n, 0);
 }
 
@@ -66,7 +72,7 @@ void ConvergeRecords::merge_record(NodeId v, Record r) {
   if (overflow_[v]) return;
   if (r.key == kOverflowKey) {
     overflow_[v] = 1;
-    merged_[v].clear();
+    merged_.clear_row(v);
     return;
   }
   for (Record& have : merged_[v]) {
@@ -79,41 +85,59 @@ void ConvergeRecords::merge_record(NodeId v, Record r) {
       return;
     }
   }
-  merged_[v].push_back(r);
-  if (cap_ != 0 && merged_[v].size() > cap_) {
+  merged_.push(v, r);
+  if (cap_ != 0 && merged_.size(v) > cap_) {
     overflow_[v] = 1;
-    merged_[v].clear();
+    merged_.clear_row(v);
   }
 }
 
 void ConvergeRecords::pump(Simulator& sim, NodeId v) {
-  // Stream one record (or the final DONE) per round toward the parent.
+  // Stream one record (or the final DONE / LAST) per round toward the parent.
   if (done_sent_[v]) return;
   CPT_ASSERT((*tree_.parent_edge)[v] != kNoEdge);
   const std::uint32_t port = parent_ports_[v];
-  const std::vector<Record>& out =
-      overflow_[v] ? overflow_records_() : merged_[v];
-  if (cursor_[v] < out.size()) {
-    const Record& r = out[cursor_[v]++];
-    sim.send(v, port, Msg::make(kTagRecord, static_cast<std::int64_t>(r.key),
-                                r.value));
-    sim.wake_next_round(v);
-  } else {
+  if (overflow_[v]) {
+    // The outgoing stream of an overflowed node is a single overflow record.
+    if (pipelined_) {
+      sim.send(v, port, Msg::make(kTagLast,
+                                  static_cast<std::int64_t>(kOverflowKey), 1));
+      done_sent_[v] = 1;
+    } else if (!ovf_sent_[v]) {
+      sim.send(v, port, Msg::make(kTagRecord,
+                                  static_cast<std::int64_t>(kOverflowKey), 1));
+      ovf_sent_[v] = 1;
+      sim.wake_next_round(v);
+    } else {
+      sim.send(v, port, Msg::make(kTagDone));
+      done_sent_[v] = 1;
+    }
+    return;
+  }
+  const std::uint32_t slot = merged_.cursor(v);
+  if (slot == kNil) {
     sim.send(v, port, Msg::make(kTagDone));
     done_sent_[v] = 1;
+    return;
   }
-}
-
-// A static single overflow record used as the outgoing stream of an
-// overflowed node.
-const std::vector<Record>& ConvergeRecords::overflow_records_() {
-  static const std::vector<Record> kOverflow{{kOverflowKey, 1}};
-  return kOverflow;
+  const Record& r = merged_.at_slot(slot);
+  const std::uint32_t next = merged_.next_slot(slot);
+  merged_.set_cursor(v, next);
+  if (pipelined_ && next == kNil) {
+    sim.send(v, port, Msg::make(kTagLast, static_cast<std::int64_t>(r.key),
+                                r.value));
+    done_sent_[v] = 1;
+    return;
+  }
+  sim.send(v, port, Msg::make(kTagRecord, static_cast<std::int64_t>(r.key),
+                              r.value));
+  sim.wake_next_round(v);
 }
 
 void ConvergeRecords::finalize(Simulator& sim, NodeId v) {
   for (const Record& r : initial[v]) merge_record(v, r);
   if ((*tree_.parent_edge)[v] == kNoEdge) return;  // root keeps its result
+  merged_.set_cursor(v, merged_.head_slot(v));
   pump(sim, v);
 }
 
@@ -121,15 +145,21 @@ void ConvergeRecords::begin(Simulator& sim) {
   const NodeId n = static_cast<NodeId>(tree_.parent_edge->size());
   if (ports_ != nullptr) {
     parent_ports_ = ports_->parent_port.data();
-  } else {
-    parent_port_.assign(n, 0);
+    const std::uint32_t* off = ports_->child_offset.data();
     for (NodeId v = 0; v < n; ++v) {
       if (!tree_.in(v)) continue;
-      const EdgeId pe = (*tree_.parent_edge)[v];
-      if (pe != kNoEdge) parent_port_[v] = sim.network().port_of_edge(v, pe);
+      pending_[v] = off[v + 1] - off[v];
+      if (pending_[v] == 0) finalize(sim, v);
     }
-    parent_ports_ = parent_port_.data();
+    return;
   }
+  parent_port_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!tree_.in(v)) continue;
+    const EdgeId pe = (*tree_.parent_edge)[v];
+    if (pe != kNoEdge) parent_port_[v] = sim.network().port_of_edge(v, pe);
+  }
+  parent_ports_ = parent_port_.data();
   for (NodeId v = 0; v < n; ++v) {
     if (!tree_.in(v)) continue;
     pending_[v] = static_cast<std::uint32_t>((*tree_.children)[v].size());
@@ -143,6 +173,10 @@ void ConvergeRecords::on_wake(Simulator& sim, NodeId v,
   for (const Inbound& in : inbox) {
     if (in.msg.tag == kTagRecord) {
       merge_record(v, {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
+    } else if (in.msg.tag == kTagLast) {
+      merge_record(v, {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
+      CPT_ASSERT(pending_[v] > 0);
+      if (--pending_[v] == 0) finalized_now = true;
     } else if (in.msg.tag == kTagDone) {
       CPT_ASSERT(pending_[v] > 0);
       if (--pending_[v] == 0) finalized_now = true;
@@ -160,30 +194,61 @@ void ConvergeRecords::on_wake(Simulator& sim, NodeId v,
 
 BroadcastRecords::BroadcastRecords(TreeView tree) { reset(tree); }
 
-void BroadcastRecords::reset(TreeView tree, const TreePorts* ports) {
+void BroadcastRecords::reset(TreeView tree, const TreePorts* ports,
+                             bool pipelined) {
   CPT_EXPECTS(tree.parent_edge != nullptr && tree.children != nullptr);
   tree_ = tree;
   ports_ = ports;
+  pipelined_ = pipelined;
   const std::size_t n = tree_.parent_edge->size();
-  clear_record_table(stream, n);
-  clear_record_table(received, n);
-  clear_record_table(queue_, n);
-  cursor_.assign(n, 0);
+  stream.reset(n);
+  received.reset(n);
+  // Pipelined streams pump straight out of `stream` (roots) / `received`
+  // (relays) via the rows' cursors: no queue copy at all.
+  if (!pipelined_) queue_.reset(n);
   end_queued_.assign(n, 0);
 }
 
+void BroadcastRecords::queue_push(NodeId v, Record r) {
+  queue_.push(v, r);
+  // Repair the send cursor of a drained (or fresh) row so pump resumes.
+  if (queue_.cursor(v) == kNil) queue_.set_cursor(v, queue_.tail_slot(v));
+}
+
 void BroadcastRecords::pump(Simulator& sim, NodeId v) {
-  if (cursor_[v] >= queue_[v].size()) return;
-  const bool is_end =
-      end_queued_[v] && cursor_[v] + 1 == queue_[v].size();
-  const Record& r = queue_[v][cursor_[v]++];
-  const Msg msg = Msg::make(is_end ? kTagDone : kTagRecord,
-                            static_cast<std::int64_t>(r.key), r.value);
+  RecordTable& src =
+      pipelined_
+          ? ((*tree_.parent_edge)[v] == kNoEdge ? stream : received)
+          : queue_;
+  const std::uint32_t slot = src.cursor(v);
+  if (slot == kNil) return;
+  const std::uint32_t next = src.next_slot(slot);
+  const bool is_end = end_queued_[v] && next == kNil;
+  const Record& r = src.at_slot(slot);
+  const Msg msg = Msg::make(
+      is_end ? (pipelined_ ? kTagLast : kTagDone) : kTagRecord,
+      static_cast<std::int64_t>(r.key), r.value);
   for (std::uint32_t i = child_offset_view_[v]; i < child_offset_view_[v + 1];
        ++i) {
     sim.send(v, child_port_view_[i], msg);
   }
-  if (cursor_[v] < queue_[v].size()) sim.wake_next_round(v);
+  src.set_cursor(v, next);
+  if (next != kNil) sim.wake_next_round(v);
+}
+
+void BroadcastRecords::start_root(Simulator& sim, NodeId v) {
+  if (!tree_.in(v)) return;
+  if ((*tree_.parent_edge)[v] != kNoEdge) return;  // not a root
+  if (stream[v].empty() || !has_children(v)) return;
+  if (pipelined_) {
+    stream.set_cursor(v, stream.head_slot(v));
+  } else {
+    queue_[v] = stream[v];
+    queue_.push(v, {});  // end marker slot, sent as DONE
+    queue_.set_cursor(v, queue_.head_slot(v));
+  }
+  end_queued_[v] = 1;
+  pump(sim, v);
 }
 
 void BroadcastRecords::begin(Simulator& sim) {
@@ -209,30 +274,42 @@ void BroadcastRecords::begin(Simulator& sim) {
     child_port_view_ = child_ports_.data();
     child_offset_view_ = child_ports_offset_.data();
   }
-  for (NodeId v = 0; v < n; ++v) {
-    if (!tree_.in(v)) continue;
-    if ((*tree_.parent_edge)[v] != kNoEdge) continue;  // not a root
-    if (stream[v].empty() || (*tree_.children)[v].empty()) continue;
-    queue_[v] = stream[v];
-    queue_[v].push_back({});  // end marker slot
-    end_queued_[v] = 1;
-    pump(sim, v);
+  if (tree_.roots != nullptr) {
+    for (const NodeId r : *tree_.roots) start_root(sim, r);
+  } else {
+    for (NodeId v = 0; v < n; ++v) start_root(sim, v);
   }
 }
 
 void BroadcastRecords::on_wake(Simulator& sim, NodeId v,
                                std::span<const Inbound> inbox) {
+  const bool relay = has_children(v);
   for (const Inbound& in : inbox) {
     if (in.msg.tag == kTagRecord) {
       const Record r{static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]};
-      received[v].push_back(r);
-      queue_[v].push_back(r);
+      received.push(v, r);
+      if (relay) {
+        if (pipelined_) {
+          if (received.cursor(v) == kNil) {
+            received.set_cursor(v, received.tail_slot(v));
+          }
+        } else {
+          queue_push(v, r);
+        }
+      }
+    } else if (in.msg.tag == kTagLast) {
+      const Record r{static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]};
+      received.push(v, r);
+      if (relay && received.cursor(v) == kNil) {
+        received.set_cursor(v, received.tail_slot(v));
+      }
+      end_queued_[v] = 1;
     } else if (in.msg.tag == kTagDone) {
-      queue_[v].push_back({});
+      if (relay) queue_push(v, {});
       end_queued_[v] = 1;
     }
   }
-  pump(sim, v);
+  if (relay) pump(sim, v);
 }
 
 // ----------------------------------------------------------------- Exchange

@@ -3,32 +3,39 @@
 // (store-and-forward, one record per edge per round -- so record volume
 // costs rounds, as in the paper's emulation accounting), a one-round
 // neighbor exchange, and a per-part BFS tree builder.
+//
+// Buffer pooling contract: every per-node table of these passes is a
+// RecordTable (see congest/record_table.h) -- one contiguous record pool
+// per table, rows as slot chains, reset by bumping a watermark and
+// clearing only the rows touched since the previous reset. Drivers that
+// own one pass object and reset() it per use are allocation-free in
+// steady state, and a reset costs O(rows touched), not O(n).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "congest/record_table.h"
 #include "congest/simulator.h"
 
 namespace cpt::congest {
 
 // A rooted spanning forest over (a subset of) the network's nodes.
 // parent_edge[v] == kNoEdge marks part roots; children[v] lists tree edges
-// to v's children. An optional participation mask restricts the pass.
+// to v's children. An optional participation mask restricts the pass. An
+// optional `roots` list names every node that may source a broadcast
+// stream (e.g. PartForest::live_roots()): passes that only need to visit
+// stream sources then skip their O(n) root sweep.
 struct TreeView {
   const std::vector<EdgeId>* parent_edge = nullptr;
   const std::vector<std::vector<EdgeId>>* children = nullptr;
   const std::vector<std::uint8_t>* participates = nullptr;  // optional
+  const std::vector<NodeId>* roots = nullptr;               // optional
 
   bool in(NodeId v) const {
     return participates == nullptr || (*participates)[v] != 0;
   }
-};
-
-struct Record {
-  std::uint64_t key = 0;
-  std::int64_t value = 0;
 };
 
 // Precomputed tree-edge ports for a rooted forest: the port of each node's
@@ -45,13 +52,10 @@ struct TreePorts {
              const std::vector<std::vector<EdgeId>>& children);
 };
 
-// Merged record sets that exceed their cap collapse to this single key,
-// mirroring the paper's "more than 3*alpha distinct roots => just 'Active'".
-inline constexpr std::uint64_t kOverflowKey = static_cast<std::uint64_t>(-1);
-
-// Clears a per-node record table in place, keeping every inner buffer's
-// capacity — the idiom behind all cross-pass buffer pooling (primitive
-// reset()s, MergeScratch, PeelScratch).
+// Clears a per-node record-list table in place, keeping every inner
+// buffer's capacity. Survives for the few cold-path tables still shaped as
+// vector-of-vectors (e.g. PeelingResult::out_records); hot-path scratch
+// uses RecordTable::reset instead.
 inline void clear_record_table(std::vector<std::vector<Record>>& table,
                                std::size_t n) {
   if (table.size() != n) {
@@ -67,6 +71,12 @@ enum class Combine { kSum, kMin, kMax };
 // with its own (by key, with the given combine), then streams the result to
 // its parent one record per round, terminated by a DONE marker. Roots
 // deposit their merged set in `at_root()`.
+//
+// Pipelined mode folds the DONE marker into the stream's last record (a
+// LAST tag), so a stream of L >= 1 records costs L sends per tree edge
+// instead of L+1 -- strictly fewer rounds and messages, same merged
+// results. Unpipelined mode reproduces the original schedule exactly;
+// the differential tests cross-check the two.
 class ConvergeRecords : public Program {
  public:
   // A default-constructed pass is an empty shell: reset() must run before
@@ -80,30 +90,30 @@ class ConvergeRecords : public Program {
   // steady state is then allocation-free. `ports` (optional, must outlive
   // the run and match `tree`) skips the per-pass parent-port sweep.
   void reset(TreeView tree, Combine combine, std::uint32_t cap,
-             const TreePorts* ports = nullptr);
+             const TreePorts* ports = nullptr, bool pipelined = false);
 
   // Caller fills `initial[v]` (distinct keys per node) before running.
-  std::vector<std::vector<Record>> initial;
+  RecordTable initial;
 
   void begin(Simulator& sim) override;
   void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
 
-  const std::vector<Record>& at_root(NodeId root) const { return merged_[root]; }
+  RecordTable::ConstRow at_root(NodeId root) const { return merged_[root]; }
   bool overflowed(NodeId root) const { return overflow_[root] != 0; }
 
  private:
   void merge_record(NodeId v, Record r);
   void finalize(Simulator& sim, NodeId v);
   void pump(Simulator& sim, NodeId v);
-  static const std::vector<Record>& overflow_records_();
 
   TreeView tree_;
   Combine combine_ = Combine::kSum;
   std::uint32_t cap_ = 0;
-  std::vector<std::vector<Record>> merged_;
+  bool pipelined_ = false;
+  RecordTable merged_;                  // row cursor = next record to send
   std::vector<std::uint8_t> overflow_;
+  std::vector<std::uint8_t> ovf_sent_;  // overflow record already streamed
   std::vector<std::uint32_t> pending_;  // children DONEs still expected
-  std::vector<std::uint32_t> cursor_;   // next record to send to parent
   std::vector<std::uint8_t> done_sent_;
   std::vector<std::uint32_t> parent_port_;  // own cache, filled in begin()
   const TreePorts* ports_ = nullptr;        // shared cache, overrides own
@@ -113,6 +123,10 @@ class ConvergeRecords : public Program {
 // Broadcast: each participating root streams its record list down its tree,
 // one record per round per edge (pipelined store-and-forward). Every
 // non-root participant ends up with the full stream in `received[v]`.
+//
+// Pipelined mode folds the end marker into the stream's last record, as in
+// ConvergeRecords: L sends per edge instead of L+1 for a stream of L >= 1
+// records, identical `received` contents.
 class BroadcastRecords : public Program {
  public:
   // A default-constructed pass is an empty shell: reset() must run before
@@ -123,21 +137,27 @@ class BroadcastRecords : public Program {
   // Re-arms the pass for a fresh run, keeping per-node buffer capacity
   // (see ConvergeRecords::reset). `ports` (optional, must outlive the run
   // and match `tree`) skips the per-pass child-port sweep.
-  void reset(TreeView tree, const TreePorts* ports = nullptr);
+  void reset(TreeView tree, const TreePorts* ports = nullptr,
+             bool pipelined = false);
 
   // Caller fills `stream[r]` for each participating root r.
-  std::vector<std::vector<Record>> stream;
-  std::vector<std::vector<Record>> received;
+  RecordTable stream;
+  RecordTable received;
 
   void begin(Simulator& sim) override;
   void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
 
  private:
   void pump(Simulator& sim, NodeId v);
+  void start_root(Simulator& sim, NodeId v);
+  void queue_push(NodeId v, Record r);
+  bool has_children(NodeId v) const {
+    return child_offset_view_[v + 1] > child_offset_view_[v];
+  }
 
   TreeView tree_;
-  std::vector<std::vector<Record>> queue_;
-  std::vector<std::uint32_t> cursor_;
+  bool pipelined_ = false;
+  RecordTable queue_;                   // row cursor = next record to send
   std::vector<std::uint8_t> end_queued_;
   // Child ports per node in CSR layout, cached once in begin(): pump()
   // runs every round of a pipelined stream and must not pay a port_of_edge

@@ -1,0 +1,247 @@
+// Flat per-node record tables backed by one contiguous slot arena.
+//
+// A RecordTable replaces the `std::vector<std::vector<Record>>` per-node
+// tables the Stage I drivers used to pool: every record of every row lives
+// in one shared `pool_`, rows are slot chains (head/tail indices plus a
+// per-slot `next_` link), and reset() re-arms the whole table by bumping
+// the allocation watermark back to zero and clearing only the rows touched
+// since the previous reset. The pooling contract:
+//
+//   * reset(n) is O(rows touched since the last reset), never O(n) once
+//     the table has been sized, and never releases pool capacity -- the
+//     steady state of a driver that resets one table across thousands of
+//     passes is allocation-free.
+//   * Rows appended without interleaving occupy consecutive pool slots
+//     (CSR-like layout), so iteration over a row written in one go is a
+//     sequential scan. Interleaved appends (records arriving round by
+//     round) still cost O(1) per push; their rows just hop slots.
+//   * clear_row / row reassignment orphans the old slots until the next
+//     reset (bounded by total pushes) -- by design, since reclamation
+//     would cost the watermark reset its O(1).
+//   * Every row carries a cursor slot (kNilSlot when unset) for streaming
+//     consumers (ConvergeRecords/BroadcastRecords pumps): the cursor
+//     resets with the row and costs nothing when unused.
+//
+// Rows expose a proxy API (`table[v] = {...}`, push_back, range-for,
+// indexed access) so call sites read like the vector-of-vectors they
+// replace; `row[i]` walks the chain and is O(i) -- fine for the short
+// rows Stage I produces, wrong for bulk random access (stream with the
+// cursor instead).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace cpt::congest {
+
+// Merged record sets that exceed their cap collapse to this single key,
+// mirroring the paper's "more than 3*alpha distinct roots => just 'Active'".
+inline constexpr std::uint64_t kOverflowKey = static_cast<std::uint64_t>(-1);
+
+struct Record {
+  std::uint64_t key = 0;
+  std::int64_t value = 0;
+};
+
+class RecordTable {
+ public:
+  static constexpr std::uint32_t kNilSlot = static_cast<std::uint32_t>(-1);
+
+  class ConstRow;
+  class Row;
+
+  // Re-arms the table for `n` rows; see the pooling contract above. When
+  // most rows were touched, one sequential re-assign beats the scattered
+  // per-row clears.
+  void reset(std::size_t n) {
+    if (rows_.size() != n || touched_.size() >= n / 8) {
+      rows_.assign(n, RowHead{});
+    } else {
+      for (const std::uint32_t v : touched_) rows_[v] = RowHead{};
+    }
+    touched_.clear();
+    used_ = 0;
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  Row operator[](std::uint32_t v);
+  ConstRow operator[](std::uint32_t v) const;
+
+  bool empty(std::uint32_t v) const { return rows_[v].size == 0; }
+  std::uint32_t size(std::uint32_t v) const { return rows_[v].size; }
+
+  void push(std::uint32_t v, Record r) {
+    CPT_EXPECTS(v < rows_.size());
+    const std::uint32_t slot = used_++;
+    if (slot == pool_.size()) {
+      pool_.push_back(r);
+      next_.push_back(kNilSlot);
+    } else {
+      pool_[slot] = r;
+      next_[slot] = kNilSlot;
+    }
+    RowHead& h = rows_[v];
+    if (h.head == kNilSlot) {
+      h.head = h.tail = slot;
+      touched_.push_back(v);
+    } else {
+      next_[h.tail] = slot;
+      h.tail = slot;
+    }
+    ++h.size;
+  }
+
+  void clear_row(std::uint32_t v) { rows_[v] = RowHead{}; }
+
+  // Rows that may hold records (deduplicated only by reset; may include
+  // since-cleared rows). Lets drivers visit non-empty rows without an O(n)
+  // sweep.
+  const std::vector<std::uint32_t>& touched_rows() const { return touched_; }
+
+  // ---- Slot-level access for streaming consumers --------------------------
+  std::uint32_t head_slot(std::uint32_t v) const { return rows_[v].head; }
+  std::uint32_t tail_slot(std::uint32_t v) const { return rows_[v].tail; }
+  std::uint32_t next_slot(std::uint32_t slot) const { return next_[slot]; }
+  const Record& at_slot(std::uint32_t slot) const { return pool_[slot]; }
+
+  std::uint32_t cursor(std::uint32_t v) const { return rows_[v].cursor; }
+  void set_cursor(std::uint32_t v, std::uint32_t slot) {
+    rows_[v].cursor = slot;
+  }
+
+  // ---- Row iteration ------------------------------------------------------
+  template <bool kConst>
+  class RowIterator {
+    using TablePtr = std::conditional_t<kConst, const RecordTable*, RecordTable*>;
+
+   public:
+    using value_type = Record;
+    using reference = std::conditional_t<kConst, const Record&, Record&>;
+    using pointer = std::conditional_t<kConst, const Record*, Record*>;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    RowIterator() = default;
+    RowIterator(TablePtr t, std::uint32_t slot) : t_(t), slot_(slot) {}
+
+    reference operator*() const { return t_->pool_[slot_]; }
+    pointer operator->() const { return &t_->pool_[slot_]; }
+    RowIterator& operator++() {
+      slot_ = t_->next_[slot_];
+      return *this;
+    }
+    RowIterator operator++(int) {
+      RowIterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const RowIterator& o) const { return slot_ == o.slot_; }
+    bool operator!=(const RowIterator& o) const { return slot_ != o.slot_; }
+
+   private:
+    TablePtr t_ = nullptr;
+    std::uint32_t slot_ = kNilSlot;
+  };
+
+  using const_iterator = RowIterator<true>;
+  using iterator = RowIterator<false>;
+
+  // Read-only view of one row. Cheap to copy; indexing walks the chain.
+  class ConstRow {
+   public:
+    ConstRow(const RecordTable* t, std::uint32_t v) : t_(t), v_(v) {}
+
+    bool empty() const { return t_->empty(v_); }
+    std::uint32_t size() const { return t_->size(v_); }
+    const_iterator begin() const { return {t_, t_->rows_[v_].head}; }
+    const_iterator end() const { return {t_, kNilSlot}; }
+    const Record& operator[](std::uint32_t i) const {  // O(i) chain walk
+      std::uint32_t slot = t_->rows_[v_].head;
+      for (; i > 0; --i) slot = t_->next_[slot];
+      return t_->pool_[slot];
+    }
+
+    const RecordTable* table() const { return t_; }
+    std::uint32_t row_id() const { return v_; }
+
+   private:
+    const RecordTable* t_;
+    std::uint32_t v_;
+  };
+
+  // Mutable row proxy. Assignment copies *contents* (from a list or from
+  // another row, even one of the same table); it never rebinds the proxy.
+  class Row {
+   public:
+    Row(RecordTable* t, std::uint32_t v) : t_(t), v_(v) {}
+
+    operator ConstRow() const { return {t_, v_}; }
+
+    Row& operator=(std::initializer_list<Record> recs) {
+      t_->clear_row(v_);
+      for (const Record& r : recs) t_->push(v_, r);
+      return *this;
+    }
+    Row& operator=(const ConstRow& src) {
+      if (src.table() == t_ && src.row_id() == v_) return *this;
+      t_->clear_row(v_);
+      // Slot-indexed walk: pushes into t_ may grow the shared pool, which
+      // would invalidate iterators into the same table but not slot ids.
+      const RecordTable* st = src.table();
+      for (std::uint32_t slot = st->head_slot(src.row_id()); slot != kNilSlot;
+           slot = st->next_slot(slot)) {
+        t_->push(v_, st->at_slot(slot));
+      }
+      return *this;
+    }
+    Row& operator=(const Row& src) { return *this = static_cast<ConstRow>(src); }
+
+    void push_back(Record r) { t_->push(v_, r); }
+    void clear() { t_->clear_row(v_); }
+    bool empty() const { return t_->empty(v_); }
+    std::uint32_t size() const { return t_->size(v_); }
+
+    iterator begin() { return {t_, t_->rows_[v_].head}; }
+    iterator end() { return {t_, kNilSlot}; }
+    const_iterator begin() const { return {t_, t_->rows_[v_].head}; }
+    const_iterator end() const { return {t_, kNilSlot}; }
+
+    const Record& operator[](std::uint32_t i) const {
+      return static_cast<ConstRow>(*this)[i];
+    }
+
+   private:
+    RecordTable* t_;
+    std::uint32_t v_;
+  };
+
+ private:
+  struct RowHead {
+    std::uint32_t head = kNilSlot;
+    std::uint32_t tail = kNilSlot;
+    std::uint32_t size = 0;
+    std::uint32_t cursor = kNilSlot;
+  };
+
+  std::vector<RowHead> rows_;
+  std::vector<Record> pool_;           // slot payloads; logical size = used_
+  std::vector<std::uint32_t> next_;    // slot chain links
+  std::vector<std::uint32_t> touched_; // rows to clear on reset
+  std::uint32_t used_ = 0;             // bump watermark into pool_/next_
+};
+
+inline RecordTable::Row RecordTable::operator[](std::uint32_t v) {
+  CPT_EXPECTS(v < rows_.size());
+  return {this, v};
+}
+
+inline RecordTable::ConstRow RecordTable::operator[](std::uint32_t v) const {
+  CPT_EXPECTS(v < rows_.size());
+  return {this, v};
+}
+
+}  // namespace cpt::congest

@@ -69,9 +69,9 @@ class Simulator {
   // Send msg from node `from` through its local port `port`; delivered to
   // the neighbor at the start of the next round.
   void send(NodeId from, std::uint32_t port, const Msg& msg) {
-    CPT_EXPECTS(port < net_->port_count(from));
-    const Arc a = net_->arc(from, port);
-    const std::uint32_t ri = a.peer_arc;  // receiving half-edge, zero lookups
+    // Receiving half-edge via the network's flat peer-arc table (which
+    // bounds-checks the port): two loads, no adjacency-span construction.
+    const std::uint32_t ri = net_->peer_arc(from, port);
     Flight& out = flight_[cur_ ^ 1];
     [[maybe_unused]] const bool fresh = out.arcs.insert(ri);
     CPT_EXPECTS(fresh && "one message per directed edge per round (CONGEST)");

@@ -422,7 +422,7 @@ Stage2Result run_stage2(congest::Simulator& sim, const Graph& g,
       const NodeId root = pf.root[v];
       if (dead[root] || part_failed[root]) continue;
       // Reassemble the broadcast word stream into label pairs.
-      const std::vector<Record>& words =
+      const auto words =
           v == root ? sample_bcast.stream[root] : sample_bcast.received[v];
       std::vector<std::int64_t> flat;
       flat.reserve(words.size());

@@ -51,19 +51,16 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
   auto& announces = sc.announces;
   active.assign(n, 0);
   learning.assign(n, 0);
-  congest::clear_record_table(rec_at_inact, n);
-  announces.assign(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    if (pf.is_root(v)) active[v] = 1;
-    announces[v] = 1;  // all parts start active
-  }
+  rec_at_inact.reset(n);
+  announces.assign(n, 1);  // all parts start active
+  for (const NodeId r : pf.live_roots()) active[r] = 1;
 
   // Scratch: per-node local records collected from pass A. The converge /
   // broadcast passes are pooled across super-rounds and calls (reset()
   // keeps per-node buffer capacity), so the loop is allocation-free in
   // steady state.
   auto& local_rec = sc.local_rec;
-  congest::clear_record_table(local_rec, n);
+  local_rec.reset(n);
   auto& participates = sc.participates;
   participates.assign(n, 0);
   auto& announcing = sc.announcing;
@@ -77,11 +74,9 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
   for (std::uint32_t ell = 1; ell <= s + 1; ++ell) {
     bool any_active = false;
     bool any_learning = false;
-    for (NodeId r = 0; r < n; ++r) {
-      if (pf.is_root(r)) {
-        any_active = any_active || active[r];
-        any_learning = any_learning || learning[r];
-      }
+    for (const NodeId r : pf.live_roots()) {
+      any_active = any_active || active[r];
+      any_learning = any_learning || learning[r];
     }
     if (!any_active && !any_learning) {
       // Remaining super-rounds are silent listening; the schedule still
@@ -92,7 +87,7 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
     ++result.emulated_super_rounds;
 
     // ---- Pass A: 'Active' announcements (one round). ----
-    for (auto& lr : local_rec) lr.clear();
+    local_rec.reset(n);
     announcing.clear();
     for (NodeId v = 0; v < n; ++v) {
       if (announces[v]) announcing.push_back(v);
@@ -112,7 +107,7 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
             if (in.msg.tag != kTagActive) continue;
             const NodeId r = static_cast<NodeId>(in.msg.w[0]);
             result.neighbor_root[v][in.port] = r;
-            if (r != pf.root[v]) local_rec[v].push_back({r, 1});
+            if (r != pf.root[v]) local_rec.push(v, {r, 1});
           }
         },
         &announcing);
@@ -125,23 +120,24 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
       const NodeId r = pf.root[v];
       participates[v] = (active[r] || learning[r]) ? 1 : 0;
     }
-    conv.reset(tree, Combine::kSum, cap, &sc.tree_ports);
-    for (NodeId v = 0; v < n; ++v) {
-      if (participates[v]) conv.initial[v] = local_rec[v];
+    conv.reset(tree, Combine::kSum, cap, &sc.tree_ports, opt.pipelined);
+    for (const NodeId v : local_rec.touched_rows()) {
+      if (participates[v] && !local_rec[v].empty()) {
+        conv.initial[v] = local_rec[v];
+      }
     }
     const auto rb = sim.run(conv);
     ledger.add_pass("stage1/peel-converge", rb.rounds, rb.messages);
 
     // ---- Decisions at roots (local computation). ----
     std::vector<NodeId> newly_inactive;
-    for (NodeId r = 0; r < n; ++r) {
-      if (!pf.is_root(r)) continue;
+    for (const NodeId r : pf.live_roots()) {
       if (learning[r]) {
         // One super-round after inactivation: neighbors still announcing
         // now are the ones that stayed active; the rest of the
         // at-inactivation list inactivated simultaneously.
         learning[r] = 0;
-        const std::vector<Record>& now = conv.at_root(r);
+        const auto now = conv.at_root(r);
         CPT_ASSERT(!conv.overflowed(r));
         for (const Record& rec : rec_at_inact[r]) {
           const bool still_active =
@@ -158,28 +154,29 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
       // At most 3*alpha active neighbors: become inactive.
       active[r] = 0;
       learning[r] = 1;
-      rec_at_inact[r].assign(conv.at_root(r).begin(), conv.at_root(r).end());
+      rec_at_inact[r] = conv.at_root(r);
       newly_inactive.push_back(r);
     }
 
     // ---- Pass C: notify members of parts that just became inactive. ----
     if (!newly_inactive.empty()) {
-      bc.reset(TreeView{&pf.parent_edge, &pf.children, nullptr},
-               &sc.tree_ports);
+      bc.reset(TreeView{&pf.parent_edge, &pf.children, nullptr,
+                        &newly_inactive},
+               &sc.tree_ports, opt.pipelined);
       for (const NodeId r : newly_inactive) {
         bc.stream[r] = {{0, 0}};
         announces[r] = 0;  // the root itself
       }
       const auto rc = sim.run(bc);
       ledger.add_pass("stage1/peel-broadcast", rc.rounds, rc.messages);
-      for (NodeId v = 0; v < n; ++v) {
+      for (const NodeId v : bc.received.touched_rows()) {
         if (!bc.received[v].empty()) announces[v] = 0;
       }
     }
   }
 
-  for (NodeId r = 0; r < n; ++r) {
-    if (pf.is_root(r) && active[r]) result.still_active_roots.push_back(r);
+  for (const NodeId r : pf.live_roots()) {
+    if (active[r]) result.still_active_roots.push_back(r);
   }
 }
 

@@ -29,6 +29,10 @@ namespace cpt {
 struct PeelingOptions {
   std::uint32_t alpha = 3;        // arboricity bound (3 for planar)
   std::uint32_t super_rounds = 0; // 0 = ceil(log_{3/2} n) + 1
+  // Pipelined converge/broadcast streams (strictly fewer rounds and
+  // messages, identical decisions); off reproduces the original schedule
+  // for differential testing.
+  bool pipelined = true;
 };
 
 struct PeelingResult {
@@ -43,15 +47,16 @@ struct PeelingResult {
 };
 
 // Reusable buffers for the peeling emulation. Passing one instance across
-// the phases of a partition run keeps every per-node buffer's capacity, so
-// repeated peelings are allocation-free in steady state. Purely a
-// performance knob: contents carry no state between calls.
+// the phases of a partition run keeps every per-node buffer's capacity (the
+// record tables are flat arenas; see congest/record_table.h), so repeated
+// peelings are allocation-free in steady state. Purely a performance knob:
+// contents carry no state between calls.
 struct PeelScratch {
   congest::ConvergeRecords conv;
   congest::BroadcastRecords bc;
   congest::TreePorts tree_ports;
-  std::vector<std::vector<congest::Record>> local_rec;
-  std::vector<std::vector<congest::Record>> rec_at_inact;
+  congest::RecordTable local_rec;
+  congest::RecordTable rec_at_inact;
   std::vector<std::uint8_t> active, learning, announces, participates;
   std::vector<NodeId> announcing;
 };

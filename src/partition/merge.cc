@@ -13,6 +13,7 @@ using congest::Exchange;
 using congest::Inbound;
 using congest::Msg;
 using congest::Record;
+using congest::RecordTable;
 using congest::TreeView;
 
 namespace {
@@ -22,6 +23,7 @@ constexpr std::uint32_t kTagSignal = 20;  // generic single-record exchange
 constexpr std::int64_t kNoColor = -1;
 constexpr std::uint32_t kNoLevel = static_cast<std::uint32_t>(-1);
 constexpr std::uint32_t kNoPort = static_cast<std::uint32_t>(-1);
+constexpr std::uint32_t kNilSlot = RecordTable::kNilSlot;
 
 // All driver-side state for one merge step. Arrays indexed by node id hold
 // root-local knowledge at root ids and node-local knowledge everywhere, as
@@ -33,6 +35,7 @@ struct MergeCtx {
   const std::vector<std::vector<NodeId>>& neighbor_root;
   Selection& sel;
   congest::RoundLedger& ledger;
+  bool pipelined;
 
   NodeId n;
   // Node-side: the single designated port of an in-charge node (or kNoPort).
@@ -53,32 +56,39 @@ struct MergeCtx {
   std::vector<std::int8_t> parity_bit;  // -1 unknown, else 0/1
 
   // Pooled passes and tables (living in the cross-phase MergeScratch),
-  // reset()/cleared per use so the dozens of relay passes in one merge step
-  // reuse per-node buffers instead of re-allocating them. Two broadcast
-  // pools because find_designated_edges keeps two broadcasts' state alive
-  // at once; the sender lists let relay hops skip silent nodes.
+  // reset() per use so the dozens of relay passes in one merge step reuse
+  // one contiguous record pool each instead of re-allocating per-node
+  // vectors. Two broadcast pools because find_designated_edges keeps two
+  // broadcasts' state alive at once; the sender lists let relay hops skip
+  // silent nodes.
   BroadcastRecords& bc_pool;
   BroadcastRecords& bc_pool2;
   ConvergeRecords& conv_pool;
   congest::TreePorts& tree_ports;  // built once: forest fixed until contraction
-  std::vector<std::vector<Record>>& at_pool;
+  RecordTable& at_pool;
   std::vector<std::uint8_t>& all_mask;
   std::vector<NodeId>& charge_nodes;
   std::vector<NodeId>& serving_nodes;
-  std::vector<std::vector<Record>>& values_a;
-  std::vector<std::vector<Record>>& values_b;
-  std::vector<std::vector<Record>>& out_a;
-  std::vector<std::vector<Record>>& out_b;
+  RecordTable& values_a;
+  RecordTable& values_b;
+  RecordTable& out_a;
+  RecordTable& out_b;
+  // Per-node relay-hop send slot. Invariant: kNilSlot outside a RelayHop
+  // pass (every started sender drains its row), so only started senders
+  // are touched per pass.
+  std::vector<std::uint32_t>& hop_cursor;
 
   MergeCtx(congest::Simulator& sim_, const Graph& g_, PartForest& pf_,
            const std::vector<std::vector<NodeId>>& nr, Selection& sel_,
-           congest::RoundLedger& ledger_, MergeScratch& scratch)
+           congest::RoundLedger& ledger_, MergeScratch& scratch,
+           bool pipelined_)
       : sim(sim_),
         g(g_),
         pf(pf_),
         neighbor_root(nr),
         sel(sel_),
         ledger(ledger_),
+        pipelined(pipelined_),
         n(g_.num_nodes()),
         charge_port(n, kNoPort),
         serve_ports(n),
@@ -101,167 +111,191 @@ struct MergeCtx {
         values_a(scratch.values_a),
         values_b(scratch.values_b),
         out_a(scratch.out_a),
-        out_b(scratch.out_b) {
-    if (at_pool.size() != n) at_pool.assign(n, {});
+        out_b(scratch.out_b),
+        hop_cursor(scratch.hop_cursor) {
     if (all_mask.size() != n) all_mask.assign(n, 1);
+    if (hop_cursor.size() != n) hop_cursor.assign(n, kNilSlot);
     tree_ports.build(sim.network(), pf.parent_edge, pf.children);
   }
 
-  std::vector<std::vector<Record>>& claim_at_pool() {
-    for (auto& recs : at_pool) recs.clear();
+  RecordTable& claim_at_pool() {
+    at_pool.reset(n);
     return at_pool;
   }
 
-  // Clears a per-root table in place, keeping inner capacity.
-  void clear_values(std::vector<std::vector<Record>>& table) const {
-    congest::clear_record_table(table, n);
-  }
+  const std::vector<NodeId>& roots() const { return pf.live_roots(); }
 
   bool has_sel(NodeId r) const { return sel.target[r] != kNoNode; }
 
   TreeView tree(const std::vector<std::uint8_t>* mask) const {
-    return TreeView{&pf.parent_edge, &pf.children, mask};
+    return TreeView{&pf.parent_edge, &pf.children, mask, &pf.live_roots()};
   }
 
-  // --- Composite relay passes ------------------------------------------
-
-  // F_i-parent -> F_i-children: every part root with a value broadcasts it
-  // down its own tree; serving nodes forward the k-th record over the
-  // designated edges they serve (optionally only marked ones); the
-  // receiving in-charge nodes converge the records up their trees. Fills
-  // `out` (cleared here; must not alias `values`) with per-root received
-  // records (merged by key, summed).
-  void relay_down(const std::vector<std::vector<Record>>& values,
-                  bool marked_only, const char* passname,
-                  std::vector<std::vector<Record>>& out) {
-    clear_values(out);
-    bc_pool.reset(tree(nullptr), &tree_ports);
-    BroadcastRecords& bc = bc_pool;
-    std::size_t max_len = 0;
-    for (NodeId r = 0; r < n; ++r) {
-      if (pf.is_root(r) && !values[r].empty()) {
-        bc.stream[r] = values[r];
-        max_len = std::max(max_len, values[r].size());
-      }
-    }
-    if (max_len == 0) return;
-    auto rb = sim.run(bc);
-    ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
-    for (NodeId r = 0; r < n; ++r) {
-      if (pf.is_root(r) && !values[r].empty()) bc.received[r] = values[r];
-    }
-    // Serving nodes push the stream across designated edges, one record per
-    // round per edge.
-    auto& at_charge = claim_at_pool();
-    for (std::size_t k = 0; k < max_len; ++k) {
-      Exchange ex(
-          n,
-          [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& outv) {
-            const auto& ports =
-                marked_only ? marked_serve_ports[v] : serve_ports[v];
-            if (ports.empty() || bc.received[v].size() <= k) return;
-            const Record& rec = bc.received[v][k];
-            for (const std::uint32_t p : ports) {
-              outv.push_back({p, Msg::make(kTagSignal,
-                                           static_cast<std::int64_t>(rec.key),
-                                           rec.value)});
-            }
-          },
-          [&](NodeId v, std::span<const Inbound> inbox) {
-            for (const Inbound& in : inbox) {
-              if (in.msg.tag == kTagSignal && in.port == charge_port[v]) {
-                at_charge[v].push_back(
-                    {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
-              }
-            }
-          },
-          &serving_nodes);
-      auto re = sim.run(ex);
-      ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
-    }
-    // Converge up the receiving (selection-holding) parts.
-    conv_pool.reset(tree(&sel_mask), Combine::kSum, 0, &tree_ports);
-    ConvergeRecords& conv = conv_pool;
-    for (NodeId v = 0; v < n; ++v) {
-      if (sel_mask[v]) conv.initial[v] = at_charge[v];
-    }
-    auto rc = sim.run(conv);
-    ledger.add_pass(std::string(passname) + "/conv", rc.rounds, rc.messages);
-    for (NodeId r = 0; r < n; ++r) {
-      if (pf.is_root(r) && has_sel(r)) {
-        out[r].assign(conv.at_root(r).begin(), conv.at_root(r).end());
-      }
-    }
-  }
-
-  // F_i-children -> F_i-parent: sending parts broadcast their records down
-  // to their in-charge node, which pushes them over the designated edge;
-  // the parent part converges the arriving records up its tree, summing by
-  // key. `senders` (optional) restricts which selection-holding parts send.
-  // Fills `out` (cleared here; must not alias `values`).
-  void relay_up(const std::vector<std::vector<Record>>& values,
-                bool marked_only, const std::vector<std::uint8_t>* senders,
-                const char* passname, std::vector<std::vector<Record>>& out) {
-    clear_values(out);
-    bc_pool.reset(tree(nullptr), &tree_ports);
-    BroadcastRecords& bc = bc_pool;
-    std::size_t max_len = 0;
-    for (NodeId r = 0; r < n; ++r) {
-      if (!pf.is_root(r) || !has_sel(r) || values[r].empty()) continue;
-      if (senders != nullptr && !(*senders)[r]) continue;
-      if (marked_only && !out_marked[r]) continue;
-      bc.stream[r] = values[r];
-      max_len = std::max(max_len, values[r].size());
-    }
-    if (max_len == 0) return;
-    auto rb = sim.run(bc);
-    ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
-    for (NodeId r = 0; r < n; ++r) {
-      if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
-    }
-    auto& at_serve = claim_at_pool();
-    for (std::size_t k = 0; k < max_len; ++k) {
-      Exchange ex(
-          n,
-          [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& outv) {
-            if (charge_port[v] == kNoPort) return;
-            if (bc.received[v].size() <= k) return;
-            const Record& rec = bc.received[v][k];
-            outv.push_back({charge_port[v],
-                            Msg::make(kTagSignal,
-                                      static_cast<std::int64_t>(rec.key),
-                                      rec.value)});
-          },
-          [&](NodeId v, std::span<const Inbound> inbox) {
-            for (const Inbound& in : inbox) {
-              if (in.msg.tag != kTagSignal) continue;
-              const auto& ports =
-                  marked_only ? marked_serve_ports[v] : serve_ports[v];
-              if (std::find(ports.begin(), ports.end(), in.port) !=
-                  ports.end()) {
-                at_serve[v].push_back(
-                    {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
-              }
-            }
-          },
-          &charge_nodes);
-      auto re = sim.run(ex);
-      ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
-    }
-    conv_pool.reset(tree(&serve_mask), Combine::kSum, 0, &tree_ports);
-    ConvergeRecords& conv = conv_pool;
-    for (NodeId v = 0; v < n; ++v) {
-      if (serve_mask[v]) conv.initial[v] = at_serve[v];
-    }
-    auto rc = sim.run(conv);
-    ledger.add_pass(std::string(passname) + "/conv", rc.rounds, rc.messages);
-    for (NodeId r = 0; r < n; ++r) {
-      if (pf.is_root(r)) {
-        out[r].assign(conv.at_root(r).begin(), conv.at_root(r).end());
-      }
-    }
-  }
+  void relay_down(const RecordTable& values, bool marked_only,
+                  const char* passname, RecordTable& out);
+  void relay_up(const RecordTable& values, bool marked_only,
+                const std::vector<std::uint8_t>* senders, const char* passname,
+                RecordTable& out);
 };
+
+// Streams every relay node's full record row across the designated edges it
+// serves (or its own designated edge, going up), one record per round per
+// edge. Replaces the one-Exchange-per-record hop loops: the same messages
+// cross the same edges in the same rounds, but the host runs one simulator
+// pass instead of max-stream-length passes.
+class RelayHop : public congest::Program {
+ public:
+  enum class Dir { kDown, kUp };
+
+  RelayHop(MergeCtx& ctx, Dir dir, bool marked_only, const RecordTable& source,
+           RecordTable& sink)
+      : ctx_(ctx),
+        dir_(dir),
+        marked_only_(marked_only),
+        source_(source),
+        sink_(sink) {}
+
+  void begin(congest::Simulator& sim) override {
+    const auto& senders =
+        dir_ == Dir::kDown ? ctx_.serving_nodes : ctx_.charge_nodes;
+    for (const NodeId v : senders) {
+      if (dir_ == Dir::kDown && serve_set(v).empty()) continue;
+      ctx_.hop_cursor[v] = source_.head_slot(v);
+      pump(sim, v);
+    }
+  }
+
+  void on_wake(congest::Simulator& sim, NodeId v,
+               std::span<const Inbound> inbox) override {
+    for (const Inbound& in : inbox) {
+      if (in.msg.tag != kTagSignal) continue;
+      const Record rec{static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]};
+      if (dir_ == Dir::kDown) {
+        if (in.port == ctx_.charge_port[v]) sink_.push(v, rec);
+      } else {
+        const auto& ports = serve_set(v);
+        if (std::find(ports.begin(), ports.end(), in.port) != ports.end()) {
+          sink_.push(v, rec);
+        }
+      }
+    }
+    pump(sim, v);
+  }
+
+ private:
+  const std::vector<std::uint32_t>& serve_set(NodeId v) const {
+    return marked_only_ ? ctx_.marked_serve_ports[v] : ctx_.serve_ports[v];
+  }
+
+  void pump(congest::Simulator& sim, NodeId v) {
+    const std::uint32_t slot = ctx_.hop_cursor[v];
+    if (slot == kNilSlot) return;
+    const Record& rec = source_.at_slot(slot);
+    const Msg msg = Msg::make(kTagSignal, static_cast<std::int64_t>(rec.key),
+                              rec.value);
+    if (dir_ == Dir::kDown) {
+      for (const std::uint32_t p : serve_set(v)) sim.send(v, p, msg);
+    } else {
+      sim.send(v, ctx_.charge_port[v], msg);
+    }
+    const std::uint32_t next = source_.next_slot(slot);
+    ctx_.hop_cursor[v] = next;
+    if (next != kNilSlot) sim.wake_next_round(v);
+  }
+
+  MergeCtx& ctx_;
+  Dir dir_;
+  bool marked_only_;
+  const RecordTable& source_;
+  RecordTable& sink_;
+};
+
+// --- Composite relay passes ------------------------------------------------
+
+// F_i-parent -> F_i-children: every part root with a value broadcasts it
+// down its own tree; serving nodes forward their stream over the designated
+// edges they serve (optionally only marked ones); the receiving in-charge
+// nodes converge the records up their trees. Fills `out` (cleared here;
+// must not alias `values`) with per-root received records (merged by key,
+// summed).
+void MergeCtx::relay_down(const RecordTable& values, bool marked_only,
+                          const char* passname, RecordTable& out) {
+  out.reset(n);
+  bc_pool.reset(tree(nullptr), &tree_ports, pipelined);
+  BroadcastRecords& bc = bc_pool;
+  bool any = false;
+  for (const NodeId r : values.touched_rows()) {
+    if (!values[r].empty()) {
+      bc.stream[r] = values[r];
+      any = true;
+    }
+  }
+  if (!any) return;
+  auto rb = sim.run(bc);
+  ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
+  for (const NodeId r : values.touched_rows()) {
+    if (!values[r].empty()) bc.received[r] = values[r];
+  }
+  // Serving nodes push the stream across designated edges, one record per
+  // round per edge (a single multi-record hop pass).
+  RecordTable& at_charge = claim_at_pool();
+  RelayHop hop(*this, RelayHop::Dir::kDown, marked_only, bc.received,
+               at_charge);
+  auto re = sim.run(hop);
+  ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
+  // Converge up the receiving (selection-holding) parts.
+  conv_pool.reset(tree(&sel_mask), Combine::kSum, 0, &tree_ports, pipelined);
+  ConvergeRecords& conv = conv_pool;
+  for (const NodeId v : at_charge.touched_rows()) {
+    if (sel_mask[v] && !at_charge[v].empty()) conv.initial[v] = at_charge[v];
+  }
+  auto rc = sim.run(conv);
+  ledger.add_pass(std::string(passname) + "/conv", rc.rounds, rc.messages);
+  for (const NodeId r : roots()) {
+    if (has_sel(r) && !conv.at_root(r).empty()) out[r] = conv.at_root(r);
+  }
+}
+
+// F_i-children -> F_i-parent: sending parts broadcast their records down
+// to their in-charge node, which pushes them over the designated edge;
+// the parent part converges the arriving records up its tree, summing by
+// key. `senders` (optional) restricts which selection-holding parts send.
+// Fills `out` (cleared here; must not alias `values`).
+void MergeCtx::relay_up(const RecordTable& values, bool marked_only,
+                        const std::vector<std::uint8_t>* senders,
+                        const char* passname, RecordTable& out) {
+  out.reset(n);
+  bc_pool.reset(tree(nullptr), &tree_ports, pipelined);
+  BroadcastRecords& bc = bc_pool;
+  bool any = false;
+  for (const NodeId r : values.touched_rows()) {
+    if (!has_sel(r) || values[r].empty()) continue;
+    if (senders != nullptr && !(*senders)[r]) continue;
+    if (marked_only && !out_marked[r]) continue;
+    bc.stream[r] = values[r];
+    any = true;
+  }
+  if (!any) return;
+  auto rb = sim.run(bc);
+  ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
+  for (const NodeId r : bc.stream.touched_rows()) {
+    if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
+  }
+  RecordTable& at_serve = claim_at_pool();
+  RelayHop hop(*this, RelayHop::Dir::kUp, marked_only, bc.received, at_serve);
+  auto re = sim.run(hop);
+  ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
+  conv_pool.reset(tree(&serve_mask), Combine::kSum, 0, &tree_ports, pipelined);
+  ConvergeRecords& conv = conv_pool;
+  for (const NodeId v : at_serve.touched_rows()) {
+    if (serve_mask[v] && !at_serve[v].empty()) conv.initial[v] = at_serve[v];
+  }
+  auto rc = sim.run(conv);
+  ledger.add_pass(std::string(passname) + "/conv", rc.rounds, rc.messages);
+  for (const NodeId r : roots()) {
+    if (!conv.at_root(r).empty()) out[r] = conv.at_root(r);
+  }
+}
 
 // ---- Sub-step 1 (emulation): designated physical edges -------------------
 
@@ -270,8 +304,8 @@ void find_designated_edges(MergeCtx& ctx) {
   // Dedup: if A and B selected each other's auxiliary edge, it becomes the
   // out-edge of the smaller root id (Section 4's pseudo-forest rule; cannot
   // trigger in the BE-oriented flow).
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r) || !ctx.has_sel(r)) continue;
+  for (const NodeId r : ctx.roots()) {
+    if (!ctx.has_sel(r)) continue;
     const NodeId t = ctx.sel.target[r];
     if (t < r && ctx.sel.target[t] == r) ctx.sel.target[r] = kNoNode;
   }
@@ -281,11 +315,10 @@ void find_designated_edges(MergeCtx& ctx) {
 
   // SEEK passes for parts without a known physical edge.
   bool any_seek = false;
-  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports);
+  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports, ctx.pipelined);
   BroadcastRecords& bc = ctx.bc_pool;
-  for (NodeId r = 0; r < n; ++r) {
-    if (ctx.pf.is_root(r) && ctx.has_sel(r) &&
-        ctx.sel.charge_node[r] == kNoNode) {
+  for (const NodeId r : ctx.roots()) {
+    if (ctx.has_sel(r) && ctx.sel.charge_node[r] == kNoNode) {
       bc.stream[r] = {{0, static_cast<std::int64_t>(ctx.sel.target[r])}};
       any_seek = true;
     }
@@ -293,11 +326,12 @@ void find_designated_edges(MergeCtx& ctx) {
   if (any_seek) {
     auto rb = ctx.sim.run(bc);
     ctx.ledger.add_pass("stage1/seek/bcast", rb.rounds, rb.messages);
-    for (NodeId r = 0; r < n; ++r) {
+    for (const NodeId r : bc.stream.touched_rows()) {
       if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
     }
     // Boundary nodes with an edge to the target nominate themselves (min id).
-    ctx.conv_pool.reset(ctx.tree(&ctx.sel_mask), Combine::kMin, 0, &ctx.tree_ports);
+    ctx.conv_pool.reset(ctx.tree(&ctx.sel_mask), Combine::kMin, 0,
+                        &ctx.tree_ports, ctx.pipelined);
     ConvergeRecords& conv = ctx.conv_pool;
     for (NodeId v = 0; v < n; ++v) {
       if (!ctx.sel_mask[v] || bc.received[v].empty()) continue;
@@ -313,11 +347,11 @@ void find_designated_edges(MergeCtx& ctx) {
     ctx.ledger.add_pass("stage1/seek/conv", rc.rounds, rc.messages);
     // Notify the chosen in-charge node down the tree. (Second pool:
     // bc.stream is still being read below.)
-    ctx.bc_pool2.reset(ctx.tree(nullptr), &ctx.tree_ports);
+    ctx.bc_pool2.reset(ctx.tree(nullptr), &ctx.tree_ports, ctx.pipelined);
     BroadcastRecords& bc2 = ctx.bc_pool2;
-    for (NodeId r = 0; r < n; ++r) {
+    for (const NodeId r : ctx.roots()) {
       if (bc.stream[r].empty()) continue;
-      const auto& recs = conv.at_root(r);
+      const auto recs = conv.at_root(r);
       CPT_ASSERT(!recs.empty() && "selection target must be a real neighbor");
       ctx.sel.charge_node[r] = static_cast<NodeId>(recs[0].value);
       bc2.stream[r] = {{1, recs[0].value}};
@@ -327,8 +361,8 @@ void find_designated_edges(MergeCtx& ctx) {
   }
 
   // In-charge nodes resolve their designated port (and edge id).
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r) || !ctx.has_sel(r)) continue;
+  for (const NodeId r : ctx.roots()) {
+    if (!ctx.has_sel(r)) continue;
     const NodeId u = ctx.sel.charge_node[r];
     CPT_ASSERT(u != kNoNode);
     if (ctx.sel.charge_edge[r] != kNoEdge) {
@@ -374,27 +408,26 @@ void find_designated_edges(MergeCtx& ctx) {
 
   // Serve mask: parts with at least one serving node learn it via one
   // converge + one broadcast.
-  ctx.conv_pool.reset(ctx.tree(&ctx.all_mask), Combine::kSum, 0, &ctx.tree_ports);
+  ctx.conv_pool.reset(ctx.tree(&ctx.all_mask), Combine::kSum, 0,
+                      &ctx.tree_ports, ctx.pipelined);
   ConvergeRecords& conv = ctx.conv_pool;
-  for (NodeId v = 0; v < n; ++v) {
-    if (!ctx.serve_ports[v].empty()) {
-      conv.initial[v] = {
-          {0, static_cast<std::int64_t>(ctx.serve_ports[v].size())}};
-    }
+  for (const NodeId v : ctx.serving_nodes) {
+    conv.initial[v] = {
+        {0, static_cast<std::int64_t>(ctx.serve_ports[v].size())}};
   }
   auto rc = ctx.sim.run(conv);
   ctx.ledger.add_pass("stage1/seek/servemask-conv", rc.rounds, rc.messages);
-  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports);
+  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports, ctx.pipelined);
   BroadcastRecords& bc3 = ctx.bc_pool;
-  for (NodeId r = 0; r < n; ++r) {
-    if (ctx.pf.is_root(r) && !conv.at_root(r).empty()) {
+  for (const NodeId r : ctx.roots()) {
+    if (!conv.at_root(r).empty()) {
       bc3.stream[r] = {{0, 1}};
       ctx.serve_mask[r] = 1;
     }
   }
   auto rb3 = ctx.sim.run(bc3);
   ctx.ledger.add_pass("stage1/seek/servemask-bcast", rb3.rounds, rb3.messages);
-  for (NodeId v = 0; v < n; ++v) {
+  for (const NodeId v : bc3.received.touched_rows()) {
     if (!bc3.received[v].empty()) ctx.serve_mask[v] = 1;
   }
 }
@@ -402,28 +435,24 @@ void find_designated_edges(MergeCtx& ctx) {
 // ---- Sub-step 2a: Cole-Vishkin 3-coloring of F_i -------------------------
 
 std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
-  const NodeId n = ctx.n;
-  for (NodeId r = 0; r < n; ++r) {
-    if (ctx.pf.is_root(r)) ctx.color[r] = r;
-  }
+  for (const NodeId r : ctx.roots()) ctx.color[r] = r;
   std::uint32_t iterations = 0;
   while (true) {
     std::int64_t max_color = 0;
-    for (NodeId r = 0; r < n; ++r) {
-      if (ctx.pf.is_root(r)) max_color = std::max(max_color, ctx.color[r]);
+    for (const NodeId r : ctx.roots()) {
+      max_color = std::max(max_color, ctx.color[r]);
     }
     if (max_color <= 5) break;
     auto& values = ctx.values_a;
-    ctx.clear_values(values);
-    for (NodeId r = 0; r < n; ++r) {
+    values.reset(ctx.n);
+    for (const NodeId r : ctx.roots()) {
       // Only parts that serve a designated edge have F_i children that need
       // their color.
-      if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
+      if (ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
     }
     auto& parent_color = ctx.out_a;
     ctx.relay_down(values, /*marked_only=*/false, "stage1/cv", parent_color);
-    for (NodeId r = 0; r < n; ++r) {
-      if (!ctx.pf.is_root(r)) continue;
+    for (const NodeId r : ctx.roots()) {
       const std::int64_t c = ctx.color[r];
       if (!ctx.has_sel(r)) {
         ctx.color[r] = c & 1;  // F_i root keeps bit 0
@@ -443,15 +472,14 @@ std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
   std::vector<std::int64_t> old_color;
   for (std::int64_t target = 5; target >= 3; --target) {
     auto& values = ctx.values_a;
-    ctx.clear_values(values);
-    for (NodeId r = 0; r < n; ++r) {
-      if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
+    values.reset(ctx.n);
+    for (const NodeId r : ctx.roots()) {
+      if (ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
     }
     auto& pre = ctx.out_a;
     ctx.relay_down(values, false, "stage1/cv-shift", pre);
     old_color = ctx.color;
-    for (NodeId r = 0; r < n; ++r) {
-      if (!ctx.pf.is_root(r)) continue;
+    for (const NodeId r : ctx.roots()) {
       if (ctx.has_sel(r)) {
         CPT_ASSERT(!pre[r].empty());
         ctx.color[r] = pre[r][0].value;
@@ -460,14 +488,14 @@ std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
       }
     }
     auto& values2 = ctx.values_b;
-    ctx.clear_values(values2);
-    for (NodeId r = 0; r < n; ++r) {
-      if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values2[r] = {{0, ctx.color[r]}};
+    values2.reset(ctx.n);
+    for (const NodeId r : ctx.roots()) {
+      if (ctx.serve_mask[r]) values2[r] = {{0, ctx.color[r]}};
     }
     auto& post = ctx.out_b;
     ctx.relay_down(values2, false, "stage1/cv-recolor", post);
-    for (NodeId r = 0; r < n; ++r) {
-      if (!ctx.pf.is_root(r) || ctx.color[r] != target) continue;
+    for (const NodeId r : ctx.roots()) {
+      if (ctx.color[r] != target) continue;
       const std::int64_t forbid1 =
           ctx.has_sel(r) && !post[r].empty() ? post[r][0].value : -1;
       const std::int64_t forbid2 = old_color[r];  // children's current color
@@ -488,9 +516,9 @@ void mark_edges(MergeCtx& ctx) {
   const NodeId n = ctx.n;
   // Each selection-holding part learns its target's color.
   auto& values = ctx.values_a;
-  ctx.clear_values(values);
-  for (NodeId r = 0; r < n; ++r) {
-    if (ctx.pf.is_root(r) && ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
+  values.reset(n);
+  for (const NodeId r : ctx.roots()) {
+    if (ctx.serve_mask[r]) values[r] = {{0, ctx.color[r]}};
   }
   auto& target_color = ctx.out_a;
   ctx.relay_down(values, false, "stage1/mark-tcolor", target_color);
@@ -498,9 +526,9 @@ void mark_edges(MergeCtx& ctx) {
   // Each part tells its F_i parent (color, weight) of its selected edge;
   // the parent receives per-color weight sums.
   auto& up_values = ctx.values_b;
-  ctx.clear_values(up_values);
-  for (NodeId r = 0; r < n; ++r) {
-    if (ctx.pf.is_root(r) && ctx.has_sel(r)) {
+  up_values.reset(n);
+  for (const NodeId r : ctx.roots()) {
+    if (ctx.has_sel(r)) {
       up_values[r] = {{static_cast<std::uint64_t>(ctx.color[r]),
                        static_cast<std::int64_t>(ctx.sel.weight[r])}};
     }
@@ -511,8 +539,7 @@ void mark_edges(MergeCtx& ctx) {
   // Marking decisions (colors 0/1/2 stand for the paper's 1/2/3).
   std::vector<std::uint8_t> mark_in_all(n, 0);
   std::vector<std::uint8_t> mark_in_color2(n, 0);
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r)) continue;
+  for (const NodeId r : ctx.roots()) {
     std::int64_t sum_all = 0;
     std::int64_t sum_c2 = 0;
     for (const Record& rec : in_by_color[r]) {
@@ -543,16 +570,15 @@ void mark_edges(MergeCtx& ctx) {
   // (2, c) marks incoming edges from children colored c. (target_color and
   // in_by_color are dead by now, so their tables can be recycled.)
   auto& mark_values = ctx.values_a;
-  ctx.clear_values(mark_values);
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r)) continue;
+  mark_values.reset(n);
+  for (const NodeId r : ctx.roots()) {
     if (mark_in_all[r]) mark_values[r] = {{1, -1}};
     if (mark_in_color2[r]) mark_values[r] = {{2, 2}};
   }
   auto& parent_marks = ctx.out_a;
   ctx.relay_down(mark_values, false, "stage1/mark-down", parent_marks);
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r) || !ctx.has_sel(r)) continue;
+  for (const NodeId r : ctx.roots()) {
+    if (!ctx.has_sel(r)) continue;
     for (const Record& rec : parent_marks[r]) {
       if (rec.key == 1 || (rec.key == 2 && ctx.color[r] == rec.value)) {
         ctx.out_marked[r] = 1;
@@ -563,14 +589,14 @@ void mark_edges(MergeCtx& ctx) {
   // In-charge nodes of marked out-edges notify the serving endpoint, so the
   // T_i relays know which designated edges are marked (one round). The part
   // root tells its in-charge node via one broadcast first.
-  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports);
+  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports, ctx.pipelined);
   BroadcastRecords& bc = ctx.bc_pool;
-  for (NodeId r = 0; r < n; ++r) {
-    if (ctx.pf.is_root(r) && ctx.out_marked[r]) bc.stream[r] = {{0, 1}};
+  for (const NodeId r : ctx.roots()) {
+    if (ctx.out_marked[r]) bc.stream[r] = {{0, 1}};
   }
   auto rb = ctx.sim.run(bc);
   ctx.ledger.add_pass("stage1/mark-notify/bcast", rb.rounds, rb.messages);
-  for (NodeId r = 0; r < n; ++r) {
+  for (const NodeId r : bc.stream.touched_rows()) {
     if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
   }
   Exchange ex(
@@ -594,15 +620,14 @@ void mark_edges(MergeCtx& ctx) {
 
   // Count marked children per part (relay over marked edges only).
   auto& ones = ctx.values_b;
-  ctx.clear_values(ones);
-  for (NodeId r = 0; r < n; ++r) {
-    if (ctx.pf.is_root(r) && ctx.out_marked[r]) ones[r] = {{0, 1}};
+  ones.reset(n);
+  for (const NodeId r : ctx.roots()) {
+    if (ctx.out_marked[r]) ones[r] = {{0, 1}};
   }
   auto& counts = ctx.out_b;
   ctx.relay_up(ones, /*marked_only=*/true, nullptr, "stage1/mark-count",
                counts);
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r)) continue;
+  for (const NodeId r : ctx.roots()) {
     for (const Record& rec : counts[r]) ctx.marked_children[r] += rec.value;
   }
 }
@@ -622,8 +647,7 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
 
   // T roots: marked incoming edges but no marked out-edge.
   bool any_in_t = false;
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r)) continue;
+  for (const NodeId r : ctx.roots()) {
     if (ctx.marked_children[r] > 0 && !ctx.out_marked[r]) {
       ctx.level[r] = 0;
       any_in_t = true;
@@ -636,19 +660,17 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
   for (std::uint32_t guard = 0;; ++guard) {
     CPT_ASSERT(guard < 200 && "marked graph must be a forest (Claim 15)");
     auto& values = ctx.values_a;
-    ctx.clear_values(values);
-    for (NodeId r = 0; r < n; ++r) {
-      if (ctx.pf.is_root(r) && ctx.serve_mask[r] && ctx.level[r] != kNoLevel) {
+    values.reset(n);
+    for (const NodeId r : ctx.roots()) {
+      if (ctx.serve_mask[r] && ctx.level[r] != kNoLevel) {
         values[r] = {{0, ctx.level[r]}};
       }
     }
     auto& down = ctx.out_a;
     ctx.relay_down(values, /*marked_only=*/true, "stage1/t-level", down);
     bool changed = false;
-    for (NodeId r = 0; r < n; ++r) {
-      if (!ctx.pf.is_root(r) || !ctx.out_marked[r] || ctx.level[r] != kNoLevel) {
-        continue;
-      }
+    for (const NodeId r : ctx.roots()) {
+      if (!ctx.out_marked[r] || ctx.level[r] != kNoLevel) continue;
       if (!down[r].empty()) {
         ctx.level[r] = static_cast<std::uint32_t>(down[r][0].value) + 1;
         out.height = std::max(out.height, ctx.level[r]);
@@ -670,10 +692,10 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
     CPT_ASSERT(guard < 200);
     ready.assign(n, 0);
     auto& values = ctx.values_a;
-    ctx.clear_values(values);
+    values.reset(n);
     bool any_ready = false;
-    for (NodeId r = 0; r < n; ++r) {
-      if (!ctx.pf.is_root(r) || reported[r] || !ctx.out_marked[r]) continue;
+    for (const NodeId r : ctx.roots()) {
+      if (reported[r] || !ctx.out_marked[r]) continue;
       if (ctx.level[r] == kNoLevel) continue;
       if (acc_cnt[r] != ctx.marked_children[r]) continue;
       // Subtree sums plus this part's own connecting (marked out-)edge:
@@ -694,8 +716,7 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
     if (!any_ready) break;
     auto& up = ctx.out_a;
     ctx.relay_up(values, /*marked_only=*/true, &ready, "stage1/t-wsum", up);
-    for (NodeId r = 0; r < n; ++r) {
-      if (!ctx.pf.is_root(r)) continue;
+    for (const NodeId r : ctx.roots()) {
       for (const Record& rec : up[r]) {
         if (rec.key == 0) acc_w0[r] += rec.value;
         if (rec.key == 1) acc_w1[r] += rec.value;
@@ -705,8 +726,7 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
   }
 
   // T roots decide the parity to contract.
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r)) continue;
+  for (const NodeId r : ctx.roots()) {
     if (ctx.level[r] == 0 && acc_cnt[r] == ctx.marked_children[r]) {
       ctx.parity_bit[r] = acc_w0[r] >= acc_w1[r] ? 0 : 1;
     }
@@ -715,19 +735,17 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
   for (std::uint32_t guard = 0;; ++guard) {
     CPT_ASSERT(guard < 200);
     auto& values = ctx.values_a;
-    ctx.clear_values(values);
-    for (NodeId r = 0; r < n; ++r) {
-      if (ctx.pf.is_root(r) && ctx.serve_mask[r] && ctx.parity_bit[r] >= 0) {
+    values.reset(n);
+    for (const NodeId r : ctx.roots()) {
+      if (ctx.serve_mask[r] && ctx.parity_bit[r] >= 0) {
         values[r] = {{0, ctx.parity_bit[r]}};
       }
     }
     auto& down = ctx.out_a;
     ctx.relay_down(values, /*marked_only=*/true, "stage1/t-bit", down);
     bool changed = false;
-    for (NodeId r = 0; r < n; ++r) {
-      if (!ctx.pf.is_root(r) || !ctx.out_marked[r] || ctx.parity_bit[r] >= 0) {
-        continue;
-      }
+    for (const NodeId r : ctx.roots()) {
+      if (!ctx.out_marked[r] || ctx.parity_bit[r] >= 0) continue;
       if (!down[r].empty()) {
         ctx.parity_bit[r] = static_cast<std::int8_t>(down[r][0].value);
         changed = true;
@@ -739,8 +757,8 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
   // Contract: a part at level l with a marked out-edge contracts it iff
   // l % 2 == bit (bit 0 = even edges, from even levels up to odd ones).
   std::vector<NodeId> merging;
-  for (NodeId r = 0; r < n; ++r) {
-    if (!ctx.pf.is_root(r) || !ctx.out_marked[r]) continue;
+  for (const NodeId r : ctx.roots()) {
+    if (!ctx.out_marked[r]) continue;
     if (ctx.level[r] == kNoLevel || ctx.parity_bit[r] < 0) continue;
     if (ctx.level[r] % 2 == static_cast<std::uint32_t>(ctx.parity_bit[r])) {
       merging.push_back(r);
@@ -771,11 +789,11 @@ MergeStats run_merge_step(congest::Simulator& sim, const Graph& g,
                           PartForest& pf,
                           const std::vector<std::vector<NodeId>>& neighbor_root,
                           Selection sel, congest::RoundLedger& ledger,
-                          MergeScratch* scratch) {
+                          MergeScratch* scratch, bool pipelined) {
   MergeStats stats;
   bool any_selection = false;
-  for (NodeId r = 0; r < g.num_nodes(); ++r) {
-    if (pf.is_root(r) && sel.target[r] != kNoNode) {
+  for (const NodeId r : pf.live_roots()) {
+    if (sel.target[r] != kNoNode) {
       any_selection = true;
       break;
     }
@@ -784,7 +802,7 @@ MergeStats run_merge_step(congest::Simulator& sim, const Graph& g,
 
   MergeScratch local_scratch;
   MergeCtx ctx(sim, g, pf, neighbor_root, sel, ledger,
-               scratch != nullptr ? *scratch : local_scratch);
+               scratch != nullptr ? *scratch : local_scratch, pipelined);
   find_designated_edges(ctx);
   stats.cv_iterations = color_pseudo_forest(ctx);
   mark_edges(ctx);

@@ -50,29 +50,32 @@ struct MergeStats {
 
 // Reusable buffers for run_merge_step. Passing one instance across the
 // phases of a partition run makes the dozens of relay passes per phase
-// allocation-free in steady state (every per-node/per-root buffer keeps its
-// capacity); with nullptr each merge step allocates privately. Purely a
-// performance knob: contents carry no state between calls.
+// allocation-free in steady state (the record tables are flat arenas whose
+// reset bumps a watermark; see congest/record_table.h); with nullptr each
+// merge step allocates privately. Purely a performance knob: contents
+// carry no state between calls.
 struct MergeScratch {
   congest::BroadcastRecords bc_a, bc_b;
   congest::ConvergeRecords conv;
   congest::TreePorts tree_ports;
-  std::vector<std::vector<congest::Record>> at;        // relay hop collection
-  std::vector<std::vector<congest::Record>> values_a;  // relay inputs
-  std::vector<std::vector<congest::Record>> values_b;
-  std::vector<std::vector<congest::Record>> out_a;     // relay outputs
-  std::vector<std::vector<congest::Record>> out_b;
+  congest::RecordTable at;                  // relay hop collection
+  congest::RecordTable values_a, values_b;  // relay inputs
+  congest::RecordTable out_a, out_b;        // relay outputs
   std::vector<std::uint8_t> all_mask;
   std::vector<NodeId> charge_nodes, serving_nodes;
+  std::vector<std::uint32_t> hop_cursor;  // per-node relay-hop send slot
 };
 
 // Executes one merging step, mutating `pf`. `neighbor_root` is the per-node,
 // per-port map of neighbor part roots (refreshed by the preceding peeling
-// or root-exchange pass).
+// or root-exchange pass). `pipelined` selects the pipelined converge /
+// broadcast streams (strictly fewer rounds and messages, identical merge
+// decisions); the unpipelined mode exists for differential testing.
 MergeStats run_merge_step(congest::Simulator& sim, const Graph& g,
                           PartForest& pf,
                           const std::vector<std::vector<NodeId>>& neighbor_root,
                           Selection sel, congest::RoundLedger& ledger,
-                          MergeScratch* scratch = nullptr);
+                          MergeScratch* scratch = nullptr,
+                          bool pipelined = true);
 
 }  // namespace cpt

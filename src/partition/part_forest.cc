@@ -19,12 +19,26 @@ PartForest PartForest::singletons(NodeId n) {
   return pf;
 }
 
-std::vector<NodeId> PartForest::roots() const {
-  std::vector<NodeId> out;
+void PartForest::rebuild_root_index() const {
+  live_roots_.clear();
   for (NodeId v = 0; v < num_nodes(); ++v) {
-    if (root[v] == v) out.push_back(v);
+    if (root[v] == v) live_roots_.push_back(v);
   }
-  return out;
+  dead_roots_ = 0;
+  index_built_ = true;
+}
+
+const std::vector<NodeId>& PartForest::live_roots() const {
+  if (!index_built_) {
+    rebuild_root_index();
+  } else if (dead_roots_ > 0) {
+    // Stable in-place compaction keeps the list sorted, so driver loops
+    // over roots visit them in the same increasing-id order as the O(n)
+    // sweeps they replace.
+    std::erase_if(live_roots_, [this](NodeId r) { return root[r] != r; });
+    dead_roots_ = 0;
+  }
+  return live_roots_;
 }
 
 std::uint32_t PartForest::max_depth() const {
@@ -92,6 +106,7 @@ std::uint32_t PartForest::merge_into(const Graph& g, NodeId u, EdgeId e_uv,
   auto& dst = members[new_root];
   dst.insert(dst.end(), members[old_root].begin(), members[old_root].end());
   members[old_root].clear();
+  if (index_built_) ++dead_roots_;  // old_root retired; compacted lazily
 
   return static_cast<std::uint32_t>(path.size() - 1);
 }
@@ -99,11 +114,9 @@ std::uint32_t PartForest::merge_into(const Graph& g, NodeId u, EdgeId e_uv,
 PartForest::Dense PartForest::dense_index() const {
   Dense d;
   d.part_of.assign(num_nodes(), kNoNode);
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    if (root[v] == v) {
-      d.part_of[v] = d.num_parts++;
-      d.root_of_part.push_back(v);
-    }
+  for (const NodeId r : live_roots()) {
+    d.part_of[r] = d.num_parts++;
+    d.root_of_part.push_back(r);
   }
   for (NodeId v = 0; v < num_nodes(); ++v) d.part_of[v] = d.part_of[root[v]];
   return d;
@@ -152,6 +165,16 @@ bool validate_part_forest(const Graph& g, const PartForest& pf) {
     if (x != pf.root[v]) return false;
     if (steps != pf.depth[v]) return false;
   }
+  // Live-root index consistent with the root array (also triggers the lazy
+  // build/compaction, so a validated forest always has a fresh index).
+  const std::vector<NodeId>& live = pf.live_roots();
+  NodeId expected = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (pf.root[v] != v) continue;
+    if (expected >= live.size() || live[expected] != v) return false;
+    ++expected;
+  }
+  if (expected != live.size()) return false;
   return true;
 }
 
@@ -163,8 +186,7 @@ PartitionStats measure_partition(const Graph& g, const PartForest& pf) {
   }
   // Per-part eccentricity of the root, BFS restricted to the part.
   std::vector<std::uint32_t> dist(g.num_nodes());
-  for (NodeId r = 0; r < g.num_nodes(); ++r) {
-    if (pf.root[r] != r) continue;
+  for (const NodeId r : pf.live_roots()) {
     ++stats.num_parts;
     std::queue<NodeId> frontier;
     for (const NodeId x : pf.members[r]) dist[x] = static_cast<std::uint32_t>(-1);

@@ -26,7 +26,21 @@ struct PartForest {
   NodeId num_nodes() const { return static_cast<NodeId>(root.size()); }
   bool is_root(NodeId v) const { return root[v] == v; }
 
-  std::vector<NodeId> roots() const;
+  // Live root ids in increasing order, maintained incrementally: merges
+  // only ever retire roots, so merge_into marks deaths and this call
+  // lazily compacts the sorted list (amortized O(1) per retired root;
+  // O(1) when nothing died since the last call; one O(n) build on first
+  // use). Replaces the retired roots() method and the O(n) `is_root`
+  // sweeps the Stage I drivers ran before every relay pass. The returned
+  // reference stays valid until the next merge_into + live_roots() pair.
+  // Hand-built forests that mutate `root` directly after reading the list
+  // must call rebuild_root_index().
+  const std::vector<NodeId>& live_roots() const;
+  NodeId num_parts() const {
+    return static_cast<NodeId>(live_roots().size());
+  }
+  void rebuild_root_index() const;
+
   std::uint32_t max_depth() const;
 
   // The parent node of v (resolves v's parent edge); kNoNode at roots.
@@ -53,6 +67,14 @@ struct PartForest {
     NodeId num_parts = 0;
   };
   Dense dense_index() const;
+
+ private:
+  // Lazy sorted live-root list (see live_roots()). Mutable: compaction and
+  // the first build happen behind const reads from drivers that hold a
+  // const PartForest&.
+  mutable std::vector<NodeId> live_roots_;
+  mutable NodeId dead_roots_ = 0;      // retired since last compaction
+  mutable bool index_built_ = false;
 };
 
 // Structural validation (tests): parent/children consistency, acyclicity,

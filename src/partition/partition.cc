@@ -19,21 +19,12 @@ std::uint64_t cut_weight(const Graph& g, const PartForest& pf) {
   return cut;
 }
 
-NodeId count_parts(const PartForest& pf) {
-  NodeId parts = 0;
-  for (NodeId v = 0; v < pf.num_nodes(); ++v) {
-    if (pf.is_root(v)) ++parts;
-  }
-  return parts;
-}
-
 // Sub-step 1 of the merging step: each part picks its heaviest BE out-edge
 // (ties broken toward the smaller root id, deterministically).
 Selection heaviest_out_edge_selection(const Graph& g, const PartForest& pf,
                                       const PeelingResult& peel) {
   Selection sel(g.num_nodes());
-  for (NodeId r = 0; r < g.num_nodes(); ++r) {
-    if (!pf.is_root(r)) continue;
+  for (const NodeId r : pf.live_roots()) {
     for (const congest::Record& rec : peel.out_records[r]) {
       const NodeId target = static_cast<NodeId>(rec.key);
       const auto w = static_cast<std::uint64_t>(rec.value);
@@ -71,6 +62,7 @@ Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
   PeelingOptions peel_opt;
   peel_opt.alpha = opt.alpha;
   peel_opt.super_rounds = opt.peel_super_rounds;
+  peel_opt.pipelined = opt.pipelined_streams;
   // Peeling/merge buffers amortized across phases.
   PeelingResult peel;
   PeelScratch peel_scratch;
@@ -79,7 +71,7 @@ Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
   for (std::uint32_t phase = 1; phase <= result.phases_total; ++phase) {
     PhaseStats stats;
     stats.cut_before = cut_weight(g, result.forest);
-    stats.parts_before = count_parts(result.forest);
+    stats.parts_before = result.forest.num_parts();
     const std::uint64_t rounds_at_start = ledger.total_rounds();
 
     run_forest_decomposition(sim, g, result.forest, peel_opt, ledger, peel,
@@ -96,10 +88,11 @@ Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
     Selection sel = heaviest_out_edge_selection(g, result.forest, peel);
     const MergeStats merge = run_merge_step(sim, g, result.forest,
                                             peel.neighbor_root, std::move(sel),
-                                            ledger, &merge_scratch);
+                                            ledger, &merge_scratch,
+                                            opt.pipelined_streams);
 
     stats.cut_after = cut_weight(g, result.forest);
-    stats.parts_after = count_parts(result.forest);
+    stats.parts_after = result.forest.num_parts();
     stats.cv_iterations = merge.cv_iterations;
     stats.marked_tree_height = merge.marked_tree_height;
     stats.rounds = ledger.total_rounds() - rounds_at_start;

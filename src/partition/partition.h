@@ -21,6 +21,10 @@ struct Stage1Options {
   // Stop phases once the cut target (eps*m/2) is reached. Uses global
   // knowledge for loop control; off by default (the paper runs all phases).
   bool adaptive = false;
+  // Pipelined converge/broadcast/relay streams throughout Stage I: strictly
+  // fewer rounds and messages, identical partitions. Off reproduces the
+  // unpipelined schedule; the differential tests cross-check the two.
+  bool pipelined_streams = true;
 };
 
 struct PhaseStats {

@@ -137,14 +137,6 @@ std::uint64_t cut_weight(const Graph& g, const PartForest& pf) {
   return cut;
 }
 
-NodeId count_parts(const PartForest& pf) {
-  NodeId parts = 0;
-  for (NodeId v = 0; v < pf.num_nodes(); ++v) {
-    if (pf.is_root(v)) ++parts;
-  }
-  return parts;
-}
-
 }  // namespace
 
 std::uint32_t random_partition_theory_phase_count(double epsilon,
@@ -189,7 +181,7 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
     PartForest& pf = result.forest;
     PhaseStats stats;
     stats.cut_before = cut_weight(g, pf);
-    stats.parts_before = count_parts(pf);
+    stats.parts_before = pf.num_parts();
     const std::uint64_t rounds_at_start = ledger.total_rounds();
 
     // Refresh per-port neighbor roots (paper 4.1: "each node sends a message
@@ -222,8 +214,8 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
                            (static_cast<std::uint64_t>(phase) << 8) | trial);
       auto rp = sim.run(pick);
       ledger.add_pass("rand/pick", rp.rounds, rp.messages);
-      for (NodeId r = 0; r < n; ++r) {
-        if (pf.is_root(r) && pick.at_root(r).node != kNoNode) {
+      for (const NodeId r : pf.live_roots()) {
+        if (pick.at_root(r).node != kNoNode) {
           drawn[r].push_back(pick.at_root(r));
         }
       }
@@ -231,22 +223,22 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
 
     // Learn the weights of the drawn targets: broadcast the candidate target
     // roots, converge per-target boundary-edge counts, keep the heaviest.
-    BroadcastRecords bc(TreeView{&pf.parent_edge, &pf.children, nullptr});
-    for (NodeId r = 0; r < n; ++r) {
-      if (!pf.is_root(r)) continue;
+    BroadcastRecords bc(
+        TreeView{&pf.parent_edge, &pf.children, nullptr, &pf.live_roots()});
+    for (const NodeId r : pf.live_roots()) {
       for (const auto& c : drawn[r]) {
         bc.stream[r].push_back({static_cast<std::uint64_t>(c.target), 0});
       }
     }
     auto rb = sim.run(bc);
     ledger.add_pass("rand/weights-bcast", rb.rounds, rb.messages);
-    for (NodeId r = 0; r < n; ++r) {
-      if (pf.is_root(r)) bc.received[r] = bc.stream[r];
+    for (const NodeId r : pf.live_roots()) {
+      if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
     }
     std::vector<std::uint8_t> all(n, 1);
     ConvergeRecords conv(TreeView{&pf.parent_edge, &pf.children, &all},
                          Combine::kSum, 0);
-    for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId v : bc.received.touched_rows()) {
       for (const Record& want : bc.received[v]) {
         std::int64_t count = 0;
         for (std::uint32_t p = 0; p < g.degree(v); ++p) {
@@ -259,8 +251,8 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
     ledger.add_pass("rand/weights-conv", rc.rounds, rc.messages);
 
     Selection sel(n);
-    for (NodeId r = 0; r < n; ++r) {
-      if (!pf.is_root(r) || drawn[r].empty()) continue;
+    for (const NodeId r : pf.live_roots()) {
+      if (drawn[r].empty()) continue;
       for (const auto& c : drawn[r]) {
         std::uint64_t w = 0;
         for (const Record& rec : conv.at_root(r)) {
@@ -285,7 +277,7 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
                                             &merge_scratch);
 
     stats.cut_after = cut_weight(g, pf);
-    stats.parts_after = count_parts(pf);
+    stats.parts_after = pf.num_parts();
     stats.cv_iterations = merge.cv_iterations;
     stats.marked_tree_height = merge.marked_tree_height;
     stats.rounds = ledger.total_rounds() - rounds_at_start;

@@ -13,7 +13,8 @@ TEST(PartForest, SingletonsValidate) {
   const Graph g = gen::grid(4, 4);
   const PartForest pf = PartForest::singletons(g.num_nodes());
   EXPECT_TRUE(validate_part_forest(g, pf));
-  EXPECT_EQ(pf.roots().size(), g.num_nodes());
+  EXPECT_EQ(pf.live_roots().size(), g.num_nodes());
+  EXPECT_EQ(pf.num_parts(), g.num_nodes());
   EXPECT_EQ(pf.max_depth(), 0u);
 }
 
@@ -22,7 +23,7 @@ TEST(PartForest, WholeGraphPartsValidate) {
   const Graph g = gen::apollonian(80, rng);
   const PartForest pf = whole_graph_parts(g);
   EXPECT_TRUE(validate_part_forest(g, pf));
-  EXPECT_EQ(pf.roots().size(), 1u);
+  EXPECT_EQ(pf.live_roots().size(), 1u);
 }
 
 TEST(PartForest, MergeIntoFlipsPathAndReroots) {
@@ -84,6 +85,43 @@ TEST(PartForest, MergeIntoWithDeepFlip) {
   EXPECT_EQ(pf.root[0], 4u);
   EXPECT_EQ(pf.depth[0], 4u);  // 0 is now the deepest node
   EXPECT_EQ(pf.parent_edge[4], kNoEdge);
+}
+
+TEST(PartForest, LiveRootsTrackMergesIncrementally) {
+  const Graph g = gen::path(6);
+  PartForest pf = PartForest::singletons(6);
+  EXPECT_EQ(pf.live_roots().size(), 6u);
+  pf.merge_into(g, 0, g.find_edge(0, 1), 1);
+  pf.merge_into(g, 2, g.find_edge(2, 3), 3);
+  pf.recompute_depths(g);
+  const std::vector<NodeId> expect{1, 3, 4, 5};
+  EXPECT_EQ(pf.live_roots(), expect);
+  EXPECT_EQ(pf.num_parts(), 4u);
+  EXPECT_TRUE(validate_part_forest(g, pf));
+  // Merging a multi-node part keeps the list sorted and compacted.
+  pf.merge_into(g, 1, g.find_edge(1, 2), 2);
+  pf.recompute_depths(g);
+  const std::vector<NodeId> expect2{3, 4, 5};
+  EXPECT_EQ(pf.live_roots(), expect2);
+  EXPECT_TRUE(validate_part_forest(g, pf));
+}
+
+TEST(PartForest, RebuildRootIndexAfterHandEdits) {
+  const Graph g = gen::path(3);
+  PartForest pf = PartForest::singletons(3);
+  EXPECT_EQ(pf.num_parts(), 3u);  // index built here
+  // Hand-editing the root array requires an explicit rebuild.
+  pf.root = {2, 2, 2};
+  pf.parent_edge[0] = g.find_edge(0, 1);
+  pf.parent_edge[1] = g.find_edge(1, 2);
+  pf.children[2] = {g.find_edge(1, 2)};
+  pf.children[1] = {g.find_edge(0, 1)};
+  pf.members = {{}, {}, {2, 1, 0}};
+  pf.depth = {2, 1, 0};
+  pf.rebuild_root_index();
+  const std::vector<NodeId> expect{2};
+  EXPECT_EQ(pf.live_roots(), expect);
+  EXPECT_TRUE(validate_part_forest(g, pf));
 }
 
 TEST(PartForest, DenseIndexCoversAllParts) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 
 #include "congest/network.h"
 #include "congest/primitives.h"
@@ -118,6 +119,180 @@ TEST(BroadcastRecords, EmptyStreamsAreFree) {
   const PassResult r = f.sim.run(bc);
   EXPECT_EQ(r.rounds, 0u);
   EXPECT_EQ(r.messages, 0u);
+}
+
+std::vector<std::pair<std::uint64_t, std::int64_t>> sorted_pairs(
+    RecordTable::ConstRow row) {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> out;
+  for (const Record& r : row) out.push_back({r.key, r.value});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- Deep-tree stress for the pipelined streams --------------------------
+
+TEST(ConvergeRecords, PipelinedMatchesUnpipelinedOnDeepPath) {
+  // Path tree with 10^4 nodes: the worst store-and-forward depth. The
+  // pipelined mode must produce the identical merged set at the root with
+  // strictly fewer rounds and messages (the folded DONE markers).
+  const NodeId n = 10000;
+  Fixture f(gen::path(n));
+  std::vector<std::pair<std::uint64_t, std::int64_t>> results[2];
+  PassResult pr[2];
+  int i = 0;
+  for (const bool pipelined : {false, true}) {
+    ConvergeRecords conv;
+    conv.reset(f.tree(), Combine::kSum, 0, nullptr, pipelined);
+    for (NodeId v = 0; v < n; ++v) {
+      conv.initial[v] = {{0, 1}, {1 + v % 3, static_cast<std::int64_t>(v)}};
+    }
+    pr[i] = f.sim.run(conv);
+    EXPECT_TRUE(pr[i].quiesced);
+    results[i] = sorted_pairs(conv.at_root(0));
+    ++i;
+  }
+  EXPECT_EQ(results[0], results[1]);
+  ASSERT_EQ(results[0].size(), 4u);  // keys 0, 1, 2, 3
+  EXPECT_EQ(results[0][0], (std::pair<std::uint64_t, std::int64_t>{0, n}));
+  EXPECT_LT(pr[1].rounds, pr[0].rounds);
+  EXPECT_LT(pr[1].messages, pr[0].messages);
+  EXPECT_GE(pr[1].rounds, static_cast<std::uint64_t>(n - 1));  // depth floor
+}
+
+TEST(ConvergeRecords, CapOneOverflowCascadesOnDeepPath) {
+  // cap = 1 with a distinct key per node: every internal node's merged set
+  // exceeds the cap, so the single overflow record cascades 10^4 levels.
+  // Both modes must agree on the overflow verdict; the pipelined stream
+  // (one LAST record per edge instead of record + DONE) halves the rounds.
+  const NodeId n = 10000;
+  Fixture f(gen::path(n));
+  PassResult pr[2];
+  int i = 0;
+  for (const bool pipelined : {false, true}) {
+    ConvergeRecords conv;
+    conv.reset(f.tree(), Combine::kSum, 1, nullptr, pipelined);
+    for (NodeId v = 0; v < n; ++v) {
+      conv.initial[v] = {{v, 1}};
+    }
+    pr[i] = f.sim.run(conv);
+    EXPECT_TRUE(pr[i].quiesced);
+    EXPECT_TRUE(conv.overflowed(0));
+    ++i;
+  }
+  // Unpipelined: overflow record + DONE per edge; pipelined: one LAST per
+  // edge. Exact counts pin the stream schedule.
+  EXPECT_EQ(pr[0].messages, 2u * (n - 1));
+  EXPECT_EQ(pr[1].messages, static_cast<std::uint64_t>(n - 1));
+  EXPECT_LT(pr[1].rounds, pr[0].rounds);
+}
+
+TEST(ConvergeRecords, StreamsLongerThanCapStayCapped) {
+  // Merged sets larger than the cap never travel: the outgoing stream of
+  // an overflowed node is a single record in either mode.
+  Fixture f(gen::star(12));
+  for (const bool pipelined : {false, true}) {
+    ConvergeRecords conv;
+    conv.reset(f.tree(), Combine::kSum, 4, nullptr, pipelined);
+    for (NodeId v = 1; v < 12; ++v) conv.initial[v] = {{v, 1}};
+    const PassResult r = f.sim.run(conv);
+    EXPECT_TRUE(conv.overflowed(0));
+    // 11 leaves, one record each (pipelined folds DONE; legacy adds it).
+    EXPECT_EQ(r.messages, pipelined ? 11u : 22u);
+  }
+}
+
+TEST(ConvergeRecords, AllEmptyInitialCostsIdenticalRoundsInBothModes) {
+  // Bare DONE streams have nothing to fold: the pipelined schedule must
+  // degenerate to exactly the legacy one.
+  Fixture f(gen::binary_tree(127));
+  PassResult pr[2];
+  int i = 0;
+  for (const bool pipelined : {false, true}) {
+    ConvergeRecords conv;
+    conv.reset(f.tree(), Combine::kSum, 0, nullptr, pipelined);
+    pr[i] = f.sim.run(conv);
+    EXPECT_TRUE(conv.at_root(0).empty());
+    EXPECT_FALSE(conv.overflowed(0));
+    ++i;
+  }
+  EXPECT_EQ(pr[0].rounds, pr[1].rounds);
+  EXPECT_EQ(pr[0].messages, pr[1].messages);
+  EXPECT_EQ(pr[0].messages, 126u);  // one DONE per tree edge
+}
+
+TEST(BroadcastRecords, PipelinedDeepStreamMatchesUnpipelined) {
+  const NodeId n = 10000;
+  const std::uint64_t len = 64;
+  Fixture f(gen::path(n));
+  PassResult pr[2];
+  int i = 0;
+  for (const bool pipelined : {false, true}) {
+    BroadcastRecords bc;
+    bc.reset(f.tree(), nullptr, pipelined);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      bc.stream[0].push_back({k, static_cast<std::int64_t>(10 * k)});
+    }
+    pr[i] = f.sim.run(bc);
+    EXPECT_TRUE(pr[i].quiesced);
+    // Every node sees the full stream in order.
+    ASSERT_EQ(bc.received[n - 1].size(), len);
+    std::uint64_t k = 0;
+    for (const Record& r : bc.received[n - 1]) {
+      EXPECT_EQ(r.key, k);
+      EXPECT_EQ(r.value, static_cast<std::int64_t>(10 * k));
+      ++k;
+    }
+    ++i;
+  }
+  // Exact per-edge counts: len + end marker unpipelined, len pipelined.
+  EXPECT_EQ(pr[0].messages, (len + 1) * (n - 1));
+  EXPECT_EQ(pr[1].messages, len * (n - 1));
+  EXPECT_LT(pr[1].rounds, pr[0].rounds);
+  EXPECT_GE(pr[1].rounds, static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(BroadcastRecords, EmptyRootsAndChildlessRootsAreFreeInBothModes) {
+  for (const bool pipelined : {false, true}) {
+    {
+      // No streams at all.
+      Fixture f(gen::binary_tree(7));
+      BroadcastRecords bc;
+      bc.reset(f.tree(), nullptr, pipelined);
+      const PassResult r = f.sim.run(bc);
+      EXPECT_EQ(r.rounds, 0u);
+      EXPECT_EQ(r.messages, 0u);
+    }
+    {
+      // A childless root with a non-empty stream has nowhere to send.
+      Fixture f(gen::path(1));
+      BroadcastRecords bc;
+      bc.reset(f.tree(), nullptr, pipelined);
+      bc.stream[0] = {{1, 2}, {3, 4}};
+      const PassResult r = f.sim.run(bc);
+      EXPECT_EQ(r.rounds, 0u);
+      EXPECT_EQ(r.messages, 0u);
+    }
+  }
+}
+
+TEST(BroadcastRecords, RootsListSkipsTheFullSweepWithoutChangingResults) {
+  // Handing TreeView a live-roots list must not change what is delivered.
+  Fixture f(gen::binary_tree(31));
+  const std::vector<NodeId> roots{0};
+  for (const bool use_roots : {false, true}) {
+    BroadcastRecords bc;
+    TreeView tree = f.tree();
+    if (use_roots) tree.roots = &roots;
+    bc.reset(tree, nullptr, /*pipelined=*/true);
+    bc.stream[0] = {{1, 10}, {2, 20}};
+    const PassResult r = f.sim.run(bc);
+    EXPECT_TRUE(r.quiesced);
+    for (NodeId v = 1; v < 31; ++v) {
+      ASSERT_EQ(bc.received[v].size(), 2u) << "node " << v;
+      EXPECT_EQ(bc.received[v][0].key, 1u);
+      EXPECT_EQ(bc.received[v][1].key, 2u);
+    }
+  }
 }
 
 TEST(Exchange, OneRoundNeighborInfo) {
