@@ -9,8 +9,11 @@
 //   * saturate  -- every node sends on every port every round (pure
 //                  delivery-engine stress; the headline messages/sec).
 //
-// Usage: exp_e0_simulator_throughput [--grid=256] [--reps=3]
+// Usage: exp_e0_simulator_throughput [--grid=256] [--reps=3] [--threads=1]
 //                                    [--out=BENCH_congest_sim.json]
+// --threads sets the simulator worker count (deterministic: message and
+// round counts are identical at every value; only wall time changes). The
+// JSON carries it as meta "threads".
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,20 +39,20 @@ class Saturate : public congest::Program {
  public:
   explicit Saturate(std::uint64_t rounds) : rounds_(rounds) {}
 
-  void begin(congest::Simulator& sim) override {
-    const NodeId n = sim.network().num_nodes();
+  void begin(congest::Exec& ex) override {
+    const NodeId n = ex.network().num_nodes();
     for (NodeId v = 0; v < n; ++v) {
-      for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
-        sim.send(v, p, congest::Msg::make(p));
+      for (std::uint32_t p = 0; p < ex.network().port_count(v); ++p) {
+        ex.send(v, p, congest::Msg::make(p));
       }
     }
   }
 
-  void on_wake(congest::Simulator& sim, NodeId v,
+  void on_wake(congest::Exec& ex, NodeId v,
                std::span<const congest::Inbound> inbox) override {
-    if (sim.current_round() >= rounds_) return;
+    if (ex.current_round() >= rounds_) return;
     for (const congest::Inbound& in : inbox) {
-      sim.send(v, in.port, in.msg);
+      ex.send(v, in.port, in.msg);
     }
   }
 
@@ -70,16 +73,16 @@ class PeelAnnounce : public congest::Program {
     }
   }
 
-  void begin(congest::Simulator& sim) override {
+  void begin(congest::Exec& ex) override {
     for (NodeId v = 0; v < g_->num_nodes(); ++v) {
       const auto root = static_cast<std::int64_t>(pf_->root[v]);
-      for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
-        sim.send(v, p, congest::Msg::make(10, root));
+      for (std::uint32_t p = 0; p < ex.network().port_count(v); ++p) {
+        ex.send(v, p, congest::Msg::make(10, root));
       }
     }
   }
 
-  void on_wake(congest::Simulator&, NodeId v,
+  void on_wake(congest::Exec&, NodeId v,
                std::span<const congest::Inbound> inbox) override {
     for (const congest::Inbound& in : inbox) {
       neighbor_root[v][in.port] = static_cast<NodeId>(in.msg.w[0]);
@@ -135,12 +138,15 @@ int main(int argc, char** argv) {
   using namespace cpt;
   NodeId side = 256;
   int reps = 3;
+  unsigned threads = 0;
   std::string out_path = "BENCH_congest_sim.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--grid=", 7) == 0) {
       side = static_cast<NodeId>(std::atoi(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else {
@@ -155,10 +161,14 @@ int main(int argc, char** argv) {
   std::printf("triangulated_grid(%u,%u): n=%u m=%u, best of %d reps\n",
               side, side, g.num_nodes(), g.num_edges(), reps);
   congest::Network net(g);
-  congest::Simulator sim(net);
+  congest::SimOptions sim_opt;
+  sim_opt.num_threads = threads;
+  congest::Simulator sim(net, sim_opt);
+  std::printf("simulator workers: %u\n", sim.num_workers());
 
   bench::BenchJson out("congest_sim_throughput");
   out.meta("graph", "triangulated_grid");
+  out.meta("threads", static_cast<std::int64_t>(sim.num_workers()));
   out.meta("side", static_cast<std::int64_t>(side));
   out.meta("nodes", static_cast<std::int64_t>(g.num_nodes()));
   out.meta("edges", static_cast<std::int64_t>(g.num_edges()));

@@ -73,18 +73,18 @@ void BM_SimulatorSaturatedDelivery(benchmark::State& state) {
 
   class Saturate : public congest::Program {
    public:
-    void begin(congest::Simulator& sim) override {
-      const NodeId n = sim.network().num_nodes();
+    void begin(congest::Exec& ex) override {
+      const NodeId n = ex.network().num_nodes();
       for (NodeId v = 0; v < n; ++v) {
-        for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
-          sim.send(v, p, congest::Msg::make(p));
+        for (std::uint32_t p = 0; p < ex.network().port_count(v); ++p) {
+          ex.send(v, p, congest::Msg::make(p));
         }
       }
     }
-    void on_wake(congest::Simulator& sim, NodeId v,
+    void on_wake(congest::Exec& ex, NodeId v,
                  std::span<const congest::Inbound> inbox) override {
-      if (sim.current_round() >= 8) return;
-      for (const congest::Inbound& in : inbox) sim.send(v, in.port, in.msg);
+      if (ex.current_round() >= 8) return;
+      for (const congest::Inbound& in : inbox) ex.send(v, in.port, in.msg);
     }
   };
 

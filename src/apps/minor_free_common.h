@@ -21,6 +21,7 @@ struct MinorFreeOptions {
   double delta = 0.1;         // randomized variant's failure probability
   std::uint64_t seed = 1;
   bool adaptive_phases = false;
+  unsigned num_threads = 0;   // simulator workers (0 = env default)
 };
 
 // Per-node edge classification against a per-part BFS tree.

@@ -20,7 +20,9 @@ constexpr std::uint32_t kTagRoot = 80;
 SpannerResult build_spanner(const Graph& g, const MinorFreeOptions& opt) {
   SpannerResult result;
   congest::Network net(g);
-  congest::Simulator sim(net);
+  congest::SimOptions sim_opt;
+  sim_opt.num_threads = opt.num_threads;
+  congest::Simulator sim(net, sim_opt);
 
   const MinorFreePartition part = minor_free_partition(sim, g, opt, result.ledger);
   CPT_ASSERT(!part.rejected && "spanner construction assumes the promise");
@@ -29,8 +31,11 @@ SpannerResult build_spanner(const Graph& g, const MinorFreeOptions& opt) {
   const BfsClassification cls = classify_edges(sim, g, part.forest, result.ledger);
 
   // Cut edges: each node learns per-port neighbor roots in one round and
-  // keeps its cut edges (both endpoints add them; deduplicated below).
+  // keeps its cut ports (per-node lists -- both endpoints of a cut edge
+  // record it, the edge marking below deduplicates; collecting per node
+  // keeps on_wake per-node-write-clean for parallel rounds).
   std::vector<std::uint8_t> in_spanner(g.num_edges(), 0);
+  std::vector<std::vector<std::uint32_t>> cut_ports(g.num_nodes());
   Exchange cut(
       g.num_nodes(),
       [&](NodeId v, std::vector<std::pair<std::uint32_t, Msg>>& out) {
@@ -40,16 +45,21 @@ SpannerResult build_spanner(const Graph& g, const MinorFreeOptions& opt) {
                                           part.forest.root[v]))});
         }
       },
-      [&](NodeId v, std::span<const Inbound> inbox) {
+      [&](congest::Exec&, NodeId v, std::span<const Inbound> inbox) {
         for (const Inbound& in : inbox) {
           if (in.msg.tag != kTagRoot) continue;
           if (static_cast<NodeId>(in.msg.w[0]) != part.forest.root[v]) {
-            in_spanner[sim.network().arc(v, in.port).edge] = 1;
+            cut_ports[v].push_back(in.port);
           }
         }
       });
   const auto r = sim.run(cut);
   result.ledger.add_pass("spanner/cut", r.rounds, r.messages);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const std::uint32_t p : cut_ports[v]) {
+      in_spanner[sim.network().arc(v, p).edge] = 1;
+    }
+  }
 
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (cls.bfs.parent_edge[v] != kNoEdge) {

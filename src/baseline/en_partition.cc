@@ -33,11 +33,11 @@ class ShiftedBfs : public congest::Program {
     children.assign(n, {});
   }
 
-  void begin(congest::Simulator& sim) override {
-    for (NodeId v = 0; v < center.size(); ++v) sim.wake_next_round(v);
+  void begin(congest::Exec& ex) override {
+    for (NodeId v = 0; v < center.size(); ++v) ex.wake_next_round(v);
   }
 
-  void on_wake(congest::Simulator& sim, NodeId v,
+  void on_wake(congest::Exec& ex, NodeId v,
                std::span<const Inbound> inbox) override {
     // Adopt the best arrival of this round, if still unclaimed.
     NodeId best_center = kNoNode;
@@ -45,7 +45,7 @@ class ShiftedBfs : public congest::Program {
     std::uint32_t best_port = 0;
     for (const Inbound& in : inbox) {
       if (in.msg.tag == kTagChild) {
-        children[v].push_back(sim.network().arc(v, in.port).edge);
+        children[v].push_back(ex.network().arc(v, in.port).edge);
         continue;
       }
       if (in.msg.tag != kTagWave) continue;
@@ -62,7 +62,7 @@ class ShiftedBfs : public congest::Program {
     // arrival in the same round has the same value, ties broken by id.
     const std::uint64_t my_round =
         static_cast<std::uint64_t>(max_shift_ - (*shift_)[v]) + 1;
-    if (center[v] == kNoNode && sim.current_round() >= my_round) {
+    if (center[v] == kNoNode && ex.current_round() >= my_round) {
       if (best_center == kNoNode || v > best_center) {
         best_center = v;
         best_value = (*shift_)[v];
@@ -75,22 +75,22 @@ class ShiftedBfs : public congest::Program {
       // strictly earlier, which makes first-arrival the argmax.
       center[v] = best_center;
       value_[v] = best_value;
-      for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
+      for (std::uint32_t p = 0; p < ex.network().port_count(v); ++p) {
         if (p == best_port) continue;
         if (value_[v] > 0) {
-          sim.send(v, p, Msg::make(kTagWave,
+          ex.send(v, p, Msg::make(kTagWave,
                                    static_cast<std::int64_t>(center[v]),
                                    value_[v] - 1));
         }
       }
       if (best_port != static_cast<std::uint32_t>(-1)) {
-        parent_edge[v] = sim.network().arc(v, best_port).edge;
-        sim.send(v, best_port, Msg::make(kTagChild));
+        parent_edge[v] = ex.network().arc(v, best_port).edge;
+        ex.send(v, best_port, Msg::make(kTagChild));
       }
       return;
     }
     // Unclaimed nodes keep waiting for their activation round.
-    if (center[v] == kNoNode) sim.wake_next_round(v);
+    if (center[v] == kNoNode) ex.wake_next_round(v);
   }
 
   std::vector<NodeId> center;

@@ -62,13 +62,25 @@ void ConvergeRecords::reset(TreeView tree, Combine combine, std::uint32_t cap,
   const std::size_t n = tree_.parent_edge->size();
   initial.reset(n);
   merged_.reset(n);
-  overflow_.assign(n, 0);
-  ovf_sent_.assign(n, 0);
-  pending_.assign(n, 0);
-  done_sent_.assign(n, 0);
+  if (tree.members != nullptr && overflow_.size() == n) {
+    // Participant-list re-arm: only participants' state was dirtied since
+    // the last full clear (the pass only ever touches participants), so
+    // clearing the members is enough -- O(participants), not O(n).
+    for (const NodeId v : *tree.members) {
+      overflow_[v] = 0;
+      ovf_sent_[v] = 0;
+      pending_[v] = 0;
+      done_sent_[v] = 0;
+    }
+  } else {
+    overflow_.assign(n, 0);
+    ovf_sent_.assign(n, 0);
+    pending_.assign(n, 0);
+    done_sent_.assign(n, 0);
+  }
 }
 
-void ConvergeRecords::merge_record(NodeId v, Record r) {
+void ConvergeRecords::merge_record(NodeId v, Record r, std::uint32_t shard) {
   if (overflow_[v]) return;
   if (r.key == kOverflowKey) {
     overflow_[v] = 1;
@@ -85,14 +97,14 @@ void ConvergeRecords::merge_record(NodeId v, Record r) {
       return;
     }
   }
-  merged_.push(v, r);
+  merged_.push(v, r, shard);
   if (cap_ != 0 && merged_.size(v) > cap_) {
     overflow_[v] = 1;
     merged_.clear_row(v);
   }
 }
 
-void ConvergeRecords::pump(Simulator& sim, NodeId v) {
+void ConvergeRecords::pump(Exec& ex, NodeId v) {
   // Stream one record (or the final DONE / LAST) per round toward the parent.
   if (done_sent_[v]) return;
   CPT_ASSERT((*tree_.parent_edge)[v] != kNoEdge);
@@ -100,23 +112,23 @@ void ConvergeRecords::pump(Simulator& sim, NodeId v) {
   if (overflow_[v]) {
     // The outgoing stream of an overflowed node is a single overflow record.
     if (pipelined_) {
-      sim.send(v, port, Msg::make(kTagLast,
-                                  static_cast<std::int64_t>(kOverflowKey), 1));
+      ex.send(v, port, Msg::make(kTagLast,
+                                 static_cast<std::int64_t>(kOverflowKey), 1));
       done_sent_[v] = 1;
     } else if (!ovf_sent_[v]) {
-      sim.send(v, port, Msg::make(kTagRecord,
-                                  static_cast<std::int64_t>(kOverflowKey), 1));
+      ex.send(v, port, Msg::make(kTagRecord,
+                                 static_cast<std::int64_t>(kOverflowKey), 1));
       ovf_sent_[v] = 1;
-      sim.wake_next_round(v);
+      ex.wake_next_round(v);
     } else {
-      sim.send(v, port, Msg::make(kTagDone));
+      ex.send(v, port, Msg::make(kTagDone));
       done_sent_[v] = 1;
     }
     return;
   }
   const std::uint32_t slot = merged_.cursor(v);
   if (slot == kNil) {
-    sim.send(v, port, Msg::make(kTagDone));
+    ex.send(v, port, Msg::make(kTagDone));
     done_sent_[v] = 1;
     return;
   }
@@ -124,57 +136,81 @@ void ConvergeRecords::pump(Simulator& sim, NodeId v) {
   const std::uint32_t next = merged_.next_slot(slot);
   merged_.set_cursor(v, next);
   if (pipelined_ && next == kNil) {
-    sim.send(v, port, Msg::make(kTagLast, static_cast<std::int64_t>(r.key),
-                                r.value));
+    ex.send(v, port, Msg::make(kTagLast, static_cast<std::int64_t>(r.key),
+                               r.value));
     done_sent_[v] = 1;
     return;
   }
-  sim.send(v, port, Msg::make(kTagRecord, static_cast<std::int64_t>(r.key),
-                              r.value));
-  sim.wake_next_round(v);
+  ex.send(v, port, Msg::make(kTagRecord, static_cast<std::int64_t>(r.key),
+                             r.value));
+  ex.wake_next_round(v);
 }
 
-void ConvergeRecords::finalize(Simulator& sim, NodeId v) {
-  for (const Record& r : initial[v]) merge_record(v, r);
+void ConvergeRecords::finalize(Exec& ex, NodeId v) {
+  for (const Record& r : initial[v]) merge_record(v, r, ex.shard());
   if ((*tree_.parent_edge)[v] == kNoEdge) return;  // root keeps its result
   merged_.set_cursor(v, merged_.head_slot(v));
-  pump(sim, v);
+  pump(ex, v);
 }
 
-void ConvergeRecords::begin(Simulator& sim) {
+void ConvergeRecords::begin(Exec& ex) {
   const NodeId n = static_cast<NodeId>(tree_.parent_edge->size());
   if (ports_ != nullptr) {
     parent_ports_ = ports_->parent_port.data();
     const std::uint32_t* off = ports_->child_offset.data();
-    for (NodeId v = 0; v < n; ++v) {
-      if (!tree_.in(v)) continue;
+    const auto arm = [&](NodeId v) {
       pending_[v] = off[v + 1] - off[v];
-      if (pending_[v] == 0) finalize(sim, v);
+      if (pending_[v] == 0) finalize(ex, v);
+    };
+    if (tree_.members != nullptr) {
+      for (const NodeId v : *tree_.members) arm(v);
+    } else {
+      for (NodeId v = 0; v < n; ++v) {
+        if (tree_.in(v)) arm(v);
+      }
     }
     return;
   }
-  parent_port_.assign(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    if (!tree_.in(v)) continue;
-    const EdgeId pe = (*tree_.parent_edge)[v];
-    if (pe != kNoEdge) parent_port_[v] = sim.network().port_of_edge(v, pe);
+  // No shared port cache: fill the pass's own. With a members list only
+  // participants' entries are (re)written -- stale entries of previous
+  // passes are never read, since pump() only runs at participants.
+  if (tree_.members != nullptr && parent_port_.size() == n) {
+    for (const NodeId v : *tree_.members) {
+      const EdgeId pe = (*tree_.parent_edge)[v];
+      parent_port_[v] = pe != kNoEdge ? ex.network().port_of_edge(v, pe) : 0;
+    }
+  } else {
+    parent_port_.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!tree_.in(v)) continue;
+      const EdgeId pe = (*tree_.parent_edge)[v];
+      if (pe != kNoEdge) parent_port_[v] = ex.network().port_of_edge(v, pe);
+    }
   }
   parent_ports_ = parent_port_.data();
-  for (NodeId v = 0; v < n; ++v) {
-    if (!tree_.in(v)) continue;
+  const auto arm = [&](NodeId v) {
     pending_[v] = static_cast<std::uint32_t>((*tree_.children)[v].size());
-    if (pending_[v] == 0) finalize(sim, v);
+    if (pending_[v] == 0) finalize(ex, v);
+  };
+  if (tree_.members != nullptr) {
+    for (const NodeId v : *tree_.members) arm(v);
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      if (tree_.in(v)) arm(v);
+    }
   }
 }
 
-void ConvergeRecords::on_wake(Simulator& sim, NodeId v,
+void ConvergeRecords::on_wake(Exec& ex, NodeId v,
                               std::span<const Inbound> inbox) {
   bool finalized_now = false;
   for (const Inbound& in : inbox) {
     if (in.msg.tag == kTagRecord) {
-      merge_record(v, {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
+      merge_record(v, {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]},
+                   ex.shard());
     } else if (in.msg.tag == kTagLast) {
-      merge_record(v, {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]});
+      merge_record(v, {static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]},
+                   ex.shard());
       CPT_ASSERT(pending_[v] > 0);
       if (--pending_[v] == 0) finalized_now = true;
     } else if (in.msg.tag == kTagDone) {
@@ -183,10 +219,10 @@ void ConvergeRecords::on_wake(Simulator& sim, NodeId v,
     }
   }
   if (finalized_now) {
-    finalize(sim, v);
+    finalize(ex, v);
   } else if (pending_[v] == 0 && !done_sent_[v] &&
              (*tree_.parent_edge)[v] != kNoEdge) {
-    pump(sim, v);  // wake-up to continue draining the queue
+    pump(ex, v);  // wake-up to continue draining the queue
   }
 }
 
@@ -206,16 +242,20 @@ void BroadcastRecords::reset(TreeView tree, const TreePorts* ports,
   // Pipelined streams pump straight out of `stream` (roots) / `received`
   // (relays) via the rows' cursors: no queue copy at all.
   if (!pipelined_) queue_.reset(n);
-  end_queued_.assign(n, 0);
+  if (tree.members != nullptr && end_queued_.size() == n) {
+    for (const NodeId v : *tree.members) end_queued_[v] = 0;
+  } else {
+    end_queued_.assign(n, 0);
+  }
 }
 
-void BroadcastRecords::queue_push(NodeId v, Record r) {
-  queue_.push(v, r);
+void BroadcastRecords::queue_push(NodeId v, Record r, std::uint32_t shard) {
+  queue_.push(v, r, shard);
   // Repair the send cursor of a drained (or fresh) row so pump resumes.
   if (queue_.cursor(v) == kNil) queue_.set_cursor(v, queue_.tail_slot(v));
 }
 
-void BroadcastRecords::pump(Simulator& sim, NodeId v) {
+void BroadcastRecords::pump(Exec& ex, NodeId v) {
   RecordTable& src =
       pipelined_
           ? ((*tree_.parent_edge)[v] == kNoEdge ? stream : received)
@@ -230,13 +270,13 @@ void BroadcastRecords::pump(Simulator& sim, NodeId v) {
       static_cast<std::int64_t>(r.key), r.value);
   for (std::uint32_t i = child_offset_view_[v]; i < child_offset_view_[v + 1];
        ++i) {
-    sim.send(v, child_port_view_[i], msg);
+    ex.send(v, child_port_view_[i], msg);
   }
   src.set_cursor(v, next);
-  if (next != kNil) sim.wake_next_round(v);
+  if (next != kNil) ex.wake_next_round(v);
 }
 
-void BroadcastRecords::start_root(Simulator& sim, NodeId v) {
+void BroadcastRecords::start_root(Exec& ex, NodeId v) {
   if (!tree_.in(v)) return;
   if ((*tree_.parent_edge)[v] != kNoEdge) return;  // not a root
   if (stream[v].empty() || !has_children(v)) return;
@@ -244,14 +284,15 @@ void BroadcastRecords::start_root(Simulator& sim, NodeId v) {
     stream.set_cursor(v, stream.head_slot(v));
   } else {
     queue_[v] = stream[v];
-    queue_.push(v, {});  // end marker slot, sent as DONE
+    // start_root only runs from begin() (driver context).
+    queue_.push(v, {}, RecordTable::kDriverShard);  // end marker, sent as DONE
     queue_.set_cursor(v, queue_.head_slot(v));
   }
   end_queued_[v] = 1;
-  pump(sim, v);
+  pump(ex, v);
 }
 
-void BroadcastRecords::begin(Simulator& sim) {
+void BroadcastRecords::begin(Exec& ex) {
   const NodeId n = static_cast<NodeId>(tree_.parent_edge->size());
   if (ports_ != nullptr) {
     child_port_view_ = ports_->child_port.data();
@@ -268,58 +309,60 @@ void BroadcastRecords::begin(Simulator& sim) {
     for (NodeId v = 0; v < n; ++v) {
       if (!tree_.in(v)) continue;
       for (const EdgeId ce : (*tree_.children)[v]) {
-        child_ports_.push_back(sim.network().port_of_edge(v, ce));
+        child_ports_.push_back(ex.network().port_of_edge(v, ce));
       }
     }
     child_port_view_ = child_ports_.data();
     child_offset_view_ = child_ports_offset_.data();
   }
   if (tree_.roots != nullptr) {
-    for (const NodeId r : *tree_.roots) start_root(sim, r);
+    for (const NodeId r : *tree_.roots) start_root(ex, r);
+  } else if (tree_.members != nullptr) {
+    for (const NodeId r : *tree_.members) start_root(ex, r);
   } else {
-    for (NodeId v = 0; v < n; ++v) start_root(sim, v);
+    for (NodeId v = 0; v < n; ++v) start_root(ex, v);
   }
 }
 
-void BroadcastRecords::on_wake(Simulator& sim, NodeId v,
+void BroadcastRecords::on_wake(Exec& ex, NodeId v,
                                std::span<const Inbound> inbox) {
   const bool relay = has_children(v);
   for (const Inbound& in : inbox) {
     if (in.msg.tag == kTagRecord) {
       const Record r{static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]};
-      received.push(v, r);
+      received.push(v, r, ex.shard());
       if (relay) {
         if (pipelined_) {
           if (received.cursor(v) == kNil) {
             received.set_cursor(v, received.tail_slot(v));
           }
         } else {
-          queue_push(v, r);
+          queue_push(v, r, ex.shard());
         }
       }
     } else if (in.msg.tag == kTagLast) {
       const Record r{static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]};
-      received.push(v, r);
+      received.push(v, r, ex.shard());
       if (relay && received.cursor(v) == kNil) {
         received.set_cursor(v, received.tail_slot(v));
       }
       end_queued_[v] = 1;
     } else if (in.msg.tag == kTagDone) {
-      if (relay) queue_push(v, {});
+      if (relay) queue_push(v, {}, ex.shard());
       end_queued_[v] = 1;
     }
   }
-  if (relay) pump(sim, v);
+  if (relay) pump(ex, v);
 }
 
 // ----------------------------------------------------------------- Exchange
 
-void Exchange::begin(Simulator& sim) {
+void Exchange::begin(Exec& ex) {
   std::vector<std::pair<std::uint32_t, Msg>> out;
   const auto emit = [&](NodeId v) {
     out.clear();
     outgoing_(v, out);
-    for (const auto& [port, msg] : out) sim.send(v, port, msg);
+    for (const auto& [port, msg] : out) ex.send(v, port, msg);
   };
   if (senders_ != nullptr) {
     for (const NodeId v : *senders_) emit(v);
@@ -328,8 +371,8 @@ void Exchange::begin(Simulator& sim) {
   }
 }
 
-void Exchange::on_wake(Simulator&, NodeId v, std::span<const Inbound> inbox) {
-  if (collect_) collect_(v, inbox);
+void Exchange::on_wake(Exec& ex, NodeId v, std::span<const Inbound> inbox) {
+  if (collect_) collect_(ex, v, inbox);
 }
 
 // ---------------------------------------------------------------- BfsForest
@@ -343,22 +386,22 @@ BfsForest::BfsForest(const std::vector<NodeId>& part_root)
   joined_.assign(n, 0);
 }
 
-void BfsForest::begin(Simulator& sim) {
+void BfsForest::begin(Exec& ex) {
   const NodeId n = static_cast<NodeId>(part_root_->size());
   for (NodeId v = 0; v < n; ++v) {
     if ((*part_root_)[v] != v) continue;  // not a root
     joined_[v] = 1;
     level[v] = 0;
-    for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
-      sim.send(v, p, Msg::make(kTagWave, static_cast<std::int64_t>(v), 0));
+    for (std::uint32_t p = 0; p < ex.network().port_count(v); ++p) {
+      ex.send(v, p, Msg::make(kTagWave, static_cast<std::int64_t>(v), 0));
     }
   }
 }
 
-void BfsForest::on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) {
+void BfsForest::on_wake(Exec& ex, NodeId v, std::span<const Inbound> inbox) {
   for (const Inbound& in : inbox) {
     if (in.msg.tag == kTagChild) {
-      children[v].push_back(sim.network().arc(v, in.port).edge);
+      children[v].push_back(ex.network().arc(v, in.port).edge);
       continue;
     }
     if (in.msg.tag != kTagWave) continue;
@@ -366,14 +409,14 @@ void BfsForest::on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox
     if (wave_root != (*part_root_)[v]) continue;  // foreign part's wave
     if (joined_[v]) continue;
     joined_[v] = 1;
-    parent_edge[v] = sim.network().arc(v, in.port).edge;
+    parent_edge[v] = ex.network().arc(v, in.port).edge;
     level[v] = static_cast<std::uint32_t>(in.msg.w[1]) + 1;
-    for (std::uint32_t p = 0; p < sim.network().port_count(v); ++p) {
+    for (std::uint32_t p = 0; p < ex.network().port_count(v); ++p) {
       if (p == in.port) {
-        sim.send(v, p, Msg::make(kTagChild));
+        ex.send(v, p, Msg::make(kTagChild));
       } else {
-        sim.send(v, p, Msg::make(kTagWave, static_cast<std::int64_t>(wave_root),
-                                 level[v]));
+        ex.send(v, p, Msg::make(kTagWave, static_cast<std::int64_t>(wave_root),
+                                level[v]));
       }
     }
   }

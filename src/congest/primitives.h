@@ -5,11 +5,23 @@
 // neighbor exchange, and a per-part BFS tree builder.
 //
 // Buffer pooling contract: every per-node table of these passes is a
-// RecordTable (see congest/record_table.h) -- one contiguous record pool
-// per table, rows as slot chains, reset by bumping a watermark and
-// clearing only the rows touched since the previous reset. Drivers that
-// own one pass object and reset() it per use are allocation-free in
-// steady state, and a reset costs O(rows touched), not O(n).
+// RecordTable (see congest/record_table.h) -- one slot arena per table,
+// rows as slot chains, reset by bumping a watermark and clearing only the
+// rows touched since the previous reset. Drivers that own one pass object
+// and reset() it per use are allocation-free in steady state, and a reset
+// costs O(rows touched), not O(n).
+//
+// Participant lists: a TreeView may carry `members`, the exact node set
+// taking part in the pass. Converge/broadcast then iterate participants in
+// begin() and re-arm only participants' state in reset(), killing the
+// O(n)-per-pass sweeps of early-phase masked passes (ROADMAP item). The
+// emulated schedule is unchanged -- members never alters who sends what
+// when, only how the host iterates.
+//
+// Parallel rounds: every program here is per-node-write-clean (on_wake(v)
+// writes only v's slots / rows, RecordTable pushes pass ex.shard()), so
+// they run bit-identically under any simulator worker count. New programs
+// must keep that property; see DESIGN.md.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +38,16 @@ namespace cpt::congest {
 // to v's children. An optional participation mask restricts the pass. An
 // optional `roots` list names every node that may source a broadcast
 // stream (e.g. PartForest::live_roots()): passes that only need to visit
-// stream sources then skip their O(n) root sweep.
+// stream sources then skip their O(n) root sweep. An optional `members`
+// list names every participating node -- when `participates` is set it
+// must list exactly the mask's nodes; when the mask is null it must cover
+// every node the pass can touch (senders, relays and receivers).
 struct TreeView {
   const std::vector<EdgeId>* parent_edge = nullptr;
   const std::vector<std::vector<EdgeId>>* children = nullptr;
   const std::vector<std::uint8_t>* participates = nullptr;  // optional
   const std::vector<NodeId>* roots = nullptr;               // optional
+  const std::vector<NodeId>* members = nullptr;             // optional
 
   bool in(NodeId v) const {
     return participates == nullptr || (*participates)[v] != 0;
@@ -88,23 +104,27 @@ class ConvergeRecords : public Program {
   // capacity. Drivers that run one converge pass per phase should own one
   // ConvergeRecords and reset() it instead of constructing a new one: the
   // steady state is then allocation-free. `ports` (optional, must outlive
-  // the run and match `tree`) skips the per-pass parent-port sweep.
+  // the run and match `tree`) skips the per-pass parent-port sweep. When
+  // `tree.members` is set, reset() re-arms only the members' state --
+  // O(participants), not O(n) -- relying on the contract that only
+  // participants' state was dirtied since the arrays were last fully
+  // cleared.
   void reset(TreeView tree, Combine combine, std::uint32_t cap,
              const TreePorts* ports = nullptr, bool pipelined = false);
 
   // Caller fills `initial[v]` (distinct keys per node) before running.
   RecordTable initial;
 
-  void begin(Simulator& sim) override;
-  void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
+  void begin(Exec& ex) override;
+  void on_wake(Exec& ex, NodeId v, std::span<const Inbound> inbox) override;
 
   RecordTable::ConstRow at_root(NodeId root) const { return merged_[root]; }
   bool overflowed(NodeId root) const { return overflow_[root] != 0; }
 
  private:
-  void merge_record(NodeId v, Record r);
-  void finalize(Simulator& sim, NodeId v);
-  void pump(Simulator& sim, NodeId v);
+  void merge_record(NodeId v, Record r, std::uint32_t shard);
+  void finalize(Exec& ex, NodeId v);
+  void pump(Exec& ex, NodeId v);
 
   TreeView tree_;
   Combine combine_ = Combine::kSum;
@@ -135,8 +155,9 @@ class BroadcastRecords : public Program {
   explicit BroadcastRecords(TreeView tree);
 
   // Re-arms the pass for a fresh run, keeping per-node buffer capacity
-  // (see ConvergeRecords::reset). `ports` (optional, must outlive the run
-  // and match `tree`) skips the per-pass child-port sweep.
+  // (see ConvergeRecords::reset; `tree.members` makes it O(participants)).
+  // `ports` (optional, must outlive the run and match `tree`) skips the
+  // per-pass child-port sweep.
   void reset(TreeView tree, const TreePorts* ports = nullptr,
              bool pipelined = false);
 
@@ -144,13 +165,13 @@ class BroadcastRecords : public Program {
   RecordTable stream;
   RecordTable received;
 
-  void begin(Simulator& sim) override;
-  void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
+  void begin(Exec& ex) override;
+  void on_wake(Exec& ex, NodeId v, std::span<const Inbound> inbox) override;
 
  private:
-  void pump(Simulator& sim, NodeId v);
-  void start_root(Simulator& sim, NodeId v);
-  void queue_push(NodeId v, Record r);
+  void pump(Exec& ex, NodeId v);
+  void start_root(Exec& ex, NodeId v);
+  void queue_push(NodeId v, Record r, std::uint32_t shard);
   bool has_children(NodeId v) const {
     return child_offset_view_[v + 1] > child_offset_view_[v];
   }
@@ -170,16 +191,17 @@ class BroadcastRecords : public Program {
 };
 
 // One-round exchange: `outgoing` lists (port, msg) pairs per node before the
-// round; `collect` sees each node's inbox after delivery. `senders`
-// (optional) names the nodes that may send — any superset of the actual
-// senders leaves the pass's messages unchanged while skipping the `outgoing`
-// callback for everyone else; drivers that run many exchanges where few
-// nodes speak (relay hops, notification rounds) should pass it.
+// round; `collect` sees each node's inbox after delivery (with the worker
+// context first, for sharded RecordTable pushes). `senders` (optional)
+// names the nodes that may send — any superset of the actual senders leaves
+// the pass's messages unchanged while skipping the `outgoing` callback for
+// everyone else; drivers that run many exchanges where few nodes speak
+// (relay hops, notification rounds) should pass it.
 class Exchange : public Program {
  public:
   using OutgoingFn =
       std::function<void(NodeId, std::vector<std::pair<std::uint32_t, Msg>>&)>;
-  using CollectFn = std::function<void(NodeId, std::span<const Inbound>)>;
+  using CollectFn = std::function<void(Exec&, NodeId, std::span<const Inbound>)>;
 
   Exchange(NodeId num_nodes, OutgoingFn outgoing, CollectFn collect,
            const std::vector<NodeId>* senders = nullptr)
@@ -188,8 +210,8 @@ class Exchange : public Program {
         collect_(std::move(collect)),
         senders_(senders) {}
 
-  void begin(Simulator& sim) override;
-  void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
+  void begin(Exec& ex) override;
+  void on_wake(Exec& ex, NodeId v, std::span<const Inbound> inbox) override;
 
  private:
   NodeId num_nodes_;
@@ -206,8 +228,8 @@ class BfsForest : public Program {
   // part_root[v] = id of the part root of v's part (part_root[r] == r).
   explicit BfsForest(const std::vector<NodeId>& part_root);
 
-  void begin(Simulator& sim) override;
-  void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) override;
+  void begin(Exec& ex) override;
+  void on_wake(Exec& ex, NodeId v, std::span<const Inbound> inbox) override;
 
   std::vector<EdgeId> parent_edge;               // kNoEdge at roots
   std::vector<std::vector<EdgeId>> children;

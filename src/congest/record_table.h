@@ -1,20 +1,39 @@
-// Flat per-node record tables backed by one contiguous slot arena.
+// Flat per-node record tables backed by sharded slot arenas.
 //
 // A RecordTable replaces the `std::vector<std::vector<Record>>` per-node
 // tables the Stage I drivers used to pool: every record of every row lives
-// in one shared `pool_`, rows are slot chains (head/tail indices plus a
-// per-slot `next_` link), and reset() re-arms the whole table by bumping
-// the allocation watermark back to zero and clearing only the rows touched
-// since the previous reset. The pooling contract:
+// in a shared slot pool, rows are slot chains (head/tail indices plus a
+// per-slot `next` link), and reset() re-arms the whole table by bumping
+// the allocation watermarks back to zero and clearing only the rows
+// touched since the previous reset.
+//
+// Sharding (parallel rounds). A slot id encodes (shard, index): the high
+// kShardBits name one of kMaxShards independent arenas, each with its own
+// pool, chain links, touched list and watermark. push(v, r, shard) bumps
+// only that shard's watermark, so the simulator's workers (shard s = its
+// Exec::shard()) append rows concurrently without locks or atomics. The
+// safety argument relies on the per-node-write-clean Program contract
+// (see DESIGN.md): rows of a node owned by worker s receive pushes only
+// from context s (rounds) and context 0 (driver code between passes), so
+//   * a shard's vectors grow only from its single owning context, and
+//   * cross-shard *reads* (worker s walking a chain into shard-0 slots
+//     written by the driver) only ever see frozen storage -- the driver
+//     never pushes while a round is in flight.
+// Chain links may point across shards (a row started by the driver and
+// extended by its worker); writing the old tail's `next` touches a
+// distinct element of the frozen shard's link array, which no other
+// context reads or writes during the round.
+//
+// The pooling contract (unchanged from the single-arena version):
 //
 //   * reset(n) is O(rows touched since the last reset), never O(n) once
 //     the table has been sized, and never releases pool capacity -- the
 //     steady state of a driver that resets one table across thousands of
 //     passes is allocation-free.
-//   * Rows appended without interleaving occupy consecutive pool slots
-//     (CSR-like layout), so iteration over a row written in one go is a
-//     sequential scan. Interleaved appends (records arriving round by
-//     round) still cost O(1) per push; their rows just hop slots.
+//   * Rows appended without interleaving occupy consecutive slots of one
+//     shard (CSR-like layout), so iteration over a row written in one go
+//     is a sequential scan. Interleaved appends (records arriving round
+//     by round) still cost O(1) per push; their rows just hop slots.
 //   * clear_row / row reassignment orphans the old slots until the next
 //     reset (bounded by total pushes) -- by design, since reclamation
 //     would cost the watermark reset its O(1).
@@ -29,6 +48,7 @@
 // cursor instead).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <initializer_list>
 #include <vector>
@@ -49,24 +69,35 @@ struct Record {
 class RecordTable {
  public:
   static constexpr std::uint32_t kNilSlot = static_cast<std::uint32_t>(-1);
-
-  class ConstRow;
-  class Row;
+  static constexpr unsigned kShardBits = 6;
+  static constexpr unsigned kIdxBits = 32 - kShardBits;
+  static constexpr std::uint32_t kIdxMask = (1u << kIdxBits) - 1;
+  // Shard kMaxShards - 1 is never allocated from: kNilSlot decodes into it.
+  static constexpr std::uint32_t kMaxShards = 1u << kShardBits;
 
   // Re-arms the table for `n` rows; see the pooling contract above. When
   // most rows were touched, one sequential re-assign beats the scattered
   // per-row clears.
   void reset(std::size_t n) {
-    if (rows_.size() != n || touched_.size() >= n / 8) {
+    std::size_t touched_total = 0;
+    for (const Shard& sh : shards_) touched_total += sh.touched.size();
+    if (rows_.size() != n || touched_total >= n / 8) {
       rows_.assign(n, RowHead{});
     } else {
-      for (const std::uint32_t v : touched_) rows_[v] = RowHead{};
+      for (const Shard& sh : shards_) {
+        for (const std::uint32_t v : sh.touched) rows_[v] = RowHead{};
+      }
     }
-    touched_.clear();
-    used_ = 0;
+    for (Shard& sh : shards_) {
+      sh.touched.clear();
+      sh.used = 0;
+    }
   }
 
   std::size_t num_rows() const { return rows_.size(); }
+
+  class ConstRow;
+  class Row;
 
   Row operator[](std::uint32_t v);
   ConstRow operator[](std::uint32_t v) const;
@@ -74,22 +105,39 @@ class RecordTable {
   bool empty(std::uint32_t v) const { return rows_[v].size == 0; }
   std::uint32_t size(std::uint32_t v) const { return rows_[v].size; }
 
-  void push(std::uint32_t v, Record r) {
+  // The arena driver code (and the driver-side Row proxy API) allocates
+  // from: context 0 of the simulator, frozen during parallel rounds.
+  static constexpr std::uint32_t kDriverShard = 0;
+
+  // Appends r to row v, allocating from `shard`'s arena. The shard is
+  // deliberately NOT defaulted: Program::on_wake code must pass
+  // ex.shard(), and a silent shard-0 default would turn a forgotten
+  // argument into a lock-free data race under parallel rounds instead of
+  // a compile error. Driver code passes kDriverShard.
+  void push(std::uint32_t v, Record r, std::uint32_t shard) {
     CPT_EXPECTS(v < rows_.size());
-    const std::uint32_t slot = used_++;
-    if (slot == pool_.size()) {
-      pool_.push_back(r);
-      next_.push_back(kNilSlot);
+    CPT_EXPECTS(shard < kMaxShards - 1);
+    Shard& sh = shards_[shard];
+    const std::uint32_t idx = sh.used++;
+    // Unconditional (survives CPT_DISABLE_CONTRACTS): overflowing the
+    // 2^26-slot shard index would silently corrupt slot ids.
+    if (idx >= kIdxMask) {
+      contract_fail("Invariant", "record shard full", __FILE__, __LINE__);
+    }
+    const std::uint32_t slot = (shard << kIdxBits) | idx;
+    if (idx == sh.pool.size()) {
+      sh.pool.push_back(r);
+      sh.next.push_back(kNilSlot);
     } else {
-      pool_[slot] = r;
-      next_[slot] = kNilSlot;
+      sh.pool[idx] = r;
+      sh.next[idx] = kNilSlot;
     }
     RowHead& h = rows_[v];
     if (h.head == kNilSlot) {
       h.head = h.tail = slot;
-      touched_.push_back(v);
+      sh.touched.push_back(v);
     } else {
-      next_[h.tail] = slot;
+      shards_[h.tail >> kIdxBits].next[h.tail & kIdxMask] = slot;
       h.tail = slot;
     }
     ++h.size;
@@ -97,16 +145,70 @@ class RecordTable {
 
   void clear_row(std::uint32_t v) { rows_[v] = RowHead{}; }
 
+  // ---- Touched-row iteration ---------------------------------------------
   // Rows that may hold records (deduplicated only by reset; may include
-  // since-cleared rows). Lets drivers visit non-empty rows without an O(n)
-  // sweep.
-  const std::vector<std::uint32_t>& touched_rows() const { return touched_; }
+  // since-cleared rows and, when a row was cleared and refilled from a
+  // different context, duplicates across shards). Lets drivers visit
+  // non-empty rows without an O(n) sweep. Iteration order is shard 0's
+  // touch order, then shard 1's, ... -- deterministic for a fixed worker
+  // count; consumers must be order-independent (they are: row copies and
+  // idempotent mask updates).
+  class TouchedIterator {
+   public:
+    TouchedIterator(const RecordTable* t, std::uint32_t shard, std::size_t pos)
+        : t_(t), shard_(shard), pos_(pos) {
+      settle();
+    }
+
+    std::uint32_t operator*() const { return t_->shards_[shard_].touched[pos_]; }
+    TouchedIterator& operator++() {
+      ++pos_;
+      settle();
+      return *this;
+    }
+    bool operator==(const TouchedIterator& o) const {
+      return shard_ == o.shard_ && pos_ == o.pos_;
+    }
+    bool operator!=(const TouchedIterator& o) const { return !(*this == o); }
+
+   private:
+    void settle() {
+      while (shard_ < kMaxShards && pos_ >= t_->shards_[shard_].touched.size()) {
+        ++shard_;
+        pos_ = 0;
+      }
+      if (shard_ >= kMaxShards) {
+        shard_ = kMaxShards;
+        pos_ = 0;
+      }
+    }
+    const RecordTable* t_;
+    std::uint32_t shard_;
+    std::size_t pos_;
+  };
+
+  class TouchedView {
+   public:
+    explicit TouchedView(const RecordTable* t) : t_(t) {}
+    TouchedIterator begin() const { return {t_, 0, 0}; }
+    TouchedIterator end() const { return {t_, kMaxShards, 0}; }
+    bool empty() const { return begin() == end(); }
+
+   private:
+    const RecordTable* t_;
+  };
+
+  TouchedView touched_rows() const { return TouchedView{this}; }
 
   // ---- Slot-level access for streaming consumers --------------------------
   std::uint32_t head_slot(std::uint32_t v) const { return rows_[v].head; }
   std::uint32_t tail_slot(std::uint32_t v) const { return rows_[v].tail; }
-  std::uint32_t next_slot(std::uint32_t slot) const { return next_[slot]; }
-  const Record& at_slot(std::uint32_t slot) const { return pool_[slot]; }
+  std::uint32_t next_slot(std::uint32_t slot) const {
+    return shards_[slot >> kIdxBits].next[slot & kIdxMask];
+  }
+  const Record& at_slot(std::uint32_t slot) const {
+    return shards_[slot >> kIdxBits].pool[slot & kIdxMask];
+  }
 
   std::uint32_t cursor(std::uint32_t v) const { return rows_[v].cursor; }
   void set_cursor(std::uint32_t v, std::uint32_t slot) {
@@ -128,10 +230,12 @@ class RecordTable {
     RowIterator() = default;
     RowIterator(TablePtr t, std::uint32_t slot) : t_(t), slot_(slot) {}
 
-    reference operator*() const { return t_->pool_[slot_]; }
-    pointer operator->() const { return &t_->pool_[slot_]; }
+    reference operator*() const {
+      return t_->shards_[slot_ >> kIdxBits].pool[slot_ & kIdxMask];
+    }
+    pointer operator->() const { return &**this; }
     RowIterator& operator++() {
-      slot_ = t_->next_[slot_];
+      slot_ = t_->next_slot(slot_);
       return *this;
     }
     RowIterator operator++(int) {
@@ -161,8 +265,8 @@ class RecordTable {
     const_iterator end() const { return {t_, kNilSlot}; }
     const Record& operator[](std::uint32_t i) const {  // O(i) chain walk
       std::uint32_t slot = t_->rows_[v_].head;
-      for (; i > 0; --i) slot = t_->next_[slot];
-      return t_->pool_[slot];
+      for (; i > 0; --i) slot = t_->next_slot(slot);
+      return t_->at_slot(slot);
     }
 
     const RecordTable* table() const { return t_; }
@@ -175,6 +279,8 @@ class RecordTable {
 
   // Mutable row proxy. Assignment copies *contents* (from a list or from
   // another row, even one of the same table); it never rebinds the proxy.
+  // Row writes allocate from shard 0: the proxy API is driver-side (worker
+  // code appends through push(v, r, shard)).
   class Row {
    public:
     Row(RecordTable* t, std::uint32_t v) : t_(t), v_(v) {}
@@ -183,7 +289,7 @@ class RecordTable {
 
     Row& operator=(std::initializer_list<Record> recs) {
       t_->clear_row(v_);
-      for (const Record& r : recs) t_->push(v_, r);
+      for (const Record& r : recs) t_->push(v_, r, kDriverShard);
       return *this;
     }
     Row& operator=(const ConstRow& src) {
@@ -194,13 +300,13 @@ class RecordTable {
       const RecordTable* st = src.table();
       for (std::uint32_t slot = st->head_slot(src.row_id()); slot != kNilSlot;
            slot = st->next_slot(slot)) {
-        t_->push(v_, st->at_slot(slot));
+        t_->push(v_, st->at_slot(slot), kDriverShard);
       }
       return *this;
     }
     Row& operator=(const Row& src) { return *this = static_cast<ConstRow>(src); }
 
-    void push_back(Record r) { t_->push(v_, r); }
+    void push_back(Record r) { t_->push(v_, r, kDriverShard); }
     void clear() { t_->clear_row(v_); }
     bool empty() const { return t_->empty(v_); }
     std::uint32_t size() const { return t_->size(v_); }
@@ -227,11 +333,17 @@ class RecordTable {
     std::uint32_t cursor = kNilSlot;
   };
 
+  // One arena: slot payloads and chain links (logical size = used), plus
+  // the rows first touched from this shard since the last reset.
+  struct Shard {
+    std::vector<Record> pool;
+    std::vector<std::uint32_t> next;
+    std::vector<std::uint32_t> touched;
+    std::uint32_t used = 0;
+  };
+
   std::vector<RowHead> rows_;
-  std::vector<Record> pool_;           // slot payloads; logical size = used_
-  std::vector<std::uint32_t> next_;    // slot chain links
-  std::vector<std::uint32_t> touched_; // rows to clear on reset
-  std::uint32_t used_ = 0;             // bump watermark into pool_/next_
+  std::array<Shard, kMaxShards> shards_;
 };
 
 inline RecordTable::Row RecordTable::operator[](std::uint32_t v) {

@@ -1,80 +1,294 @@
 #include "congest/simulator.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/contracts.h"
 
 namespace cpt::congest {
 
+unsigned resolve_sim_threads(unsigned requested) {
+  unsigned t = requested;
+  if (t == 0) {
+    if (const char* env = std::getenv("CPT_TEST_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) t = static_cast<unsigned>(v);
+    }
+    if (t == 0) t = 1;
+  }
+  return std::min(t, Simulator::kMaxWorkers);
+}
+
+Simulator::Simulator(const Network& net, SimOptions opt)
+    : net_(&net),
+      workers_(resolve_sim_threads(opt.num_threads)),
+      parallel_grain_(std::max<std::uint64_t>(opt.parallel_grain, 1)) {
+  const NodeId n = net.num_nodes();
+  // Shard boundaries balanced by arc count: shard s (1..K) owns the node
+  // range [shard_lo_[s-1], shard_lo_[s]). Arc ranges of distinct shards
+  // are disjoint because arc ids order arcs by (owner, port).
+  shard_lo_.assign(workers_ + 1, n);
+  shard_lo_[0] = 0;
+  const std::uint64_t total_arcs = net.num_arcs();
+  NodeId v = 0;
+  for (unsigned s = 1; s < workers_; ++s) {
+    const std::uint64_t target = total_arcs * s / workers_;
+    while (v < n && net.arc_base(v) < target) ++v;
+    shard_lo_[s] = v;
+  }
+  for (unsigned gen = 0; gen < 2; ++gen) {
+    flights_[gen].resize(workers_ + 1);
+    for (Flight& f : flights_[gen]) {
+      f.arcs.reset(net.num_arcs());
+      f.wakes.reset(n);
+    }
+    slot_[gen].resize(net.num_arcs());
+  }
+  execs_.reserve(workers_ + 1);
+  for (std::uint32_t s = 0; s <= workers_; ++s) {
+    execs_.emplace_back(new Exec(this, s));
+  }
+  inbox_.resize(workers_ + 1);
+  if (workers_ > 1) pool_ = std::make_unique<WorkerPool>(workers_);
+}
+
+void Simulator::clear_flight(Flight& f) {
+  // O(leftover): a drained flight pays only the level-2 scan.
+  f.arcs.clear();
+  f.msgs.clear();
+  f.wakes.clear();
+}
+
+std::uint64_t Simulator::inflight(unsigned gen) const {
+  std::uint64_t total = 0;
+  for (const Flight& f : flights_[gen]) {
+    total += f.arcs.size() + f.wakes.size();
+  }
+  return total;
+}
+
+// Single-worker fast path. With one worker there are two contexts (driver
+// 0, worker 1) and a node's sends always run on one of them per round:
+// the driver fills flight 0 toward round 1, the worker fills flight 1
+// toward every later round -- so exactly one flight holds each round and
+// the K-way merge collapses to the classic single-bitset drain, erasing
+// as it goes (which doubles as the flight clear). Identical schedule,
+// none of the per-message source scans.
+void Simulator::run_round_single(Program& program, Flight& in) {
+  constexpr std::size_t kDrained = ~std::size_t{0};
+  Exec& ex = *execs_[1];
+  std::vector<Inbound>& gather = inbox_[1];
+  const std::uint32_t* slot = slot_[cur_].data();
+  std::size_t ri = in.arcs.empty() ? kDrained : in.arcs.front();
+  std::size_t wake = in.wakes.empty() ? kDrained : in.wakes.front();
+  while (ri != kDrained || wake != kDrained) {
+    const NodeId mv = ri == kDrained
+                          ? kNoNode
+                          : net_->arc_owner(static_cast<std::uint32_t>(ri));
+    const NodeId wv = wake == kDrained ? kNoNode : static_cast<NodeId>(wake);
+    const NodeId v = mv <= wv ? mv : wv;
+    std::span<const Inbound> box{};
+    if (mv == v) {
+      // Single-message inboxes (the common case in pipelined passes) are
+      // handed out as a span into the flight buffer; only multi-message
+      // inboxes gather to make the port-sorted view contiguous. Receiving
+      // ports are filled in here (send() leaves them blank).
+      const std::uint32_t base = net_->arc_base(v);
+      const std::uint32_t end = base + net_->port_count(v);
+      const std::uint32_t first = slot[ri];
+      in.msgs[first].port = static_cast<std::uint32_t>(ri) - base;
+      std::size_t cnt = 1;
+      in.arcs.erase(ri);
+      ri = in.arcs.empty() ? kDrained : in.arcs.front();
+      while (ri < end) {
+        if (cnt == 1) {
+          gather.clear();
+          gather.push_back(in.msgs[first]);
+        }
+        gather.push_back({static_cast<std::uint32_t>(ri) - base,
+                          in.msgs[slot[ri]].msg});
+        ++cnt;
+        in.arcs.erase(ri);
+        ri = in.arcs.empty() ? kDrained : in.arcs.front();
+      }
+      box = cnt == 1 ? std::span<const Inbound>{&in.msgs[first], 1}
+                     : std::span<const Inbound>{gather};
+    }
+    if (wv == v) {
+      in.wakes.erase(wake);
+      wake = in.wakes.empty() ? kDrained : in.wakes.front();
+    }
+    program.on_wake(ex, v, box);
+  }
+  in.msgs.clear();
+}
+
+// Delivers round `round_` to the nodes of shard s and runs their local
+// computations, in increasing node id order with port-sorted inboxes --
+// exactly the serial schedule restricted to [shard_lo_[s-1], shard_lo_[s]).
+// Reads every context's in-generation flight (read-only bitset walks);
+// writes only shard s's out-generation flight and per-node program state
+// of s's nodes, so concurrent shards never conflict.
+void Simulator::process_shard(Program& program, std::uint32_t s) {
+  constexpr std::size_t kNone = IndexedBitset::kNone;
+  const NodeId lo = shard_lo_[s - 1];
+  const NodeId hi = shard_lo_[s];
+  if (lo == hi) return;
+  const std::size_t arc_lo = net_->arc_base(lo);
+  const std::size_t arc_hi = net_->arc_base(hi);
+
+  Flight* const in = flights_[cur_].data();
+  const std::uint32_t* slot = slot_[cur_].data();
+  const std::uint32_t nsrc = workers_ + 1;
+  // Per-source cursors over this shard's arc / node ranges. kNone marks an
+  // exhausted source. Contexts: 0 = driver (round-1 sends), 1..K = workers.
+  std::size_t arc_cur[kMaxWorkers + 1];
+  std::size_t wake_cur[kMaxWorkers + 1];
+  for (std::uint32_t f = 0; f < nsrc; ++f) {
+    std::size_t a = in[f].arcs.empty() ? kNone : in[f].arcs.next_at_least(arc_lo);
+    arc_cur[f] = (a >= arc_hi) ? kNone : a;
+    std::size_t w = in[f].wakes.empty() ? kNone : in[f].wakes.next_at_least(lo);
+    wake_cur[f] = (w >= hi) ? kNone : w;
+  }
+
+  Exec& ex = *execs_[s];
+  std::vector<Inbound>& gather = inbox_[s];
+  for (;;) {
+    // Global minima across sources (nsrc is small; linear scans).
+    std::size_t min_arc = kNone;
+    std::uint32_t min_src = 0;
+    std::size_t min_wake = kNone;
+    for (std::uint32_t f = 0; f < nsrc; ++f) {
+      if (arc_cur[f] < min_arc) {
+        min_arc = arc_cur[f];
+        min_src = f;
+      }
+      if (wake_cur[f] < min_wake) min_wake = wake_cur[f];
+    }
+    if (min_arc == kNone && min_wake == kNone) break;
+
+    const NodeId mv = min_arc == kNone
+                          ? kNoNode
+                          : net_->arc_owner(static_cast<std::uint32_t>(min_arc));
+    const NodeId wv = min_wake == kNone ? kNoNode : static_cast<NodeId>(min_wake);
+    const NodeId v = mv <= wv ? mv : wv;
+    std::span<const Inbound> box{};
+    if (mv == v) {
+      // Drain all of v's arcs across the sources in increasing (global
+      // arc index == port) order. Single-message inboxes (the common case
+      // in pipelined passes) are handed out as a span into the source
+      // flight buffer; only multi-message inboxes gather into inbox_[s]
+      // to make the port-sorted view contiguous. Receiving ports are
+      // filled in here (send() leaves them blank to stay lookup-free).
+      const std::uint32_t base = net_->arc_base(v);
+      const std::size_t end = base + net_->port_count(v);
+      Flight& f0 = in[min_src];
+      Inbound& first = f0.msgs[slot[min_arc]];
+      first.port = static_cast<std::uint32_t>(min_arc) - base;
+      [[maybe_unused]] std::size_t prev = min_arc;
+      {
+        const std::size_t a = f0.arcs.next_at_least(min_arc + 1);
+        arc_cur[min_src] = (a >= arc_hi) ? kNone : a;
+      }
+      std::size_t cnt = 1;
+      for (;;) {
+        std::size_t a = kNone;
+        std::uint32_t af = 0;
+        for (std::uint32_t f = 0; f < nsrc; ++f) {
+          if (arc_cur[f] < a) {
+            a = arc_cur[f];
+            af = f;
+          }
+        }
+        if (a >= end) break;
+        // A (sender, port) pair addresses a unique receiving arc and a
+        // node's sends all run on one context, so two sources can never
+        // carry the same arc; a repeat here would be a simulator bug.
+        CPT_ASSERT(a != prev);
+        prev = a;
+        if (cnt == 1) {
+          gather.clear();
+          gather.push_back(first);
+        }
+        Flight& ff = in[af];
+        gather.push_back({static_cast<std::uint32_t>(a) - base,
+                          ff.msgs[slot[a]].msg});
+        ++cnt;
+        const std::size_t nxt = ff.arcs.next_at_least(a + 1);
+        arc_cur[af] = (nxt >= arc_hi) ? kNone : nxt;
+      }
+      box = cnt == 1 ? std::span<const Inbound>{&first, 1}
+                     : std::span<const Inbound>{gather};
+    }
+    if (wv == v) {
+      for (std::uint32_t f = 0; f < nsrc; ++f) {
+        if (wake_cur[f] != static_cast<std::size_t>(v)) continue;
+        const std::size_t w = in[f].wakes.next_at_least(v + 1);
+        wake_cur[f] = (w >= hi) ? kNone : w;
+      }
+    }
+    program.on_wake(ex, v, box);
+  }
+}
+
 PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
-  // Drop anything left in flight by a previous run that hit max_rounds.
-  // O(leftover): a quiesced simulator pays nothing here.
-  for (Flight& f : flight_) {
-    f.arcs.clear();
-    f.msgs.clear();
-    f.wakes.clear();
+  // Drop anything left in flight: the final round's delivered flights of a
+  // quiesced previous run (cleared lazily, see below) or everything a
+  // max_rounds-abandoned run left behind. O(leftover).
+  for (unsigned gen = 0; gen < 2; ++gen) {
+    for (Flight& f : flights_[gen]) clear_flight(f);
   }
   round_ = 0;
   cur_ = 0;
 
   PassResult result;
-  program.begin(*this);
-  while (!flight_[cur_ ^ 1].arcs.empty() || !flight_[cur_ ^ 1].wakes.empty()) {
+  const auto aim_execs = [this] {
+    for (std::uint32_t s = 0; s <= workers_; ++s) {
+      execs_[s]->out_ = &flights_[cur_ ^ 1][s];
+      execs_[s]->slot_ = slot_[cur_ ^ 1].data();
+    }
+  };
+  aim_execs();
+  program.begin(*execs_[0]);
+  while (inflight(cur_ ^ 1) != 0) {
     if (round_ >= max_rounds) {
       result.quiesced = false;
       break;
     }
     ++round_;
     cur_ ^= 1;
-    Flight& in = flight_[cur_];
-    result.messages += in.msgs.size();
+    aim_execs();
+    std::uint64_t round_msgs = 0;
+    for (const Flight& f : flights_[cur_]) round_msgs += f.msgs.size();
+    result.messages += round_msgs;
+    const std::uint64_t work = inflight(cur_);  // messages + wake-ups
 
-    // Drain arcs in increasing index order == (destination, port) order:
-    // deterministic node processing and port-sorted inboxes, merged with
-    // the wake-up set. Sends during on_wake go to the other flight, so the
-    // cached minima stay valid across the program callback.
-    constexpr std::size_t kDrained = ~std::size_t{0};
-    std::size_t ri = in.arcs.empty() ? kDrained : in.arcs.front();
-    std::size_t wake = in.wakes.empty() ? kDrained : in.wakes.front();
-    while (ri != kDrained || wake != kDrained) {
-      const NodeId mv = ri == kDrained
-                            ? kNoNode
-                            : net_->arc_owner(static_cast<std::uint32_t>(ri));
-      const NodeId wv = wake == kDrained ? kNoNode : static_cast<NodeId>(wake);
-      const NodeId v = mv <= wv ? mv : wv;
-      std::span<const Inbound> box{};
-      if (mv == v) {
-        // Single-message inboxes (the common case in pipelined passes) are
-        // handed out as a span into the flight buffer; only multi-message
-        // inboxes gather into inbox_ to make the port-sorted view
-        // contiguous. Receiving ports are filled in here (send() leaves
-        // them blank to stay lookup-free).
-        const std::uint32_t base = net_->arc_base(v);
-        const std::uint32_t end = base + net_->port_count(v);
-        const std::uint32_t first = in.slot[ri];
-        in.msgs[first].port = static_cast<std::uint32_t>(ri) - base;
-        std::size_t cnt = 1;
-        in.arcs.erase(ri);
-        ri = in.arcs.empty() ? kDrained : in.arcs.front();
-        while (ri < end) {
-          if (cnt == 1) {
-            inbox_.clear();
-            inbox_.push_back(in.msgs[first]);
-          }
-          inbox_.push_back({static_cast<std::uint32_t>(ri) - base,
-                            in.msgs[in.slot[ri]].msg});
-          ++cnt;
-          in.arcs.erase(ri);
-          ri = in.arcs.empty() ? kDrained : in.arcs.front();
-        }
-        box = cnt == 1 ? std::span<const Inbound>{&in.msgs[first], 1}
-                       : std::span<const Inbound>{inbox_};
-      }
-      if (wv == v) {
-        in.wakes.erase(wake);
-        wake = in.wakes.empty() ? kDrained : in.wakes.front();
-      }
-      program.on_wake(*this, v, box);
+    // The out-generation flights still hold the round delivered two rounds
+    // ago (delivery is a read-only walk; clearing is deferred to here so
+    // the in-generation stays intact while every shard reads it). Nobody
+    // reads the out generation during this round, so each worker clears
+    // its own flight before processing; the driver flight falls to the
+    // main thread either way.
+    if (workers_ == 1) {
+      // Exactly one of the two flights carries this round (see
+      // run_round_single); the drain clears it in place.
+      Flight& f0 = flights_[cur_][0];
+      Flight& f1 = flights_[cur_][1];
+      const bool f0_live = !f0.arcs.empty() || !f0.wakes.empty();
+      CPT_ASSERT(!f0_live || (f1.arcs.empty() && f1.wakes.empty()));
+      run_round_single(program, f0_live ? f0 : f1);
+    } else if (pool_ != nullptr && work >= parallel_grain_ * workers_) {
+      clear_flight(flights_[cur_ ^ 1][0]);
+      Program* prog = &program;
+      pool_->run([this, prog](unsigned w) {
+        const std::uint32_t s = w + 1;
+        clear_flight(flights_[cur_ ^ 1][s]);
+        process_shard(*prog, s);
+      });
+    } else {
+      for (Flight& f : flights_[cur_ ^ 1]) clear_flight(f);
+      for (std::uint32_t s = 1; s <= workers_; ++s) process_shard(program, s);
     }
-    in.msgs.clear();
   }
   result.rounds = round_;
   return result;

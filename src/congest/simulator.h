@@ -1,4 +1,5 @@
-// Synchronous message-driven CONGEST simulator.
+// Synchronous message-driven CONGEST simulator with a deterministic
+// parallel round executor.
 //
 // A Program is a (flyweight) node algorithm: `begin` may inject initial
 // messages / wake-ups, then each round every node that received messages or
@@ -7,40 +8,60 @@
 // (CONGEST bandwidth). A pass ends when no messages are in flight and no
 // wake-ups are pending; the simulator reports measured rounds and messages.
 //
-// Delivery engine: sort-free and allocation-free in steady state. A send
-// addresses the *receiving* half-edge directly — global arc index
-// arc_base(dst) + dst_port, with dst_port precomputed in Arc::peer_port —
-// and marks it in an ordered bitset over all 2m arcs. Since arc indices
-// order arcs by (destination, port), draining that bitset in increasing
-// order visits nodes in id order with each inbox already port-sorted: no
-// per-round std::sort of delivery records. The same membership bit doubles
-// as the CONGEST bandwidth check (a second send over a directed edge in one
-// round finds its bit already set), replacing the seed's per-half-edge round
-// stamps and their O(m) per-pass reinitialization. All buffers are owned by
-// the Simulator and reused across rounds and passes; clearing costs
-// O(in-flight), never O(m) or O(n).
+// Execution model. Within a round, CONGEST nodes compute independently --
+// the round loop is data-parallel over nodes. The simulator statically
+// shards node ids into contiguous ranges of roughly equal arc count, one
+// shard per worker. Every shard owns an execution context (`Exec`) with a
+// private Flight (arc bitset / payloads / wakes): sends issued while
+// processing shard s land in s's flight for the next round, so flights are
+// single-writer (the arc -> payload-index map is shared per generation;
+// writers are disjoint by receiving arc, see Flight). Delivery of a round merges all flights' ordered arc
+// bitsets on the fly -- each worker scans its own arc range of every
+// source bitset (read-only `next_at_least` walks) and takes arcs in
+// increasing global index order, which is (destination, port) order. The
+// result is *bit-identical to the serial run at any thread count*: each
+// node sees the same port-sorted inbox in the same round, so it computes
+// the same state, sends the same messages and the ledgers, partitions and
+// verdicts downstream cannot differ. Shard count changes only which flight
+// a message parks in between rounds, never what is delivered when.
+//
+// Programs must be per-node-write-clean to run under more than one worker:
+// on_wake(ex, v, inbox) may read anything but may only write v's slots of
+// per-node state (and push to v's rows of RecordTables, passing
+// ex.shard()). Every Program in this repository satisfies this; see
+// DESIGN.md ("Parallel determinism invariants") for the full contract.
+//
+// Rounds whose in-flight work is below `parallel_grain * workers` are
+// executed inline on the calling thread (same code path, same shard
+// order, same results) so the hundreds of thousands of small rounds in a
+// Stage I run never pay a fork-join latency.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "congest/message.h"
 #include "congest/network.h"
 #include "util/indexed_bitset.h"
+#include "util/parallel.h"
 
 namespace cpt::congest {
 
 class Simulator;
+class Exec;
 
 class Program {
  public:
   virtual ~Program() = default;
-  // Inject initial sends/wake-ups. Runs "before round 1".
-  virtual void begin(Simulator& sim) = 0;
+  // Inject initial sends/wake-ups. Runs "before round 1" on the driver
+  // context (ex.shard() == 0).
+  virtual void begin(Exec& ex) = 0;
   // Node v runs its local computation for this round. `inbox` holds the
   // messages delivered this round (possibly empty for pure wake-ups).
-  virtual void on_wake(Simulator& sim, NodeId v, std::span<const Inbound> inbox) = 0;
+  // Runs on the context owning v's shard; per-node-write-clean code only.
+  virtual void on_wake(Exec& ex, NodeId v, std::span<const Inbound> inbox) = 0;
 };
 
 struct PassResult {
@@ -49,33 +70,100 @@ struct PassResult {
   bool quiesced = true;  // false iff max_rounds was hit first
 };
 
+struct SimOptions {
+  // Worker count for round execution. 0 resolves to the CPT_TEST_THREADS
+  // environment variable if set (the CI knob that runs whole test suites
+  // multi-threaded), else 1. Clamped to [1, kMaxWorkers].
+  unsigned num_threads = 0;
+  // Minimum in-flight work (messages + wake-ups) per worker before a round
+  // is dispatched to the pool; smaller rounds run inline on the caller.
+  std::uint64_t parallel_grain = 2048;
+};
+
+// Resolves SimOptions::num_threads == 0 (see above). Exposed for CLIs and
+// benches that want to report the effective worker count.
+unsigned resolve_sim_threads(unsigned requested);
+
 class Simulator {
  public:
   static constexpr std::uint64_t kDefaultMaxRounds = 1'000'000'000ULL;
+  // Worker shards are 1..K and the driver context is shard 0; RecordTable
+  // slot encoding (6 shard bits, shard 63 reserved by kNilSlot) bounds K.
+  static constexpr unsigned kMaxWorkers = 32;
 
-  explicit Simulator(const Network& net) : net_(&net) {
-    for (Flight& f : flight_) {
-      f.arcs.reset(net.num_arcs());
-      f.slot.resize(net.num_arcs());
-      f.wakes.reset(net.num_nodes());
-    }
-  }
+  explicit Simulator(const Network& net, SimOptions opt = {});
 
-  // Runs the program to quiescence (or max_rounds) and returns measured cost.
+  // The execution contexts hold back-pointers into this object.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Runs the program to quiescence (or max_rounds) and returns measured
+  // cost. Identical results at every num_threads setting.
   PassResult run(Program& program, std::uint64_t max_rounds = kDefaultMaxRounds);
 
-  // ---- Callable from Program::begin / Program::on_wake ----
+  const Network& network() const { return *net_; }
+  unsigned num_workers() const { return workers_; }
+
+  // Round number of the round currently executing (1-based); 0 in begin().
+  std::uint64_t current_round() const { return round_; }
+
+ private:
+  friend class Exec;
+
+  // Everything in flight toward one round from one execution context:
+  // per-receiving-arc membership (ordered), the message payloads in send
+  // order, and the nodes to wake regardless of inbox. Double-buffered per
+  // context: code running round r fills the other generation for round
+  // r+1. The arc -> payload-index map (`slot_`) is shared per generation
+  // across all contexts: every receiving arc has at most one sender per
+  // round (CONGEST bandwidth), so writers are disjoint by arc, and the
+  // owning flight is recovered at delivery from whose bitset holds the
+  // arc -- flight memory stays O(m / 8) per extra worker, not O(4m).
+  struct Flight {
+    IndexedBitset arcs;               // in-flight receiving half-edges
+    std::vector<Inbound> msgs;        // receiver-ready payloads, send order
+    IndexedBitset wakes;              // nodes to wake regardless of inbox
+  };
+
+  void clear_flight(Flight& f);
+  std::uint64_t inflight(unsigned gen) const;
+  void process_shard(Program& program, std::uint32_t s);
+  void run_round_single(Program& program, Flight& in);
+
+  const Network* net_;
+  unsigned workers_ = 1;              // K: node shards 1..K
+  std::uint64_t parallel_grain_ = 2048;
+  std::vector<NodeId> shard_lo_;      // size K+1: shard s owns [lo[s-1], lo[s])
+  std::vector<Flight> flights_[2];    // [generation][context 0..K]
+  std::vector<std::uint32_t> slot_[2];  // arc -> msgs index (shared, see Flight)
+  std::vector<std::unique_ptr<Exec>> execs_;        // contexts 0..K
+  std::vector<std::vector<Inbound>> inbox_;         // per-shard gather buffer
+  std::unique_ptr<WorkerPool> pool_;  // only when workers_ > 1
+  unsigned cur_ = 0;  // generation being delivered this round
+  std::uint64_t round_ = 0;
+};
+
+// Execution context handed to Program callbacks: the sending surface of
+// one shard. shard() doubles as the RecordTable shard id for pushes made
+// while running on this context (0 = driver / begin-time pushes).
+class Exec {
+ public:
+  Exec(const Exec&) = delete;
+  Exec& operator=(const Exec&) = delete;
 
   // Send msg from node `from` through its local port `port`; delivered to
   // the neighbor at the start of the next round.
   void send(NodeId from, std::uint32_t port, const Msg& msg) {
     // Receiving half-edge via the network's flat peer-arc table (which
     // bounds-checks the port): two loads, no adjacency-span construction.
-    const std::uint32_t ri = net_->peer_arc(from, port);
-    Flight& out = flight_[cur_ ^ 1];
+    // A (from, port) pair maps to a unique receiving arc, so the CONGEST
+    // bandwidth check is local to this flight even under many workers: a
+    // node's sends always run on the one context owning its shard.
+    const std::uint32_t ri = sim_->net_->peer_arc(from, port);
+    Simulator::Flight& out = *out_;  // re-aimed by the round loop
     [[maybe_unused]] const bool fresh = out.arcs.insert(ri);
     CPT_EXPECTS(fresh && "one message per directed edge per round (CONGEST)");
-    out.slot[ri] = static_cast<std::uint32_t>(out.msgs.size());
+    slot_[ri] = static_cast<std::uint32_t>(out.msgs.size());
     // The receiving port is filled in at delivery (where the receiver's
     // arc base is already at hand): a single-message inbox is then a span
     // straight into this buffer, no copy.
@@ -85,32 +173,23 @@ class Simulator {
   // Ask to be woken next round even without incoming messages (used by
   // nodes draining multi-round send queues). Duplicate requests coalesce.
   void wake_next_round(NodeId v) {
-    CPT_EXPECTS(v < net_->num_nodes());
-    flight_[cur_ ^ 1].wakes.insert(v);
+    CPT_EXPECTS(v < sim_->net_->num_nodes());
+    out_->wakes.insert(v);
   }
 
-  const Network& network() const { return *net_; }
-
-  // Round number of the round currently executing (1-based); 0 in begin().
-  std::uint64_t current_round() const { return round_; }
+  const Network& network() const { return *sim_->net_; }
+  std::uint64_t current_round() const { return sim_->round_; }
+  std::uint32_t shard() const { return shard_; }
+  const Simulator& simulator() const { return *sim_; }
 
  private:
-  // Everything in flight toward one round: per-receiving-arc membership
-  // (ordered), the message payloads in send order, and the arc -> payload
-  // mapping. Double-buffered: programs running round r fill the other
-  // buffer for round r+1.
-  struct Flight {
-    IndexedBitset arcs;               // in-flight receiving half-edges
-    std::vector<Inbound> msgs;        // receiver-ready payloads, send order
-    std::vector<std::uint32_t> slot;  // arc index -> index into msgs
-    IndexedBitset wakes;              // nodes to wake regardless of inbox
-  };
+  friend class Simulator;
+  Exec(Simulator* sim, std::uint32_t shard) : sim_(sim), shard_(shard) {}
 
-  const Network* net_;
-  Flight flight_[2];
-  unsigned cur_ = 0;  // index of the flight being delivered this round
-  std::vector<Inbound> inbox_;
-  std::uint64_t round_ = 0;
+  Simulator* sim_;
+  Simulator::Flight* out_ = nullptr;   // this context's next-round flight
+  std::uint32_t* slot_ = nullptr;      // next round's shared slot map
+  std::uint32_t shard_;
 };
 
 }  // namespace cpt::congest

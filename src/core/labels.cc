@@ -8,7 +8,7 @@ namespace cpt {
 
 using congest::Inbound;
 using congest::Msg;
-using congest::Simulator;
+using congest::Exec;
 
 namespace {
 constexpr std::uint32_t kTagWord = 40;
@@ -67,45 +67,45 @@ LabelDistribute::LabelDistribute(
   end_sent_.assign(n, 0);
 }
 
-void LabelDistribute::begin(Simulator& sim) {
+void LabelDistribute::begin(Exec& ex) {
   const NodeId n = static_cast<NodeId>(label_.size());
   for (NodeId v = 0; v < n; ++v) {
     if (!tree_.in(v)) continue;
     if ((*tree_.parent_edge)[v] != kNoEdge) continue;  // not a root
     got_end_[v] = 1;  // root's own label is empty and final
-    if (!(*tree_.children)[v].empty()) sim.wake_next_round(v);
+    if (!(*tree_.children)[v].empty()) ex.wake_next_round(v);
   }
 }
 
-void LabelDistribute::step(Simulator& sim, NodeId v) {
+void LabelDistribute::step(Exec& ex, NodeId v) {
   const auto& kids = (*tree_.children)[v];
   if (kids.empty()) return;
   if (forward_idx_[v] < label_[v].size()) {
     const std::int64_t word = label_[v][forward_idx_[v]++];
     for (const EdgeId ce : kids) {
-      sim.send(v, sim.network().port_of_edge(v, ce), Msg::make(kTagWord, word));
+      ex.send(v, ex.network().port_of_edge(v, ce), Msg::make(kTagWord, word));
     }
-    sim.wake_next_round(v);
+    ex.wake_next_round(v);
     return;
   }
   if (got_end_[v] && !tail_sent_[v]) {
     for (std::size_t i = 0; i < kids.size(); ++i) {
-      sim.send(v, sim.network().port_of_edge(v, kids[i]),
+      ex.send(v, ex.network().port_of_edge(v, kids[i]),
                Msg::make(kTagWord, (*child_labels_)[v][i]));
     }
     tail_sent_[v] = 1;
-    sim.wake_next_round(v);
+    ex.wake_next_round(v);
     return;
   }
   if (got_end_[v] && tail_sent_[v] && !end_sent_[v]) {
     for (const EdgeId ce : kids) {
-      sim.send(v, sim.network().port_of_edge(v, ce), Msg::make(kTagEnd));
+      ex.send(v, ex.network().port_of_edge(v, ce), Msg::make(kTagEnd));
     }
     end_sent_[v] = 1;
   }
 }
 
-void LabelDistribute::on_wake(Simulator& sim, NodeId v,
+void LabelDistribute::on_wake(Exec& ex, NodeId v,
                               std::span<const Inbound> inbox) {
   for (const Inbound& in : inbox) {
     if (in.msg.tag == kTagWord) {
@@ -114,7 +114,7 @@ void LabelDistribute::on_wake(Simulator& sim, NodeId v,
       got_end_[v] = 1;
     }
   }
-  step(sim, v);
+  step(ex, v);
 }
 
 std::uint32_t LabelDistribute::max_label_len() const {
@@ -135,32 +135,32 @@ EdgeLabelStream::EdgeLabelStream(
   done_.resize(n);
 }
 
-void EdgeLabelStream::begin(Simulator& sim) {
+void EdgeLabelStream::begin(Exec& ex) {
   const NodeId n = static_cast<NodeId>(cursor_.size());
   for (NodeId v = 0; v < n; ++v) {
-    if (!(*send_ports_)[v].empty()) step(sim, v);
+    if (!(*send_ports_)[v].empty()) step(ex, v);
   }
 }
 
-void EdgeLabelStream::step(Simulator& sim, NodeId v) {
+void EdgeLabelStream::step(Exec& ex, NodeId v) {
   const auto& ports = (*send_ports_)[v];
   if (ports.empty() || end_sent_[v]) return;
   const Label& label = (*labels_)[v];
   if (cursor_[v] < label.size()) {
     const std::int64_t word = label[cursor_[v]++];
     for (const std::uint32_t p : ports) {
-      sim.send(v, p, Msg::make(kTagWord, word));
+      ex.send(v, p, Msg::make(kTagWord, word));
     }
-    sim.wake_next_round(v);
+    ex.wake_next_round(v);
   } else {
     for (const std::uint32_t p : ports) {
-      sim.send(v, p, Msg::make(kTagEnd));
+      ex.send(v, p, Msg::make(kTagEnd));
     }
     end_sent_[v] = 1;
   }
 }
 
-void EdgeLabelStream::on_wake(Simulator& sim, NodeId v,
+void EdgeLabelStream::on_wake(Exec& ex, NodeId v,
                               std::span<const Inbound> inbox) {
   for (const Inbound& in : inbox) {
     if (in.msg.tag == kTagWord) {
@@ -182,7 +182,7 @@ void EdgeLabelStream::on_wake(Simulator& sim, NodeId v,
       }
     }
   }
-  step(sim, v);
+  step(ex, v);
 }
 
 // ------------------------------------------------------------ UpStreamWords
@@ -235,16 +235,16 @@ void UpStreamWords::transfer(NodeId v) {
   }
 }
 
-void UpStreamWords::pump(Simulator& sim, NodeId v) {
+void UpStreamWords::pump(Exec& ex, NodeId v) {
   if (cursor_[v] >= out_q_[v].size()) return;
   const EdgeId pe = (*tree_.parent_edge)[v];
   CPT_ASSERT(pe != kNoEdge);
-  sim.send(v, sim.network().port_of_edge(v, pe),
+  ex.send(v, ex.network().port_of_edge(v, pe),
            Msg::make(kTagWord, out_q_[v][cursor_[v]++]));
-  if (cursor_[v] < out_q_[v].size()) sim.wake_next_round(v);
+  if (cursor_[v] < out_q_[v].size()) ex.wake_next_round(v);
 }
 
-void UpStreamWords::begin(Simulator& sim) {
+void UpStreamWords::begin(Exec& ex) {
   const NodeId n = static_cast<NodeId>(out_q_.size());
   for (NodeId v = 0; v < n; ++v) {
     if (!tree_.in(v)) continue;
@@ -261,12 +261,12 @@ void UpStreamWords::begin(Simulator& sim) {
       }
       sources_[v].push_back(std::move(local));
       transfer(v);
-      pump(sim, v);
+      pump(ex, v);
     }
   }
 }
 
-void UpStreamWords::on_wake(Simulator& sim, NodeId v,
+void UpStreamWords::on_wake(Exec& ex, NodeId v,
                             std::span<const Inbound> inbox) {
   const bool is_root = (*tree_.parent_edge)[v] == kNoEdge;
   for (const Inbound& in : inbox) {
@@ -303,7 +303,7 @@ void UpStreamWords::on_wake(Simulator& sim, NodeId v,
   }
   if (!is_root) {
     transfer(v);
-    pump(sim, v);
+    pump(ex, v);
   }
 }
 

@@ -42,15 +42,15 @@ class LabelDistribute : public congest::Program {
   LabelDistribute(congest::TreeView tree,
                   const std::vector<std::vector<std::uint32_t>>& child_labels);
 
-  void begin(congest::Simulator& sim) override;
-  void on_wake(congest::Simulator& sim, NodeId v,
+  void begin(congest::Exec& ex) override;
+  void on_wake(congest::Exec& ex, NodeId v,
                std::span<const congest::Inbound> inbox) override;
 
   const Label& label(NodeId v) const { return label_[v]; }
   std::uint32_t max_label_len() const;
 
  private:
-  void step(congest::Simulator& sim, NodeId v);
+  void step(congest::Exec& ex, NodeId v);
 
   congest::TreeView tree_;
   const std::vector<std::vector<std::uint32_t>>* child_labels_;
@@ -67,8 +67,8 @@ class EdgeLabelStream : public congest::Program {
   EdgeLabelStream(NodeId n, const std::vector<Label>& labels,
                   const std::vector<std::vector<std::uint32_t>>& send_ports);
 
-  void begin(congest::Simulator& sim) override;
-  void on_wake(congest::Simulator& sim, NodeId v,
+  void begin(congest::Exec& ex) override;
+  void on_wake(congest::Exec& ex, NodeId v,
                std::span<const congest::Inbound> inbox) override;
 
   // Completed incoming labels per node as (port, label) pairs.
@@ -78,7 +78,7 @@ class EdgeLabelStream : public congest::Program {
   }
 
  private:
-  void step(congest::Simulator& sim, NodeId v);
+  void step(congest::Exec& ex, NodeId v);
 
   const std::vector<Label>* labels_;
   const std::vector<std::vector<std::uint32_t>>* send_ports_;
@@ -101,8 +101,8 @@ class UpStreamWords : public congest::Program {
   // Caller fills frames to inject at each node before running.
   std::vector<std::vector<std::vector<std::int64_t>>> initial;
 
-  void begin(congest::Simulator& sim) override;
-  void on_wake(congest::Simulator& sim, NodeId v,
+  void begin(congest::Exec& ex) override;
+  void on_wake(congest::Exec& ex, NodeId v,
                std::span<const congest::Inbound> inbox) override;
 
   const std::vector<std::vector<std::int64_t>>& frames_at_root(NodeId r) const {
@@ -114,7 +114,7 @@ class UpStreamWords : public congest::Program {
   static constexpr std::uint32_t kLocalSource = static_cast<std::uint32_t>(-2);
 
   void transfer(NodeId v);  // move buffered words to the out queue
-  void pump(congest::Simulator& sim, NodeId v);
+  void pump(congest::Exec& ex, NodeId v);
 
   // One input stream per source: each child port plus the node's own
   // injected frames (port == kLocalSource).

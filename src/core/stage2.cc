@@ -108,7 +108,7 @@ Stage2Result run_stage2(congest::Simulator& sim, const Graph& g,
                                         bfs.level[v])});
           }
         },
-        [&](NodeId v, std::span<const Inbound> inbox) {
+        [&](congest::Exec&, NodeId v, std::span<const Inbound> inbox) {
           for (const Inbound& in : inbox) {
             if (in.msg.tag != kTagInfo) continue;
             if (static_cast<NodeId>(in.msg.w[0]) != pf.root[v]) continue;

@@ -8,7 +8,9 @@ namespace cpt {
 TesterResult test_planarity(const Graph& g, const TesterOptions& opt) {
   TesterResult result;
   congest::Network net(g);
-  congest::Simulator sim(net);
+  congest::SimOptions sim_opt;
+  sim_opt.num_threads = opt.num_threads;
+  congest::Simulator sim(net, sim_opt);
 
   Stage1Options s1 = opt.stage1;
   s1.epsilon = opt.epsilon;

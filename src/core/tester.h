@@ -20,6 +20,9 @@ namespace cpt {
 struct TesterOptions {
   double epsilon = 0.1;
   std::uint64_t seed = 1;
+  // Simulator workers for round execution (0 = CPT_TEST_THREADS env or 1).
+  // Any value produces bit-identical verdicts, ledgers and partitions.
+  unsigned num_threads = 0;
   Stage1Options stage1;   // epsilon is overwritten from the field above
   Stage2Options stage2;   // epsilon/seed are overwritten from above
 };

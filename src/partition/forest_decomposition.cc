@@ -62,9 +62,12 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
   auto& local_rec = sc.local_rec;
   local_rec.reset(n);
   auto& participates = sc.participates;
-  participates.assign(n, 0);
+  participates.assign(n, 1);  // everyone starts active
   auto& announcing = sc.announcing;
-  TreeView tree{&pf.parent_edge, &pf.children, &participates};
+  auto& participants = sc.participants;
+  auto& inactivating = sc.inactivating;
+  TreeView tree{&pf.parent_edge, &pf.children, &participates, nullptr,
+                &participants};
   ConvergeRecords& conv = sc.conv;
   BroadcastRecords& bc = sc.bc;
   // The part forest is fixed for the whole peeling: one port sweep serves
@@ -87,10 +90,16 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
     ++result.emulated_super_rounds;
 
     // ---- Pass A: 'Active' announcements (one round). ----
+    // Announcers are exactly the members of still-active parts (pass C
+    // already cleared `announces` for inactivated members); building the
+    // sender list from the part member lists costs O(parts + announcers),
+    // not O(n).
     local_rec.reset(n);
     announcing.clear();
-    for (NodeId v = 0; v < n; ++v) {
-      if (announces[v]) announcing.push_back(v);
+    for (const NodeId r : pf.live_roots()) {
+      if (!active[r]) continue;
+      const auto& mem = pf.members[r];
+      announcing.insert(announcing.end(), mem.begin(), mem.end());
     }
     Exchange exchange(
         n,
@@ -102,12 +111,12 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
                               static_cast<std::int64_t>(pf.root[v]))});
           }
         },
-        [&](NodeId v, std::span<const Inbound> inbox) {
+        [&](congest::Exec& ex, NodeId v, std::span<const Inbound> inbox) {
           for (const Inbound& in : inbox) {
             if (in.msg.tag != kTagActive) continue;
             const NodeId r = static_cast<NodeId>(in.msg.w[0]);
             result.neighbor_root[v][in.port] = r;
-            if (r != pf.root[v]) local_rec.push(v, {r, 1});
+            if (r != pf.root[v]) local_rec.push(v, {r, 1}, ex.shard());
           }
         },
         &announcing);
@@ -116,9 +125,15 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
                     ra.messages);
 
     // ---- Pass B: convergecast of distinct active foreign roots. ----
-    for (NodeId v = 0; v < n; ++v) {
-      const NodeId r = pf.root[v];
-      participates[v] = (active[r] || learning[r]) ? 1 : 0;
+    // Participants: members of parts still active or learning. The
+    // `participates` bits are maintained incrementally (parts only ever
+    // leave, one super-round after inactivating -- see the decisions loop),
+    // so refreshing mask + member list is O(parts + participants).
+    participants.clear();
+    for (const NodeId r : pf.live_roots()) {
+      if (!(active[r] || learning[r])) continue;
+      const auto& mem = pf.members[r];
+      participants.insert(participants.end(), mem.begin(), mem.end());
     }
     conv.reset(tree, Combine::kSum, cap, &sc.tree_ports, opt.pipelined);
     for (const NodeId v : local_rec.touched_rows()) {
@@ -135,8 +150,11 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
       if (learning[r]) {
         // One super-round after inactivation: neighbors still announcing
         // now are the ones that stayed active; the rest of the
-        // at-inactivation list inactivated simultaneously.
+        // at-inactivation list inactivated simultaneously. The part is
+        // done -- its members leave the participant set (the mask was
+        // already read by this super-round's passes).
         learning[r] = 0;
+        for (const NodeId v : pf.members[r]) participates[v] = 0;
         const auto now = conv.at_root(r);
         CPT_ASSERT(!conv.overflowed(r));
         for (const Record& rec : rec_at_inact[r]) {
@@ -160,8 +178,13 @@ void run_forest_decomposition(congest::Simulator& sim, const Graph& g,
 
     // ---- Pass C: notify members of parts that just became inactive. ----
     if (!newly_inactive.empty()) {
+      inactivating.clear();
+      for (const NodeId r : newly_inactive) {
+        const auto& mem = pf.members[r];
+        inactivating.insert(inactivating.end(), mem.begin(), mem.end());
+      }
       bc.reset(TreeView{&pf.parent_edge, &pf.children, nullptr,
-                        &newly_inactive},
+                        &newly_inactive, &inactivating},
                &sc.tree_ports, opt.pipelined);
       for (const NodeId r : newly_inactive) {
         bc.stream[r] = {{0, 0}};

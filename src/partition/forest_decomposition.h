@@ -59,6 +59,9 @@ struct PeelScratch {
   congest::RecordTable rec_at_inact;
   std::vector<std::uint8_t> active, learning, announces, participates;
   std::vector<NodeId> announcing;
+  // Participant lists (TreeView::members): nodes of parts still in the
+  // peeling (pass B) and of parts inactivating this super-round (pass C).
+  std::vector<NodeId> participants, inactivating;
 };
 
 // Overwrites `result` completely (capacity is reused across calls).

@@ -77,6 +77,11 @@ struct MergeCtx {
   // pass (every started sender drains its row), so only started senders
   // are touched per pass.
   std::vector<std::uint32_t>& hop_cursor;
+  // Participant-list scratch (see stream_members / mask_members).
+  std::vector<NodeId>& bc_members;
+  std::vector<NodeId>& sel_members;
+  std::vector<NodeId>& serve_members;
+  std::vector<NodeId>& stream_roots;
 
   MergeCtx(congest::Simulator& sim_, const Graph& g_, PartForest& pf_,
            const std::vector<std::vector<NodeId>>& nr, Selection& sel_,
@@ -112,7 +117,11 @@ struct MergeCtx {
         values_b(scratch.values_b),
         out_a(scratch.out_a),
         out_b(scratch.out_b),
-        hop_cursor(scratch.hop_cursor) {
+        hop_cursor(scratch.hop_cursor),
+        bc_members(scratch.bc_members),
+        sel_members(scratch.sel_members),
+        serve_members(scratch.serve_members),
+        stream_roots(scratch.stream_roots) {
     if (all_mask.size() != n) all_mask.assign(n, 1);
     if (hop_cursor.size() != n) hop_cursor.assign(n, kNilSlot);
     tree_ports.build(sim.network(), pf.parent_edge, pf.children);
@@ -127,8 +136,39 @@ struct MergeCtx {
 
   bool has_sel(NodeId r) const { return sel.target[r] != kNoNode; }
 
-  TreeView tree(const std::vector<std::uint8_t>* mask) const {
-    return TreeView{&pf.parent_edge, &pf.children, mask, &pf.live_roots()};
+  TreeView tree(const std::vector<std::uint8_t>* mask,
+                const std::vector<NodeId>* members = nullptr) const {
+    return TreeView{&pf.parent_edge, &pf.children, mask, &pf.live_roots(),
+                    members};
+  }
+
+  // Participant list for a broadcast whose streams are the non-empty rows
+  // of `values`: every node of every streaming part (broadcast messages
+  // never leave the part tree). Rebuilds the shared scratch -- the
+  // returned pointer is only read by the next reset()/begin(), so one
+  // scratch serves every pass in the step.
+  const std::vector<NodeId>* stream_members(const RecordTable& values) {
+    bc_members.clear();
+    for (const NodeId r : values.touched_rows()) {
+      if (values[r].empty()) continue;
+      const auto& mem = pf.members[r];
+      bc_members.insert(bc_members.end(), mem.begin(), mem.end());
+    }
+    return &bc_members;
+  }
+
+  // Participant list matching a root mask: members of every part whose
+  // root passes `pred`. O(participants); fills `out` and returns it.
+  template <typename Pred>
+  const std::vector<NodeId>* mask_members(std::vector<NodeId>& out,
+                                          Pred pred) const {
+    out.clear();
+    for (const NodeId r : roots()) {
+      if (!pred(r)) continue;
+      const auto& mem = pf.members[r];
+      out.insert(out.end(), mem.begin(), mem.end());
+    }
+    return &out;
   }
 
   void relay_down(const RecordTable& values, bool marked_only,
@@ -155,31 +195,31 @@ class RelayHop : public congest::Program {
         source_(source),
         sink_(sink) {}
 
-  void begin(congest::Simulator& sim) override {
+  void begin(congest::Exec& ex) override {
     const auto& senders =
         dir_ == Dir::kDown ? ctx_.serving_nodes : ctx_.charge_nodes;
     for (const NodeId v : senders) {
       if (dir_ == Dir::kDown && serve_set(v).empty()) continue;
       ctx_.hop_cursor[v] = source_.head_slot(v);
-      pump(sim, v);
+      pump(ex, v);
     }
   }
 
-  void on_wake(congest::Simulator& sim, NodeId v,
+  void on_wake(congest::Exec& ex, NodeId v,
                std::span<const Inbound> inbox) override {
     for (const Inbound& in : inbox) {
       if (in.msg.tag != kTagSignal) continue;
       const Record rec{static_cast<std::uint64_t>(in.msg.w[0]), in.msg.w[1]};
       if (dir_ == Dir::kDown) {
-        if (in.port == ctx_.charge_port[v]) sink_.push(v, rec);
+        if (in.port == ctx_.charge_port[v]) sink_.push(v, rec, ex.shard());
       } else {
         const auto& ports = serve_set(v);
         if (std::find(ports.begin(), ports.end(), in.port) != ports.end()) {
-          sink_.push(v, rec);
+          sink_.push(v, rec, ex.shard());
         }
       }
     }
-    pump(sim, v);
+    pump(ex, v);
   }
 
  private:
@@ -187,20 +227,20 @@ class RelayHop : public congest::Program {
     return marked_only_ ? ctx_.marked_serve_ports[v] : ctx_.serve_ports[v];
   }
 
-  void pump(congest::Simulator& sim, NodeId v) {
+  void pump(congest::Exec& ex, NodeId v) {
     const std::uint32_t slot = ctx_.hop_cursor[v];
     if (slot == kNilSlot) return;
     const Record& rec = source_.at_slot(slot);
     const Msg msg = Msg::make(kTagSignal, static_cast<std::int64_t>(rec.key),
                               rec.value);
     if (dir_ == Dir::kDown) {
-      for (const std::uint32_t p : serve_set(v)) sim.send(v, p, msg);
+      for (const std::uint32_t p : serve_set(v)) ex.send(v, p, msg);
     } else {
-      sim.send(v, ctx_.charge_port[v], msg);
+      ex.send(v, ctx_.charge_port[v], msg);
     }
     const std::uint32_t next = source_.next_slot(slot);
     ctx_.hop_cursor[v] = next;
-    if (next != kNilSlot) sim.wake_next_round(v);
+    if (next != kNilSlot) ex.wake_next_round(v);
   }
 
   MergeCtx& ctx_;
@@ -221,7 +261,7 @@ class RelayHop : public congest::Program {
 void MergeCtx::relay_down(const RecordTable& values, bool marked_only,
                           const char* passname, RecordTable& out) {
   out.reset(n);
-  bc_pool.reset(tree(nullptr), &tree_ports, pipelined);
+  bc_pool.reset(tree(nullptr, stream_members(values)), &tree_ports, pipelined);
   BroadcastRecords& bc = bc_pool;
   bool any = false;
   for (const NodeId r : values.touched_rows()) {
@@ -244,7 +284,8 @@ void MergeCtx::relay_down(const RecordTable& values, bool marked_only,
   auto re = sim.run(hop);
   ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
   // Converge up the receiving (selection-holding) parts.
-  conv_pool.reset(tree(&sel_mask), Combine::kSum, 0, &tree_ports, pipelined);
+  conv_pool.reset(tree(&sel_mask, &sel_members), Combine::kSum, 0, &tree_ports,
+                  pipelined);
   ConvergeRecords& conv = conv_pool;
   for (const NodeId v : at_charge.touched_rows()) {
     if (sel_mask[v] && !at_charge[v].empty()) conv.initial[v] = at_charge[v];
@@ -265,17 +306,24 @@ void MergeCtx::relay_up(const RecordTable& values, bool marked_only,
                         const std::vector<std::uint8_t>* senders,
                         const char* passname, RecordTable& out) {
   out.reset(n);
-  bc_pool.reset(tree(nullptr), &tree_ports, pipelined);
-  BroadcastRecords& bc = bc_pool;
-  bool any = false;
+  // Streaming parts: selection-holding rows of `values` passing the
+  // sender/marked filters. The filter runs once; the collected roots feed
+  // both the participant list and (after the reset) the streams, so the
+  // two can never disagree.
+  stream_roots.clear();
+  bc_members.clear();
   for (const NodeId r : values.touched_rows()) {
     if (!has_sel(r) || values[r].empty()) continue;
     if (senders != nullptr && !(*senders)[r]) continue;
     if (marked_only && !out_marked[r]) continue;
-    bc.stream[r] = values[r];
-    any = true;
+    stream_roots.push_back(r);
+    const auto& mem = pf.members[r];
+    bc_members.insert(bc_members.end(), mem.begin(), mem.end());
   }
-  if (!any) return;
+  bc_pool.reset(tree(nullptr, &bc_members), &tree_ports, pipelined);
+  BroadcastRecords& bc = bc_pool;
+  for (const NodeId r : stream_roots) bc.stream[r] = values[r];
+  if (stream_roots.empty()) return;
   auto rb = sim.run(bc);
   ledger.add_pass(std::string(passname) + "/bcast", rb.rounds, rb.messages);
   for (const NodeId r : bc.stream.touched_rows()) {
@@ -285,7 +333,8 @@ void MergeCtx::relay_up(const RecordTable& values, bool marked_only,
   RelayHop hop(*this, RelayHop::Dir::kUp, marked_only, bc.received, at_serve);
   auto re = sim.run(hop);
   ledger.add_pass(std::string(passname) + "/hop", re.rounds, re.messages);
-  conv_pool.reset(tree(&serve_mask), Combine::kSum, 0, &tree_ports, pipelined);
+  conv_pool.reset(tree(&serve_mask, &serve_members), Combine::kSum, 0,
+                  &tree_ports, pipelined);
   ConvergeRecords& conv = conv_pool;
   for (const NodeId v : at_serve.touched_rows()) {
     if (serve_mask[v] && !at_serve[v].empty()) conv.initial[v] = at_serve[v];
@@ -312,15 +361,23 @@ void find_designated_edges(MergeCtx& ctx) {
   for (NodeId v = 0; v < n; ++v) {
     ctx.sel_mask[v] = ctx.has_sel(ctx.pf.root[v]) ? 1 : 0;
   }
+  ctx.mask_members(ctx.sel_members, [&](NodeId r) { return ctx.has_sel(r); });
 
   // SEEK passes for parts without a known physical edge.
+  const auto seeks = [&](NodeId r) {
+    return ctx.has_sel(r) && ctx.sel.charge_node[r] == kNoNode;
+  };
   bool any_seek = false;
-  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports, ctx.pipelined);
+  for (const NodeId r : ctx.roots()) {
+    if (seeks(r)) any_seek = true;
+  }
+  ctx.mask_members(ctx.bc_members, seeks);
+  ctx.bc_pool.reset(ctx.tree(nullptr, &ctx.bc_members), &ctx.tree_ports,
+                    ctx.pipelined);
   BroadcastRecords& bc = ctx.bc_pool;
   for (const NodeId r : ctx.roots()) {
-    if (ctx.has_sel(r) && ctx.sel.charge_node[r] == kNoNode) {
+    if (seeks(r)) {
       bc.stream[r] = {{0, static_cast<std::int64_t>(ctx.sel.target[r])}};
-      any_seek = true;
     }
   }
   if (any_seek) {
@@ -330,8 +387,8 @@ void find_designated_edges(MergeCtx& ctx) {
       if (!bc.stream[r].empty()) bc.received[r] = bc.stream[r];
     }
     // Boundary nodes with an edge to the target nominate themselves (min id).
-    ctx.conv_pool.reset(ctx.tree(&ctx.sel_mask), Combine::kMin, 0,
-                        &ctx.tree_ports, ctx.pipelined);
+    ctx.conv_pool.reset(ctx.tree(&ctx.sel_mask, &ctx.sel_members),
+                        Combine::kMin, 0, &ctx.tree_ports, ctx.pipelined);
     ConvergeRecords& conv = ctx.conv_pool;
     for (NodeId v = 0; v < n; ++v) {
       if (!ctx.sel_mask[v] || bc.received[v].empty()) continue;
@@ -346,8 +403,10 @@ void find_designated_edges(MergeCtx& ctx) {
     auto rc = ctx.sim.run(conv);
     ctx.ledger.add_pass("stage1/seek/conv", rc.rounds, rc.messages);
     // Notify the chosen in-charge node down the tree. (Second pool:
-    // bc.stream is still being read below.)
-    ctx.bc_pool2.reset(ctx.tree(nullptr), &ctx.tree_ports, ctx.pipelined);
+    // bc.stream is still being read below. bc_members still holds the
+    // seek parts' members -- the same parts stream here.)
+    ctx.bc_pool2.reset(ctx.tree(nullptr, &ctx.bc_members), &ctx.tree_ports,
+                       ctx.pipelined);
     BroadcastRecords& bc2 = ctx.bc_pool2;
     for (const NodeId r : ctx.roots()) {
       if (bc.stream[r].empty()) continue;
@@ -393,7 +452,7 @@ void find_designated_edges(MergeCtx& ctx) {
           out.push_back({ctx.charge_port[v], Msg::make(kTagSignal, 1)});
         }
       },
-      [&](NodeId v, std::span<const Inbound> inbox) {
+      [&](congest::Exec&, NodeId v, std::span<const Inbound> inbox) {
         for (const Inbound& in : inbox) {
           if (in.msg.tag == kTagSignal) ctx.serve_ports[v].push_back(in.port);
         }
@@ -417,13 +476,16 @@ void find_designated_edges(MergeCtx& ctx) {
   }
   auto rc = ctx.sim.run(conv);
   ctx.ledger.add_pass("stage1/seek/servemask-conv", rc.rounds, rc.messages);
-  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports, ctx.pipelined);
+  for (const NodeId r : ctx.roots()) {
+    if (!conv.at_root(r).empty()) ctx.serve_mask[r] = 1;
+  }
+  ctx.mask_members(ctx.serve_members,
+                   [&](NodeId r) { return ctx.serve_mask[r] != 0; });
+  ctx.bc_pool.reset(ctx.tree(nullptr, &ctx.serve_members), &ctx.tree_ports,
+                    ctx.pipelined);
   BroadcastRecords& bc3 = ctx.bc_pool;
   for (const NodeId r : ctx.roots()) {
-    if (!conv.at_root(r).empty()) {
-      bc3.stream[r] = {{0, 1}};
-      ctx.serve_mask[r] = 1;
-    }
+    if (ctx.serve_mask[r]) bc3.stream[r] = {{0, 1}};
   }
   auto rb3 = ctx.sim.run(bc3);
   ctx.ledger.add_pass("stage1/seek/servemask-bcast", rb3.rounds, rb3.messages);
@@ -589,7 +651,10 @@ void mark_edges(MergeCtx& ctx) {
   // In-charge nodes of marked out-edges notify the serving endpoint, so the
   // T_i relays know which designated edges are marked (one round). The part
   // root tells its in-charge node via one broadcast first.
-  ctx.bc_pool.reset(ctx.tree(nullptr), &ctx.tree_ports, ctx.pipelined);
+  ctx.mask_members(ctx.bc_members,
+                   [&](NodeId r) { return ctx.out_marked[r] != 0; });
+  ctx.bc_pool.reset(ctx.tree(nullptr, &ctx.bc_members), &ctx.tree_ports,
+                    ctx.pipelined);
   BroadcastRecords& bc = ctx.bc_pool;
   for (const NodeId r : ctx.roots()) {
     if (ctx.out_marked[r]) bc.stream[r] = {{0, 1}};
@@ -607,7 +672,7 @@ void mark_edges(MergeCtx& ctx) {
           out.push_back({ctx.charge_port[v], Msg::make(kTagSignal, 1)});
         }
       },
-      [&](NodeId v, std::span<const Inbound> inbox) {
+      [&](congest::Exec&, NodeId v, std::span<const Inbound> inbox) {
         for (const Inbound& in : inbox) {
           if (in.msg.tag == kTagSignal) {
             ctx.marked_serve_ports[v].push_back(in.port);

@@ -64,6 +64,10 @@ struct MergeScratch {
   std::vector<std::uint8_t> all_mask;
   std::vector<NodeId> charge_nodes, serving_nodes;
   std::vector<std::uint32_t> hop_cursor;  // per-node relay-hop send slot
+  // Participant lists (TreeView::members) rebuilt per pass: members of the
+  // streaming parts of a broadcast, and of the sel_mask / serve_mask parts.
+  std::vector<NodeId> bc_members, sel_members, serve_members;
+  std::vector<NodeId> stream_roots;  // roots passing a relay pass's filter
 };
 
 // Executes one merging step, mutating `pf`. `neighbor_root` is the per-node,

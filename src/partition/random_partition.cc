@@ -51,17 +51,17 @@ class UniformEdgePick : public congest::Program {
     }
   }
 
-  void begin(congest::Simulator& sim) override {
+  void begin(congest::Exec& ex) override {
     const NodeId n = static_cast<NodeId>(part_root_->size());
     for (NodeId v = 0; v < n; ++v) {
       if (!tree_.in(v)) continue;
       init_own(v);
       pending_[v] = static_cast<std::uint32_t>((*tree_.children)[v].size());
-      if (pending_[v] == 0) emit(sim, v);
+      if (pending_[v] == 0) emit(ex, v);
     }
   }
 
-  void on_wake(congest::Simulator& sim, NodeId v,
+  void on_wake(congest::Exec& ex, NodeId v,
                std::span<const Inbound> inbox) override {
     for (const Inbound& in : inbox) {
       if (in.msg.tag != kTagPick) continue;
@@ -72,7 +72,7 @@ class UniformEdgePick : public congest::Program {
       child.count = in.msg.w[1];
       merge(v, child);
       CPT_ASSERT(pending_[v] > 0);
-      if (--pending_[v] == 0) emit(sim, v);
+      if (--pending_[v] == 0) emit(ex, v);
     }
   }
 
@@ -107,7 +107,7 @@ class UniformEdgePick : public congest::Program {
     }
   }
 
-  void emit(congest::Simulator& sim, NodeId v) {
+  void emit(congest::Exec& ex, NodeId v) {
     const EdgeId pe = (*tree_.parent_edge)[v];
     if (pe == kNoEdge) return;  // root keeps the result
     const Candidate& c = state_[v];
@@ -116,7 +116,7 @@ class UniformEdgePick : public congest::Program {
             ? -1
             : static_cast<std::int64_t>((static_cast<std::uint64_t>(c.node) << 20) |
                                         c.port);
-    sim.send(v, sim.network().port_of_edge(v, pe),
+    ex.send(v, ex.network().port_of_edge(v, pe),
              Msg::make(kTagPick, packed, c.count,
                        static_cast<std::int64_t>(c.target)));
   }
@@ -194,7 +194,7 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
                 {p, Msg::make(kTagRoot, static_cast<std::int64_t>(pf.root[v]))});
           }
         },
-        [&](NodeId v, std::span<const Inbound> inbox) {
+        [&](congest::Exec&, NodeId v, std::span<const Inbound> inbox) {
           for (const Inbound& in : inbox) {
             if (in.msg.tag == kTagRoot) {
               neighbor_root[v][in.port] = static_cast<NodeId>(in.msg.w[0]);
@@ -239,6 +239,10 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
     ConvergeRecords conv(TreeView{&pf.parent_edge, &pf.children, &all},
                          Combine::kSum, 0);
     for (const NodeId v : bc.received.touched_rows()) {
+      // touched_rows may repeat a row (cleared-and-refilled rows can be
+      // listed by two shards); initial[v] is filled only here, so a
+      // non-empty row marks v as already processed.
+      if (!conv.initial[v].empty()) continue;
       for (const Record& want : bc.received[v]) {
         std::int64_t count = 0;
         for (std::uint32_t p = 0; p < g.degree(v); ++p) {

@@ -1,0 +1,70 @@
+#include "util/parallel.h"
+
+#include "util/contracts.h"
+
+namespace cpt {
+
+WorkerPool::WorkerPool(unsigned num_workers) : num_workers_(num_workers) {
+  CPT_EXPECTS(num_workers >= 1);
+  threads_.reserve(num_workers - 1);
+  for (unsigned i = 0; i + 1 < num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(void (*fn)(void*, unsigned), void* arg) {
+  if (!threads_.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = fn;
+    arg_ = arg;
+    pending_ = static_cast<unsigned>(threads_.size());
+    ++epoch_;
+    work_cv_.notify_all();
+  }
+  const auto drain = [this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  };
+  try {
+    fn(arg, num_workers_ - 1);  // the caller is the last worker
+  } catch (...) {
+    // The callable and whatever it captures must outlive the helpers:
+    // finish the dispatch before letting the exception unwind the caller.
+    if (!threads_.empty()) drain();
+    throw;
+  }
+  if (!threads_.empty()) drain();
+}
+
+void WorkerPool::worker_loop(unsigned idx) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    void (*fn)(void*, unsigned) = nullptr;
+    void* arg = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+      seen = epoch_;
+      fn = fn_;
+      arg = arg_;
+    }
+    fn(arg, idx);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace cpt

@@ -21,20 +21,30 @@
 namespace cpt::congest {
 namespace {
 
+// The exact global on_wake order within a round is a *serial* contract (a
+// parallel run interleaves shards; its guarantee -- identical per-node
+// results and pass costs -- is covered by simulator_test.cc). Pin one
+// worker regardless of CPT_TEST_THREADS.
+SimOptions serial_options() {
+  SimOptions opt;
+  opt.num_threads = 1;
+  return opt;
+}
+
 // Runs scripted per-node behavior and records every on_wake as
 // "r<round> n<node> [port:tag port:tag ...]".
 class Tracer : public Program {
  public:
-  using BeginFn = std::function<void(Simulator&)>;
+  using BeginFn = std::function<void(Exec&)>;
   using WakeFn =
-      std::function<void(Simulator&, NodeId, std::span<const Inbound>)>;
+      std::function<void(Exec&, NodeId, std::span<const Inbound>)>;
 
   Tracer(BeginFn begin, WakeFn wake)
       : begin_(std::move(begin)), wake_(std::move(wake)) {}
 
-  void begin(Simulator& sim) override { begin_(sim); }
+  void begin(Exec& sim) override { begin_(sim); }
 
-  void on_wake(Simulator& sim, NodeId v,
+  void on_wake(Exec& sim, NodeId v,
                std::span<const Inbound> inbox) override {
     std::string e = "r" + std::to_string(sim.current_round()) + " n" +
                     std::to_string(v) + " [";
@@ -59,15 +69,15 @@ class Tracer : public Program {
 TEST(SimulatorDelivery, MessageHeavyExactTrace) {
   const Graph g = gen::star(5);
   Network net(g);
-  Simulator sim(net);
+  Simulator sim(net, serial_options());
   Tracer t(
-      [](Simulator& sim) {
+      [](Exec& sim) {
         // Reverse send order: delivery must still sort the hub's inbox by
         // receiving port. Hub also messages leaf 2 in the same round.
         for (NodeId v = 4; v >= 1; --v) sim.send(v, 0, Msg::make(v));
         sim.send(0, 1, Msg::make(99));
       },
-      [](Simulator& sim, NodeId v, std::span<const Inbound> inbox) {
+      [](Exec& sim, NodeId v, std::span<const Inbound> inbox) {
         if (sim.current_round() == 1 && v == 0) {
           // Echo 10+p to every port.
           for (std::uint32_t p = 0; p < sim.network().port_count(0); ++p) {
@@ -102,13 +112,13 @@ TEST(SimulatorDelivery, MessageHeavyExactTrace) {
 TEST(SimulatorDelivery, WakeHeavyExactTrace) {
   const Graph g = gen::path(4);
   Network net(g);
-  Simulator sim(net);
+  Simulator sim(net, serial_options());
   Tracer t(
-      [](Simulator& sim) {
+      [](Exec& sim) {
         for (NodeId v = 0; v < 4; ++v) sim.wake_next_round(v);
         sim.wake_next_round(1);  // duplicate: must coalesce
       },
-      [](Simulator& sim, NodeId v, std::span<const Inbound> inbox) {
+      [](Exec& sim, NodeId v, std::span<const Inbound> inbox) {
         const auto round = sim.current_round();
         if (round == 1 && v == 0) sim.send(0, 0, Msg::make(5));
         if (round == 1 && v == 2) sim.wake_next_round(2);
@@ -137,9 +147,9 @@ TEST(SimulatorDelivery, WakeHeavyExactTrace) {
 TEST(SimulatorDeliveryDeathTest, MidRunBandwidthViolationAborts) {
   const Graph g = gen::path(3);
   Network net(g);
-  Simulator sim(net);
-  Tracer t([](Simulator& sim) { sim.send(0, 0, Msg::make(1)); },
-           [](Simulator& sim, NodeId v, std::span<const Inbound>) {
+  Simulator sim(net, serial_options());
+  Tracer t([](Exec& sim) { sim.send(0, 0, Msg::make(1)); },
+           [](Exec& sim, NodeId v, std::span<const Inbound>) {
              if (sim.current_round() == 1 && v == 1) {
                sim.send(1, 1, Msg::make(2));
                sim.send(1, 1, Msg::make(3));  // second send, same directed edge
@@ -156,11 +166,11 @@ TEST(SimulatorDelivery, HugeDegreeHubDeliversOnCorrectPort) {
   constexpr NodeId kHubDegree = (1u << 20) + 1;  // > 2^20 ports
   const Graph g = gen::star(kHubDegree + 1);     // hub 0 + kHubDegree leaves
   Network net(g);
-  Simulator sim(net);
+  Simulator sim(net, serial_options());
   const NodeId high_leaf = kHubDegree;  // behind hub port 2^20
   Tracer t(
-      [&](Simulator& sim) { sim.send(high_leaf, 0, Msg::make(42)); },
-      [&](Simulator& sim, NodeId v, std::span<const Inbound> inbox) {
+      [&](Exec& sim) { sim.send(high_leaf, 0, Msg::make(42)); },
+      [&](Exec& sim, NodeId v, std::span<const Inbound> inbox) {
         if (v == 0) {
           ASSERT_EQ(inbox.size(), 1u);
           sim.send(0, inbox.front().port, Msg::make(43));
@@ -180,9 +190,9 @@ TEST(SimulatorDelivery, HugeDegreeHubDeliversOnCorrectPort) {
 TEST(SimulatorDelivery, TruncatedRunLeavesNoResidue) {
   const Graph g = gen::cycle(6);
   Network net(g);
-  Simulator sim(net);
-  Tracer forever([](Simulator& sim) { sim.send(0, 0, Msg::make(1)); },
-                 [](Simulator& sim, NodeId v, std::span<const Inbound> inbox) {
+  Simulator sim(net, serial_options());
+  Tracer forever([](Exec& sim) { sim.send(0, 0, Msg::make(1)); },
+                 [](Exec& sim, NodeId v, std::span<const Inbound> inbox) {
                    for (const Inbound& in : inbox) {
                      sim.send(v, 1 - in.port, in.msg);  // pass it around
                    }
@@ -192,7 +202,7 @@ TEST(SimulatorDelivery, TruncatedRunLeavesNoResidue) {
   EXPECT_FALSE(r1.quiesced);
   EXPECT_EQ(r1.rounds, 4u);
 
-  Tracer quiet([](Simulator& sim) { sim.wake_next_round(3); }, nullptr);
+  Tracer quiet([](Exec& sim) { sim.wake_next_round(3); }, nullptr);
   const PassResult r2 = sim.run(quiet);
   EXPECT_TRUE(r2.quiesced);
   EXPECT_EQ(r2.rounds, 1u);

@@ -35,9 +35,15 @@ struct RunOutput {
   congest::RoundLedger ledger;
 };
 
-RunOutput run_stage1_mode(const Graph& g, double epsilon, bool pipelined) {
+RunOutput run_stage1_mode(const Graph& g, double epsilon, bool pipelined,
+                          unsigned num_threads = 1) {
   congest::Network net(g);
-  congest::Simulator sim(net);
+  congest::SimOptions sopt;
+  sopt.num_threads = num_threads;
+  // Force pool dispatch for every nontrivial round so the sweep exercises
+  // the parallel executor even on the small golden graphs.
+  if (num_threads > 1) sopt.parallel_grain = 1;
+  congest::Simulator sim(net, sopt);
   RunOutput out;
   Stage1Options opt;
   opt.epsilon = epsilon;
@@ -199,6 +205,33 @@ TEST(Stage1Differential, GoldenLedgersMatch) {
   if (print) {
     std::printf("constexpr Golden kGoldens[] = {\n%s};\n", regen.c_str());
     GTEST_SKIP() << "golden print mode";
+  }
+}
+
+// The tentpole guarantee of the parallel executor: Stage I under 2, 4 and
+// 8 workers is bit-identical to the single-thread run -- same golden
+// fingerprint (forest + per-phase trajectory), same total rounds and
+// messages, for every golden case including the eps-far ones.
+TEST(Stage1Differential, ThreadSweepIsBitIdentical) {
+  for (Case& c : golden_cases()) {
+    SCOPED_TRACE(c.name);
+    const RunOutput ref = run_stage1_mode(c.graph, c.epsilon, true, 1);
+    const std::uint64_t ref_fp = fingerprint(ref);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE(threads);
+      const RunOutput out = run_stage1_mode(c.graph, c.epsilon, true, threads);
+      EXPECT_EQ(fingerprint(out), ref_fp);
+      EXPECT_EQ(out.ledger.total_rounds(), ref.ledger.total_rounds());
+      EXPECT_EQ(out.ledger.total_messages(), ref.ledger.total_messages());
+      EXPECT_EQ(out.result.forest.root, ref.result.forest.root);
+      EXPECT_EQ(out.result.forest.parent_edge, ref.result.forest.parent_edge);
+      EXPECT_EQ(out.result.rejected, ref.result.rejected);
+    }
+    // The unpipelined legacy schedule must be thread-count-invariant too.
+    const RunOutput base = run_stage1_mode(c.graph, c.epsilon, false, 1);
+    const RunOutput base4 = run_stage1_mode(c.graph, c.epsilon, false, 4);
+    EXPECT_EQ(fingerprint(base4), fingerprint(base));
+    EXPECT_EQ(base4.ledger.total_messages(), base.ledger.total_messages());
   }
 }
 

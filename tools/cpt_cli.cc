@@ -3,14 +3,19 @@
 //   cpt_cli test <file> [eps] [seed]      planarity tester (Theorem 1)
 //   cpt_cli partition <file> [eps]        Stage I partition (Theorem 3)
 //   cpt_cli spanner <file> [eps]          spanner construction (Corollary 17)
+//
+//   --threads=N (anywhere): simulator workers for round execution.
+//   Results are bit-identical at every N; N only changes host wall time.
 //   cpt_cli witness <file>                Kuratowski witness (exact, centralized)
 //   cpt_cli gen <family> <args...>        write a generator graph to stdout
 //
 // Edge-list format: "n m" header, then one "u v" pair per line; '#' comments.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "apps/spanner.h"
 #include "congest/network.h"
@@ -28,9 +33,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  cpt_cli test <file> [eps] [seed]\n"
-               "  cpt_cli partition <file> [eps]\n"
-               "  cpt_cli spanner <file> [eps]\n"
+               "  cpt_cli [--threads=N] test <file> [eps] [seed]\n"
+               "  cpt_cli [--threads=N] partition <file> [eps]\n"
+               "  cpt_cli [--threads=N] spanner <file> [eps]\n"
                "  cpt_cli witness <file>\n"
                "  cpt_cli gen grid <rows> <cols>\n"
                "  cpt_cli gen trigrid <rows> <cols>\n"
@@ -39,11 +44,14 @@ int usage() {
   return 2;
 }
 
+unsigned g_threads = 0;  // 0 = env default (CPT_TEST_THREADS) or 1
+
 int cmd_test(const std::string& path, double eps, std::uint64_t seed) {
   const Graph g = load_edge_list_file(path);
   TesterOptions opt;
   opt.epsilon = eps;
   opt.seed = seed;
+  opt.num_threads = g_threads;
   const TesterResult r = test_planarity(g, opt);
   std::printf("n=%u m=%u eps=%.3f\n", g.num_nodes(), g.num_edges(), eps);
   std::printf("verdict: %s\n", r.verdict == Verdict::kAccept ? "ACCEPT"
@@ -62,7 +70,9 @@ int cmd_test(const std::string& path, double eps, std::uint64_t seed) {
 int cmd_partition(const std::string& path, double eps) {
   const Graph g = load_edge_list_file(path);
   congest::Network net(g);
-  congest::Simulator sim(net);
+  congest::SimOptions sim_opt;
+  sim_opt.num_threads = g_threads;
+  congest::Simulator sim(net, sim_opt);
   congest::RoundLedger ledger;
   Stage1Options opt;
   opt.epsilon = eps;
@@ -89,6 +99,7 @@ int cmd_spanner(const std::string& path, double eps) {
   MinorFreeOptions opt;
   opt.epsilon = eps;
   opt.adaptive_phases = true;
+  opt.num_threads = g_threads;
   const SpannerResult s = build_spanner(g, opt);
   std::printf("# spanner: %zu edges (%.3f x n), rounds=%llu\n", s.edges.size(),
               s.size_ratio(g),
@@ -145,6 +156,17 @@ int cmd_gen(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --threads=N wherever it appears.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   const double eps = argc >= 4 ? std::atof(argv[3]) : 0.25;
