@@ -7,46 +7,53 @@
 // schedule (stops at the eps*m/2 cut target; exposes the Theta(log n)
 // super-round signature cleanly). rounds/log2(n) should be ~flat for the
 // adaptive rows.
+//
+// Driven by the scenario engine: the sweep definition lives in
+// bench/manifests/e1.json (override with --manifest=PATH); --threads=N runs
+// the independent simulations concurrently -- measured rounds/messages are
+// engine-invariant (scenario_test.cc pins engine == direct tester calls).
 #include <cmath>
 
 #include "bench/bench_common.h"
-#include "core/tester.h"
-#include "graph/generators.h"
+#include "bench/manifest_args.h"
+#include "partition/partition.h"
+#include "scenario/engine.h"
+#include "scenario/manifest.h"
 
 using namespace cpt;
+using namespace cpt::scenario;
 
-int main() {
+int main(int argc, char** argv) {
+  Manifest manifest;
+  BatchOptions options;
+  std::string manifest_path;
+  if (const int rc = bench::parse_manifest_args(
+          argc, argv, CPT_MANIFEST_DIR "/e1.json", &manifest, &options,
+          &manifest_path)) {
+    return rc;
+  }
   bench::header("E1: rounds vs n (planar inputs)",
                 "Theorem 1: O(log n * poly(1/eps)) rounds");
-  std::printf("%-10s %-8s %-9s %-12s %-12s %-12s %-10s\n", "family", "n",
+  const BatchResult batch = run_batch(manifest, options);
+  std::printf("%-22s %-8s %-9s %-12s %-12s %-12s %-10s\n", "family", "n",
               "mode", "rounds", "rounds/lg n", "stage1-ph", "verdict");
-  Rng rng(1);
-  for (const char* family : {"trigrid", "apollonian"}) {
-    for (std::uint32_t side = 16; side <= 128; side *= 2) {
-      const NodeId n = side * side;
-      const Graph g = std::string(family) == "trigrid"
-                          ? gen::triangulated_grid(side, side)
-                          : gen::apollonian(n, rng);
-      for (const bool adaptive : {false, true}) {
-        TesterOptions opt;
-        opt.epsilon = 0.25;
-        opt.seed = 7;
-        opt.stage1.adaptive = adaptive;
-        const TesterResult r = test_planarity(g, opt);
-        std::printf("%-10s %-8u %-9s %-12llu %-12.0f %-12u %-10s\n", family,
-                    g.num_nodes(), adaptive ? "adaptive" : "strict",
-                    static_cast<unsigned long long>(r.rounds()),
-                    static_cast<double>(r.rounds()) /
-                        std::log2(static_cast<double>(g.num_nodes())),
-                    r.stage1_phases_emulated,
-                    r.verdict == Verdict::kAccept ? "accept" : "REJECT");
-      }
-    }
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    const Job& job = batch.jobs[j];
+    const JobResult& r = batch.results[j];
+    std::printf("%-22s %-8u %-9s %-12llu %-12.0f %-12u %-10s\n",
+                job.instance.family.c_str(), r.n,
+                job.adaptive ? "adaptive" : "strict",
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<double>(r.rounds) /
+                    std::log2(static_cast<double>(r.n)),
+                r.stage1_phases,
+                r.verdict == Verdict::kAccept ? "accept" : "REJECT");
   }
   std::printf(
       "\nNote: strict rows include the fast-forwarded full phase schedule\n"
       "(t = %u phases at eps = 0.25); adaptive rows stop at the cut target\n"
       "and show the log-n-dominated regime the theorem describes.\n",
       stage1_theory_phase_count(0.25, 3));
+  std::printf("(sweep definition: %s)\n", manifest_path.c_str());
   return 0;
 }

@@ -1,67 +1,61 @@
 // E3 -- Theorem 1: one-sided error. Planar inputs must be accepted always;
 // eps-far inputs rejected with probability 1 - 1/poly(n). Reports
-// accept/reject rates over seeds per family.
+// accept/reject rates over tester seeds per family.
+//
+// Driven by the scenario engine: the family matrix and trial counts live in
+// bench/manifests/e3.json (override with --manifest=PATH); --threads=N runs
+// the trials concurrently. Per-trial results are identical to direct
+// test_planarity calls on the same instance (pinned by scenario_test.cc).
 #include "bench/bench_common.h"
-#include "core/tester.h"
-#include "graph/generators.h"
-#include "graph/ops.h"
+#include "bench/manifest_args.h"
 #include "graph/properties.h"
+#include "planar/lr_planarity.h"
+#include "scenario/aggregate.h"
+#include "scenario/engine.h"
+#include "scenario/manifest.h"
 
 using namespace cpt;
+using namespace cpt::scenario;
 
-namespace {
-
-struct Row {
-  const char* family;
-  Graph graph;
-  bool planar;
-};
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+  Manifest manifest;
+  BatchOptions options;
+  std::string manifest_path;
+  if (const int rc = bench::parse_manifest_args(
+          argc, argv, CPT_MANIFEST_DIR "/e3.json", &manifest, &options,
+          &manifest_path)) {
+    return rc;
+  }
   bench::header("E3: one-sided detection",
                 "Theorem 1: planar => all accept; eps-far => reject whp");
-  Rng rng(5);
-  std::vector<Row> rows;
-  rows.push_back({"grid 32x32 (planar)", gen::grid(32, 32), true});
-  rows.push_back({"apollonian 1k (planar)", gen::apollonian(1000, rng), true});
-  rows.push_back({"rnd-planar 1k (planar)", gen::random_planar(1000, 2400, rng), true});
-  rows.push_back({"tree 2k (planar)", gen::random_tree(2000, rng), true});
-  rows.push_back({"K5 x 60 (eps>=0.1-far)", gen::disjoint_copies(gen::complete(5), 60), false});
-  rows.push_back({"K33 x 60 (1/9-far)",
-                  gen::disjoint_copies(gen::complete_bipartite(3, 3), 60), false});
-  rows.push_back({"K5-blobs (far)", gen::planar_with_k5_blobs(400, 60, rng), false});
-  rows.push_back({"G(n,12/n) n=800 (far)", gen::gnp(800, 12.0 / 800, rng), false});
-  rows.push_back({"grid+6% noise (far)",
-                  gen::planar_plus_random_edges(gen::grid(24, 24),
-                                                /*extra=*/260, rng),
-                  false});
+  const BatchResult batch = run_batch(manifest, options);
+  const std::vector<CellAggregate> cells = aggregate_cells(batch);
 
-  constexpr int kSeeds = 10;
-  std::printf("%-26s %-8s %-8s %-10s %-10s %-14s\n", "family", "n", "m",
+  std::printf("%-46s %-8s %-8s %-10s %-10s %-14s\n", "scenario", "n", "m",
               "accepts", "rejects", "dist-lb (m-3n+6)");
-  for (const Row& row : rows) {
-    int accepts = 0;
-    int rejects = 0;
-    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
-      TesterOptions opt;
-      opt.epsilon = 0.1;
-      opt.seed = seed;
-      const TesterResult r = test_planarity(row.graph, opt);
-      if (r.verdict == Verdict::kAccept) ++accepts;
-      if (r.verdict == Verdict::kReject) ++rejects;
+  std::size_t job_cursor = 0;
+  for (const CellAggregate& cell : cells) {
+    // The distance lower bound needs the concrete graph; rebuild the
+    // cell's first instance (cheap, and bit-identical by the seed
+    // contract).
+    while (job_cursor < batch.jobs.size() &&
+           batch.jobs[job_cursor].cell_key() != cell.key) {
+      ++job_cursor;
     }
-    std::printf("%-26s %-8u %-8u %-10d %-10d %-14llu\n", row.family,
-                row.graph.num_nodes(), row.graph.num_edges(), accepts, rejects,
+    const Graph g = build_instance(batch.jobs[job_cursor].instance);
+    const bool planar = is_planar(g);
+    std::printf("%-46s %-8u %-8u %-10u %-10u %-14llu\n", cell.scenario.c_str(),
+                cell.n_max, cell.m_max, cell.accepts, cell.rejects,
                 static_cast<unsigned long long>(
-                    planarity_distance_lower_bound(row.graph)));
-    if (row.planar && rejects > 0) {
+                    planarity_distance_lower_bound(g)));
+    if (planar && cell.rejects > 0) {
       std::printf("  !! ONE-SIDEDNESS VIOLATION\n");
     }
-    if (!row.planar && rejects < kSeeds) {
-      std::printf("  (missed detections: %d/%d)\n", kSeeds - rejects, kSeeds);
+    if (!planar && cell.rejects < cell.jobs) {
+      std::printf("  (missed detections: %u/%u)\n", cell.jobs - cell.rejects,
+                  cell.jobs);
     }
   }
+  std::printf("(sweep definition: %s)\n", manifest_path.c_str());
   return 0;
 }

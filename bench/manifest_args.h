@@ -1,0 +1,43 @@
+// Shared argv handling for the manifest-driven experiment binaries
+// (E1/E3/E7): the --manifest=PATH / --threads=N flags plus manifest
+// loading, identical across the three harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/engine.h"
+#include "scenario/manifest.h"
+
+namespace cpt::bench {
+
+// Returns 0 on success; otherwise the exit code the caller should return
+// (2 = bad usage, 1 = manifest load failure), with the message printed.
+inline int parse_manifest_args(int argc, char** argv,
+                               const char* default_manifest,
+                               scenario::Manifest* manifest,
+                               scenario::BatchOptions* options,
+                               std::string* manifest_path) {
+  *manifest_path = default_manifest;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--manifest=", 11) == 0) {
+      *manifest_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      options->threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--manifest=PATH] [--threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::string error;
+  if (!scenario::load_manifest_file(*manifest_path, manifest, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cpt::bench

@@ -2,38 +2,58 @@
 // links. How much overlay can the planarity tester tolerate before it
 // (correctly) starts rejecting? Sweeps the overlay fraction and reports the
 // rejection rate over seeds -- an empirical look at the eps threshold.
+//
+// The graph setup is the registered "overlay_backbone" scenario preset
+// (src/scenario/registry.cc), shared with batch sweeps; per-trial tester
+// seeds use the engine's derivation, so `cpt_batch gen overlay_backbone
+// overlay=... --base-seed=77` reproduces each row's graph.
 #include <cstdio>
 
 #include "core/tester.h"
-#include "graph/generators.h"
 #include "graph/properties.h"
+#include "scenario/manifest.h"
+#include "scenario/registry.h"
 
 using namespace cpt;
 
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 77;
+
+scenario::ScenarioInstance overlay_instance(std::int64_t overlay) {
+  scenario::ScenarioParams params;
+  params.set_int("n", 1500);
+  params.set_int("m", 3200);
+  params.set_int("overlay", overlay);
+  return scenario::resolve_scenario("overlay_backbone", params, kBaseSeed,
+                                    /*index=*/0);
+}
+
+}  // namespace
+
 int main() {
-  Rng rng(77);
-  const Graph backbone = gen::random_planar(1500, 3200, rng);
+  const Graph backbone = scenario::build_instance(overlay_instance(0));
   std::printf("backbone: n=%u, m=%u (planar)\n\n", backbone.num_nodes(),
               backbone.num_edges());
 
   constexpr int kSeeds = 8;
   std::printf("%-14s %-10s %-12s %-14s %-16s\n", "overlay-edges",
               "overlay/m", "dist-lb/m", "reject-rate", "avg-rounds");
-  for (const EdgeId overlay : {0u, 30u, 100u, 300u, 800u, 2000u}) {
-    const Graph g =
-        overlay == 0 ? backbone
-                     : gen::planar_plus_random_edges(backbone, overlay, rng);
+  for (const std::int64_t overlay : {0, 30, 100, 300, 800, 2000}) {
+    const scenario::ScenarioInstance inst = overlay_instance(overlay);
+    const Graph g = overlay == 0 ? backbone : scenario::build_instance(inst);
     int rejects = 0;
     std::uint64_t rounds = 0;
-    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    for (std::uint32_t trial = 0; trial < kSeeds; ++trial) {
       TesterOptions opt;
       opt.epsilon = 0.1;
-      opt.seed = seed;
+      opt.seed = scenario::derive_tester_seed(inst.seed, trial);
       const TesterResult r = test_planarity(g, opt);
       rejects += r.verdict == Verdict::kReject;
       rounds += r.rounds();
     }
-    std::printf("%-14u %-10.3f %-12.3f %2d/%-11d %-16llu\n", overlay,
+    std::printf("%-14lld %-10.3f %-12.3f %2d/%-11d %-16llu\n",
+                static_cast<long long>(overlay),
                 static_cast<double>(overlay) / g.num_edges(),
                 static_cast<double>(planarity_distance_lower_bound(g)) /
                     g.num_edges(),

@@ -2,21 +2,36 @@
 // (nearly) planar after years of flyover/tunnel additions, then builds an
 // ultra-sparse spanner as a routing skeleton (Corollary 17).
 //
-// The "road network" is a jittered grid; "flyovers" are random long-range
-// edges that cross the planar structure.
+// The graph setup is the registered "road_network" scenario preset
+// (src/scenario/registry.cc): a street grid plus `flyovers` random
+// long-range edges. Batch sweeps (tools/cpt_batch.cc) and this example
+// share that one source of truth -- `cpt_batch gen road_network
+// flyovers=200 --base-seed=2024` reproduces any row below bit-for-bit
+// (this example derives its instances from base seed 2024).
 #include <cstdio>
 
 #include "apps/spanner.h"
 #include "core/tester.h"
-#include "graph/generators.h"
 #include "graph/properties.h"
 #include "planar/lr_planarity.h"
+#include "scenario/registry.h"
 
 using namespace cpt;
 
+namespace {
+
+Graph road_graph(std::int64_t flyovers) {
+  scenario::ScenarioParams params;
+  params.set_int("flyovers", flyovers);
+  return scenario::build_instance(
+      scenario::resolve_scenario("road_network", params, /*base_seed=*/2024,
+                                 /*index=*/0));
+}
+
+}  // namespace
+
 int main() {
-  Rng rng(2024);
-  const Graph roads = gen::grid(40, 40);
+  const Graph roads = road_graph(0);
   std::printf("road network: %u junctions, %u segments\n", roads.num_nodes(),
               roads.num_edges());
 
@@ -26,13 +41,11 @@ int main() {
 
   std::printf("\n%-12s %-10s %-26s %-12s\n", "flyovers", "planar?",
               "tester verdict", "rounds");
-  for (const EdgeId flyovers : {0u, 5u, 40u, 200u, 600u}) {
-    const Graph g =
-        flyovers == 0 ? roads
-                      : gen::planar_plus_random_edges(roads, flyovers, rng);
+  for (const std::int64_t flyovers : {0, 5, 40, 200, 600}) {
+    const Graph g = flyovers == 0 ? roads : road_graph(flyovers);
     const TesterResult r = test_planarity(g, opt);
-    std::printf("%-12u %-10s %-26s %-12llu\n", flyovers,
-                is_planar(g) ? "yes" : "no",
+    std::printf("%-12lld %-10s %-26s %-12llu\n",
+                static_cast<long long>(flyovers), is_planar(g) ? "yes" : "no",
                 r.verdict == Verdict::kAccept
                     ? "accept"
                     : ("reject: " + r.reason).c_str(),

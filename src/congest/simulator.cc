@@ -59,12 +59,13 @@ void Simulator::clear_flight(Flight& f) {
   f.wakes.clear();
 }
 
-std::uint64_t Simulator::inflight(unsigned gen) const {
-  std::uint64_t total = 0;
-  for (const Flight& f : flights_[gen]) {
-    total += f.arcs.size() + f.wakes.size();
+void Simulator::harvest_counters(std::uint64_t& msgs, std::uint64_t& wakes) {
+  for (const std::unique_ptr<Exec>& e : execs_) {
+    msgs += e->sent_msgs_;
+    wakes += e->sent_wakes_;
+    e->sent_msgs_ = 0;
+    e->sent_wakes_ = 0;
   }
-  return total;
 }
 
 // Single-worker fast path. With one worker there are two contexts (driver
@@ -249,8 +250,20 @@ PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
     }
   };
   aim_execs();
+  // A run abandoned at max_rounds leaves stale per-context counters behind;
+  // zero them alongside the flights.
+  for (const std::unique_ptr<Exec>& e : execs_) {
+    e->sent_msgs_ = 0;
+    e->sent_wakes_ = 0;
+  }
   program.begin(*execs_[0]);
-  while (inflight(cur_ ^ 1) != 0) {
+  // In-flight totals of the generation about to be delivered, maintained
+  // incrementally by the contexts and harvested once per round -- the old
+  // per-round flight scans are gone.
+  std::uint64_t next_msgs = 0;
+  std::uint64_t next_wakes = 0;
+  harvest_counters(next_msgs, next_wakes);
+  while (next_msgs + next_wakes != 0) {
     if (round_ >= max_rounds) {
       result.quiesced = false;
       break;
@@ -258,10 +271,10 @@ PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
     ++round_;
     cur_ ^= 1;
     aim_execs();
-    std::uint64_t round_msgs = 0;
-    for (const Flight& f : flights_[cur_]) round_msgs += f.msgs.size();
-    result.messages += round_msgs;
-    const std::uint64_t work = inflight(cur_);  // messages + wake-ups
+    result.messages += next_msgs;
+    const std::uint64_t work = next_msgs + next_wakes;
+    next_msgs = 0;
+    next_wakes = 0;
 
     // The out-generation flights still hold the round delivered two rounds
     // ago (delivery is a read-only walk; clearing is deferred to here so
@@ -289,6 +302,7 @@ PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
       for (Flight& f : flights_[cur_ ^ 1]) clear_flight(f);
       for (std::uint32_t s = 1; s <= workers_; ++s) process_shard(program, s);
     }
+    harvest_counters(next_msgs, next_wakes);
   }
   result.rounds = round_;
   return result;

@@ -126,7 +126,12 @@ class Simulator {
   };
 
   void clear_flight(Flight& f);
-  std::uint64_t inflight(unsigned gen) const;
+  // Collects (and zeroes) the per-context send/wake counters incremented by
+  // Exec::send / wake_next_round since the previous harvest: the in-flight
+  // totals of the generation the contexts were aiming at. One O(K) sweep
+  // per round at the barrier replaces the former three O(K) flight scans
+  // (loop condition, message count, grain check) per round.
+  void harvest_counters(std::uint64_t& msgs, std::uint64_t& wakes);
   void process_shard(Program& program, std::uint32_t s);
   void run_round_single(Program& program, Flight& in);
 
@@ -168,13 +173,14 @@ class Exec {
     // arc base is already at hand): a single-message inbox is then a span
     // straight into this buffer, no copy.
     out.msgs.push_back({0, msg});
+    ++sent_msgs_;
   }
 
   // Ask to be woken next round even without incoming messages (used by
   // nodes draining multi-round send queues). Duplicate requests coalesce.
   void wake_next_round(NodeId v) {
     CPT_EXPECTS(v < sim_->net_->num_nodes());
-    out_->wakes.insert(v);
+    if (out_->wakes.insert(v)) ++sent_wakes_;
   }
 
   const Network& network() const { return *sim_->net_; }
@@ -190,6 +196,11 @@ class Exec {
   Simulator::Flight* out_ = nullptr;   // this context's next-round flight
   std::uint32_t* slot_ = nullptr;      // next round's shared slot map
   std::uint32_t shard_;
+  // In-flight work this context sent toward the next round, maintained
+  // incrementally (wake duplicates are not counted, mirroring the wake
+  // bitset). Harvested and zeroed by the round loop at each barrier.
+  std::uint64_t sent_msgs_ = 0;
+  std::uint64_t sent_wakes_ = 0;
 };
 
 }  // namespace cpt::congest

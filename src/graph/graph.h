@@ -1,9 +1,10 @@
 // Static undirected simple graph in CSR form, plus a builder.
 //
-// Nodes are 0..n-1. Edges have stable ids 0..m-1 in insertion order; each
-// undirected edge appears as two arcs (one per endpoint adjacency list), both
-// carrying the same edge id. Self-loops are rejected; parallel edges are
-// deduplicated by the builder.
+// Nodes are 0..n-1. Edges have stable ids 0..m-1 in sorted-normalized
+// (u < v, lexicographic) order -- deterministic for a given edge multiset,
+// independent of insertion order; each undirected edge appears as two arcs
+// (one per endpoint adjacency list), both carrying the same edge id.
+// Self-loops are rejected; parallel edges are deduplicated by the builder.
 #pragma once
 
 #include <cstdint>

@@ -27,7 +27,10 @@ constexpr std::uint32_t kNilSlot = RecordTable::kNilSlot;
 
 // All driver-side state for one merge step. Arrays indexed by node id hold
 // root-local knowledge at root ids and node-local knowledge everywhere, as
-// in the rest of the Stage I emulation.
+// in the rest of the Stage I emulation. The arrays live in the pooled
+// MergeNodeScratch (clean-state invariant: defaults outside a step); the
+// destructor resets exactly the touched entries via the step's root /
+// charge / serve lists, so repeated merge steps never pay O(n) re-init.
 struct MergeCtx {
   congest::Simulator& sim;
   const Graph& g;
@@ -38,22 +41,23 @@ struct MergeCtx {
   bool pipelined;
 
   NodeId n;
+  MergeNodeScratch& ns;
   // Node-side: the single designated port of an in-charge node (or kNoPort).
-  std::vector<std::uint32_t> charge_port;
+  std::vector<std::uint32_t>& charge_port;
   // Node-side: ports this node serves for neighboring parts' designated
   // edges, and which of those are marked (belong to T_i).
-  std::vector<std::vector<std::uint32_t>> serve_ports;
-  std::vector<std::vector<std::uint32_t>> marked_serve_ports;
+  std::vector<std::vector<std::uint32_t>>& serve_ports;
+  std::vector<std::vector<std::uint32_t>>& marked_serve_ports;
   // Node-side participation masks for converge passes.
-  std::vector<std::uint8_t> sel_mask;    // part has a selection
-  std::vector<std::uint8_t> serve_mask;  // part serves >= 1 designated edge
+  std::vector<std::uint8_t>& sel_mask;    // part has a selection
+  std::vector<std::uint8_t>& serve_mask;  // part serves >= 1 designated edge
 
   // Root-side F_i / T_i state.
-  std::vector<std::int64_t> color;
-  std::vector<std::uint8_t> out_marked;
-  std::vector<std::int64_t> marked_children;  // count of marked in-edges
-  std::vector<std::uint32_t> level;
-  std::vector<std::int8_t> parity_bit;  // -1 unknown, else 0/1
+  std::vector<std::int64_t>& color;
+  std::vector<std::uint8_t>& out_marked;
+  std::vector<std::int64_t>& marked_children;  // count of marked in-edges
+  std::vector<std::uint32_t>& level;
+  std::vector<std::int8_t>& parity_bit;  // -1 unknown, else 0/1
 
   // Pooled passes and tables (living in the cross-phase MergeScratch),
   // reset() per use so the dozens of relay passes in one merge step reuse
@@ -95,16 +99,17 @@ struct MergeCtx {
         ledger(ledger_),
         pipelined(pipelined_),
         n(g_.num_nodes()),
-        charge_port(n, kNoPort),
-        serve_ports(n),
-        marked_serve_ports(n),
-        sel_mask(n, 0),
-        serve_mask(n, 0),
-        color(n, kNoColor),
-        out_marked(n, 0),
-        marked_children(n, 0),
-        level(n, kNoLevel),
-        parity_bit(n, -1),
+        ns(scratch.nodes),
+        charge_port(ns.charge_port),
+        serve_ports(ns.serve_ports),
+        marked_serve_ports(ns.marked_serve_ports),
+        sel_mask(ns.sel_mask),
+        serve_mask(ns.serve_mask),
+        color(ns.color),
+        out_marked(ns.out_marked),
+        marked_children(ns.marked_children),
+        level(ns.level),
+        parity_bit(ns.parity_bit),
         bc_pool(scratch.bc_a),
         bc_pool2(scratch.bc_b),
         conv_pool(scratch.conv),
@@ -124,7 +129,60 @@ struct MergeCtx {
         stream_roots(scratch.stream_roots) {
     if (all_mask.size() != n) all_mask.assign(n, 1);
     if (hop_cursor.size() != n) hop_cursor.assign(n, kNilSlot);
+    // First use (or a graph of a different size): one O(n) sizing pass
+    // establishes the clean-state defaults; every later step inherits them
+    // from the previous step's destructor reset.
+    if (ns.color.size() != n) {
+      ns.charge_port.assign(n, kNoPort);
+      ns.serve_ports.assign(n, {});
+      ns.marked_serve_ports.assign(n, {});
+      ns.sel_mask.assign(n, 0);
+      ns.serve_mask.assign(n, 0);
+      ns.color.assign(n, kNoColor);
+      ns.out_marked.assign(n, 0);
+      ns.marked_children.assign(n, 0);
+      ns.level.assign(n, kNoLevel);
+      ns.parity_bit.assign(n, -1);
+      ns.mark_in_all.assign(n, 0);
+      ns.mark_in_color2.assign(n, 0);
+      ns.acc_w0.assign(n, 0);
+      ns.acc_w1.assign(n, 0);
+      ns.acc_cnt.assign(n, 0);
+      ns.reported.assign(n, 0);
+      ns.ready.assign(n, 0);
+      ns.old_color.assign(n, kNoColor);
+    }
+    // Contractions only retire roots, so the roots live now cover every
+    // root-indexed write of this step -- the destructor's reset list.
+    ns.step_roots = pf.live_roots();
+    ns.ready_roots.clear();
     tree_ports.build(sim.network(), pf.parent_edge, pf.children);
+  }
+
+  // Watermark-style reset (see MergeNodeScratch): restore the clean-state
+  // defaults for exactly the entries this step touched.
+  ~MergeCtx() {
+    for (const NodeId r : ns.step_roots) {
+      color[r] = kNoColor;
+      out_marked[r] = 0;
+      marked_children[r] = 0;
+      level[r] = kNoLevel;
+      parity_bit[r] = -1;
+      ns.mark_in_all[r] = 0;
+      ns.mark_in_color2[r] = 0;
+      ns.acc_w0[r] = 0;
+      ns.acc_w1[r] = 0;
+      ns.acc_cnt[r] = 0;
+      ns.reported[r] = 0;
+      ns.ready[r] = 0;
+    }
+    for (const NodeId v : charge_nodes) charge_port[v] = kNoPort;
+    for (const NodeId v : serving_nodes) {
+      serve_ports[v].clear();  // keeps capacity
+      marked_serve_ports[v].clear();
+    }
+    for (const NodeId v : sel_members) sel_mask[v] = 0;
+    for (const NodeId v : serve_members) serve_mask[v] = 0;
   }
 
   RecordTable& claim_at_pool() {
@@ -358,10 +416,10 @@ void find_designated_edges(MergeCtx& ctx) {
     const NodeId t = ctx.sel.target[r];
     if (t < r && ctx.sel.target[t] == r) ctx.sel.target[r] = kNoNode;
   }
-  for (NodeId v = 0; v < n; ++v) {
-    ctx.sel_mask[v] = ctx.has_sel(ctx.pf.root[v]) ? 1 : 0;
-  }
+  // sel_mask is clean (all zero) on entry; set the members of selection
+  // parts only -- O(participants), and the destructor's reset list.
   ctx.mask_members(ctx.sel_members, [&](NodeId r) { return ctx.has_sel(r); });
+  for (const NodeId v : ctx.sel_members) ctx.sel_mask[v] = 1;
 
   // SEEK passes for parts without a known physical edge.
   const auto seeks = [&](NodeId r) {
@@ -419,7 +477,11 @@ void find_designated_edges(MergeCtx& ctx) {
     ctx.ledger.add_pass("stage1/seek/notify", rb2.rounds, rb2.messages);
   }
 
-  // In-charge nodes resolve their designated port (and edge id).
+  // In-charge nodes resolve their designated port (and edge id). A node
+  // belongs to exactly one part, so each in-charge node appears for one
+  // root only -- the collected list is duplicate-free; sorting restores
+  // the ascending order the retired O(n) sweep produced.
+  ctx.charge_nodes.clear();
   for (const NodeId r : ctx.roots()) {
     if (!ctx.has_sel(r)) continue;
     const NodeId u = ctx.sel.charge_node[r];
@@ -438,11 +500,9 @@ void find_designated_edges(MergeCtx& ctx) {
       }
       CPT_ASSERT(ctx.sel.charge_edge[r] != kNoEdge);
     }
+    ctx.charge_nodes.push_back(u);
   }
-  ctx.charge_nodes.clear();
-  for (NodeId v = 0; v < n; ++v) {
-    if (ctx.charge_port[v] != kNoPort) ctx.charge_nodes.push_back(v);
-  }
+  std::sort(ctx.charge_nodes.begin(), ctx.charge_nodes.end());
 
   // SERVE notifications: in-charge nodes tell the far endpoint (one round).
   Exchange serve(
@@ -460,10 +520,18 @@ void find_designated_edges(MergeCtx& ctx) {
       &ctx.charge_nodes);
   auto rs = ctx.sim.run(serve);
   ctx.ledger.add_pass("stage1/seek/serve", rs.rounds, rs.messages);
+  // Serving nodes are exactly the far endpoints of the designated edges; a
+  // node serving several edges appears once (sort + unique restores the
+  // ascending order of the retired O(n) sweep).
   ctx.serving_nodes.clear();
-  for (NodeId v = 0; v < n; ++v) {
-    if (!ctx.serve_ports[v].empty()) ctx.serving_nodes.push_back(v);
+  for (const NodeId u : ctx.charge_nodes) {
+    ctx.serving_nodes.push_back(
+        ctx.sim.network().arc(u, ctx.charge_port[u]).to);
   }
+  std::sort(ctx.serving_nodes.begin(), ctx.serving_nodes.end());
+  ctx.serving_nodes.erase(
+      std::unique(ctx.serving_nodes.begin(), ctx.serving_nodes.end()),
+      ctx.serving_nodes.end());
 
   // Serve mask: parts with at least one serving node learn it via one
   // converge + one broadcast.
@@ -531,7 +599,9 @@ std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
     CPT_ASSERT(iterations < 64);
   }
   // Reduce 6 -> 3 colors: shift-down, then recolor one class at a time.
-  std::vector<std::int64_t> old_color;
+  // (old_color is pooled write-before-read scratch: only root entries
+  // written this wave are read back.)
+  auto& old_color = ctx.ns.old_color;
   for (std::int64_t target = 5; target >= 3; --target) {
     auto& values = ctx.values_a;
     values.reset(ctx.n);
@@ -540,7 +610,7 @@ std::uint32_t color_pseudo_forest(MergeCtx& ctx) {
     }
     auto& pre = ctx.out_a;
     ctx.relay_down(values, false, "stage1/cv-shift", pre);
-    old_color = ctx.color;
+    for (const NodeId r : ctx.roots()) old_color[r] = ctx.color[r];
     for (const NodeId r : ctx.roots()) {
       if (ctx.has_sel(r)) {
         CPT_ASSERT(!pre[r].empty());
@@ -598,9 +668,10 @@ void mark_edges(MergeCtx& ctx) {
   auto& in_by_color = ctx.out_b;
   ctx.relay_up(up_values, false, nullptr, "stage1/mark-insum", in_by_color);
 
-  // Marking decisions (colors 0/1/2 stand for the paper's 1/2/3).
-  std::vector<std::uint8_t> mark_in_all(n, 0);
-  std::vector<std::uint8_t> mark_in_color2(n, 0);
+  // Marking decisions (colors 0/1/2 stand for the paper's 1/2/3). Pooled,
+  // clean on entry, reset by the destructor's step_roots list.
+  auto& mark_in_all = ctx.ns.mark_in_all;
+  auto& mark_in_color2 = ctx.ns.mark_in_color2;
   for (const NodeId r : ctx.roots()) {
     std::int64_t sum_all = 0;
     std::int64_t sum_c2 = 0;
@@ -747,15 +818,19 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
 
   // Parity-weight convergecast up T: a part reports (w0, w1) of its subtree
   // once all its marked children reported. Keys: 0 = even-edge weight,
-  // 1 = odd-edge weight, 2 = reporter count.
-  std::vector<std::int64_t> acc_w0(n, 0);
-  std::vector<std::int64_t> acc_w1(n, 0);
-  std::vector<std::int64_t> acc_cnt(n, 0);
-  std::vector<std::uint8_t> reported(n, 0);
-  std::vector<std::uint8_t> ready;
+  // 1 = odd-edge weight, 2 = reporter count. All accumulators are pooled
+  // (clean on entry, reset by the destructor's step_roots list); the
+  // per-wave `ready` mask clears via the ready_roots touch list instead of
+  // an O(n) assign per wave.
+  auto& acc_w0 = ctx.ns.acc_w0;
+  auto& acc_w1 = ctx.ns.acc_w1;
+  auto& acc_cnt = ctx.ns.acc_cnt;
+  auto& reported = ctx.ns.reported;
+  auto& ready = ctx.ns.ready;
   for (std::uint32_t guard = 0;; ++guard) {
     CPT_ASSERT(guard < 200);
-    ready.assign(n, 0);
+    for (const NodeId r : ctx.ns.ready_roots) ready[r] = 0;
+    ctx.ns.ready_roots.clear();
     auto& values = ctx.values_a;
     values.reset(n);
     bool any_ready = false;
@@ -775,6 +850,7 @@ TPhaseResult run_t_phase(MergeCtx& ctx) {
       }
       values[r] = {{0, w0}, {1, w1}, {2, 1}};
       ready[r] = 1;
+      ctx.ns.ready_roots.push_back(r);
       reported[r] = 1;
       any_ready = true;
     }

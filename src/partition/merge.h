@@ -48,6 +48,43 @@ struct MergeStats {
   std::uint64_t contracted_weight = 0;   // total weight of contracted edges
 };
 
+// Pooled per-node / per-root arrays of one merge step (formerly ~12 private
+// O(n) allocations per run_merge_step call). Sized once to n, then reset by
+// touched-index lists -- the live roots captured at step start, the
+// charge/serving node lists, the sel/serve participant lists -- so the
+// steady-state cost across the dozens of merge steps of a partition run is
+// O(touched), never O(n), mirroring RecordTable's watermark reset. The
+// clean-state invariant (every entry at its documented default outside a
+// step) is restored by MergeCtx's destructor.
+struct MergeNodeScratch {
+  // Node-side.
+  std::vector<std::uint32_t> charge_port;  // default kNoPort
+  std::vector<std::vector<std::uint32_t>> serve_ports;         // empty
+  std::vector<std::vector<std::uint32_t>> marked_serve_ports;  // empty
+  std::vector<std::uint8_t> sel_mask;    // 0
+  std::vector<std::uint8_t> serve_mask;  // 0
+  // Root-side F_i / T_i state.
+  std::vector<std::int64_t> color;            // kNoColor
+  std::vector<std::uint8_t> out_marked;       // 0
+  std::vector<std::int64_t> marked_children;  // 0
+  std::vector<std::uint32_t> level;           // kNoLevel
+  std::vector<std::int8_t> parity_bit;        // -1
+  // mark_edges decision masks and run_t_phase accumulators.
+  std::vector<std::uint8_t> mark_in_all;     // 0
+  std::vector<std::uint8_t> mark_in_color2;  // 0
+  std::vector<std::int64_t> acc_w0, acc_w1, acc_cnt;  // 0
+  std::vector<std::uint8_t> reported;  // 0
+  std::vector<std::uint8_t> ready;     // 0
+  // Write-before-read per color-reduction wave (root entries only); needs
+  // sizing but no reset.
+  std::vector<std::int64_t> old_color;
+  // Reset lists: roots live at step start (contractions only retire roots,
+  // so this covers every root-indexed touch) and the ready rows of the
+  // current t-phase wave.
+  std::vector<NodeId> step_roots;
+  std::vector<NodeId> ready_roots;
+};
+
 // Reusable buffers for run_merge_step. Passing one instance across the
 // phases of a partition run makes the dozens of relay passes per phase
 // allocation-free in steady state (the record tables are flat arenas whose
@@ -55,6 +92,7 @@ struct MergeStats {
 // merge step allocates privately. Purely a performance knob: contents
 // carry no state between calls.
 struct MergeScratch {
+  MergeNodeScratch nodes;
   congest::BroadcastRecords bc_a, bc_b;
   congest::ConvergeRecords conv;
   congest::TreePorts tree_ports;

@@ -1,0 +1,205 @@
+#include "scenario/aggregate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "scenario/json.h"
+#include "util/contracts.h"
+
+namespace cpt::scenario {
+
+QuantileSummary summarize(std::vector<std::uint64_t> values) {
+  QuantileSummary q;
+  if (values.empty()) return q;
+  std::sort(values.begin(), values.end());
+  const std::size_t last = values.size() - 1;
+  const auto rank = [&](std::size_t k) {  // quarter k of 4
+    return values[(k * last + 2) / 4];
+  };
+  q.min = values.front();
+  q.p25 = rank(1);
+  q.p50 = rank(2);
+  q.p75 = rank(3);
+  q.max = values.back();
+  return q;
+}
+
+std::vector<CellAggregate> aggregate_cells(const BatchResult& batch) {
+  CPT_EXPECTS(batch.jobs.size() == batch.results.size());
+  struct Accum {
+    std::vector<std::uint64_t> rounds, messages;
+    std::unordered_set<std::uint64_t> instance_hashes;
+  };
+  std::vector<CellAggregate> cells;
+  std::vector<Accum> accums;
+  std::unordered_map<std::string, std::size_t> index;
+
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    const Job& job = batch.jobs[j];
+    const JobResult& res = batch.results[j];
+    std::string key = job.cell_key();
+    auto [it, fresh] = index.emplace(std::move(key), cells.size());
+    if (fresh) {
+      CellAggregate cell;
+      cell.key = it->first;
+      cell.scenario = job.instance.label();
+      cell.tester = tester_name(job.tester);
+      cell.epsilon = job.epsilon;
+      cell.adaptive = job.adaptive;
+      cell.randomized = job.randomized;
+      cell.n_min = res.n;
+      cell.n_max = res.n;
+      cell.m_min = res.m;
+      cell.m_max = res.m;
+      cells.push_back(std::move(cell));
+      accums.emplace_back();
+    }
+    CellAggregate& cell = cells[it->second];
+    Accum& acc = accums[it->second];
+    ++cell.jobs;
+    if (res.verdict == Verdict::kAccept) ++cell.accepts;
+    if (res.verdict == Verdict::kReject) ++cell.rejects;
+    cell.n_min = std::min(cell.n_min, res.n);
+    cell.n_max = std::max(cell.n_max, res.n);
+    cell.m_min = std::min(cell.m_min, res.m);
+    cell.m_max = std::max(cell.m_max, res.m);
+    cell.wall_seconds += res.wall_seconds;
+    acc.rounds.push_back(res.rounds);
+    acc.messages.push_back(res.messages);
+    acc.instance_hashes.insert(job.instance.hash());
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    cells[c].instances =
+        static_cast<std::uint32_t>(accums[c].instance_hashes.size());
+    cells[c].detection_rate =
+        cells[c].jobs == 0
+            ? 0.0
+            : static_cast<double>(cells[c].rejects) / cells[c].jobs;
+    cells[c].rounds = summarize(std::move(accums[c].rounds));
+    cells[c].messages = summarize(std::move(accums[c].messages));
+  }
+  return cells;
+}
+
+namespace {
+
+void append_quantiles(std::string& out, const char* name,
+                      const QuantileSummary& q) {
+  out += "\"";
+  out += name;
+  out += "\": {\"min\": " + json_render_uint(q.min);
+  out += ", \"p25\": " + json_render_uint(q.p25);
+  out += ", \"p50\": " + json_render_uint(q.p50);
+  out += ", \"p75\": " + json_render_uint(q.p75);
+  out += ", \"max\": " + json_render_uint(q.max);
+  out += "}";
+}
+
+}  // namespace
+
+std::string render_aggregate_json(const Manifest& manifest,
+                                  const BatchResult& batch,
+                                  const std::vector<CellAggregate>& cells) {
+  std::string out = "{\n  \"schema\": \"cpt_batch_aggregate_v1\",\n  \"name\": ";
+  json_append_escaped(out, manifest.name);
+  out += ",\n  \"base_seed\": " + json_render_uint(manifest.base_seed);
+  out += ",\n  \"jobs\": " + json_render_uint(batch.jobs.size());
+  out += ",\n  \"unique_instances\": " +
+         json_render_uint(batch.corpus.unique_instances);
+  out += ",\n  \"cells\": [";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellAggregate& cell = cells[c];
+    out += c == 0 ? "\n" : ",\n";
+    out += "    {\"scenario\": ";
+    json_append_escaped(out, cell.scenario);
+    out += ", \"tester\": ";
+    json_append_escaped(out, cell.tester);
+    out += ", \"epsilon\": " + json_render_double(cell.epsilon);
+    if (cell.adaptive) out += ", \"adaptive\": true";
+    if (cell.randomized) out += ", \"randomized\": true";
+    out += ",\n     \"jobs\": " + json_render_uint(cell.jobs);
+    out += ", \"instances\": " + json_render_uint(cell.instances);
+    out += ", \"n\": [" + json_render_uint(cell.n_min) + ", " +
+           json_render_uint(cell.n_max) + "]";
+    out += ", \"m\": [" + json_render_uint(cell.m_min) + ", " +
+           json_render_uint(cell.m_max) + "]";
+    out += ",\n     \"accepts\": " + json_render_uint(cell.accepts);
+    out += ", \"rejects\": " + json_render_uint(cell.rejects);
+    out += ", \"detection_rate\": " + json_render_double(cell.detection_rate);
+    out += ",\n     ";
+    append_quantiles(out, "rounds", cell.rounds);
+    out += ",\n     ";
+    append_quantiles(out, "messages", cell.messages);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string render_aggregate_csv(const std::vector<CellAggregate>& cells) {
+  std::string out =
+      "scenario,tester,epsilon,adaptive,randomized,jobs,instances,"
+      "n_min,n_max,m_min,m_max,accepts,rejects,detection_rate,"
+      "rounds_min,rounds_p50,rounds_max,messages_min,messages_p50,"
+      "messages_max\n";
+  for (const CellAggregate& cell : cells) {
+    // Scenario labels contain commas; quote them.
+    out += '"';
+    for (const char ch : cell.scenario) {
+      if (ch == '"') out += '"';  // CSV doubling
+      out += ch;
+    }
+    out += '"';
+    out += ',';
+    out += cell.tester;
+    out += ',' + json_render_double(cell.epsilon);
+    out += cell.adaptive ? ",1" : ",0";
+    out += cell.randomized ? ",1" : ",0";
+    out += ',' + json_render_uint(cell.jobs);
+    out += ',' + json_render_uint(cell.instances);
+    out += ',' + json_render_uint(cell.n_min);
+    out += ',' + json_render_uint(cell.n_max);
+    out += ',' + json_render_uint(cell.m_min);
+    out += ',' + json_render_uint(cell.m_max);
+    out += ',' + json_render_uint(cell.accepts);
+    out += ',' + json_render_uint(cell.rejects);
+    out += ',' + json_render_double(cell.detection_rate);
+    out += ',' + json_render_uint(cell.rounds.min);
+    out += ',' + json_render_uint(cell.rounds.p50);
+    out += ',' + json_render_uint(cell.rounds.max);
+    out += ',' + json_render_uint(cell.messages.min);
+    out += ',' + json_render_uint(cell.messages.p50);
+    out += ',' + json_render_uint(cell.messages.max);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_timing_json(const Manifest& manifest,
+                               const BatchResult& batch,
+                               const std::vector<CellAggregate>& cells) {
+  std::string out = "{\n  \"schema\": \"cpt_batch_timing_v1\",\n  \"name\": ";
+  json_append_escaped(out, manifest.name);
+  out += ",\n  \"threads\": " + json_render_uint(batch.threads_used);
+  out += ",\n  \"jobs\": " + json_render_uint(batch.jobs.size());
+  out += ",\n  \"wall_seconds\": " + json_render_double(batch.wall_seconds);
+  out += ",\n  \"corpus\": {\"unique_instances\": " +
+         json_render_uint(batch.corpus.unique_instances);
+  out += ", \"disk_hits\": " + json_render_uint(batch.corpus.disk_hits);
+  out += ", \"generated\": " + json_render_uint(batch.corpus.generated);
+  out += "},\n  \"cells\": [";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    out += c == 0 ? "\n" : ",\n";
+    out += "    {\"scenario\": ";
+    json_append_escaped(out, cells[c].scenario);
+    out += ", \"tester\": ";
+    json_append_escaped(out, cells[c].tester);
+    out += ", \"wall_seconds\": " + json_render_double(cells[c].wall_seconds);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace cpt::scenario

@@ -1,0 +1,86 @@
+#include "scenario/corpus.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <vector>
+
+namespace cpt::scenario {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43545043;  // 'CPTC'
+constexpr std::uint32_t kVersion = 1;
+
+bool read_u32(std::FILE* f, std::uint32_t* out) {
+  unsigned char b[4];
+  if (std::fread(b, 1, 4, f) != 4) return false;
+  *out = static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+  return true;
+}
+
+bool write_u32(std::FILE* f, std::uint32_t v) {
+  const unsigned char b[4] = {
+      static_cast<unsigned char>(v & 0xff),
+      static_cast<unsigned char>((v >> 8) & 0xff),
+      static_cast<unsigned char>((v >> 16) & 0xff),
+      static_cast<unsigned char>((v >> 24) & 0xff),
+  };
+  return std::fwrite(b, 1, 4, f) == 4;
+}
+
+}  // namespace
+
+std::string CorpusStore::path_for(std::uint64_t hash) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.cpg",
+                static_cast<unsigned long long>(hash));
+  return dir_ + "/" + name;
+}
+
+bool CorpusStore::load(std::uint64_t hash, Graph* out) const {
+  if (!enabled()) return false;
+  std::FILE* f = std::fopen(path_for(hash).c_str(), "rb");
+  if (f == nullptr) return false;
+  std::uint32_t magic = 0, version = 0, n = 0, m = 0;
+  bool ok = read_u32(f, &magic) && read_u32(f, &version) && read_u32(f, &n) &&
+            read_u32(f, &m) && magic == kMagic && version == kVersion;
+  if (ok) {
+    GraphBuilder b(n);
+    for (std::uint32_t e = 0; e < m && ok; ++e) {
+      std::uint32_t u = 0, v = 0;
+      ok = read_u32(f, &u) && read_u32(f, &v) && u < n && v < n && u != v;
+      if (ok) b.add_edge(u, v);
+    }
+    if (ok) *out = std::move(b).build();
+  }
+  std::fclose(f);
+  return ok;
+}
+
+bool CorpusStore::save(std::uint64_t hash, const Graph& g) const {
+  if (!enabled()) return false;
+  ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; failures surface at fopen
+  // Write to a temp name then rename: a batch killed mid-save must not
+  // leave a truncated file a later run would trust.
+  const std::string final_path = path_for(hash);
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = write_u32(f, kMagic) && write_u32(f, kVersion) &&
+            write_u32(f, g.num_nodes()) && write_u32(f, g.num_edges());
+  for (EdgeId e = 0; ok && e < g.num_edges(); ++e) {
+    const Endpoints ep = g.endpoints(e);
+    ok = write_u32(f, ep.u) && write_u32(f, ep.v);
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok) ok = std::rename(tmp_path.c_str(), final_path.c_str()) == 0;
+  if (!ok) std::remove(tmp_path.c_str());
+  return ok;
+}
+
+}  // namespace cpt::scenario

@@ -1,0 +1,45 @@
+// Binary corpus store for generated scenario graphs, keyed by instance
+// hash. Repeated sweeps over the same manifest skip regeneration: the batch
+// engine materializes each unique instance once per run (in-memory dedup)
+// and, when a corpus directory is configured, persists it as
+// <dir>/<16-hex-hash>.cpg so later runs load instead of generating.
+//
+// File format (little-endian u32s): magic 'CPTC', version, n, m, then m
+// (u, v) pairs in edge-id order. Loading rebuilds the graph through
+// GraphBuilder, so arc layout and edge ids match a freshly generated graph
+// exactly -- cached and regenerated instances are interchangeable
+// bit-for-bit (pinned by scenario_test.cc). The "file" family is exempt
+// from the disk layer (see engine.cc): its hash names a path, not the
+// file's content, and must not shadow later edits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cpt::scenario {
+
+class CorpusStore {
+ public:
+  // dir == "" disables the disk layer (load always misses, save no-ops).
+  // The directory is created on first save if missing.
+  explicit CorpusStore(std::string dir) : dir_(std::move(dir)) {}
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  // Returns true and fills *out when <dir>/<hash>.cpg exists and decodes.
+  bool load(std::uint64_t hash, Graph* out) const;
+
+  // Persists g under its hash; returns false on I/O failure (the batch
+  // engine treats that as non-fatal: the graph is still in memory).
+  bool save(std::uint64_t hash, const Graph& g) const;
+
+  std::string path_for(std::uint64_t hash) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace cpt::scenario

@@ -1,0 +1,151 @@
+#include "scenario/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <unordered_map>
+
+#include "apps/bipartite.h"
+#include "apps/cycle_free.h"
+#include "congest/simulator.h"
+#include "core/tester.h"
+#include "util/parallel.h"
+
+namespace cpt::scenario {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+JobResult run_job(const Job& job, const Graph& g) {
+  JobResult r;
+  r.n = g.num_nodes();
+  r.m = g.num_edges();
+  const double t0 = now_seconds();
+  switch (job.tester) {
+    case TesterKind::kPlanarity: {
+      TesterOptions opt;
+      opt.epsilon = job.epsilon;
+      opt.seed = job.tester_seed;
+      opt.num_threads = job.sim_threads;
+      opt.stage1.adaptive = job.adaptive;
+      const TesterResult tr = test_planarity(g, opt);
+      r.verdict = tr.verdict;
+      r.rounds = tr.ledger.total_rounds();
+      r.messages = tr.ledger.total_messages();
+      r.num_parts = tr.partition.num_parts;
+      r.stage1_phases = tr.stage1_phases_emulated;
+      break;
+    }
+    case TesterKind::kCycleFree:
+    case TesterKind::kBipartite: {
+      MinorFreeOptions opt;
+      opt.epsilon = job.epsilon;
+      opt.alpha = job.alpha;
+      opt.randomized = job.randomized;
+      opt.delta = job.delta;
+      opt.seed = job.tester_seed;
+      opt.adaptive_phases = job.adaptive;
+      opt.num_threads = job.sim_threads;
+      const AppResult ar = job.tester == TesterKind::kCycleFree
+                               ? test_cycle_freeness(g, opt)
+                               : test_bipartiteness(g, opt);
+      r.verdict = ar.verdict;
+      r.rounds = ar.ledger.total_rounds();
+      r.messages = ar.ledger.total_messages();
+      r.num_parts = ar.partition.num_parts;
+      break;
+    }
+  }
+  r.wall_seconds = now_seconds() - t0;
+  return r;
+}
+
+BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
+  BatchResult out;
+  const double t0 = now_seconds();
+  out.jobs = expand_manifest(manifest);
+  out.results.resize(out.jobs.size());
+  out.threads_used = congest::resolve_sim_threads(options.threads);
+
+  // Unique instances (by hash), in first-job order, and the job -> slot map.
+  struct Slot {
+    ScenarioInstance instance;
+    Graph graph;
+    bool from_disk = false;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> job_slot(out.jobs.size());
+  {
+    std::unordered_map<std::uint64_t, std::uint32_t> by_hash;
+    for (std::size_t j = 0; j < out.jobs.size(); ++j) {
+      const std::uint64_t h = out.jobs[j].instance.hash();
+      auto [it, fresh] =
+          by_hash.emplace(h, static_cast<std::uint32_t>(slots.size()));
+      if (fresh) slots.push_back({out.jobs[j].instance, Graph{}, false});
+      job_slot[j] = it->second;
+    }
+  }
+  out.corpus.unique_instances = slots.size();
+
+  const CorpusStore store(options.corpus_dir);
+  const unsigned workers = out.threads_used;
+  WorkerPool pool(workers);
+
+  // Phase 1: materialize every unique instance (corpus load or generate),
+  // embarrassingly parallel, one slot per instance.
+  {
+    std::atomic<std::uint32_t> cursor{0};
+    auto materialize = [&](unsigned) {
+      while (true) {
+        const std::uint32_t i =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= slots.size()) return;
+        Slot& slot = slots[i];
+        // The "file" family's identity is a path, not content: a cached
+        // copy would silently survive edits to the edge-list file, so it
+        // never touches the disk corpus (loading it is already cheap).
+        const bool cacheable = slot.instance.family != "file";
+        if (cacheable && store.load(slot.instance.hash(), &slot.graph)) {
+          slot.from_disk = true;
+        } else {
+          slot.graph = build_instance(slot.instance);
+          if (cacheable) store.save(slot.instance.hash(), slot.graph);
+        }
+      }
+    };
+    pool.run(materialize);
+  }
+  for (const Slot& slot : slots) {
+    if (slot.from_disk) {
+      ++out.corpus.disk_hits;
+    } else {
+      ++out.corpus.generated;
+    }
+  }
+
+  // Phase 2: run the jobs. Claiming order is racy; result placement is by
+  // job slot, so the result array is schedule-independent.
+  {
+    std::atomic<std::uint32_t> cursor{0};
+    auto execute = [&](unsigned) {
+      while (true) {
+        const std::uint32_t j =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (j >= out.jobs.size()) return;
+        out.results[j] = run_job(out.jobs[j], slots[job_slot[j]].graph);
+      }
+    };
+    pool.run(execute);
+  }
+
+  out.wall_seconds = now_seconds() - t0;
+  return out;
+}
+
+}  // namespace cpt::scenario

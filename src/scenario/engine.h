@@ -1,0 +1,65 @@
+// Batch engine: expands a manifest into jobs and executes the independent
+// simulations concurrently on a util/parallel.h WorkerPool -- cross-
+// simulation parallelism (each job runs its own Network/Simulator, by
+// default single-worker). Jobs are claimed from an atomic cursor, so the
+// schedule is work-stealing and nondeterministic, but every result lands
+// in its job's slot and each job is self-contained (own graph reference,
+// own seeds): the result array -- and everything aggregated from it -- is
+// bit-identical at every --threads value. Wall-clock fields are the only
+// nondeterministic outputs and are kept out of the aggregate schema.
+//
+// Graph materialization happens before job execution: unique instances
+// (deduplicated by instance hash) are generated -- or loaded from the
+// corpus store -- in parallel, then shared read-only by all their jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stage2.h"  // Verdict
+#include "scenario/corpus.h"
+#include "scenario/manifest.h"
+
+namespace cpt::scenario {
+
+struct BatchOptions {
+  // Concurrent simulations. 0 resolves like the simulator's thread knob
+  // (CPT_TEST_THREADS env, else 1).
+  unsigned threads = 1;
+  // Corpus directory ("" = in-memory dedup only).
+  std::string corpus_dir;
+};
+
+struct JobResult {
+  Verdict verdict = Verdict::kAccept;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  NodeId n = 0;
+  EdgeId m = 0;
+  NodeId num_parts = 0;
+  std::uint32_t stage1_phases = 0;  // planarity tester only
+  double wall_seconds = 0;  // nondeterministic; excluded from aggregates
+};
+
+struct CorpusCounters {
+  std::uint64_t unique_instances = 0;
+  std::uint64_t disk_hits = 0;   // loaded from the corpus store
+  std::uint64_t generated = 0;   // built by the registry (disk misses)
+};
+
+struct BatchResult {
+  std::vector<Job> jobs;
+  std::vector<JobResult> results;  // slot i <-> jobs[i]
+  CorpusCounters corpus;
+  double wall_seconds = 0;
+  unsigned threads_used = 1;
+};
+
+// Runs one job against a pre-built graph (also the single-simulation entry
+// point the migrated E1/E3/E7 benches and the equivalence tests use).
+JobResult run_job(const Job& job, const Graph& g);
+
+BatchResult run_batch(const Manifest& manifest, const BatchOptions& options);
+
+}  // namespace cpt::scenario

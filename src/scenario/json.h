@@ -1,0 +1,79 @@
+// Minimal JSON reader/writer for the scenario engine (manifests in,
+// aggregates out). No third-party dependency, mirroring bench/bench_json's
+// approach on the write side. The reader is a strict recursive-descent
+// parser for the JSON subset manifests need: objects (insertion order
+// preserved -- sweep-axis order is load-bearing, see manifest.h), arrays,
+// strings (escapes \" \\ \/ \n \t \r \b \f \uXXXX for ASCII), numbers,
+// booleans and null. Integers that fit std::int64_t stay exact; everything
+// else is a double.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpt::scenario {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  // True for numbers written without '.', 'e' or overflow (exact int64).
+  bool is_integer() const { return kind_ == Kind::kNumber && is_int_; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int64() const { return int_; }
+  double as_double() const { return is_int_ ? static_cast<double>(int_) : dbl_; }
+  const std::string& as_string() const { return str_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  // Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  // Parses exactly one JSON document (trailing garbage is an error).
+  // Returns false and fills *error (with a line number) on failure.
+  static bool parse(std::string_view text, JsonValue* out, std::string* error);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool is_int_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// ---- Writing helpers (shared by aggregate.cc and the corpus index) -------
+
+// Appends s as a quoted, escaped JSON string.
+void json_append_escaped(std::string& out, std::string_view s);
+
+// Round-trippable double rendering (%.17g); integral doubles still carry
+// their fractional marker only when needed -- callers format true integers
+// through json_render_int for stable output.
+std::string json_render_double(double v);
+std::string json_render_int(std::int64_t v);
+std::string json_render_uint(std::uint64_t v);
+
+// Reads a whole file; returns false on I/O failure.
+bool read_text_file(const std::string& path, std::string* out);
+bool write_text_file(const std::string& path, std::string_view body);
+
+}  // namespace cpt::scenario

@@ -1,0 +1,394 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/contracts.h"
+
+namespace cpt::scenario {
+
+std::string ParamValue::to_string() const {
+  char buf[40];
+  switch (kind) {
+    case Kind::kInt:
+      std::snprintf(buf, sizeof buf, "%" PRId64, i);
+      return buf;
+    case Kind::kDouble:
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      return buf;
+    case Kind::kString:
+      return s;
+  }
+  return {};
+}
+
+void ScenarioParams::set(std::string key, ParamValue v) {
+  for (auto& [k, old] : kv_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  kv_.emplace_back(std::move(key), std::move(v));
+}
+
+const ParamValue* ScenarioParams::find(std::string_view key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::int64_t ScenarioParams::get_int(std::string_view key,
+                                     std::int64_t def) const {
+  const ParamValue* p = find(key);
+  if (p == nullptr) return def;
+  CPT_EXPECTS(p->kind == ParamValue::Kind::kInt && "integer param expected");
+  return p->i;
+}
+
+double ScenarioParams::get_double(std::string_view key, double def) const {
+  const ParamValue* p = find(key);
+  if (p == nullptr) return def;
+  CPT_EXPECTS(p->kind != ParamValue::Kind::kString && "numeric param expected");
+  return p->kind == ParamValue::Kind::kInt ? static_cast<double>(p->i) : p->d;
+}
+
+std::string ScenarioParams::get_string(std::string_view key,
+                                       std::string def) const {
+  const ParamValue* p = find(key);
+  if (p == nullptr) return def;
+  CPT_EXPECTS(p->kind == ParamValue::Kind::kString && "string param expected");
+  return p->s;
+}
+
+std::string ScenarioParams::signature() const {
+  std::vector<std::pair<std::string, std::string>> rendered;
+  rendered.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) rendered.emplace_back(k, v.to_string());
+  std::sort(rendered.begin(), rendered.end());
+  std::string out;
+  for (const auto& [k, v] : rendered) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::string ScenarioInstance::label() const {
+  std::string out = family + "(" + params.signature() + ")";
+  if (!perturb.empty()) {
+    out += "+" + perturb + "(" + perturb_params.signature() + ")";
+  }
+  return out;
+}
+
+std::string ScenarioInstance::label_with_seed() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "@%" PRIu64, seed);
+  return label() + buf;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t ScenarioInstance::hash() const {
+  std::uint64_t state = fnv1a64(label());
+  state ^= seed;
+  return splitmix64(state);
+}
+
+std::uint64_t derive_instance_seed(std::string_view scenario,
+                                   const ScenarioParams& params,
+                                   std::uint64_t base_seed,
+                                   std::uint64_t index) {
+  // Each stage feeds splitmix64's *mixed output* (not its +gamma state)
+  // into the next injection, so no two inputs can cancel by XOR algebra.
+  std::uint64_t s = 0x53434e5f43505431ULL;  // "SCN_CPT1": domain separator
+  s ^= fnv1a64(scenario);
+  s = splitmix64(s);
+  s ^= fnv1a64(params.signature());
+  s = splitmix64(s);
+  s ^= base_seed;
+  s = splitmix64(s);
+  s ^= index;
+  return splitmix64(s);
+}
+
+namespace {
+
+NodeId p_node(const ScenarioParams& p, std::string_view key, std::int64_t def) {
+  const std::int64_t v = p.get_int(key, def);
+  CPT_EXPECTS(v >= 0 && "node-count param must be non-negative");
+  return static_cast<NodeId>(v);
+}
+
+// ---- Family generators ----------------------------------------------------
+
+Graph f_path(const ScenarioParams& p, Rng&) { return gen::path(p_node(p, "n", 64)); }
+Graph f_cycle(const ScenarioParams& p, Rng&) { return gen::cycle(p_node(p, "n", 64)); }
+Graph f_star(const ScenarioParams& p, Rng&) { return gen::star(p_node(p, "n", 64)); }
+Graph f_complete(const ScenarioParams& p, Rng&) { return gen::complete(p_node(p, "k", 5)); }
+Graph f_complete_bipartite(const ScenarioParams& p, Rng&) {
+  return gen::complete_bipartite(p_node(p, "a", 3), p_node(p, "b", 3));
+}
+Graph f_grid(const ScenarioParams& p, Rng&) {
+  return gen::grid(p_node(p, "rows", 16), p_node(p, "cols", 16));
+}
+Graph f_trigrid(const ScenarioParams& p, Rng&) {
+  return gen::triangulated_grid(p_node(p, "rows", 16), p_node(p, "cols", 16));
+}
+Graph f_hypercube(const ScenarioParams& p, Rng&) {
+  return gen::hypercube(static_cast<std::uint32_t>(p.get_int("dim", 4)));
+}
+Graph f_binary_tree(const ScenarioParams& p, Rng&) {
+  return gen::binary_tree(p_node(p, "n", 127));
+}
+Graph f_random_tree(const ScenarioParams& p, Rng& rng) {
+  return gen::random_tree(p_node(p, "n", 256), rng);
+}
+Graph f_outerplanar(const ScenarioParams& p, Rng& rng) {
+  const NodeId n = p_node(p, "n", 128);
+  const std::int64_t def_chords = n >= 3 ? (n - 3) / 2 : 0;
+  return gen::outerplanar(n, p_node(p, "chords", def_chords), rng);
+}
+Graph f_apollonian(const ScenarioParams& p, Rng& rng) {
+  return gen::apollonian(p_node(p, "n", 256), rng);
+}
+Graph f_random_planar(const ScenarioParams& p, Rng& rng) {
+  const NodeId n = p_node(p, "n", 256);
+  const std::int64_t def_m = 2 * static_cast<std::int64_t>(n);
+  return gen::random_planar(n, static_cast<EdgeId>(p.get_int("m", def_m)), rng);
+}
+Graph f_gnp(const ScenarioParams& p, Rng& rng) {
+  const NodeId n = p_node(p, "n", 256);
+  CPT_EXPECTS(n > 0);
+  const double prob = p.has("p") ? p.get_double("p", 0.0)
+                                 : p.get_double("avg_degree", 8.0) / n;
+  return gen::gnp(n, prob, rng);
+}
+Graph f_gnm(const ScenarioParams& p, Rng& rng) {
+  const NodeId n = p_node(p, "n", 256);
+  return gen::gnm(n, static_cast<EdgeId>(p.get_int("m", 4 * static_cast<std::int64_t>(n))), rng);
+}
+Graph f_random_regular(const ScenarioParams& p, Rng& rng) {
+  // Default degree 4: the configuration model resamples whole matchings,
+  // whose simple-graph acceptance rate decays like exp(-(d^2-1)/4) -- d >= 6
+  // virtually never survives the generator's 200 attempts.
+  return gen::random_regular(p_node(p, "n", 256),
+                             static_cast<std::uint32_t>(p.get_int("d", 4)), rng);
+}
+Graph f_wheel(const ScenarioParams& p, Rng&) { return gen::wheel(p_node(p, "n", 64)); }
+Graph f_caterpillar(const ScenarioParams& p, Rng& rng) {
+  return gen::caterpillar(p_node(p, "spine", 64), p_node(p, "legs", 128), rng);
+}
+Graph f_toroidal_grid(const ScenarioParams& p, Rng&) {
+  return gen::toroidal_grid(p_node(p, "rows", 16), p_node(p, "cols", 16));
+}
+Graph f_k5_blobs(const ScenarioParams& p, Rng& rng) {
+  return gen::planar_with_k5_blobs(p_node(p, "backbone_n", 200),
+                                   p_node(p, "blobs", 20), rng);
+}
+Graph f_file(const ScenarioParams& p, Rng&) {
+  const std::string path = p.get_string("path", "");
+  CPT_EXPECTS(!path.empty() && "file family requires path=");
+  return load_edge_list_file(path);
+}
+
+// ---- Perturbations --------------------------------------------------------
+
+Graph x_plus_random_edges(const Graph& base, const ScenarioParams& p,
+                          Rng& rng) {
+  return gen::planar_plus_random_edges(
+      base, static_cast<EdgeId>(p.get_int("extra", 0)), rng);
+}
+
+// Attaches `count` disjoint copies of `blob` to uniformly random base
+// nodes, one bridge edge each (blob node 0 -> the chosen anchor). Each blob
+// needs >= 1 edge removed to restore the base family's property, so the
+// result is at least (count / m)-far from it -- the same argument as
+// gen::planar_with_k5_blobs, over an arbitrary base.
+Graph inject_blobs(const Graph& base, const Graph& blob, NodeId count,
+                   Rng& rng) {
+  CPT_EXPECTS(base.num_nodes() > 0);
+  GraphBuilder b(base.num_nodes());
+  for (const Endpoints e : base.edges()) b.add_edge(e.u, e.v);
+  for (NodeId t = 0; t < count; ++t) {
+    const NodeId anchor =
+        static_cast<NodeId>(rng.next_below(base.num_nodes()));
+    const NodeId off = b.num_nodes();
+    for (NodeId v = 0; v < blob.num_nodes(); ++v) b.add_node();
+    for (const Endpoints e : blob.edges()) b.add_edge(off + e.u, off + e.v);
+    b.add_edge(off, anchor);
+  }
+  return std::move(b).build();
+}
+
+Graph x_k5_blobs(const Graph& base, const ScenarioParams& p, Rng& rng) {
+  return inject_blobs(base, gen::complete(5),
+                      p_node(p, "count", 8), rng);
+}
+Graph x_k33_blobs(const Graph& base, const ScenarioParams& p, Rng& rng) {
+  return inject_blobs(base, gen::complete_bipartite(3, 3),
+                      p_node(p, "count", 8), rng);
+}
+Graph x_disjoint_copies(const Graph& base, const ScenarioParams& p, Rng&) {
+  return gen::disjoint_copies(base, p_node(p, "copies", 2));
+}
+
+// ---- Presets (examples' graph setups; see examples/*.cc) ------------------
+
+// road_network: a planar street grid with `flyovers` long-range crossings
+// (examples/road_network.cc).
+ScenarioInstance preset_road_network(const ScenarioParams& user) {
+  ScenarioInstance inst;
+  inst.family = "grid";
+  inst.params.set_int("rows", user.get_int("rows", 40));
+  inst.params.set_int("cols", user.get_int("cols", 40));
+  const std::int64_t flyovers = user.get_int("flyovers", 200);
+  if (flyovers > 0) {
+    inst.perturb = "plus_random_edges";
+    inst.perturb_params.set_int("extra", flyovers);
+  }
+  return inst;
+}
+
+// overlay_backbone: a random planar P2P backbone with `overlay` extra links
+// (examples/overlay_sweep.cc).
+ScenarioInstance preset_overlay_backbone(const ScenarioParams& user) {
+  ScenarioInstance inst;
+  inst.family = "random_planar";
+  inst.params.set_int("n", user.get_int("n", 1500));
+  inst.params.set_int("m", user.get_int("m", 3200));
+  const std::int64_t overlay = user.get_int("overlay", 300);
+  if (overlay > 0) {
+    inst.perturb = "plus_random_edges";
+    inst.perturb_params.set_int("extra", overlay);
+  }
+  return inst;
+}
+
+}  // namespace
+
+const std::vector<FamilyInfo>& scenario_families() {
+  static const std::vector<FamilyInfo> kFamilies = {
+      {"path", "n=64", false, f_path},
+      {"cycle", "n=64", false, f_cycle},
+      {"star", "n=64", false, f_star},
+      {"complete", "k=5", false, f_complete},
+      {"complete_bipartite", "a=3,b=3", false, f_complete_bipartite},
+      {"grid", "rows=16,cols=16", false, f_grid},
+      {"triangulated_grid", "rows=16,cols=16", false, f_trigrid},
+      {"hypercube", "dim=4", false, f_hypercube},
+      {"binary_tree", "n=127", false, f_binary_tree},
+      {"random_tree", "n=256", true, f_random_tree},
+      {"outerplanar", "n=128,chords=(n-3)/2", true, f_outerplanar},
+      {"apollonian", "n=256", true, f_apollonian},
+      {"random_planar", "n=256,m=2n", true, f_random_planar},
+      {"gnp", "n=256,avg_degree=8 (or p=)", true, f_gnp},
+      {"gnm", "n=256,m=4n", true, f_gnm},
+      {"random_regular", "n=256,d=4 (d>=6 rarely feasible)", true,
+       f_random_regular},
+      {"wheel", "n=64", false, f_wheel},
+      {"caterpillar", "spine=64,legs=128", true, f_caterpillar},
+      {"toroidal_grid", "rows=16,cols=16", false, f_toroidal_grid},
+      {"k5_blobs", "backbone_n=200,blobs=20", true, f_k5_blobs},
+      {"file", "path=<edge list>", false, f_file},
+  };
+  return kFamilies;
+}
+
+const std::vector<PerturbInfo>& scenario_perturbations() {
+  static const std::vector<PerturbInfo> kPerturbs = {
+      {"plus_random_edges", "extra=0", x_plus_random_edges},
+      {"k5_blobs", "count=8", x_k5_blobs},
+      {"k33_blobs", "count=8", x_k33_blobs},
+      {"disjoint_copies", "copies=2", x_disjoint_copies},
+  };
+  return kPerturbs;
+}
+
+const std::vector<PresetInfo>& scenario_presets() {
+  static const std::vector<PresetInfo> kPresets = {
+      {"road_network", "rows=40,cols=40,flyovers=200", preset_road_network},
+      {"overlay_backbone", "n=1500,m=3200,overlay=300",
+       preset_overlay_backbone},
+  };
+  return kPresets;
+}
+
+const FamilyInfo* find_family(std::string_view name) {
+  for (const FamilyInfo& f : scenario_families()) {
+    if (name == f.name) return &f;
+  }
+  return nullptr;
+}
+
+const PerturbInfo* find_perturbation(std::string_view name) {
+  for (const PerturbInfo& p : scenario_perturbations()) {
+    if (name == p.name) return &p;
+  }
+  return nullptr;
+}
+
+const PresetInfo* find_preset(std::string_view name) {
+  for (const PresetInfo& p : scenario_presets()) {
+    if (name == p.name) return &p;
+  }
+  return nullptr;
+}
+
+bool is_known_scenario(std::string_view name) {
+  return find_family(name) != nullptr || find_preset(name) != nullptr;
+}
+
+ScenarioInstance resolve_scenario(std::string_view name,
+                                  const ScenarioParams& params,
+                                  std::uint64_t base_seed,
+                                  std::uint64_t index) {
+  // The seed derives from the *resolved* family and its params only --
+  // perturbation params (and preset knobs that become them, e.g.
+  // road_network's flyovers) are deliberately excluded, so sweeping a
+  // perturbation axis perturbs one fixed base graph: a controlled
+  // comparison, not a resample per sweep point. The corpus hash covers
+  // the full label (perturbation included), so distinct perturbed graphs
+  // never collide in the cache.
+  ScenarioInstance inst;
+  if (const PresetInfo* preset = find_preset(name)) {
+    inst = preset->instantiate(params);
+    CPT_ASSERT(find_family(inst.family) != nullptr);
+  } else {
+    const FamilyInfo* family = find_family(name);
+    CPT_EXPECTS(family != nullptr && "unknown scenario name");
+    inst.family = family->name;
+    inst.params = params;
+  }
+  inst.seed = derive_instance_seed(inst.family, inst.params, base_seed, index);
+  return inst;
+}
+
+Graph build_instance(const ScenarioInstance& instance) {
+  const FamilyInfo* family = find_family(instance.family);
+  CPT_EXPECTS(family != nullptr && "unknown scenario family");
+  Rng rng(instance.seed);
+  Graph g = family->make(instance.params, rng);
+  if (!instance.perturb.empty()) {
+    const PerturbInfo* perturb = find_perturbation(instance.perturb);
+    CPT_EXPECTS(perturb != nullptr && "unknown perturbation");
+    g = perturb->apply(g, instance.perturb_params, rng);
+  }
+  return g;
+}
+
+}  // namespace cpt::scenario

@@ -1,0 +1,379 @@
+// Scenario subsystem unit tests: JSON parsing, registry seed derivation,
+// golden manifest expansion (same manifest => identical job list and
+// instance seeds), corpus round-trip + hit/miss determinism, and the
+// engine-vs-direct equivalence that pins the migrated E1/E3/E7 benches
+// ("measured rounds/messages unchanged for matching instances").
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "apps/cycle_free.h"
+#include "core/tester.h"
+#include "scenario/aggregate.h"
+#include "scenario/corpus.h"
+#include "scenario/engine.h"
+#include "scenario/json.h"
+#include "scenario/manifest.h"
+#include "scenario/registry.h"
+
+namespace cpt::scenario {
+namespace {
+
+// ---- JSON -----------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysAndOrderedObjects) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::parse(
+      R"({"b": 1, "a": [2.5, "x", true, null], "c": {"n": -3}})", &v, &err))
+      << err;
+  ASSERT_TRUE(v.is_object());
+  // Declaration order is preserved (sweep-axis order depends on it).
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "c");
+  EXPECT_TRUE(v.find("b")->is_integer());
+  EXPECT_EQ(v.find("b")->as_int64(), 1);
+  const JsonValue& arr = *v.find("a");
+  ASSERT_EQ(arr.items().size(), 4u);
+  EXPECT_FALSE(arr.items()[0].is_integer());
+  EXPECT_DOUBLE_EQ(arr.items()[0].as_double(), 2.5);
+  EXPECT_EQ(arr.items()[1].as_string(), "x");
+  EXPECT_TRUE(arr.items()[2].as_bool());
+  EXPECT_TRUE(arr.items()[3].is_null());
+  EXPECT_EQ(v.find("c")->find("n")->as_int64(), -3);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(JsonValue::parse("{", &v, &err));
+  EXPECT_FALSE(JsonValue::parse("[1, 2,]", &v, &err));
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1} trailing", &v, &err));
+  EXPECT_FALSE(JsonValue::parse(R"({"a": 1, "a": 2})", &v, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// ---- Registry / seeds -----------------------------------------------------
+
+TEST(Registry, EveryFamilyBuildsAGraph) {
+  for (const FamilyInfo& family : scenario_families()) {
+    if (std::string_view(family.name) == "file") continue;  // needs a path
+    const ScenarioInstance inst =
+        resolve_scenario(family.name, ScenarioParams{}, /*base_seed=*/3,
+                         /*index=*/0);
+    const Graph g = build_instance(inst);
+    EXPECT_GT(g.num_nodes(), 0u) << family.name;
+  }
+}
+
+TEST(Registry, SeedDerivationIsStableAndSeparates) {
+  ScenarioParams p1;
+  p1.set_int("rows", 12);
+  p1.set_int("cols", 12);
+  // Declaration order must not matter (canonical signature sorts keys).
+  ScenarioParams p2;
+  p2.set_int("cols", 12);
+  p2.set_int("rows", 12);
+  EXPECT_EQ(p1.signature(), "cols=12,rows=12");
+  EXPECT_EQ(derive_instance_seed("grid", p1, 7, 0),
+            derive_instance_seed("grid", p2, 7, 0));
+  // Golden value: pins the documented splitmix64 chain. If this changes,
+  // every recorded corpus hash and manifest expansion changes with it.
+  EXPECT_EQ(derive_instance_seed("grid", p1, 7, 0), 0x4b58ff6823165966ULL);
+  // Any input perturbation separates.
+  EXPECT_NE(derive_instance_seed("grid", p1, 7, 0),
+            derive_instance_seed("grid", p1, 7, 1));
+  EXPECT_NE(derive_instance_seed("grid", p1, 7, 0),
+            derive_instance_seed("grid", p1, 8, 0));
+  EXPECT_NE(derive_instance_seed("grid", p1, 7, 0),
+            derive_instance_seed("triangulated_grid", p1, 7, 0));
+  ScenarioParams p3 = p1;
+  p3.set_int("rows", 13);
+  EXPECT_NE(derive_instance_seed("grid", p1, 7, 0),
+            derive_instance_seed("grid", p3, 7, 0));
+}
+
+TEST(Registry, BuildInstanceIsDeterministic) {
+  ScenarioParams params;
+  params.set_int("n", 120);
+  const ScenarioInstance inst =
+      resolve_scenario("apollonian", params, 11, 2);
+  const Graph a = build_instance(inst);
+  const Graph b = build_instance(inst);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.endpoints(e).u, b.endpoints(e).u);
+    EXPECT_EQ(a.endpoints(e).v, b.endpoints(e).v);
+  }
+}
+
+TEST(Registry, PerturbationsChangeTheGraphDeterministically) {
+  ScenarioParams params;
+  params.set_int("rows", 8);
+  params.set_int("cols", 8);
+  ScenarioInstance inst = resolve_scenario("grid", params, 5, 0);
+  const Graph base = build_instance(inst);
+  inst.perturb = "k5_blobs";
+  inst.perturb_params.set_int("count", 3);
+  const Graph blobs = build_instance(inst);
+  EXPECT_EQ(blobs.num_nodes(), base.num_nodes() + 3 * 5);
+  EXPECT_EQ(blobs.num_edges(), base.num_edges() + 3 * (10 + 1));
+  inst.perturb = "k33_blobs";
+  const Graph k33 = build_instance(inst);
+  EXPECT_EQ(k33.num_nodes(), base.num_nodes() + 3 * 6);
+  EXPECT_EQ(k33.num_edges(), base.num_edges() + 3 * (9 + 1));
+  inst.perturb = "disjoint_copies";
+  inst.perturb_params = ScenarioParams{};
+  inst.perturb_params.set_int("copies", 4);
+  const Graph copies = build_instance(inst);
+  EXPECT_EQ(copies.num_nodes(), 4 * base.num_nodes());
+  EXPECT_EQ(copies.num_edges(), 4 * base.num_edges());
+}
+
+TEST(Registry, PresetsResolveToFamilies) {
+  ScenarioParams params;
+  params.set_int("flyovers", 25);
+  const ScenarioInstance road =
+      resolve_scenario("road_network", params, 2024, 0);
+  EXPECT_EQ(road.family, "grid");
+  EXPECT_EQ(road.perturb, "plus_random_edges");
+  EXPECT_EQ(road.perturb_params.get_int("extra", -1), 25);
+  const Graph g = build_instance(road);
+  EXPECT_EQ(g.num_nodes(), 40u * 40u);
+  EXPECT_EQ(g.num_edges(), 2u * 40u * 39u + 25u);
+
+  const ScenarioInstance overlay =
+      resolve_scenario("overlay_backbone", ScenarioParams{}, 77, 0);
+  EXPECT_EQ(overlay.family, "random_planar");
+  EXPECT_EQ(overlay.perturb, "plus_random_edges");
+}
+
+// ---- Manifest expansion ---------------------------------------------------
+
+constexpr const char* kSmallManifest = R"({
+  "name": "golden",
+  "base_seed": 7,
+  "defaults": {"trials": 2, "epsilon": 0.15, "tester": ["planarity", "cycle_free"]},
+  "cells": [
+    {"scenario": "grid", "params": {"rows": [12, 16], "cols": 12}},
+    {"scenario": "cycle", "params": {"n": 30},
+     "perturb": {"kind": "k33_blobs", "count": [2, 4]},
+     "tester": "planarity", "trials": 1, "instances": 2}
+  ]
+})";
+
+TEST(Manifest, GoldenExpansion) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(kSmallManifest, &m, &err)) << err;
+  EXPECT_EQ(m.name, "golden");
+  EXPECT_EQ(m.base_seed, 7u);
+  ASSERT_EQ(m.cells.size(), 2u);
+
+  const std::vector<Job> jobs = expand_manifest(m);
+  // Cell 0: 2 rows-values x 2 testers x 2 trials = 8.
+  // Cell 1: 2 count-values x 2 instances x 1 trial = 4.
+  ASSERT_EQ(jobs.size(), 12u);
+
+  // Axis order: rows axis outermost, then tester, then trial.
+  EXPECT_EQ(jobs[0].instance.label(), "grid(cols=12,rows=12)");
+  EXPECT_EQ(jobs[0].tester, TesterKind::kPlanarity);
+  EXPECT_EQ(jobs[0].trial, 0u);
+  EXPECT_EQ(jobs[1].trial, 1u);
+  EXPECT_EQ(jobs[2].tester, TesterKind::kCycleFree);
+  EXPECT_EQ(jobs[4].instance.label(), "grid(cols=12,rows=16)");
+  // Golden instance seed (same derivation chain as Registry golden).
+  EXPECT_EQ(jobs[0].instance.seed, 0x4b58ff6823165966ULL);
+  // All four grid(rows=12) jobs share one instance; seeds match.
+  EXPECT_EQ(jobs[0].instance.hash(), jobs[2].instance.hash());
+  EXPECT_NE(jobs[0].instance.hash(), jobs[4].instance.hash());
+  // Trials vary the tester seed, not the instance.
+  EXPECT_NE(jobs[0].tester_seed, jobs[1].tester_seed);
+  EXPECT_EQ(jobs[0].tester_seed, derive_tester_seed(jobs[0].instance.seed, 0));
+
+  // Perturbed cell: the seed covers the base family only, so the count
+  // axis sweeps noise on a fixed base graph (same seed, different label /
+  // hash); the instance index still separates sibling graphs.
+  EXPECT_EQ(jobs[8].instance.label(), "cycle(n=30)+k33_blobs(count=2)");
+  EXPECT_EQ(jobs[8].instance_index, 0u);
+  EXPECT_EQ(jobs[9].instance_index, 1u);
+  EXPECT_NE(jobs[8].instance.seed, jobs[9].instance.seed);
+  EXPECT_EQ(jobs[10].instance.label(), "cycle(n=30)+k33_blobs(count=4)");
+  EXPECT_EQ(jobs[8].instance.seed, jobs[10].instance.seed);
+  EXPECT_NE(jobs[8].instance.hash(), jobs[10].instance.hash());
+  // A count=4 blob graph extends the count=2 one: shared Rng, nested
+  // noise (edge ids renumber -- the builder normalizes -- but every
+  // count=2 edge is present in the count=4 graph).
+  const Graph two = build_instance(jobs[8].instance);
+  const Graph four = build_instance(jobs[10].instance);
+  EXPECT_EQ(four.num_nodes(), two.num_nodes() + 2 * 6);
+  EXPECT_EQ(four.num_edges(), two.num_edges() + 2 * 10);
+  for (EdgeId e = 0; e < two.num_edges(); ++e) {
+    EXPECT_TRUE(four.has_edge(two.endpoints(e).u, two.endpoints(e).v));
+  }
+
+  // Same manifest => bit-identical job list (the reproducibility contract).
+  const std::vector<Job> again = expand_manifest(m);
+  ASSERT_EQ(again.size(), jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(again[j].cell_key(), jobs[j].cell_key());
+    EXPECT_EQ(again[j].instance.seed, jobs[j].instance.seed);
+    EXPECT_EQ(again[j].tester_seed, jobs[j].tester_seed);
+    EXPECT_EQ(again[j].instance.hash(), jobs[j].instance.hash());
+  }
+}
+
+TEST(Manifest, RejectsUnknownNamesAndBadFields) {
+  Manifest m;
+  std::string err;
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "not_a_family"}]})", &m, &err));
+  EXPECT_NE(err.find("unknown scenario"), std::string::npos);
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid", "tester": "nope"}]})", &m, &err));
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid", "perturb": {"kind": "nope"}}]})", &m,
+      &err));
+  EXPECT_FALSE(parse_manifest(R"({"cells": []})", &m, &err));
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid", "params": {"rows": []}}]})", &m,
+      &err));
+  // Presets fix their own perturbation.
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "road_network",
+                     "perturb": {"kind": "k5_blobs"}}]})",
+      &m, &err));
+}
+
+// ---- Corpus ---------------------------------------------------------------
+
+TEST(Corpus, RoundTripsGraphsBitForBit) {
+  const std::string dir = testing::TempDir() + "cpt_corpus_rt";
+  const CorpusStore store(dir);
+  ScenarioParams params;
+  params.set_int("n", 90);
+  const ScenarioInstance inst = resolve_scenario("random_planar", params, 9, 1);
+  const Graph g = build_instance(inst);
+  ASSERT_TRUE(store.save(inst.hash(), g));
+  Graph loaded;
+  ASSERT_TRUE(store.load(inst.hash(), &loaded));
+  ASSERT_EQ(loaded.num_nodes(), g.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded.endpoints(e).u, g.endpoints(e).u);
+    EXPECT_EQ(loaded.endpoints(e).v, g.endpoints(e).v);
+  }
+  Graph missing;
+  EXPECT_FALSE(store.load(inst.hash() + 1, &missing));
+}
+
+TEST(Corpus, BatchHitMissCountsAreDeterministic) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(kSmallManifest, &m, &err)) << err;
+  // A fresh directory per run: the first batch must see an empty cache.
+  std::string dir_template = testing::TempDir() + "cpt_corpus_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template.data()), nullptr);
+
+  BatchOptions opt;
+  opt.threads = 2;
+  opt.corpus_dir = dir_template;
+  const BatchResult first = run_batch(m, opt);
+  // 2 grid instances + 4 perturbed cycle instances (2 counts x 2 indices).
+  EXPECT_EQ(first.corpus.unique_instances, 6u);
+  EXPECT_EQ(first.corpus.generated, 6u);
+  EXPECT_EQ(first.corpus.disk_hits, 0u);
+
+  const BatchResult second = run_batch(m, opt);
+  EXPECT_EQ(second.corpus.unique_instances, 6u);
+  EXPECT_EQ(second.corpus.generated, 0u);
+  EXPECT_EQ(second.corpus.disk_hits, 6u);
+
+  // Cached and regenerated instances are interchangeable: identical
+  // aggregates.
+  const auto cells1 = aggregate_cells(first);
+  const auto cells2 = aggregate_cells(second);
+  EXPECT_EQ(render_aggregate_json(m, first, cells1),
+            render_aggregate_json(m, second, cells2));
+}
+
+// ---- Engine ---------------------------------------------------------------
+
+TEST(Engine, MatchesDirectTesterCalls) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(kSmallManifest, &m, &err)) << err;
+  const std::vector<Job> jobs = expand_manifest(m);
+  // Planarity job == direct test_planarity with the same options.
+  const Job& pj = jobs[0];
+  const Graph pg = build_instance(pj.instance);
+  const JobResult via_engine = run_job(pj, pg);
+  TesterOptions topt;
+  topt.epsilon = pj.epsilon;
+  topt.seed = pj.tester_seed;
+  topt.num_threads = pj.sim_threads;
+  topt.stage1.adaptive = pj.adaptive;
+  const TesterResult direct = test_planarity(pg, topt);
+  EXPECT_EQ(via_engine.verdict, direct.verdict);
+  EXPECT_EQ(via_engine.rounds, direct.ledger.total_rounds());
+  EXPECT_EQ(via_engine.messages, direct.ledger.total_messages());
+
+  // Cycle-freeness job == direct test_cycle_freeness.
+  const Job& cj = jobs[2];
+  ASSERT_EQ(cj.tester, TesterKind::kCycleFree);
+  const Graph cg = build_instance(cj.instance);
+  const JobResult ce = run_job(cj, cg);
+  MinorFreeOptions mopt;
+  mopt.epsilon = cj.epsilon;
+  mopt.alpha = cj.alpha;
+  mopt.randomized = cj.randomized;
+  mopt.delta = cj.delta;
+  mopt.seed = cj.tester_seed;
+  mopt.adaptive_phases = cj.adaptive;
+  mopt.num_threads = cj.sim_threads;
+  const AppResult cd = test_cycle_freeness(cg, mopt);
+  EXPECT_EQ(ce.verdict, cd.verdict);
+  EXPECT_EQ(ce.rounds, cd.ledger.total_rounds());
+  EXPECT_EQ(ce.messages, cd.ledger.total_messages());
+}
+
+TEST(Engine, AggregateJsonIsThreadCountInvariant) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(kSmallManifest, &m, &err)) << err;
+  BatchOptions serial;
+  serial.threads = 1;
+  BatchOptions parallel;
+  parallel.threads = 4;
+  const BatchResult a = run_batch(m, serial);
+  const BatchResult b = run_batch(m, parallel);
+  EXPECT_EQ(b.threads_used, 4u);
+  const std::string ja = render_aggregate_json(m, a, aggregate_cells(a));
+  const std::string jb = render_aggregate_json(m, b, aggregate_cells(b));
+  EXPECT_EQ(ja, jb);
+  EXPECT_EQ(render_aggregate_csv(aggregate_cells(a)),
+            render_aggregate_csv(aggregate_cells(b)));
+}
+
+TEST(Aggregate, QuantilesAreNearestRank) {
+  const QuantileSummary q = summarize({5, 1, 3, 2, 4});
+  EXPECT_EQ(q.min, 1u);
+  EXPECT_EQ(q.p25, 2u);
+  EXPECT_EQ(q.p50, 3u);
+  EXPECT_EQ(q.p75, 4u);
+  EXPECT_EQ(q.max, 5u);
+  const QuantileSummary single = summarize({42});
+  EXPECT_EQ(single.min, 42u);
+  EXPECT_EQ(single.p50, 42u);
+  EXPECT_EQ(single.max, 42u);
+}
+
+}  // namespace
+}  // namespace cpt::scenario

@@ -1,0 +1,235 @@
+// Batch front end for the scenario engine: expand manifests, run sweeps
+// with cross-simulation parallelism, emit the aggregate JSON/CSV schema.
+//
+//   cpt_batch list                          registry (families, perturbations,
+//                                           presets, testers)
+//   cpt_batch expand <manifest.json>        print the expanded job list
+//   cpt_batch run <manifest.json>           execute and aggregate
+//       [--threads=N]                       concurrent simulations (0 = env)
+//       [--corpus=DIR]                      binary graph cache directory
+//       [--out=FILE]                        aggregate JSON (deterministic:
+//                                           bit-identical at every --threads)
+//       [--csv=FILE]                        aggregate CSV
+//       [--timing-out=FILE]                 wall-clock report (nondeterministic)
+//       [--quiet]                           suppress the summary table
+//   cpt_batch gen <scenario> [k=v ...]      write one instance as an edge
+//       [--base-seed=S] [--index=I]         list to stdout (graph/io.h format)
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/io.h"
+#include "scenario/aggregate.h"
+#include "scenario/engine.h"
+#include "scenario/json.h"
+#include "scenario/manifest.h"
+#include "scenario/registry.h"
+
+using namespace cpt;
+using namespace cpt::scenario;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cpt_batch list\n"
+               "  cpt_batch expand <manifest.json>\n"
+               "  cpt_batch run <manifest.json> [--threads=N] [--corpus=DIR]\n"
+               "                [--out=FILE] [--csv=FILE] [--timing-out=FILE]"
+               " [--quiet]\n"
+               "  cpt_batch gen <scenario> [key=value ...] [--base-seed=S]"
+               " [--index=I]\n");
+  return 2;
+}
+
+int cmd_list() {
+  std::printf("graph families (scenario registry):\n");
+  for (const FamilyInfo& f : scenario_families()) {
+    std::printf("  %-20s %s%s\n", f.name, f.params_help,
+                f.randomized ? "  [seeded]" : "");
+  }
+  std::printf("\nperturbations (eps-far wrappers, \"perturb\" block):\n");
+  for (const PerturbInfo& p : scenario_perturbations()) {
+    std::printf("  %-20s %s\n", p.name, p.params_help);
+  }
+  std::printf("\npresets (named scenarios; examples share these):\n");
+  for (const PresetInfo& p : scenario_presets()) {
+    std::printf("  %-20s %s\n", p.name, p.params_help);
+  }
+  std::printf("\ntesters: planarity | cycle_free | bipartite\n");
+  return 0;
+}
+
+int cmd_expand(const std::string& path) {
+  Manifest manifest;
+  std::string error;
+  if (!load_manifest_file(path, &manifest, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::vector<Job> jobs = expand_manifest(manifest);
+  std::printf("# manifest %s: %zu jobs, base_seed=%" PRIu64 "\n",
+              manifest.name.c_str(), jobs.size(), manifest.base_seed);
+  std::printf("%-6s %-52s %-10s %-7s %-5s %-20s\n", "job", "instance",
+              "tester", "eps", "trial", "seeds(instance/tester)");
+  for (const Job& job : jobs) {
+    char seeds[48];
+    std::snprintf(seeds, sizeof seeds, "%016" PRIx64 "/%016" PRIx64,
+                  job.instance.seed, job.tester_seed);
+    std::printf("%-6u %-52s %-10s %-7.3f %-5u %s\n", job.job_index,
+                job.instance.label().c_str(), tester_name(job.tester),
+                job.epsilon, job.trial, seeds);
+  }
+  return 0;
+}
+
+int cmd_run(const std::string& path, const BatchOptions& options,
+            const std::string& out_path, const std::string& csv_path,
+            const std::string& timing_path, bool quiet) {
+  Manifest manifest;
+  std::string error;
+  if (!load_manifest_file(path, &manifest, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const BatchResult batch = run_batch(manifest, options);
+  const std::vector<CellAggregate> cells = aggregate_cells(batch);
+
+  if (!quiet) {
+    std::printf("# %s: %zu jobs over %" PRIu64
+                " instances, %u threads, %.2fs wall\n",
+                manifest.name.c_str(), batch.jobs.size(),
+                batch.corpus.unique_instances, batch.threads_used,
+                batch.wall_seconds);
+    std::printf("# corpus: %" PRIu64 " generated, %" PRIu64 " disk hits%s%s\n",
+                batch.corpus.generated, batch.corpus.disk_hits,
+                options.corpus_dir.empty() ? "" : " in ",
+                options.corpus_dir.c_str());
+    std::printf("%-44s %-10s %-6s %-10s %-12s %-12s\n", "scenario", "tester",
+                "eps", "detect", "rounds p50", "messages p50");
+    for (const CellAggregate& cell : cells) {
+      char detect[24];
+      std::snprintf(detect, sizeof detect, "%u/%u", cell.rejects, cell.jobs);
+      std::printf("%-44s %-10s %-6.3f %-10s %-12" PRIu64 " %-12" PRIu64 "\n",
+                  cell.scenario.c_str(), cell.tester.c_str(), cell.epsilon,
+                  detect, cell.rounds.p50, cell.messages.p50);
+    }
+  }
+  if (!out_path.empty() &&
+      !write_text_file(out_path,
+                       render_aggregate_json(manifest, batch, cells))) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!csv_path.empty() &&
+      !write_text_file(csv_path, render_aggregate_csv(cells))) {
+    std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!timing_path.empty() &&
+      !write_text_file(timing_path,
+                       render_timing_json(manifest, batch, cells))) {
+    std::fprintf(stderr, "error: cannot write %s\n", timing_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// key=value -> typed ParamValue (int, else double, else string).
+bool parse_kv(const std::string& arg, ScenarioParams* params) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string key = arg.substr(0, eq);
+  const std::string value = arg.substr(eq + 1);
+  char* end = nullptr;
+  const long long i = std::strtoll(value.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && !value.empty()) {
+    params->set_int(key, i);
+    return true;
+  }
+  const double d = std::strtod(value.c_str(), &end);
+  if (end != nullptr && *end == '\0' && !value.empty()) {
+    params->set_double(key, d);
+    return true;
+  }
+  params->set_string(key, value);
+  return true;
+}
+
+int cmd_gen(const std::vector<std::string>& args, std::uint64_t base_seed,
+            std::uint64_t index) {
+  if (args.empty()) return usage();
+  const std::string& name = args[0];
+  if (!is_known_scenario(name)) {
+    std::fprintf(stderr, "error: unknown scenario \"%s\" (see cpt_batch list)\n",
+                 name.c_str());
+    return 1;
+  }
+  ScenarioParams params;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (!parse_kv(args[i], &params)) {
+      std::fprintf(stderr, "error: expected key=value, got \"%s\"\n",
+                   args[i].c_str());
+      return 1;
+    }
+  }
+  const ScenarioInstance inst =
+      resolve_scenario(name, params, base_seed, index);
+  const Graph g = build_instance(inst);
+  std::printf("# %s  hash=%016" PRIx64 "\n", inst.label_with_seed().c_str(),
+              inst.hash());
+  write_edge_list(g, std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BatchOptions options;
+  std::string out_path, csv_path, timing_path;
+  std::uint64_t base_seed = 1, index = 0;
+  bool quiet = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--threads=", 10) == 0) {
+      options.threads = static_cast<unsigned>(std::atoi(a + 10));
+    } else if (std::strncmp(a, "--corpus=", 9) == 0) {
+      options.corpus_dir = a + 9;
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      out_path = a + 6;
+    } else if (std::strncmp(a, "--csv=", 6) == 0) {
+      csv_path = a + 6;
+    } else if (std::strncmp(a, "--timing-out=", 13) == 0) {
+      timing_path = a + 13;
+    } else if (std::strncmp(a, "--base-seed=", 12) == 0) {
+      base_seed = static_cast<std::uint64_t>(std::strtoull(a + 12, nullptr, 10));
+    } else if (std::strncmp(a, "--index=", 8) == 0) {
+      index = static_cast<std::uint64_t>(std::strtoull(a + 8, nullptr, 10));
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strncmp(a, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", a);
+      return usage();
+    } else {
+      args.emplace_back(a);
+    }
+  }
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "expand" && args.size() == 2) return cmd_expand(args[1]);
+  if (cmd == "run" && args.size() == 2) {
+    return cmd_run(args[1], options, out_path, csv_path, timing_path, quiet);
+  }
+  if (cmd == "gen") {
+    return cmd_gen({args.begin() + 1, args.end()}, base_seed, index);
+  }
+  return usage();
+}
