@@ -1,29 +1,43 @@
 // E2 -- Theorem 1: poly(1/eps) dependence of the round complexity.
 // Fixed planar input, eps sweep; reports rounds, the phase budget
 // t = Theta(log 1/eps) and the measured part diameters.
+//
+// Driven by the scenario engine: the eps axis lives in
+// bench/manifests/e2.json (override with --manifest=PATH); --threads=N runs
+// the eps points concurrently. Per-job results are identical to direct
+// test_planarity calls on the same instance (pinned by scenario_test.cc).
 #include "bench/bench_common.h"
-#include "core/tester.h"
-#include "graph/generators.h"
+#include "bench/manifest_args.h"
+#include "scenario/engine.h"
+#include "scenario/manifest.h"
 
 using namespace cpt;
+using namespace cpt::scenario;
 
-int main() {
+int main(int argc, char** argv) {
+  Manifest manifest;
+  BatchOptions options;
+  std::string manifest_path;
+  if (const int rc = bench::parse_manifest_args(
+          argc, argv, CPT_MANIFEST_DIR "/e2.json", &manifest, &options,
+          &manifest_path)) {
+    return rc;
+  }
   bench::header("E2: rounds vs 1/eps (triangulated grid, n = 4096)",
                 "Theorem 1: poly(1/eps) factor; Claim 3: t = Theta(log 1/eps)");
-  const Graph g = gen::triangulated_grid(64, 64);
+  const BatchResult batch = run_batch(manifest, options);
   std::printf("%-8s %-8s %-12s %-12s %-10s %-12s\n", "eps", "phases",
               "rounds", "cut-edges", "parts", "max-ecc");
-  for (const double eps : {0.5, 0.4, 0.3, 0.25, 0.2, 0.15, 0.1}) {
-    TesterOptions opt;
-    opt.epsilon = eps;
-    opt.seed = 3;
-    const TesterResult r = test_planarity(g, opt);
-    std::printf("%-8.2f %-8u %-12llu %-12llu %-10u %-12u\n", eps,
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    const Job& job = batch.jobs[j];
+    const JobResult& r = batch.results[j];
+    std::printf("%-8.2f %-8u %-12llu %-12llu %-10u %-12u\n", job.epsilon,
                 r.stage1_phases_total,
-                static_cast<unsigned long long>(r.rounds()),
-                static_cast<unsigned long long>(r.partition.cut_edges),
-                r.partition.num_parts, r.partition.max_part_ecc);
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.cut_edges), r.num_parts,
+                r.max_part_ecc);
   }
   std::printf("\nSmaller eps => more phases, bigger merged parts, more rounds.\n");
+  std::printf("(sweep definition: %s)\n", manifest_path.c_str());
   return 0;
 }

@@ -2,39 +2,39 @@
 // Reports, per phase: cut weight before/after (the Claim-1 contraction
 // factor must be <= 1 - 1/36), and at completion: cut <= eps*m/2 (Claim 3)
 // and the part diameters (Claim 4 / Corollary 5).
+//
+// Driven by the scenario engine: inputs live in bench/manifests/e4.json
+// (tester "stage1_partition" runs the bare Theorem 3 driver; override with
+// --manifest=PATH, --threads=N for concurrent inputs). Per-phase stats and
+// the final partition are identical to direct run_stage1 calls (pinned by
+// scenario_test.cc).
 #include "bench/bench_common.h"
-#include "congest/network.h"
-#include "congest/simulator.h"
-#include "graph/generators.h"
-#include "partition/partition.h"
+#include "bench/manifest_args.h"
+#include "scenario/engine.h"
+#include "scenario/manifest.h"
 
 using namespace cpt;
+using namespace cpt::scenario;
 
-int main() {
+int main(int argc, char** argv) {
+  Manifest manifest;
+  BatchOptions options;
+  std::string manifest_path;
+  if (const int rc = bench::parse_manifest_args(
+          argc, argv, CPT_MANIFEST_DIR "/e4.json", &manifest, &options,
+          &manifest_path)) {
+    return rc;
+  }
   bench::header("E4: Stage I partition quality",
                 "Claim 1: w(G_{i+1}) <= (1-1/36) w(G_i); Claim 3: final cut "
                 "<= eps*m/2; Claim 4: diameter <= 4^i");
-  Rng rng(9);
-  struct Input {
-    const char* name;
-    Graph g;
-  };
-  std::vector<Input> inputs;
-  inputs.push_back({"trigrid 48x48", gen::triangulated_grid(48, 48)});
-  inputs.push_back({"apollonian 2k", gen::apollonian(2000, rng)});
-  inputs.push_back({"rnd-planar 2k", gen::random_planar(2000, 4800, rng)});
-
-  const double eps = 0.25;
-  for (const Input& input : inputs) {
-    congest::Network net(input.g);
-    congest::Simulator sim(net);
-    congest::RoundLedger ledger;
-    Stage1Options opt;
-    opt.epsilon = eps;
-    const Stage1Result r = run_stage1(sim, input.g, opt, ledger);
+  const BatchResult batch = run_batch(manifest, options);
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    const Job& job = batch.jobs[j];
+    const JobResult& r = batch.results[j];
     std::printf("\n-- %s: n=%u m=%u, phases emulated %u/%u, rejected=%d\n",
-                input.name, input.g.num_nodes(), input.g.num_edges(),
-                r.phases_emulated, r.phases_total, r.rejected ? 1 : 0);
+                job.instance.label().c_str(), r.n, r.m, r.stage1_phases,
+                r.stage1_phases_total, r.verdict == Verdict::kReject ? 1 : 0);
     std::printf("%-7s %-10s %-10s %-9s %-8s %-8s %-8s %-7s\n", "phase",
                 "cut-before", "cut-after", "factor", "parts", "cv-it",
                 "T-height", "rounds");
@@ -54,13 +54,13 @@ int main() {
         std::printf("  !! Claim 1 factor exceeded\n");
       }
     }
-    const PartitionStats stats = measure_partition(input.g, r.forest);
-    const double target = eps * input.g.num_edges() / 2.0;
+    const double target = job.epsilon * r.m / 2.0;
     std::printf("final: cut=%llu (target <= %.0f: %s)  parts=%u  "
                 "max-ecc=%u  max-tree-depth=%u\n",
-                static_cast<unsigned long long>(stats.cut_edges), target,
-                stats.cut_edges <= target ? "OK" : "VIOLATED",
-                stats.num_parts, stats.max_part_ecc, stats.max_tree_depth);
+                static_cast<unsigned long long>(r.cut_edges), target,
+                r.cut_edges <= target ? "OK" : "VIOLATED", r.num_parts,
+                r.max_part_ecc, r.max_tree_depth);
   }
+  std::printf("(sweep definition: %s)\n", manifest_path.c_str());
   return 0;
 }

@@ -30,6 +30,7 @@ MinorFreePartition minor_free_partition(congest::Simulator& sim, const Graph& g,
     s1.epsilon = opt.epsilon;
     s1.alpha = opt.alpha;
     s1.adaptive = opt.adaptive_phases;
+    s1.pipelined_streams = opt.pipelined_streams;
     Stage1Result r = run_stage1(sim, g, s1, ledger);
     out.rejected = r.rejected;
     out.rejecting_nodes = std::move(r.rejecting_nodes);

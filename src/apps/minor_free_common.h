@@ -21,6 +21,9 @@ struct MinorFreeOptions {
   double delta = 0.1;         // randomized variant's failure probability
   std::uint64_t seed = 1;
   bool adaptive_phases = false;
+  // Stage I pipelined converge/broadcast streams (deterministic partition
+  // only; the randomized variant has no unpipelined schedule).
+  bool pipelined_streams = true;
   unsigned num_threads = 0;   // simulator workers (0 = env default)
 };
 

@@ -24,30 +24,43 @@ bool next_line(std::istream& in, std::string& line) {
 
 }  // namespace
 
-Graph read_edge_list(std::istream& in) {
-  // Reads happen outside the contract macros: checked conditions must stay
-  // side-effect free or CPT_DISABLE_CONTRACTS builds would skip the parse.
+bool try_read_edge_list(std::istream& in, Graph* out, std::string* error) {
+  const auto fail = [&](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
   std::string line;
-  [[maybe_unused]] const bool has_header = next_line(in, line);
-  CPT_EXPECTS(has_header && "edge list: missing header");
+  if (!next_line(in, line)) return fail("edge list: missing header");
   std::istringstream header(line);
   std::uint64_t n = 0;
   std::uint64_t m = 0;
-  [[maybe_unused]] const bool header_ok =
-      static_cast<bool>(header >> n >> m);
-  CPT_EXPECTS(header_ok && "edge list: bad header");
+  if (!(header >> n >> m)) return fail("edge list: bad header");
+  if (n > 0xffffffffULL) return fail("edge list: node count exceeds 2^32");
   GraphBuilder b(static_cast<NodeId>(n));
   for (std::uint64_t i = 0; i < m; ++i) {
-    [[maybe_unused]] const bool has_row = next_line(in, line);
-    CPT_EXPECTS(has_row && "edge list: truncated");
+    if (!next_line(in, line)) return fail("edge list: truncated");
     std::istringstream row(line);
     std::uint64_t u = 0;
     std::uint64_t v = 0;
-    [[maybe_unused]] const bool row_ok = static_cast<bool>(row >> u >> v);
-    CPT_EXPECTS(row_ok && "edge list: bad edge row");
+    if (!(row >> u >> v)) return fail("edge list: bad edge row");
+    // GraphBuilder's preconditions, reported instead of tripped: this
+    // variant exists precisely so user files cannot abort the process.
+    if (u >= n || v >= n) return fail("edge list: endpoint out of range");
+    if (u == v) return fail("edge list: self-loop");
     b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
-  return std::move(b).build();
+  *out = std::move(b).build();
+  return true;
+}
+
+Graph read_edge_list(std::istream& in) {
+  // Parsing happens outside the contract macros: checked conditions must
+  // stay side-effect free or CPT_DISABLE_CONTRACTS builds would skip it.
+  Graph g;
+  std::string error;
+  [[maybe_unused]] const bool ok = try_read_edge_list(in, &g, &error);
+  CPT_EXPECTS(ok && "edge list: malformed (see try_read_edge_list)");
+  return g;
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {

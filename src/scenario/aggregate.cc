@@ -1,8 +1,6 @@
 #include "scenario/aggregate.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "scenario/json.h"
 #include "util/contracts.h"
@@ -25,21 +23,32 @@ QuantileSummary summarize(std::vector<std::uint64_t> values) {
   return q;
 }
 
-std::vector<CellAggregate> aggregate_cells(const BatchResult& batch) {
-  CPT_EXPECTS(batch.jobs.size() == batch.results.size());
-  struct Accum {
-    std::vector<std::uint64_t> rounds, messages;
-    std::unordered_set<std::uint64_t> instance_hashes;
-  };
-  std::vector<CellAggregate> cells;
-  std::vector<Accum> accums;
-  std::unordered_map<std::string, std::size_t> index;
+StreamingAggregator::StreamingAggregator(const std::vector<Job>& jobs) {
+  for (const Job& job : jobs) ++expected_[job.cell_key()];
+}
 
-  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
-    const Job& job = batch.jobs[j];
-    const JobResult& res = batch.results[j];
-    std::string key = job.cell_key();
-    auto [it, fresh] = index.emplace(std::move(key), cells.size());
+void StreamingAggregator::finalize(std::size_t index) {
+  CellAggregate& cell = cells_[index];
+  Accum& acc = accums_[index];
+  cell.instances = static_cast<std::uint32_t>(acc.instance_hashes.size());
+  cell.detection_rate =
+      cell.jobs == 0 ? 0.0
+                     : static_cast<double>(cell.rejects) / cell.jobs;
+  cell.rounds = summarize(std::move(acc.rounds));
+  cell.messages = summarize(std::move(acc.messages));
+  acc = Accum{};  // drop the per-job buffers
+  acc.done = true;
+  --open_cells_;
+}
+
+void StreamingAggregator::consume(const Job& job, const JobResult& result) {
+  ++consumed_jobs_;
+  std::string key = job.cell_key();
+  const std::uint32_t seen = ++consumed_[key];
+  if (result.failed) {
+    ++failed_jobs_;
+  } else {
+    auto [it, fresh] = index_.emplace(std::move(key), cells_.size());
     if (fresh) {
       CellAggregate cell;
       cell.key = it->first;
@@ -48,38 +57,64 @@ std::vector<CellAggregate> aggregate_cells(const BatchResult& batch) {
       cell.epsilon = job.epsilon;
       cell.adaptive = job.adaptive;
       cell.randomized = job.randomized;
-      cell.n_min = res.n;
-      cell.n_max = res.n;
-      cell.m_min = res.m;
-      cell.m_max = res.m;
-      cells.push_back(std::move(cell));
-      accums.emplace_back();
+      cell.n_min = result.n;
+      cell.n_max = result.n;
+      cell.m_min = result.m;
+      cell.m_max = result.m;
+      cells_.push_back(std::move(cell));
+      accums_.emplace_back();
+      accums_.back().open = true;
+      ++open_cells_;
+      peak_open_cells_ = std::max(peak_open_cells_, open_cells_);
     }
-    CellAggregate& cell = cells[it->second];
-    Accum& acc = accums[it->second];
+    CellAggregate& cell = cells_[it->second];
+    Accum& acc = accums_[it->second];
     ++cell.jobs;
-    if (res.verdict == Verdict::kAccept) ++cell.accepts;
-    if (res.verdict == Verdict::kReject) ++cell.rejects;
-    cell.n_min = std::min(cell.n_min, res.n);
-    cell.n_max = std::max(cell.n_max, res.n);
-    cell.m_min = std::min(cell.m_min, res.m);
-    cell.m_max = std::max(cell.m_max, res.m);
-    cell.wall_seconds += res.wall_seconds;
-    acc.rounds.push_back(res.rounds);
-    acc.messages.push_back(res.messages);
+    if (result.verdict == Verdict::kAccept) ++cell.accepts;
+    if (result.verdict == Verdict::kReject) ++cell.rejects;
+    cell.n_min = std::min(cell.n_min, result.n);
+    cell.n_max = std::max(cell.n_max, result.n);
+    cell.m_min = std::min(cell.m_min, result.m);
+    cell.m_max = std::max(cell.m_max, result.m);
+    cell.wall_seconds += result.wall_seconds;
+    acc.rounds.push_back(result.rounds);
+    acc.messages.push_back(result.messages);
     acc.instance_hashes.insert(job.instance.hash());
+    key = cell.key;  // emplace may have consumed the local above
   }
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    cells[c].instances =
-        static_cast<std::uint32_t>(accums[c].instance_hashes.size());
-    cells[c].detection_rate =
-        cells[c].jobs == 0
-            ? 0.0
-            : static_cast<double>(cells[c].rejects) / cells[c].jobs;
-    cells[c].rounds = summarize(std::move(accums[c].rounds));
-    cells[c].messages = summarize(std::move(accums[c].messages));
+  if (seen == expected_[key]) {
+    const auto it = index_.find(key);
+    if (it != index_.end() && accums_[it->second].open) {
+      finalize(it->second);
+    }
   }
-  return cells;
+  // Flush finalized cells in first-seen order (== the in-memory document's
+  // cell order); a cell whose key recurs later in the expansion holds the
+  // queue until its last job lands.
+  while (next_flush_ < cells_.size() && accums_[next_flush_].done) {
+    if (cell_sink_) cell_sink_(cells_[next_flush_]);
+    ++next_flush_;
+  }
+}
+
+const std::vector<CellAggregate>& StreamingAggregator::finish() {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (accums_[i].open) finalize(i);
+  }
+  while (next_flush_ < cells_.size()) {
+    if (cell_sink_) cell_sink_(cells_[next_flush_]);
+    ++next_flush_;
+  }
+  return cells_;
+}
+
+std::vector<CellAggregate> aggregate_cells(const BatchResult& batch) {
+  CPT_EXPECTS(batch.jobs.size() == batch.results.size());
+  StreamingAggregator agg(batch.jobs);
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    agg.consume(batch.jobs[j], batch.results[j]);
+  }
+  return agg.cells();
 }
 
 namespace {
@@ -96,6 +131,40 @@ void append_quantiles(std::string& out, const char* name,
   out += "}";
 }
 
+// The cell body shared by the aggregate document (sep = newline + indent)
+// and the stream lines (sep = single space): identical fields, identical
+// order, identical value rendering.
+void append_cell_body(std::string& out, const CellAggregate& cell,
+                      const char* sep) {
+  out += "{\"scenario\": ";
+  json_append_escaped(out, cell.scenario);
+  out += ", \"tester\": ";
+  json_append_escaped(out, cell.tester);
+  out += ", \"epsilon\": " + json_render_double(cell.epsilon);
+  if (cell.adaptive) out += ", \"adaptive\": true";
+  if (cell.randomized) out += ", \"randomized\": true";
+  out += ",";
+  out += sep;
+  out += "\"jobs\": " + json_render_uint(cell.jobs);
+  out += ", \"instances\": " + json_render_uint(cell.instances);
+  out += ", \"n\": [" + json_render_uint(cell.n_min) + ", " +
+         json_render_uint(cell.n_max) + "]";
+  out += ", \"m\": [" + json_render_uint(cell.m_min) + ", " +
+         json_render_uint(cell.m_max) + "]";
+  out += ",";
+  out += sep;
+  out += "\"accepts\": " + json_render_uint(cell.accepts);
+  out += ", \"rejects\": " + json_render_uint(cell.rejects);
+  out += ", \"detection_rate\": " + json_render_double(cell.detection_rate);
+  out += ",";
+  out += sep;
+  append_quantiles(out, "rounds", cell.rounds);
+  out += ",";
+  out += sep;
+  append_quantiles(out, "messages", cell.messages);
+  out += "}";
+}
+
 }  // namespace
 
 std::string render_aggregate_json(const Manifest& manifest,
@@ -105,33 +174,15 @@ std::string render_aggregate_json(const Manifest& manifest,
   json_append_escaped(out, manifest.name);
   out += ",\n  \"base_seed\": " + json_render_uint(manifest.base_seed);
   out += ",\n  \"jobs\": " + json_render_uint(batch.jobs.size());
+  if (batch.failed_jobs > 0) {
+    out += ",\n  \"failed_jobs\": " + json_render_uint(batch.failed_jobs);
+  }
   out += ",\n  \"unique_instances\": " +
          json_render_uint(batch.corpus.unique_instances);
   out += ",\n  \"cells\": [";
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    const CellAggregate& cell = cells[c];
-    out += c == 0 ? "\n" : ",\n";
-    out += "    {\"scenario\": ";
-    json_append_escaped(out, cell.scenario);
-    out += ", \"tester\": ";
-    json_append_escaped(out, cell.tester);
-    out += ", \"epsilon\": " + json_render_double(cell.epsilon);
-    if (cell.adaptive) out += ", \"adaptive\": true";
-    if (cell.randomized) out += ", \"randomized\": true";
-    out += ",\n     \"jobs\": " + json_render_uint(cell.jobs);
-    out += ", \"instances\": " + json_render_uint(cell.instances);
-    out += ", \"n\": [" + json_render_uint(cell.n_min) + ", " +
-           json_render_uint(cell.n_max) + "]";
-    out += ", \"m\": [" + json_render_uint(cell.m_min) + ", " +
-           json_render_uint(cell.m_max) + "]";
-    out += ",\n     \"accepts\": " + json_render_uint(cell.accepts);
-    out += ", \"rejects\": " + json_render_uint(cell.rejects);
-    out += ", \"detection_rate\": " + json_render_double(cell.detection_rate);
-    out += ",\n     ";
-    append_quantiles(out, "rounds", cell.rounds);
-    out += ",\n     ";
-    append_quantiles(out, "messages", cell.messages);
-    out += "}";
+    out += c == 0 ? "\n    " : ",\n    ";
+    append_cell_body(out, cells[c], "\n     ");
   }
   out += "\n  ]\n}\n";
   return out;
@@ -188,6 +239,7 @@ std::string render_timing_json(const Manifest& manifest,
          json_render_uint(batch.corpus.unique_instances);
   out += ", \"disk_hits\": " + json_render_uint(batch.corpus.disk_hits);
   out += ", \"generated\": " + json_render_uint(batch.corpus.generated);
+  out += ", \"corrupt_files\": " + json_render_uint(batch.corpus.corrupt_files);
   out += "},\n  \"cells\": [";
   for (std::size_t c = 0; c < cells.size(); ++c) {
     out += c == 0 ? "\n" : ",\n";
@@ -199,6 +251,32 @@ std::string render_timing_json(const Manifest& manifest,
     out += "}";
   }
   out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string render_stream_header(const Manifest& manifest, std::size_t jobs) {
+  std::string out = "{\"schema\": \"cpt_batch_aggregate_stream_v1\", \"name\": ";
+  json_append_escaped(out, manifest.name);
+  out += ", \"base_seed\": " + json_render_uint(manifest.base_seed);
+  out += ", \"jobs\": " + json_render_uint(jobs);
+  out += "}\n";
+  return out;
+}
+
+std::string render_stream_cell(const CellAggregate& cell) {
+  std::string out;
+  append_cell_body(out, cell, " ");
+  out += '\n';
+  return out;
+}
+
+std::string render_stream_footer(const BatchResult& batch, std::size_t cells) {
+  std::string out = "{\"end\": true, \"cells\": " + json_render_uint(cells);
+  out += ", \"jobs\": " + json_render_uint(batch.jobs.size());
+  out += ", \"failed_jobs\": " + json_render_uint(batch.failed_jobs);
+  out += ", \"unique_instances\": " +
+         json_render_uint(batch.corpus.unique_instances);
+  out += "}\n";
   return out;
 }
 

@@ -11,7 +11,10 @@ namespace cpt::scenario {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43545043;  // 'CPTC'
-constexpr std::uint32_t kVersion = 1;
+// v2 appended the payload checksum; v1 files (no checksum) are treated as
+// corrupt and regenerated -- the corpus is a cache, never a source of
+// truth.
+constexpr std::uint32_t kVersion = 2;
 
 bool read_u32(std::FILE* f, std::uint32_t* out) {
   unsigned char b[4];
@@ -33,6 +36,23 @@ bool write_u32(std::FILE* f, std::uint32_t v) {
   return std::fwrite(b, 1, 4, f) == 4;
 }
 
+// FNV-1a-64 folded over a payload u32 (byte order matches the file).
+std::uint64_t checksum_step(std::uint64_t h, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ULL;
+
+// Loader-side allocation guard (GraphBuilder allocates O(n) before the
+// checksum can vouch for n). save() declines to cache anything bigger, so
+// a legitimate over-cap graph is simply never cached rather than being
+// re-flagged corrupt on every later run.
+constexpr std::uint32_t kMaxCachedNodes = 1u << 27;
+
 }  // namespace
 
 std::string CorpusStore::path_for(std::uint64_t hash) const {
@@ -42,28 +62,57 @@ std::string CorpusStore::path_for(std::uint64_t hash) const {
   return dir_ + "/" + name;
 }
 
-bool CorpusStore::load(std::uint64_t hash, Graph* out) const {
-  if (!enabled()) return false;
-  std::FILE* f = std::fopen(path_for(hash).c_str(), "rb");
-  if (f == nullptr) return false;
+CorpusStore::LoadStatus CorpusStore::load(std::uint64_t hash,
+                                          Graph* out) const {
+  if (!enabled()) return LoadStatus::kMiss;
+  const std::string path = path_for(hash);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return LoadStatus::kMiss;
   std::uint32_t magic = 0, version = 0, n = 0, m = 0;
   bool ok = read_u32(f, &magic) && read_u32(f, &version) && read_u32(f, &n) &&
             read_u32(f, &m) && magic == kMagic && version == kVersion;
+  // Before trusting n (GraphBuilder allocates per-node arrays) and m,
+  // cross-check the exact file size a well-formed record implies: header +
+  // m endpoint pairs + checksum. Catches truncation, garbled counts and
+  // appended junk without touching memory proportional to the lie.
   if (ok) {
+    const long expected = 16L + 8L * static_cast<long>(m) + 8L;
+    ok = n <= kMaxCachedNodes &&
+         std::fseek(f, 0, SEEK_END) == 0 && std::ftell(f) == expected &&
+         std::fseek(f, 16, SEEK_SET) == 0;
+  }
+  if (ok) {
+    std::uint64_t sum = checksum_step(checksum_step(kChecksumSeed, n), m);
     GraphBuilder b(n);
     for (std::uint32_t e = 0; e < m && ok; ++e) {
       std::uint32_t u = 0, v = 0;
       ok = read_u32(f, &u) && read_u32(f, &v) && u < n && v < n && u != v;
-      if (ok) b.add_edge(u, v);
+      if (ok) {
+        sum = checksum_step(checksum_step(sum, u), v);
+        b.add_edge(u, v);
+      }
     }
+    std::uint32_t sum_lo = 0, sum_hi = 0;
+    ok = ok && read_u32(f, &sum_lo) && read_u32(f, &sum_hi) &&
+         ((static_cast<std::uint64_t>(sum_hi) << 32) | sum_lo) == sum;
+    // Anything after the checksum means the writer and reader disagree
+    // about the record: don't trust it.
+    ok = ok && std::fgetc(f) == EOF;
     if (ok) *out = std::move(b).build();
   }
   std::fclose(f);
-  return ok;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "warning: corpus file %s is truncated or corrupt; "
+                 "regenerating the instance\n",
+                 path.c_str());
+    return LoadStatus::kCorrupt;
+  }
+  return LoadStatus::kHit;
 }
 
 bool CorpusStore::save(std::uint64_t hash, const Graph& g) const {
-  if (!enabled()) return false;
+  if (!enabled() || g.num_nodes() > kMaxCachedNodes) return false;
   ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; failures surface at fopen
   // Write to a temp name then rename: a batch killed mid-save must not
   // leave a truncated file a later run would trust.
@@ -73,10 +122,15 @@ bool CorpusStore::save(std::uint64_t hash, const Graph& g) const {
   if (f == nullptr) return false;
   bool ok = write_u32(f, kMagic) && write_u32(f, kVersion) &&
             write_u32(f, g.num_nodes()) && write_u32(f, g.num_edges());
+  std::uint64_t sum = checksum_step(
+      checksum_step(kChecksumSeed, g.num_nodes()), g.num_edges());
   for (EdgeId e = 0; ok && e < g.num_edges(); ++e) {
     const Endpoints ep = g.endpoints(e);
     ok = write_u32(f, ep.u) && write_u32(f, ep.v);
+    sum = checksum_step(checksum_step(sum, ep.u), ep.v);
   }
+  ok = ok && write_u32(f, static_cast<std::uint32_t>(sum)) &&
+       write_u32(f, static_cast<std::uint32_t>(sum >> 32));
   ok = (std::fclose(f) == 0) && ok;
   if (ok) ok = std::rename(tmp_path.c_str(), final_path.c_str()) == 0;
   if (!ok) std::remove(tmp_path.c_str());

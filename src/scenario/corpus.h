@@ -5,12 +5,23 @@
 // <dir>/<16-hex-hash>.cpg so later runs load instead of generating.
 //
 // File format (little-endian u32s): magic 'CPTC', version, n, m, then m
-// (u, v) pairs in edge-id order. Loading rebuilds the graph through
-// GraphBuilder, so arc layout and edge ids match a freshly generated graph
-// exactly -- cached and regenerated instances are interchangeable
-// bit-for-bit (pinned by scenario_test.cc). The "file" family is exempt
-// from the disk layer (see engine.cc): its hash names a path, not the
-// file's content, and must not shadow later edits.
+// (u, v) pairs in edge-id order, then a FNV-1a-64 checksum (two u32s,
+// low word first) over every preceding payload u32 (n, m, endpoints).
+// Loading rebuilds the graph through GraphBuilder, so arc layout and edge
+// ids match a freshly generated graph exactly -- cached and regenerated
+// instances are interchangeable bit-for-bit (pinned by scenario_test.cc).
+// The "file" family is exempt from the disk layer (see engine.cc): its
+// hash names a path, not the file's content, and must not shadow later
+// edits.
+//
+// Robustness: load() distinguishes a missing file (kMiss) from a damaged
+// one (kCorrupt: bad magic/version, truncated, out-of-range endpoints,
+// checksum mismatch, trailing bytes). Corrupt files earn a stderr warning
+// and the engine falls back to regeneration -- a half-written or garbled
+// cache entry can slow a sweep down, never poison it. Graphs above 2^27
+// nodes are never cached (the loader must bound its allocation before the
+// checksum can vouch for n, and save mirrors the cap so a legitimate
+// giant is skipped, not endlessly re-flagged corrupt).
 #pragma once
 
 #include <cstdint>
@@ -29,8 +40,12 @@ class CorpusStore {
   bool enabled() const { return !dir_.empty(); }
   const std::string& dir() const { return dir_; }
 
-  // Returns true and fills *out when <dir>/<hash>.cpg exists and decodes.
-  bool load(std::uint64_t hash, Graph* out) const;
+  enum class LoadStatus { kMiss, kHit, kCorrupt };
+
+  // kHit fills *out from <dir>/<hash>.cpg; kCorrupt means the file exists
+  // but failed validation (warned on stderr; caller should regenerate --
+  // the subsequent save() replaces the damaged file).
+  LoadStatus load(std::uint64_t hash, Graph* out) const;
 
   // Persists g under its hash; returns false on I/O failure (the batch
   // engine treats that as non-fatal: the graph is still in memory).

@@ -2,12 +2,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <unordered_map>
 
 #include "apps/bipartite.h"
 #include "apps/cycle_free.h"
+#include "congest/network.h"
 #include "congest/simulator.h"
 #include "core/tester.h"
+#include "partition/random_partition.h"
 #include "util/parallel.h"
 
 namespace cpt::scenario {
@@ -27,50 +32,123 @@ JobResult run_job(const Job& job, const Graph& g) {
   r.n = g.num_nodes();
   r.m = g.num_edges();
   const double t0 = now_seconds();
-  switch (job.tester) {
-    case TesterKind::kPlanarity: {
-      TesterOptions opt;
-      opt.epsilon = job.epsilon;
-      opt.seed = job.tester_seed;
-      opt.num_threads = job.sim_threads;
-      opt.stage1.adaptive = job.adaptive;
-      const TesterResult tr = test_planarity(g, opt);
-      r.verdict = tr.verdict;
-      r.rounds = tr.ledger.total_rounds();
-      r.messages = tr.ledger.total_messages();
-      r.num_parts = tr.partition.num_parts;
-      r.stage1_phases = tr.stage1_phases_emulated;
-      break;
+  try {
+    switch (job.tester) {
+      case TesterKind::kPlanarity: {
+        TesterOptions opt;
+        opt.epsilon = job.epsilon;
+        opt.seed = job.tester_seed;
+        opt.num_threads = job.sim_threads;
+        opt.stage1.adaptive = job.adaptive;
+        opt.stage1.pipelined_streams = job.pipelined;
+        const TesterResult tr = test_planarity(g, opt);
+        r.verdict = tr.verdict;
+        r.rounds = tr.ledger.total_rounds();
+        r.messages = tr.ledger.total_messages();
+        r.num_parts = tr.partition.num_parts;
+        r.cut_edges = tr.partition.cut_edges;
+        r.max_part_ecc = tr.partition.max_part_ecc;
+        r.max_tree_depth = tr.partition.max_tree_depth;
+        r.stage1_phases = tr.stage1_phases_emulated;
+        r.stage1_phases_total = tr.stage1_phases_total;
+        break;
+      }
+      case TesterKind::kCycleFree:
+      case TesterKind::kBipartite: {
+        MinorFreeOptions opt;
+        opt.epsilon = job.epsilon;
+        opt.alpha = job.alpha;
+        opt.randomized = job.randomized;
+        opt.delta = job.delta;
+        opt.seed = job.tester_seed;
+        opt.adaptive_phases = job.adaptive;
+        opt.pipelined_streams = job.pipelined;
+        opt.num_threads = job.sim_threads;
+        const AppResult ar = job.tester == TesterKind::kCycleFree
+                                 ? test_cycle_freeness(g, opt)
+                                 : test_bipartiteness(g, opt);
+        r.verdict = ar.verdict;
+        r.rounds = ar.ledger.total_rounds();
+        r.messages = ar.ledger.total_messages();
+        r.num_parts = ar.partition.num_parts;
+        r.cut_edges = ar.partition.cut_edges;
+        r.max_part_ecc = ar.partition.max_part_ecc;
+        r.max_tree_depth = ar.partition.max_tree_depth;
+        break;
+      }
+      case TesterKind::kStage1Partition: {
+        congest::Network net(g);
+        congest::SimOptions sopt;
+        sopt.num_threads = job.sim_threads;
+        congest::Simulator sim(net, sopt);
+        congest::RoundLedger ledger;
+        Stage1Options opt;
+        opt.epsilon = job.epsilon;
+        opt.alpha = job.alpha;
+        opt.adaptive = job.adaptive;
+        opt.pipelined_streams = job.pipelined;
+        const Stage1Result sr = run_stage1(sim, g, opt, ledger);
+        r.verdict = sr.rejected ? Verdict::kReject : Verdict::kAccept;
+        r.rounds = ledger.total_rounds();
+        r.messages = ledger.total_messages();
+        r.stage1_phases = sr.phases_emulated;
+        r.stage1_phases_total = sr.phases_total;
+        r.phase_stats = sr.phase_stats;
+        const PartitionStats st = measure_partition(g, sr.forest);
+        r.num_parts = st.num_parts;
+        r.cut_edges = st.cut_edges;
+        r.max_part_ecc = st.max_part_ecc;
+        r.max_tree_depth = st.max_tree_depth;
+        break;
+      }
+      case TesterKind::kRandomPartition: {
+        congest::Network net(g);
+        congest::SimOptions sopt;
+        sopt.num_threads = job.sim_threads;
+        congest::Simulator sim(net, sopt);
+        congest::RoundLedger ledger;
+        RandomPartitionOptions opt;
+        opt.epsilon = job.epsilon;
+        opt.delta = job.delta;
+        opt.alpha = job.alpha;
+        opt.adaptive = job.adaptive;
+        opt.seed = job.tester_seed;
+        const RandomPartitionResult rr =
+            run_random_partition(sim, g, opt, ledger);
+        r.verdict = Verdict::kAccept;  // Theorem 4 has no reject path
+        r.rounds = ledger.total_rounds();
+        r.messages = ledger.total_messages();
+        r.stage1_phases = rr.phases_emulated;
+        r.stage1_phases_total = rr.phases_total;
+        r.trials_per_phase = rr.trials_per_phase;
+        r.phase_stats = rr.phase_stats;
+        const PartitionStats st = measure_partition(g, rr.forest);
+        r.num_parts = st.num_parts;
+        r.cut_edges = st.cut_edges;
+        r.max_part_ecc = st.max_part_ecc;
+        r.max_tree_depth = st.max_tree_depth;
+        break;
+      }
     }
-    case TesterKind::kCycleFree:
-    case TesterKind::kBipartite: {
-      MinorFreeOptions opt;
-      opt.epsilon = job.epsilon;
-      opt.alpha = job.alpha;
-      opt.randomized = job.randomized;
-      opt.delta = job.delta;
-      opt.seed = job.tester_seed;
-      opt.adaptive_phases = job.adaptive;
-      opt.num_threads = job.sim_threads;
-      const AppResult ar = job.tester == TesterKind::kCycleFree
-                               ? test_cycle_freeness(g, opt)
-                               : test_bipartiteness(g, opt);
-      r.verdict = ar.verdict;
-      r.rounds = ar.ledger.total_rounds();
-      r.messages = ar.ledger.total_messages();
-      r.num_parts = ar.partition.num_parts;
-      break;
-    }
+  } catch (const std::exception& e) {
+    r = JobResult{};
+    r.n = g.num_nodes();
+    r.m = g.num_edges();
+    r.failed = true;
+    r.error = e.what();
   }
   r.wall_seconds = now_seconds() - t0;
   return r;
 }
 
-BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
+namespace {
+
+BatchResult run_batch_impl(const Manifest& manifest,
+                           const BatchOptions& options, const ResultSink* sink,
+                           StreamStats* stats) {
   BatchResult out;
   const double t0 = now_seconds();
   out.jobs = expand_manifest(manifest);
-  out.results.resize(out.jobs.size());
   out.threads_used = congest::resolve_sim_threads(options.threads);
 
   // Unique instances (by hash), in first-job order, and the job -> slot map.
@@ -78,6 +156,8 @@ BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
     ScenarioInstance instance;
     Graph graph;
     bool from_disk = false;
+    bool corrupt_file = false;
+    std::string error;  // materialization failure: all its jobs fail
   };
   std::vector<Slot> slots;
   std::vector<std::uint32_t> job_slot(out.jobs.size());
@@ -87,7 +167,7 @@ BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
       const std::uint64_t h = out.jobs[j].instance.hash();
       auto [it, fresh] =
           by_hash.emplace(h, static_cast<std::uint32_t>(slots.size()));
-      if (fresh) slots.push_back({out.jobs[j].instance, Graph{}, false});
+      if (fresh) slots.push_back({out.jobs[j].instance, Graph{}, false, false, {}});
       job_slot[j] = it->second;
     }
   }
@@ -98,7 +178,8 @@ BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
   WorkerPool pool(workers);
 
   // Phase 1: materialize every unique instance (corpus load or generate),
-  // embarrassingly parallel, one slot per instance.
+  // embarrassingly parallel, one slot per instance. Generation failures
+  // are captured per slot -- worker callables must not throw.
   {
     std::atomic<std::uint32_t> cursor{0};
     auto materialize = [&](unsigned) {
@@ -111,11 +192,20 @@ BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
         // copy would silently survive edits to the edge-list file, so it
         // never touches the disk corpus (loading it is already cheap).
         const bool cacheable = slot.instance.family != "file";
-        if (cacheable && store.load(slot.instance.hash(), &slot.graph)) {
-          slot.from_disk = true;
-        } else {
-          slot.graph = build_instance(slot.instance);
-          if (cacheable) store.save(slot.instance.hash(), slot.graph);
+        try {
+          CorpusStore::LoadStatus status = CorpusStore::LoadStatus::kMiss;
+          if (cacheable) {
+            status = store.load(slot.instance.hash(), &slot.graph);
+          }
+          if (status == CorpusStore::LoadStatus::kHit) {
+            slot.from_disk = true;
+          } else {
+            slot.corrupt_file = status == CorpusStore::LoadStatus::kCorrupt;
+            slot.graph = build_instance(slot.instance);
+            if (cacheable) store.save(slot.instance.hash(), slot.graph);
+          }
+        } catch (const std::exception& e) {
+          slot.error = e.what();
         }
       }
     };
@@ -127,25 +217,96 @@ BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
     } else {
       ++out.corpus.generated;
     }
+    if (slot.corrupt_file) ++out.corpus.corrupt_files;
   }
 
   // Phase 2: run the jobs. Claiming order is racy; result placement is by
   // job slot, so the result array is schedule-independent.
-  {
+  if (sink == nullptr) {
+    out.results.resize(out.jobs.size());
     std::atomic<std::uint32_t> cursor{0};
     auto execute = [&](unsigned) {
       while (true) {
         const std::uint32_t j =
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (j >= out.jobs.size()) return;
-        out.results[j] = run_job(out.jobs[j], slots[job_slot[j]].graph);
+        const Slot& slot = slots[job_slot[j]];
+        if (!slot.error.empty()) {
+          out.results[j].failed = true;
+          out.results[j].error = slot.error;
+        } else {
+          out.results[j] = run_job(out.jobs[j], slot.graph);
+        }
       }
     };
     pool.run(execute);
+    for (const JobResult& r : out.results) {
+      if (r.failed) ++out.failed_jobs;
+    }
+  } else {
+    // Streaming: completed results park in `pending` until every earlier
+    // job has retired, so the sink sees expansion order. A worker about to
+    // run a job far ahead of the retirement frontier waits instead --
+    // `pending` (the only per-job result storage) stays O(workers).
+    std::atomic<std::uint32_t> cursor{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::uint32_t, JobResult> pending;
+    std::uint32_t next_retire = 0;
+    std::size_t peak_pending = 0;
+    const std::uint32_t window = 4 * workers + 4;
+    auto execute = [&](unsigned) {
+      while (true) {
+        const std::uint32_t j =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (j >= out.jobs.size()) return;
+        {
+          // The worker owning the retirement frontier (j == next_retire)
+          // never waits, so the frontier always advances.
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return j < next_retire + window; });
+        }
+        const Slot& slot = slots[job_slot[j]];
+        JobResult r;
+        if (!slot.error.empty()) {
+          r.failed = true;
+          r.error = slot.error;
+        } else {
+          r = run_job(out.jobs[j], slot.graph);
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          pending.emplace(j, std::move(r));
+          peak_pending = std::max(peak_pending, pending.size());
+          while (true) {
+            const auto it = pending.find(next_retire);
+            if (it == pending.end()) break;
+            if (it->second.failed) ++out.failed_jobs;
+            (*sink)(out.jobs[next_retire], it->second);
+            pending.erase(it);
+            ++next_retire;
+          }
+        }
+        cv.notify_all();
+      }
+    };
+    pool.run(execute);
+    if (stats != nullptr) stats->peak_pending_results = peak_pending;
   }
 
   out.wall_seconds = now_seconds() - t0;
   return out;
+}
+
+}  // namespace
+
+BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
+  return run_batch_impl(manifest, options, nullptr, nullptr);
+}
+
+BatchResult run_batch(const Manifest& manifest, const BatchOptions& options,
+                      const ResultSink& sink, StreamStats* stats) {
+  return run_batch_impl(manifest, options, &sink, stats);
 }
 
 }  // namespace cpt::scenario

@@ -11,13 +11,32 @@
 // Graph materialization happens before job execution: unique instances
 // (deduplicated by instance hash) are generated -- or loaded from the
 // corpus store -- in parallel, then shared read-only by all their jobs.
+//
+// Two execution modes:
+//   * run_batch(manifest, options) retains every JobResult (slot i <->
+//     jobs[i]) -- what the migrated benches and most tests use;
+//   * run_batch(manifest, options, sink) streams: the sink receives every
+//     (job, result) pair exactly once, in job-index order (a bounded
+//     reorder window turns the racy completion order back into expansion
+//     order), and results are NOT retained -- peak per-job result storage
+//     is the reorder window, O(batch threads), regardless of sweep size.
+//     Feed the sink into a StreamingAggregator (scenario/aggregate.h) to
+//     get aggregates bit-identical to the in-memory mode.
+//
+// Failures (an unreadable "file" path, any std::exception out of
+// generation or simulation) are captured per job: the slot's JobResult
+// carries failed=true plus the message, BatchResult::failed_jobs counts
+// them, and aggregation excludes them -- callers must check (cpt_batch
+// exits nonzero) instead of trusting a silently partial aggregate.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/stage2.h"  // Verdict
+#include "partition/partition.h"  // PhaseStats
 #include "scenario/corpus.h"
 #include "scenario/manifest.h"
 
@@ -37,8 +56,22 @@ struct JobResult {
   std::uint64_t messages = 0;
   NodeId n = 0;
   EdgeId m = 0;
+  // Final partition quality (measure_partition; planarity tester and the
+  // two partition workloads -- zero for cycle_free/bipartite, whose
+  // AppResult reports num_parts only).
   NodeId num_parts = 0;
-  std::uint32_t stage1_phases = 0;  // planarity tester only
+  std::uint64_t cut_edges = 0;
+  std::uint32_t max_part_ecc = 0;
+  std::uint32_t max_tree_depth = 0;
+  std::uint32_t stage1_phases = 0;        // phases emulated
+  std::uint32_t stage1_phases_total = 0;  // incl. fast-forwarded
+  std::uint32_t trials_per_phase = 0;     // random_partition only (Lemma 13)
+  // Per-phase trajectory (partition workloads only; E4's table).
+  std::vector<PhaseStats> phase_stats;
+  // Failure capture: failed jobs carry an error message and contribute to
+  // no aggregate cell.
+  bool failed = false;
+  std::string error;
   double wall_seconds = 0;  // nondeterministic; excluded from aggregates
 };
 
@@ -46,20 +79,37 @@ struct CorpusCounters {
   std::uint64_t unique_instances = 0;
   std::uint64_t disk_hits = 0;   // loaded from the corpus store
   std::uint64_t generated = 0;   // built by the registry (disk misses)
+  std::uint64_t corrupt_files = 0;  // rejected .cpg files (regenerated)
 };
 
 struct BatchResult {
   std::vector<Job> jobs;
-  std::vector<JobResult> results;  // slot i <-> jobs[i]
+  std::vector<JobResult> results;  // slot i <-> jobs[i]; empty when streamed
   CorpusCounters corpus;
+  std::uint32_t failed_jobs = 0;
   double wall_seconds = 0;
   unsigned threads_used = 1;
 };
 
 // Runs one job against a pre-built graph (also the single-simulation entry
-// point the migrated E1/E3/E7 benches and the equivalence tests use).
+// point the migrated E1-E7 benches and the equivalence tests use).
+// Exceptions are captured into JobResult::failed/error.
 JobResult run_job(const Job& job, const Graph& g);
 
 BatchResult run_batch(const Manifest& manifest, const BatchOptions& options);
+
+// Streaming mode: sink(job, result) is invoked exactly once per job, in
+// job-index order, serialized (never concurrently), from worker threads --
+// it must not throw. BatchResult::results stays empty.
+using ResultSink = std::function<void(const Job&, const JobResult&)>;
+
+struct StreamStats {
+  // High-water mark of completed-but-not-yet-retired results (the reorder
+  // window) -- the streamed mode's whole per-job result footprint.
+  std::size_t peak_pending_results = 0;
+};
+
+BatchResult run_batch(const Manifest& manifest, const BatchOptions& options,
+                      const ResultSink& sink, StreamStats* stats = nullptr);
 
 }  // namespace cpt::scenario

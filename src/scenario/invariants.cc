@@ -1,0 +1,228 @@
+#include "scenario/invariants.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+
+#include "graph/ops.h"
+#include "scenario/registry.h"
+#include "util/rng.h"
+
+namespace cpt::scenario {
+
+bool family_always_planar(std::string_view family) {
+  const FamilyInfo* info = find_family(family);
+  return info != nullptr && info->planar;
+}
+
+bool instance_guaranteed_planar(const ScenarioInstance& instance) {
+  if (!family_always_planar(instance.family)) return false;
+  if (instance.perturb.empty()) return true;
+  if (instance.perturb == "disjoint_copies") return true;
+  if (instance.perturb == "plus_random_edges") {
+    return instance.perturb_params.get_int("extra", 0) == 0;
+  }
+  if (instance.perturb == "k5_blobs" || instance.perturb == "k33_blobs") {
+    return instance.perturb_params.get_int("count", 8) == 0;
+  }
+  return false;
+}
+
+void InvariantReport::fail(std::string invariant, std::string detail) {
+  violations.push_back({std::move(invariant), std::move(detail)});
+}
+
+std::string InvariantReport::summary() const {
+  std::string out;
+  for (const InvariantViolation& v : violations) {
+    out += "[" + v.invariant + "] " + v.detail + "\n";
+  }
+  return out;
+}
+
+void check_one_sidedness(const BatchResult& batch, InvariantReport* report) {
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    const Job& job = batch.jobs[j];
+    const JobResult& res = batch.results[j];
+    if (res.failed) continue;
+    if (job.tester != TesterKind::kPlanarity &&
+        job.tester != TesterKind::kStage1Partition) {
+      continue;
+    }
+    if (!instance_guaranteed_planar(job.instance)) continue;
+    ++report->checks;
+    if (res.verdict != Verdict::kAccept) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, " (eps=%g, trial=%u, seed=%016llx)",
+                    job.epsilon, job.trial,
+                    static_cast<unsigned long long>(job.tester_seed));
+      report->fail("one_sidedness",
+                   "planar instance rejected: " + job.cell_key() + buf);
+    }
+  }
+}
+
+namespace {
+
+// Rejection tally for one point on a monotonicity axis.
+struct AxisPoint {
+  std::uint32_t jobs = 0;
+  std::uint32_t rejects = 0;
+};
+
+void check_monotone_series(const std::string& group,
+                           const std::map<double, AxisPoint>& series,
+                           int direction, const char* axis_label,
+                           InvariantReport* report) {
+  const AxisPoint* prev = nullptr;
+  double prev_value = 0;
+  for (const auto& [value, point] : series) {
+    if (prev != nullptr) {
+      ++report->checks;
+      // rate(prev) <=> rate(cur) without division:
+      // prev.rejects/prev.jobs <= point.rejects/point.jobs
+      //   <=> prev.rejects * point.jobs <= point.rejects * prev.jobs.
+      const std::uint64_t lhs =
+          static_cast<std::uint64_t>(prev->rejects) * point.jobs;
+      const std::uint64_t rhs =
+          static_cast<std::uint64_t>(point.rejects) * prev->jobs;
+      const bool ok = direction > 0 ? lhs <= rhs : lhs >= rhs;
+      if (!ok) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      ": rate %u/%u at %s=%g vs %u/%u at %s=%g",
+                      prev->rejects, prev->jobs, axis_label, prev_value,
+                      point.rejects, point.jobs, axis_label, value);
+        report->fail("monotone_detection", group + buf);
+      }
+    }
+    prev = &point;
+    prev_value = value;
+  }
+}
+
+}  // namespace
+
+void check_monotone_detection(const BatchResult& batch,
+                              std::string_view axis_key, bool perturb_axis,
+                              int direction, InvariantReport* report) {
+  // Group key: the job's cell key with the axis param masked out of the
+  // instance label (rebuilt from structured fields, not string surgery).
+  std::map<std::string, std::map<double, AxisPoint>> groups;
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    const Job& job = batch.jobs[j];
+    const JobResult& res = batch.results[j];
+    if (res.failed) continue;
+    const ScenarioParams& swept =
+        perturb_axis ? job.instance.perturb_params : job.instance.params;
+    const ParamValue* axis = swept.find(axis_key);
+    if (axis == nullptr) continue;
+    ScenarioParams masked;
+    for (const auto& [k, v] : swept.entries()) {
+      if (k != axis_key) masked.set(k, v);
+    }
+    ScenarioInstance skeleton = job.instance;
+    (perturb_axis ? skeleton.perturb_params : skeleton.params) = masked;
+    Job group_job = job;
+    group_job.instance = skeleton;
+    AxisPoint& point =
+        groups[group_job.cell_key()][swept.get_double(axis_key, 0)];
+    ++point.jobs;
+    if (res.verdict == Verdict::kReject) ++point.rejects;
+  }
+  const std::string axis_name(axis_key);
+  for (const auto& [group, series] : groups) {
+    check_monotone_series(group, series, direction, axis_name.c_str(),
+                          report);
+  }
+}
+
+void check_monotone_detection_in_epsilon(const BatchResult& batch,
+                                         InvariantReport* report) {
+  std::map<std::string, std::map<double, AxisPoint>> groups;
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    const Job& job = batch.jobs[j];
+    const JobResult& res = batch.results[j];
+    if (res.failed) continue;
+    // The group is the cell key with epsilon erased: rebuild it from a
+    // job whose epsilon is pinned to a sentinel shared by the group.
+    Job group_job = job;
+    group_job.epsilon = 0;
+    AxisPoint& point = groups[group_job.cell_key()][job.epsilon];
+    ++point.jobs;
+    if (res.verdict == Verdict::kReject) ++point.rejects;
+  }
+  for (const auto& [group, series] : groups) {
+    check_monotone_series(group, series, /*direction=*/-1, "eps", report);
+  }
+}
+
+JobResult check_relabeling_invariance(const Job& job, const Graph& g,
+                                      std::uint64_t perm_seed,
+                                      InvariantReport* report) {
+  std::vector<NodeId> perm(g.num_nodes());
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(perm_seed);
+  for (NodeId i = g.num_nodes(); i > 1; --i) {
+    const NodeId j = static_cast<NodeId>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  const Graph permuted = relabel(g, perm);
+  const JobResult base = run_job(job, g);
+  const JobResult shuffled = run_job(job, permuted);
+  ++report->checks;
+  if (base.failed || shuffled.failed) {
+    report->fail("relabeling", "job failed: " + job.cell_key() + ": " +
+                                   (base.failed ? base.error : shuffled.error));
+    return shuffled;
+  }
+  if (base.verdict != shuffled.verdict) {
+    report->fail("relabeling",
+                 "verdict changed under relabeling: " + job.cell_key());
+  }
+  if (base.num_parts != shuffled.num_parts) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ": %u vs %u parts", base.num_parts,
+                  shuffled.num_parts);
+    report->fail("relabeling",
+                 "partition cardinality changed under relabeling: " +
+                     job.cell_key() + buf);
+  }
+  return shuffled;
+}
+
+void check_pipelining_dominance(const BatchResult& pipelined,
+                                const BatchResult& unpipelined,
+                                InvariantReport* report) {
+  if (pipelined.jobs.size() != unpipelined.jobs.size()) {
+    report->fail("pipelining", "job lists differ in size");
+    return;
+  }
+  for (std::size_t j = 0; j < pipelined.jobs.size(); ++j) {
+    const JobResult& p = pipelined.results[j];
+    const JobResult& u = unpipelined.results[j];
+    if (p.failed || u.failed) continue;
+    ++report->checks;
+    const std::string key = pipelined.jobs[j].cell_key();
+    if (p.verdict != u.verdict) {
+      report->fail("pipelining", "verdict differs: " + key);
+    }
+    if (p.num_parts != u.num_parts || p.cut_edges != u.cut_edges) {
+      report->fail("pipelining", "partition differs: " + key);
+    }
+    if (p.rounds > u.rounds || p.messages > u.messages) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    ": rounds %llu vs %llu, messages %llu vs %llu",
+                    static_cast<unsigned long long>(p.rounds),
+                    static_cast<unsigned long long>(u.rounds),
+                    static_cast<unsigned long long>(p.messages),
+                    static_cast<unsigned long long>(u.messages));
+      report->fail("pipelining",
+                   "pipelined run costs more than unpipelined: " + key + buf);
+    }
+  }
+}
+
+}  // namespace cpt::scenario

@@ -1,0 +1,99 @@
+// Metamorphic invariant checkers over scenario-engine batches: the
+// paper-level guarantees (Levi-Medina-Ron, PODC 2018) and the engine-level
+// determinism contracts, stated once and asserted over whole sweeps
+// instead of hand-picked graphs (tests/metamorphic_test.cc drives them).
+//
+// Invariants:
+//  (a) One-sidedness (Theorem 1): a guaranteed-planar instance is NEVER
+//      rejected by the planarity tester (or the Stage I partition driver),
+//      at any epsilon, tester seed, thread count or stream schedule.
+//  (b) Detection monotonicity: with the base graph fixed (the registry's
+//      seed contract excludes perturbation params from the instance seed),
+//      the rejection rate is non-decreasing along a perturbation-strength
+//      axis, and non-increasing along the epsilon axis (a larger allowed
+//      cut can only hide evidence).
+//  (c) Relabeling invariance: planarity is a label-invariant property, so
+//      a vertex-permuted instance must produce the same verdict. Round
+//      and message counts are explicitly NOT invariant -- Stage I
+//      tie-breaks (heaviest-edge selection, BFS orders) read node ids, so
+//      a permutation reshapes merge trees (measured: a permuted 12x12
+//      grid costs 15657 rounds vs 15231) -- which is why the check pins
+//      verdicts and partition cardinality, never ledgers.
+//  (d) Pipelining dominance (the PR 2 differential, through the engine):
+//      pipelined and unpipelined stream schedules compute identical
+//      verdicts and partitions, with the pipelined run costing no more
+//      rounds and no more messages on any job.
+//
+// Checkers append human-readable violations to an InvariantReport instead
+// of asserting, so one run surfaces every broken case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/engine.h"
+
+namespace cpt::scenario {
+
+// True when the family generates a planar graph for every parameter value
+// (registry FamilyInfo::planar).
+bool family_always_planar(std::string_view family);
+
+// True when the whole instance is guaranteed planar: a planar family with
+// no perturbation, a planarity-preserving perturbation strength of zero
+// (plus_random_edges extra=0, k5/k33_blobs count=0), or disjoint_copies
+// (disjoint unions of planar graphs stay planar).
+bool instance_guaranteed_planar(const ScenarioInstance& instance);
+
+struct InvariantViolation {
+  std::string invariant;  // "one_sidedness", "monotone_detection", ...
+  std::string detail;
+};
+
+struct InvariantReport {
+  std::uint64_t checks = 0;  // individual assertions evaluated
+  std::vector<InvariantViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  void fail(std::string invariant, std::string detail);
+  // Multi-line listing for test failure messages; "" when ok.
+  std::string summary() const;
+};
+
+// (a) Scans every planarity / stage1_partition job on a guaranteed-planar
+// instance: any rejection is a violation. Failed jobs are skipped (they
+// are reported through BatchResult::failed_jobs).
+void check_one_sidedness(const BatchResult& batch, InvariantReport* report);
+
+// (b) Groups jobs by everything except the named sweep axis (a perturb
+// param when perturb_axis, else a family param), accumulates per-axis-
+// value rejection rates, and asserts they are monotone: direction > 0
+// demands non-decreasing rates in the axis value, direction < 0
+// non-increasing. Rates compare exactly (cross-multiplied counts).
+void check_monotone_detection(const BatchResult& batch,
+                              std::string_view axis_key, bool perturb_axis,
+                              int direction, InvariantReport* report);
+
+// (b') The epsilon axis: rejection rate non-increasing as epsilon grows,
+// per fixed (instance label, tester, mode) group.
+void check_monotone_detection_in_epsilon(const BatchResult& batch,
+                                         InvariantReport* report);
+
+// (c) Runs the job on g and on a relabeled copy (deterministic
+// Fisher-Yates permutation from perm_seed) and compares verdicts and part
+// counts. Returns the permuted run's result for further inspection.
+JobResult check_relabeling_invariance(const Job& job, const Graph& g,
+                                      std::uint64_t perm_seed,
+                                      InvariantReport* report);
+
+// (d) `pipelined` and `unpipelined` must come from the same manifest
+// expanded with only the pipelined flag flipped: per job, verdicts and
+// partition shapes (num_parts, cut_edges) must match, and the pipelined
+// run must cost <= rounds and <= messages.
+void check_pipelining_dominance(const BatchResult& pipelined,
+                                const BatchResult& unpipelined,
+                                InvariantReport* report);
+
+}  // namespace cpt::scenario

@@ -11,6 +11,8 @@ const char* tester_name(TesterKind k) {
     case TesterKind::kPlanarity: return "planarity";
     case TesterKind::kCycleFree: return "cycle_free";
     case TesterKind::kBipartite: return "bipartite";
+    case TesterKind::kStage1Partition: return "stage1_partition";
+    case TesterKind::kRandomPartition: return "random_partition";
   }
   return "?";
 }
@@ -19,6 +21,14 @@ bool parse_tester(std::string_view name, TesterKind* out) {
   if (name == "planarity") { *out = TesterKind::kPlanarity; return true; }
   if (name == "cycle_free") { *out = TesterKind::kCycleFree; return true; }
   if (name == "bipartite") { *out = TesterKind::kBipartite; return true; }
+  if (name == "stage1_partition") {
+    *out = TesterKind::kStage1Partition;
+    return true;
+  }
+  if (name == "random_partition") {
+    *out = TesterKind::kRandomPartition;
+    return true;
+  }
   return false;
 }
 
@@ -30,8 +40,13 @@ std::string Job::cell_key() const {
   std::snprintf(buf, sizeof buf, "|eps=%.17g", epsilon);
   key += buf;
   if (adaptive) key += "|adaptive";
+  if (!pipelined) key += "|unpipelined";
   if (randomized) {
     std::snprintf(buf, sizeof buf, "|rand,delta=%.17g", delta);
+    key += buf;
+  }
+  if (tester == TesterKind::kRandomPartition) {
+    std::snprintf(buf, sizeof buf, "|delta=%.17g", delta);
     key += buf;
   }
   return key;
@@ -76,13 +91,20 @@ bool json_to_param(const JsonValue& v, ParamValue* out) {
 }
 
 // A params-like object: scalars land in `fixed`, arrays become sweep axes
-// (declaration order).
+// (declaration order). `allowed_keys` is the comma-separated key list the
+// named family/preset/perturbation accepts -- anything else (a typo, a
+// knob from another family) is a hard error, never a silent default.
 bool parse_param_block(ParseCtx& ctx, const JsonValue& obj, bool for_perturb,
+                       const char* allowed_keys, const char* owner,
                        ScenarioParams* fixed, std::vector<SweepAxis>* axes,
                        const std::string& where) {
   if (!obj.is_object()) return ctx.fail(where + " must be an object");
   for (const auto& [key, value] : obj.members()) {
     if (for_perturb && key == "kind") continue;
+    if (!param_key_allowed(allowed_keys, key)) {
+      return ctx.fail(where + "." + key + ": unknown param for \"" +
+                      owner + "\" (accepted: " + allowed_keys + ")");
+    }
     if (value.is_array()) {
       SweepAxis axis;
       axis.key = key;
@@ -134,7 +156,8 @@ bool parse_testers(ParseCtx& ctx, const JsonValue& v,
     if (!item.is_string() || !parse_tester(item.as_string(), &k)) {
       return ctx.fail("tester: unknown tester \"" +
                       (item.is_string() ? item.as_string() : "<non-string>") +
-                      "\" (planarity | cycle_free | bipartite)");
+                      "\" (planarity | cycle_free | bipartite | "
+                      "stage1_partition | random_partition)");
     }
     out->push_back(k);
     return true;
@@ -174,9 +197,31 @@ bool get_bool(ParseCtx& ctx, const JsonValue* v, bool* out, const char* what) {
   return true;
 }
 
+// Keys a cell object may carry ("scenario"/"family" + sweep blocks + the
+// scalar fields); "defaults" accepts the scalar fields only.
+constexpr const char* kCellScalarKeys =
+    "epsilon,tester,instances,trials,sim_threads,adaptive,randomized,"
+    "pipelined,delta,alpha";
+constexpr const char* kCellKeys =
+    "scenario,family,params,perturb,epsilon,tester,instances,trials,"
+    "sim_threads,adaptive,randomized,pipelined,delta,alpha";
+
+bool check_known_keys(ParseCtx& ctx, const JsonValue& obj, const char* allowed,
+                      const std::string& where) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    if (!param_key_allowed(allowed, key)) {
+      return ctx.fail(where + ": unknown key \"" + key + "\" (accepted: " +
+                      allowed + ")");
+    }
+  }
+  return true;
+}
+
 bool parse_cell(ParseCtx& ctx, const JsonValue& cv, const JsonValue* defaults,
                 ManifestCell* cell) {
   if (!cv.is_object()) return ctx.fail("cells[]: expected objects");
+  if (!check_known_keys(ctx, cv, kCellKeys, "cells[]")) return false;
   const JsonValue* scenario = cv.find("scenario");
   if (scenario == nullptr) scenario = cv.find("family");  // accepted alias
   if (scenario == nullptr || !scenario->is_string()) {
@@ -187,7 +232,9 @@ bool parse_cell(ParseCtx& ctx, const JsonValue& cv, const JsonValue* defaults,
     return ctx.fail("unknown scenario \"" + cell->scenario + "\"");
   }
   if (const JsonValue* params = cv.find("params")) {
-    if (!parse_param_block(ctx, *params, false, &cell->fixed_params,
+    if (!parse_param_block(ctx, *params, false,
+                           scenario_param_keys(cell->scenario),
+                           cell->scenario.c_str(), &cell->fixed_params,
                            &cell->axes, "params")) {
       return false;
     }
@@ -195,8 +242,11 @@ bool parse_cell(ParseCtx& ctx, const JsonValue& cv, const JsonValue* defaults,
   if (const JsonValue* perturb = cv.find("perturb")) {
     if (!perturb->is_object()) return ctx.fail("perturb must be an object");
     const JsonValue* kind = perturb->find("kind");
-    if (kind == nullptr || !kind->is_string() ||
-        find_perturbation(kind->as_string()) == nullptr) {
+    const PerturbInfo* info =
+        kind != nullptr && kind->is_string()
+            ? find_perturbation(kind->as_string())
+            : nullptr;
+    if (info == nullptr) {
       return ctx.fail("perturb.kind: unknown perturbation");
     }
     if (find_preset(cell->scenario) != nullptr) {
@@ -204,8 +254,9 @@ bool parse_cell(ParseCtx& ctx, const JsonValue& cv, const JsonValue* defaults,
                       cell->scenario + "\" (presets fix their perturbation)");
     }
     cell->perturb = kind->as_string();
-    if (!parse_param_block(ctx, *perturb, true, &cell->fixed_perturb_params,
-                           &cell->axes, "perturb")) {
+    if (!parse_param_block(ctx, *perturb, true, info->param_keys, info->name,
+                           &cell->fixed_perturb_params, &cell->axes,
+                           "perturb")) {
       return false;
     }
   }
@@ -230,7 +281,9 @@ bool parse_cell(ParseCtx& ctx, const JsonValue& cv, const JsonValue* defaults,
       !get_bool(ctx, cell_field(cv, defaults, "adaptive"), &cell->adaptive,
                 "adaptive") ||
       !get_bool(ctx, cell_field(cv, defaults, "randomized"), &cell->randomized,
-                "randomized")) {
+                "randomized") ||
+      !get_bool(ctx, cell_field(cv, defaults, "pipelined"), &cell->pipelined,
+                "pipelined")) {
     return false;
   }
   cell->sim_threads = threads;
@@ -250,6 +303,10 @@ bool parse_manifest(std::string_view json_text, Manifest* out,
   JsonValue doc;
   if (!JsonValue::parse(json_text, &doc, error)) return false;
   if (!doc.is_object()) return ctx.fail("manifest must be a JSON object");
+  if (!check_known_keys(ctx, doc, "name,base_seed,defaults,cells",
+                        "manifest")) {
+    return false;
+  }
   if (const JsonValue* name = doc.find("name")) {
     if (!name->is_string()) return ctx.fail("name: expected a string");
     out->name = name->as_string();
@@ -263,6 +320,10 @@ bool parse_manifest(std::string_view json_text, Manifest* out,
   const JsonValue* defaults = doc.find("defaults");
   if (defaults != nullptr && !defaults->is_object()) {
     return ctx.fail("defaults: expected an object");
+  }
+  if (defaults != nullptr &&
+      !check_known_keys(ctx, *defaults, kCellScalarKeys, "defaults")) {
+    return false;
   }
   const JsonValue* cells = doc.find("cells");
   if (cells == nullptr || !cells->is_array() || cells->items().empty()) {
@@ -331,6 +392,7 @@ void expand_axes(const Manifest& m, std::uint32_t cell_index,
           job.epsilon = eps;
           job.adaptive = cell.adaptive;
           job.randomized = cell.randomized;
+          job.pipelined = cell.pipelined;
           job.delta = cell.delta;
           job.alpha = cell.alpha;
           job.sim_threads = cell.sim_threads;

@@ -25,7 +25,12 @@
 // tester), with the instance index and trial index innermost -- changing
 // only an axis value list never reorders unrelated jobs. Per-cell keys
 // (and "defaults" fallbacks): epsilon, tester, instances, trials,
-// sim_threads, adaptive, randomized, delta, alpha.
+// sim_threads, adaptive, randomized, pipelined, delta, alpha.
+//
+// Validation is strict: unknown top-level / defaults / cell keys, and
+// params or perturb keys the named family/preset/perturbation does not
+// accept (see registry param_keys), are parse errors -- a misspelled knob
+// fails loudly instead of silently sweeping the default.
 #pragma once
 
 #include <cstdint>
@@ -36,8 +41,16 @@
 
 namespace cpt::scenario {
 
-// Tester kinds the batch engine can dispatch.
-enum class TesterKind { kPlanarity, kCycleFree, kBipartite };
+// Workload kinds the batch engine can dispatch: the three property testers
+// plus the two bare Stage I partition drivers (Theorem 3 deterministic /
+// Theorem 4 randomized), which the migrated E4/E6 benches sweep directly.
+enum class TesterKind {
+  kPlanarity,
+  kCycleFree,
+  kBipartite,
+  kStage1Partition,
+  kRandomPartition,
+};
 const char* tester_name(TesterKind k);
 bool parse_tester(std::string_view name, TesterKind* out);
 
@@ -61,6 +74,7 @@ struct ManifestCell {
   unsigned sim_threads = 1;           // per-simulation workers
   bool adaptive = false;              // Stage I adaptive phase schedule
   bool randomized = false;            // Theorem 4 partition (minor-free testers)
+  bool pipelined = true;              // Stage I pipelined streams (PR 2)
   double delta = 0.1;
   std::uint32_t alpha = 3;
 };
@@ -82,14 +96,15 @@ struct Job {
   double epsilon = 0.1;
   bool adaptive = false;
   bool randomized = false;
+  bool pipelined = true;
   double delta = 0.1;
   std::uint32_t alpha = 3;
   unsigned sim_threads = 1;
   std::uint64_t tester_seed = 0;
 
   // Aggregation key: instance label (seed-free) + tester + epsilon (+
-  // adaptive/randomized markers). Jobs differing only in instance/trial
-  // index share a key and aggregate into one cell.
+  // adaptive/randomized/unpipelined/delta markers). Jobs differing only in
+  // instance/trial index share a key and aggregate into one cell.
   std::string cell_key() const;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -200,10 +202,24 @@ Graph f_k5_blobs(const ScenarioParams& p, Rng& rng) {
   return gen::planar_with_k5_blobs(p_node(p, "backbone_n", 200),
                                    p_node(p, "blobs", 20), rng);
 }
+// Environmental failures (missing/unreadable files) throw instead of
+// tripping a contract: the batch engine catches them per job, so one bad
+// path fails its jobs -- reported, nonzero exit -- without killing a sweep.
 Graph f_file(const ScenarioParams& p, Rng&) {
   const std::string path = p.get_string("path", "");
-  CPT_EXPECTS(!path.empty() && "file family requires path=");
-  return load_edge_list_file(path);
+  if (path.empty()) {
+    throw std::runtime_error("file scenario requires path=");
+  }
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("file scenario: cannot open " + path);
+  }
+  Graph g;
+  std::string error;
+  if (!try_read_edge_list(in, &g, &error)) {
+    throw std::runtime_error("file scenario: " + path + ": " + error);
+  }
+  return g;
 }
 
 // ---- Perturbations --------------------------------------------------------
@@ -283,46 +299,54 @@ ScenarioInstance preset_overlay_backbone(const ScenarioParams& user) {
 
 const std::vector<FamilyInfo>& scenario_families() {
   static const std::vector<FamilyInfo> kFamilies = {
-      {"path", "n=64", false, f_path},
-      {"cycle", "n=64", false, f_cycle},
-      {"star", "n=64", false, f_star},
-      {"complete", "k=5", false, f_complete},
-      {"complete_bipartite", "a=3,b=3", false, f_complete_bipartite},
-      {"grid", "rows=16,cols=16", false, f_grid},
-      {"triangulated_grid", "rows=16,cols=16", false, f_trigrid},
-      {"hypercube", "dim=4", false, f_hypercube},
-      {"binary_tree", "n=127", false, f_binary_tree},
-      {"random_tree", "n=256", true, f_random_tree},
-      {"outerplanar", "n=128,chords=(n-3)/2", true, f_outerplanar},
-      {"apollonian", "n=256", true, f_apollonian},
-      {"random_planar", "n=256,m=2n", true, f_random_planar},
-      {"gnp", "n=256,avg_degree=8 (or p=)", true, f_gnp},
-      {"gnm", "n=256,m=4n", true, f_gnm},
-      {"random_regular", "n=256,d=4 (d>=6 rarely feasible)", true,
-       f_random_regular},
-      {"wheel", "n=64", false, f_wheel},
-      {"caterpillar", "spine=64,legs=128", true, f_caterpillar},
-      {"toroidal_grid", "rows=16,cols=16", false, f_toroidal_grid},
-      {"k5_blobs", "backbone_n=200,blobs=20", true, f_k5_blobs},
-      {"file", "path=<edge list>", false, f_file},
+      {"path", "n=64", "n", false, true, f_path},
+      {"cycle", "n=64", "n", false, true, f_cycle},
+      {"star", "n=64", "n", false, true, f_star},
+      {"complete", "k=5", "k", false, false, f_complete},
+      {"complete_bipartite", "a=3,b=3", "a,b", false, false,
+       f_complete_bipartite},
+      {"grid", "rows=16,cols=16", "rows,cols", false, true, f_grid},
+      {"triangulated_grid", "rows=16,cols=16", "rows,cols", false, true,
+       f_trigrid},
+      {"hypercube", "dim=4", "dim", false, false, f_hypercube},
+      {"binary_tree", "n=127", "n", false, true, f_binary_tree},
+      {"random_tree", "n=256", "n", true, true, f_random_tree},
+      {"outerplanar", "n=128,chords=(n-3)/2", "n,chords", true, true,
+       f_outerplanar},
+      {"apollonian", "n=256", "n", true, true, f_apollonian},
+      {"random_planar", "n=256,m=2n", "n,m", true, true, f_random_planar},
+      {"gnp", "n=256,avg_degree=8 (or p=)", "n,p,avg_degree", true, false,
+       f_gnp},
+      {"gnm", "n=256,m=4n", "n,m", true, false, f_gnm},
+      {"random_regular", "n=256,d=4 (d>=6 rarely feasible)", "n,d", true,
+       false, f_random_regular},
+      {"wheel", "n=64", "n", false, true, f_wheel},
+      {"caterpillar", "spine=64,legs=128", "spine,legs", true, true,
+       f_caterpillar},
+      {"toroidal_grid", "rows=16,cols=16", "rows,cols", false, false,
+       f_toroidal_grid},
+      {"k5_blobs", "backbone_n=200,blobs=20", "backbone_n,blobs", true, false,
+       f_k5_blobs},
+      {"file", "path=<edge list>", "path", false, false, f_file},
   };
   return kFamilies;
 }
 
 const std::vector<PerturbInfo>& scenario_perturbations() {
   static const std::vector<PerturbInfo> kPerturbs = {
-      {"plus_random_edges", "extra=0", x_plus_random_edges},
-      {"k5_blobs", "count=8", x_k5_blobs},
-      {"k33_blobs", "count=8", x_k33_blobs},
-      {"disjoint_copies", "copies=2", x_disjoint_copies},
+      {"plus_random_edges", "extra=0", "extra", x_plus_random_edges},
+      {"k5_blobs", "count=8", "count", x_k5_blobs},
+      {"k33_blobs", "count=8", "count", x_k33_blobs},
+      {"disjoint_copies", "copies=2", "copies", x_disjoint_copies},
   };
   return kPerturbs;
 }
 
 const std::vector<PresetInfo>& scenario_presets() {
   static const std::vector<PresetInfo> kPresets = {
-      {"road_network", "rows=40,cols=40,flyovers=200", preset_road_network},
-      {"overlay_backbone", "n=1500,m=3200,overlay=300",
+      {"road_network", "rows=40,cols=40,flyovers=200", "rows,cols,flyovers",
+       preset_road_network},
+      {"overlay_backbone", "n=1500,m=3200,overlay=300", "n,m,overlay",
        preset_overlay_backbone},
   };
   return kPresets;
@@ -351,6 +375,24 @@ const PresetInfo* find_preset(std::string_view name) {
 
 bool is_known_scenario(std::string_view name) {
   return find_family(name) != nullptr || find_preset(name) != nullptr;
+}
+
+bool param_key_allowed(const char* keys, std::string_view key) {
+  std::string_view rest(keys);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view head = rest.substr(0, comma);
+    if (head == key) return true;
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+const char* scenario_param_keys(std::string_view name) {
+  if (const PresetInfo* preset = find_preset(name)) return preset->param_keys;
+  if (const FamilyInfo* family = find_family(name)) return family->param_keys;
+  return nullptr;
 }
 
 ScenarioInstance resolve_scenario(std::string_view name,

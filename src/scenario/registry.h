@@ -119,19 +119,26 @@ struct ScenarioInstance {
 struct FamilyInfo {
   const char* name;
   const char* params_help;  // "rows=16,cols=16" style defaults summary
+  const char* param_keys;   // comma-separated accepted keys (validation)
   bool randomized;          // false: the generator ignores the seed
+  // True when the generator yields a planar graph for EVERY parameter
+  // value -- the one-sidedness invariant (planar => never rejected) is
+  // checked over exactly these families (scenario/invariants.h).
+  bool planar;
   Graph (*make)(const ScenarioParams&, Rng&);
 };
 
 struct PerturbInfo {
   const char* name;
   const char* params_help;
+  const char* param_keys;  // comma-separated accepted keys (validation)
   Graph (*apply)(const Graph& base, const ScenarioParams&, Rng&);
 };
 
 struct PresetInfo {
   const char* name;
   const char* params_help;
+  const char* param_keys;  // comma-separated accepted keys (validation)
   // Expands user params (overriding preset defaults) into a family-level
   // instance. `seed` is left 0; callers derive it from the preset name.
   ScenarioInstance (*instantiate)(const ScenarioParams& user);
@@ -146,6 +153,13 @@ const PresetInfo* find_preset(std::string_view name);
 
 // True iff `name` names a family or a preset.
 bool is_known_scenario(std::string_view name);
+
+// True when `key` appears in a comma-separated `keys` list ("" = none).
+bool param_key_allowed(const char* keys, std::string_view key);
+
+// The accepted param-key list for a family or preset name; nullptr when
+// unknown. Used by manifest validation to reject misspelled params.
+const char* scenario_param_keys(std::string_view name);
 
 // ---- Instance construction ----------------------------------------------
 

@@ -1,8 +1,12 @@
-// Scenario subsystem unit tests: JSON parsing, registry seed derivation,
-// golden manifest expansion (same manifest => identical job list and
-// instance seeds), corpus round-trip + hit/miss determinism, and the
-// engine-vs-direct equivalence that pins the migrated E1/E3/E7 benches
-// ("measured rounds/messages unchanged for matching instances").
+// Scenario subsystem unit tests: JSON parsing, strict manifest validation
+// (unknown keys and misspelled params are errors, malformed JSON reports
+// instead of crashing), registry seed derivation (instance + tester
+// goldens), golden manifest expansion (same manifest => identical job
+// list and seeds), corpus round-trip + hit/miss determinism + corrupt-
+// file recovery, the engine's failure reporting and streaming sink, and
+// the engine-vs-direct equivalence that pins the migrated E1-E7 benches
+// ("measured rounds/messages unchanged for matching instances", including
+// the E4/E6 stage1_partition / random_partition workloads).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -13,7 +17,11 @@
 #include <gtest/gtest.h>
 
 #include "apps/cycle_free.h"
+#include "congest/network.h"
+#include "congest/simulator.h"
 #include "core/tester.h"
+#include "partition/partition.h"
+#include "partition/random_partition.h"
 #include "scenario/aggregate.h"
 #include "scenario/corpus.h"
 #include "scenario/engine.h"
@@ -98,6 +106,38 @@ TEST(Registry, SeedDerivationIsStableAndSeparates) {
   p3.set_int("rows", 13);
   EXPECT_NE(derive_instance_seed("grid", p1, 7, 0),
             derive_instance_seed("grid", p3, 7, 0));
+}
+
+TEST(Registry, TesterSeedGoldensAndSeparation) {
+  // Goldens pin the documented splitmix64 chain over (instance seed,
+  // trial): changing it re-seeds every recorded sweep. The instance-seed
+  // input is itself the Registry golden above.
+  EXPECT_EQ(derive_tester_seed(0x4b58ff6823165966ULL, 0),
+            0xdc2a92a9d6d42bfbULL);
+  EXPECT_EQ(derive_tester_seed(0x4b58ff6823165966ULL, 1),
+            0x652556b7eb3e976eULL);
+  EXPECT_EQ(derive_tester_seed(0, 0), 0x6b3ee4aaf64a4963ULL);
+  // Trials and instances separate, and the tester chain is domain-
+  // separated from the instance chain.
+  EXPECT_NE(derive_tester_seed(7, 0), derive_tester_seed(7, 1));
+  EXPECT_NE(derive_tester_seed(7, 0), derive_tester_seed(8, 0));
+  ScenarioParams none;
+  EXPECT_NE(derive_tester_seed(7, 0), derive_instance_seed("grid", none, 7, 0));
+}
+
+TEST(Registry, PlanarFamilyFlagsMatchTheGenerators) {
+  // The one-sidedness invariant trusts these flags; spot-check both sides.
+  for (const char* name : {"path", "cycle", "star", "grid",
+                           "triangulated_grid", "binary_tree", "random_tree",
+                           "outerplanar", "apollonian", "random_planar",
+                           "wheel", "caterpillar"}) {
+    EXPECT_TRUE(find_family(name)->planar) << name;
+  }
+  for (const char* name : {"complete", "complete_bipartite", "hypercube",
+                           "gnp", "gnm", "random_regular", "toroidal_grid",
+                           "k5_blobs", "file"}) {
+    EXPECT_FALSE(find_family(name)->planar) << name;
+  }
 }
 
 TEST(Registry, BuildInstanceIsDeterministic) {
@@ -230,6 +270,98 @@ TEST(Manifest, GoldenExpansion) {
   }
 }
 
+TEST(Manifest, RejectsUnknownAndMisspelledKeys) {
+  Manifest m;
+  std::string err;
+  // Top-level typo.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"base_sead": 3, "cells": [{"scenario": "grid"}]})", &m, &err));
+  EXPECT_NE(err.find("base_sead"), std::string::npos) << err;
+  // defaults typo.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"defaults": {"trails": 2}, "cells": [{"scenario": "grid"}]})", &m,
+      &err));
+  EXPECT_NE(err.find("trails"), std::string::npos) << err;
+  // Cell-level typo.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid", "epsilom": 0.2}]})", &m, &err));
+  EXPECT_NE(err.find("epsilom"), std::string::npos) << err;
+  // Family param typo (would silently sweep the default otherwise).
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid", "params": {"rows": 8, "colz": 8}}]})",
+      &m, &err));
+  EXPECT_NE(err.find("colz"), std::string::npos) << err;
+  EXPECT_NE(err.find("rows,cols"), std::string::npos) << err;
+  // Param from a different family.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "apollonian", "params": {"rows": 8}}]})", &m,
+      &err));
+  EXPECT_NE(err.find("rows"), std::string::npos) << err;
+  // Perturbation param typo.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid",
+                     "perturb": {"kind": "plus_random_edges", "extras": 9}}]})",
+      &m, &err));
+  EXPECT_NE(err.find("extras"), std::string::npos) << err;
+  // Preset params validate against the preset's own keys.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "road_network", "params": {"flyover": 9}}]})",
+      &m, &err));
+  EXPECT_NE(err.find("flyover"), std::string::npos) << err;
+  // The full accepted key set still parses.
+  err.clear();
+  EXPECT_TRUE(parse_manifest(
+      R"({"name": "ok", "base_seed": 2,
+          "defaults": {"epsilon": 0.2, "tester": "planarity", "instances": 1,
+                       "trials": 1, "sim_threads": 1, "adaptive": false,
+                       "randomized": false, "pipelined": true, "delta": 0.1,
+                       "alpha": 3},
+          "cells": [{"scenario": "grid", "params": {"rows": 6, "cols": 6}}]})",
+      &m, &err))
+      << err;
+}
+
+TEST(Manifest, MalformedJsonReportsErrorsNotCrashes) {
+  Manifest m;
+  std::string err;
+  // Truncated document.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(R"({"name": "x", "cells": [)", &m, &err));
+  EXPECT_FALSE(err.empty());
+  // Truncated mid-string.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(R"({"name": "unterminat)", &m, &err));
+  EXPECT_FALSE(err.empty());
+  // Wrong types: cells as object, epsilon as string, trials fractional,
+  // negative base_seed, sim_threads out of range.
+  err.clear();
+  EXPECT_FALSE(parse_manifest(R"({"cells": {"scenario": "grid"}})", &m, &err));
+  EXPECT_NE(err.find("cells"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid", "epsilon": "big"}]})", &m, &err));
+  EXPECT_NE(err.find("epsilon"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid", "trials": 2.5}]})", &m, &err));
+  EXPECT_NE(err.find("trials"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(parse_manifest(R"({"base_seed": -4, "cells": [{"scenario":
+      "grid"}]})", &m, &err));
+  EXPECT_NE(err.find("base_seed"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(parse_manifest(
+      R"({"cells": [{"scenario": "grid", "sim_threads": 99}]})", &m, &err));
+  EXPECT_NE(err.find("sim_threads"), std::string::npos) << err;
+}
+
 TEST(Manifest, RejectsUnknownNamesAndBadFields) {
   Manifest m;
   std::string err;
@@ -263,7 +395,7 @@ TEST(Corpus, RoundTripsGraphsBitForBit) {
   const Graph g = build_instance(inst);
   ASSERT_TRUE(store.save(inst.hash(), g));
   Graph loaded;
-  ASSERT_TRUE(store.load(inst.hash(), &loaded));
+  ASSERT_EQ(store.load(inst.hash(), &loaded), CorpusStore::LoadStatus::kHit);
   ASSERT_EQ(loaded.num_nodes(), g.num_nodes());
   ASSERT_EQ(loaded.num_edges(), g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -271,7 +403,8 @@ TEST(Corpus, RoundTripsGraphsBitForBit) {
     EXPECT_EQ(loaded.endpoints(e).v, g.endpoints(e).v);
   }
   Graph missing;
-  EXPECT_FALSE(store.load(inst.hash() + 1, &missing));
+  EXPECT_EQ(store.load(inst.hash() + 1, &missing),
+            CorpusStore::LoadStatus::kMiss);
 }
 
 TEST(Corpus, BatchHitMissCountsAreDeterministic) {
@@ -302,6 +435,90 @@ TEST(Corpus, BatchHitMissCountsAreDeterministic) {
   const auto cells2 = aggregate_cells(second);
   EXPECT_EQ(render_aggregate_json(m, first, cells1),
             render_aggregate_json(m, second, cells2));
+}
+
+// Flips one byte at `offset` in an existing file.
+void garble_file(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0x5a, f);
+  std::fclose(f);
+}
+
+TEST(Corpus, DetectsCorruptFilesAndRecovers) {
+  std::string dir_template = testing::TempDir() + "cpt_corrupt_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template.data()), nullptr);
+  const CorpusStore store(dir_template);
+  ScenarioParams params;
+  params.set_int("n", 80);
+  const ScenarioInstance inst = resolve_scenario("random_planar", params, 4, 0);
+  const Graph g = build_instance(inst);
+  ASSERT_TRUE(store.save(inst.hash(), g));
+  const std::string path = store.path_for(inst.hash());
+
+  Graph out;
+  // Truncated: keep only the first 10 bytes.
+  {
+    std::string bytes;
+    ASSERT_TRUE(read_text_file(path, &bytes));
+    ASSERT_TRUE(write_text_file(path, bytes.substr(0, 10)));
+    EXPECT_EQ(store.load(inst.hash(), &out), CorpusStore::LoadStatus::kCorrupt);
+    ASSERT_TRUE(store.save(inst.hash(), g));
+  }
+  // Garbled endpoint byte: size still right, checksum catches it.
+  garble_file(path, 16 + 2);
+  EXPECT_EQ(store.load(inst.hash(), &out), CorpusStore::LoadStatus::kCorrupt);
+  ASSERT_TRUE(store.save(inst.hash(), g));
+  // Garbled node count: size cross-check catches it before any allocation.
+  garble_file(path, 8 + 3);
+  EXPECT_EQ(store.load(inst.hash(), &out), CorpusStore::LoadStatus::kCorrupt);
+  ASSERT_TRUE(store.save(inst.hash(), g));
+  // Trailing junk.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc('x', f);
+    std::fclose(f);
+    EXPECT_EQ(store.load(inst.hash(), &out), CorpusStore::LoadStatus::kCorrupt);
+    ASSERT_TRUE(store.save(inst.hash(), g));
+  }
+  // Pristine again after the re-saves.
+  EXPECT_EQ(store.load(inst.hash(), &out), CorpusStore::LoadStatus::kHit);
+}
+
+TEST(Corpus, EngineRegeneratesCorruptEntriesBitIdentically) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(kSmallManifest, &m, &err)) << err;
+  std::string dir_template = testing::TempDir() + "cpt_regen_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template.data()), nullptr);
+
+  BatchOptions opt;
+  opt.threads = 2;
+  opt.corpus_dir = dir_template;
+  const BatchResult clean = run_batch(m, opt);
+  ASSERT_EQ(clean.corpus.generated, 6u);
+  EXPECT_EQ(clean.corpus.corrupt_files, 0u);
+
+  // Damage one cached instance: the next run must warn, regenerate and
+  // produce the identical aggregate -- and leave a repaired file behind.
+  const CorpusStore store(dir_template);
+  const std::uint64_t victim = clean.jobs[0].instance.hash();
+  const std::string path = store.path_for(victim);
+  garble_file(path, 16 + 5);
+
+  const BatchResult recovered = run_batch(m, opt);
+  EXPECT_EQ(recovered.corpus.disk_hits, 5u);
+  EXPECT_EQ(recovered.corpus.generated, 1u);
+  EXPECT_EQ(recovered.corpus.corrupt_files, 1u);
+  EXPECT_EQ(render_aggregate_json(m, clean, aggregate_cells(clean)),
+            render_aggregate_json(m, recovered, aggregate_cells(recovered)));
+  Graph repaired;
+  EXPECT_EQ(store.load(victim, &repaired), CorpusStore::LoadStatus::kHit);
 }
 
 // ---- Engine ---------------------------------------------------------------
@@ -344,6 +561,169 @@ TEST(Engine, MatchesDirectTesterCalls) {
   EXPECT_EQ(ce.messages, cd.ledger.total_messages());
 }
 
+// The E4/E6 migration contract: a "stage1_partition" / "random_partition"
+// job reports exactly what a direct run_stage1 / run_random_partition call
+// (same options, same seed) measures.
+TEST(Engine, MatchesDirectPartitionCalls) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(
+      R"({"name": "parts", "base_seed": 6,
+          "cells": [
+            {"scenario": "triangulated_grid", "params": {"rows": 12, "cols": 12},
+             "epsilon": 0.3, "tester": ["stage1_partition", "random_partition"],
+             "delta": 0.25}
+          ]})",
+      &m, &err))
+      << err;
+  const std::vector<Job> jobs = expand_manifest(m);
+  ASSERT_EQ(jobs.size(), 2u);
+  ASSERT_EQ(jobs[0].tester, TesterKind::kStage1Partition);
+  ASSERT_EQ(jobs[1].tester, TesterKind::kRandomPartition);
+  const Graph g = build_instance(jobs[0].instance);
+
+  {
+    const JobResult via_engine = run_job(jobs[0], g);
+    congest::Network net(g);
+    congest::Simulator sim(net);
+    congest::RoundLedger ledger;
+    Stage1Options opt;
+    opt.epsilon = jobs[0].epsilon;
+    const Stage1Result direct = run_stage1(sim, g, opt, ledger);
+    EXPECT_EQ(via_engine.rounds, ledger.total_rounds());
+    EXPECT_EQ(via_engine.messages, ledger.total_messages());
+    EXPECT_EQ(via_engine.stage1_phases, direct.phases_emulated);
+    EXPECT_EQ(via_engine.stage1_phases_total, direct.phases_total);
+    ASSERT_EQ(via_engine.phase_stats.size(), direct.phase_stats.size());
+    for (std::size_t i = 0; i < direct.phase_stats.size(); ++i) {
+      EXPECT_EQ(via_engine.phase_stats[i].cut_after,
+                direct.phase_stats[i].cut_after);
+      EXPECT_EQ(via_engine.phase_stats[i].rounds, direct.phase_stats[i].rounds);
+    }
+    const PartitionStats stats = measure_partition(g, direct.forest);
+    EXPECT_EQ(via_engine.num_parts, stats.num_parts);
+    EXPECT_EQ(via_engine.cut_edges, stats.cut_edges);
+    EXPECT_EQ(via_engine.max_part_ecc, stats.max_part_ecc);
+    EXPECT_EQ(via_engine.max_tree_depth, stats.max_tree_depth);
+  }
+  {
+    const JobResult via_engine = run_job(jobs[1], g);
+    congest::Network net(g);
+    congest::Simulator sim(net);
+    congest::RoundLedger ledger;
+    RandomPartitionOptions opt;
+    opt.epsilon = jobs[1].epsilon;
+    opt.delta = jobs[1].delta;
+    opt.seed = jobs[1].tester_seed;
+    const RandomPartitionResult direct =
+        run_random_partition(sim, g, opt, ledger);
+    EXPECT_EQ(via_engine.rounds, ledger.total_rounds());
+    EXPECT_EQ(via_engine.messages, ledger.total_messages());
+    EXPECT_EQ(via_engine.trials_per_phase, direct.trials_per_phase);
+    const PartitionStats stats = measure_partition(g, direct.forest);
+    EXPECT_EQ(via_engine.num_parts, stats.num_parts);
+    EXPECT_EQ(via_engine.cut_edges, stats.cut_edges);
+  }
+}
+
+TEST(Engine, FailedJobsAreReportedNotSilentlyAggregated) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(
+      R"({"name": "partial", "base_seed": 1, "defaults": {"trials": 2},
+          "cells": [
+            {"scenario": "grid", "params": {"rows": 6, "cols": 6}},
+            {"scenario": "file",
+             "params": {"path": "/nonexistent/cpt_no_such_file.el"}}
+          ]})",
+      &m, &err))
+      << err;
+  BatchOptions opt;
+  opt.threads = 2;
+  const BatchResult batch = run_batch(m, opt);
+  ASSERT_EQ(batch.jobs.size(), 4u);
+  EXPECT_EQ(batch.failed_jobs, 2u);
+  for (std::size_t j = 0; j < batch.jobs.size(); ++j) {
+    if (batch.jobs[j].instance.family == "file") {
+      EXPECT_TRUE(batch.results[j].failed);
+      EXPECT_NE(batch.results[j].error.find("cannot open"), std::string::npos)
+          << batch.results[j].error;
+    } else {
+      EXPECT_FALSE(batch.results[j].failed);
+    }
+  }
+  // Failed jobs contribute to no cell, and the aggregate says so.
+  const std::vector<CellAggregate> cells = aggregate_cells(batch);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].jobs, 2u);
+  const std::string json = render_aggregate_json(m, batch, cells);
+  EXPECT_NE(json.find("\"failed_jobs\": 2"), std::string::npos) << json;
+}
+
+TEST(Engine, MalformedFileScenarioFailsTheJobNotTheProcess) {
+  // A file that exists but is not an edge list must become a per-job
+  // failure (and a nonzero cpt_batch exit), never a contract abort or a
+  // silently empty graph.
+  const std::string path = testing::TempDir() + "cpt_garbled.el";
+  ASSERT_TRUE(write_text_file(path, "this is not an edge list\n"));
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(
+      R"({"name": "garbled", "cells": [{"scenario": "file",
+          "params": {"path": ")" +
+          path + R"("}}]})",
+      &m, &err))
+      << err;
+  const BatchResult batch = run_batch(m, BatchOptions{});
+  ASSERT_EQ(batch.jobs.size(), 1u);
+  EXPECT_EQ(batch.failed_jobs, 1u);
+  EXPECT_TRUE(batch.results[0].failed);
+  EXPECT_NE(batch.results[0].error.find("bad header"), std::string::npos)
+      << batch.results[0].error;
+  EXPECT_TRUE(aggregate_cells(batch).empty());
+
+  // Rows that parse but violate graph preconditions (out-of-range
+  // endpoint, self-loop) are job failures too, not GraphBuilder aborts.
+  const std::string oob = testing::TempDir() + "cpt_oob.el";
+  ASSERT_TRUE(write_text_file(oob, "2 1\n0 5\n"));
+  Manifest m2;
+  ASSERT_TRUE(parse_manifest(
+      R"({"name": "oob", "cells": [{"scenario": "file",
+          "params": {"path": ")" +
+          oob + R"("}}]})",
+      &m2, &err))
+      << err;
+  const BatchResult oob_batch = run_batch(m2, BatchOptions{});
+  ASSERT_EQ(oob_batch.failed_jobs, 1u);
+  EXPECT_NE(oob_batch.results[0].error.find("out of range"),
+            std::string::npos)
+      << oob_batch.results[0].error;
+}
+
+TEST(Engine, StreamingSinkSeesJobOrderWithoutRetainedResults) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(parse_manifest(kSmallManifest, &m, &err)) << err;
+  BatchOptions opt;
+  opt.threads = 4;
+  std::vector<std::uint32_t> order;
+  StreamStats stats;
+  const BatchResult batch = run_batch(
+      m, opt,
+      [&](const Job& job, const JobResult& result) {
+        EXPECT_FALSE(result.failed);
+        order.push_back(job.job_index);
+      },
+      &stats);
+  // The sink saw every job exactly once, in expansion order, and the
+  // batch retained nothing per-job.
+  ASSERT_EQ(order.size(), batch.jobs.size());
+  for (std::uint32_t j = 0; j < order.size(); ++j) EXPECT_EQ(order[j], j);
+  EXPECT_TRUE(batch.results.empty());
+  // The reorder window is the only per-job result storage.
+  EXPECT_LE(stats.peak_pending_results, 4u * 4u + 4u);
+}
+
 TEST(Engine, AggregateJsonIsThreadCountInvariant) {
   Manifest m;
   std::string err;
@@ -355,6 +735,13 @@ TEST(Engine, AggregateJsonIsThreadCountInvariant) {
   const BatchResult a = run_batch(m, serial);
   const BatchResult b = run_batch(m, parallel);
   EXPECT_EQ(b.threads_used, 4u);
+  // Per-job seeds are a function of the expansion alone: the batch thread
+  // count must never reach into the seed chain.
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].instance.seed, b.jobs[j].instance.seed);
+    EXPECT_EQ(a.jobs[j].tester_seed, b.jobs[j].tester_seed);
+  }
   const std::string ja = render_aggregate_json(m, a, aggregate_cells(a));
   const std::string jb = render_aggregate_json(m, b, aggregate_cells(b));
   EXPECT_EQ(ja, jb);

@@ -11,9 +11,18 @@
 //                                           bit-identical at every --threads)
 //       [--csv=FILE]                        aggregate CSV
 //       [--timing-out=FILE]                 wall-clock report (nondeterministic)
+//       [--stream=FILE]                     streaming mode: JSONL aggregate
+//                                           (cpt_batch_aggregate_stream_v1),
+//                                           each sweep cell flushed as it
+//                                           completes; per-job results are
+//                                           never held in memory
 //       [--quiet]                           suppress the summary table
 //   cpt_batch gen <scenario> [k=v ...]      write one instance as an edge
 //       [--base-seed=S] [--index=I]         list to stdout (graph/io.h format)
+//
+// Exit status: nonzero when any job fails (unreadable file scenario,
+// generation/simulation error) -- the aggregate then covers only the jobs
+// that ran, and trusting it silently would be wrong.
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
@@ -42,7 +51,8 @@ int usage() {
                "  cpt_batch expand <manifest.json>\n"
                "  cpt_batch run <manifest.json> [--threads=N] [--corpus=DIR]\n"
                "                [--out=FILE] [--csv=FILE] [--timing-out=FILE]"
-               " [--quiet]\n"
+               " [--stream=FILE]\n"
+               "                [--quiet]\n"
                "  cpt_batch gen <scenario> [key=value ...] [--base-seed=S]"
                " [--index=I]\n");
   return 2;
@@ -91,15 +101,68 @@ int cmd_expand(const std::string& path) {
 
 int cmd_run(const std::string& path, const BatchOptions& options,
             const std::string& out_path, const std::string& csv_path,
-            const std::string& timing_path, bool quiet) {
+            const std::string& timing_path, const std::string& stream_path,
+            bool quiet) {
   Manifest manifest;
   std::string error;
   if (!load_manifest_file(path, &manifest, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
-  const BatchResult batch = run_batch(manifest, options);
-  const std::vector<CellAggregate> cells = aggregate_cells(batch);
+
+  BatchResult batch;
+  std::vector<CellAggregate> cells;
+  std::vector<std::string> job_errors;  // first few, for the failure report
+  if (stream_path.empty()) {
+    batch = run_batch(manifest, options);
+    cells = aggregate_cells(batch);
+    for (std::size_t j = 0; j < batch.results.size(); ++j) {
+      if (batch.results[j].failed && job_errors.size() < 3) {
+        job_errors.push_back(batch.jobs[j].instance.label() + ": " +
+                             batch.results[j].error);
+      }
+    }
+  } else {
+    // Streaming: per-job results go straight into the aggregator (and each
+    // finished cell straight to disk); nothing per-job is retained. The
+    // aggregator's expected cell sizes come from our own expansion;
+    // run_batch re-expands internally -- expansion is pure and golden-
+    // pinned (scenario_test.cc), so both lists are identical by contract,
+    // and finish() flushes defensively even if they ever were not.
+    std::FILE* stream = std::fopen(stream_path.c_str(), "w");
+    if (stream == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", stream_path.c_str());
+      return 1;
+    }
+    bool write_ok = true;
+    const auto emit = [&](const std::string& chunk) {
+      write_ok = write_ok &&
+                 std::fwrite(chunk.data(), 1, chunk.size(), stream) ==
+                     chunk.size() &&
+                 std::fflush(stream) == 0;  // a killed sweep keeps every
+                                            // finished cell
+    };
+    const std::vector<Job> jobs = expand_manifest(manifest);
+    emit(render_stream_header(manifest, jobs.size()));
+    StreamingAggregator agg(jobs);
+    agg.set_cell_sink(
+        [&](const CellAggregate& cell) { emit(render_stream_cell(cell)); });
+    batch = run_batch(manifest, options,
+                      [&](const Job& job, const JobResult& result) {
+                        if (result.failed && job_errors.size() < 3) {
+                          job_errors.push_back(job.instance.label() + ": " +
+                                               result.error);
+                        }
+                        agg.consume(job, result);
+                      });
+    cells = agg.finish();
+    emit(render_stream_footer(batch, cells.size()));
+    write_ok = (std::fclose(stream) == 0) && write_ok;
+    if (!write_ok) {
+      std::fprintf(stderr, "error: cannot write %s\n", stream_path.c_str());
+      return 1;
+    }
+  }
 
   if (!quiet) {
     std::printf("# %s: %zu jobs over %" PRIu64
@@ -136,6 +199,16 @@ int cmd_run(const std::string& path, const BatchOptions& options,
       !write_text_file(timing_path,
                        render_timing_json(manifest, batch, cells))) {
     std::fprintf(stderr, "error: cannot write %s\n", timing_path.c_str());
+    return 1;
+  }
+  if (batch.failed_jobs > 0) {
+    std::fprintf(stderr,
+                 "error: %u of %zu jobs failed; the aggregate covers only "
+                 "the jobs that ran\n",
+                 batch.failed_jobs, batch.jobs.size());
+    for (const std::string& e : job_errors) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
     return 1;
   }
   return 0;
@@ -192,7 +265,7 @@ int cmd_gen(const std::vector<std::string>& args, std::uint64_t base_seed,
 
 int main(int argc, char** argv) {
   BatchOptions options;
-  std::string out_path, csv_path, timing_path;
+  std::string out_path, csv_path, timing_path, stream_path;
   std::uint64_t base_seed = 1, index = 0;
   bool quiet = false;
   std::vector<std::string> args;
@@ -208,6 +281,8 @@ int main(int argc, char** argv) {
       csv_path = a + 6;
     } else if (std::strncmp(a, "--timing-out=", 13) == 0) {
       timing_path = a + 13;
+    } else if (std::strncmp(a, "--stream=", 9) == 0) {
+      stream_path = a + 9;
     } else if (std::strncmp(a, "--base-seed=", 12) == 0) {
       base_seed = static_cast<std::uint64_t>(std::strtoull(a + 12, nullptr, 10));
     } else if (std::strncmp(a, "--index=", 8) == 0) {
@@ -226,7 +301,8 @@ int main(int argc, char** argv) {
   if (cmd == "list") return cmd_list();
   if (cmd == "expand" && args.size() == 2) return cmd_expand(args[1]);
   if (cmd == "run" && args.size() == 2) {
-    return cmd_run(args[1], options, out_path, csv_path, timing_path, quiet);
+    return cmd_run(args[1], options, out_path, csv_path, timing_path,
+                   stream_path, quiet);
   }
   if (cmd == "gen") {
     return cmd_gen({args.begin() + 1, args.end()}, base_seed, index);
