@@ -8,7 +8,10 @@ namespace cpt {
 AppResult test_cycle_freeness(const Graph& g, const MinorFreeOptions& opt) {
   AppResult result;
   congest::Network net(g);
-  congest::Simulator sim(net);
+  congest::SimOptions sim_opt;
+  sim_opt.num_threads = opt.num_threads;
+  sim_opt.max_rounds = opt.max_rounds;
+  congest::Simulator sim(net, sim_opt);
 
   const MinorFreePartition part = minor_free_partition(sim, g, opt, result.ledger);
   result.partition = measure_partition(g, part.forest);

@@ -25,6 +25,9 @@ struct MinorFreeOptions {
   // only; the randomized variant has no unpipelined schedule).
   bool pipelined_streams = true;
   unsigned num_threads = 0;   // simulator workers (0 = env default)
+  // Cumulative simulated-round budget for the whole app run (0 =
+  // unlimited); exhausting it throws congest::RoundBudgetExceeded.
+  std::uint64_t max_rounds = 0;
 };
 
 // Per-node edge classification against a per-part BFS tree.

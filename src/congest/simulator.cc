@@ -22,7 +22,8 @@ unsigned resolve_sim_threads(unsigned requested) {
 Simulator::Simulator(const Network& net, SimOptions opt)
     : net_(&net),
       workers_(resolve_sim_threads(opt.num_threads)),
-      parallel_grain_(std::max<std::uint64_t>(opt.parallel_grain, 1)) {
+      parallel_grain_(std::max<std::uint64_t>(opt.parallel_grain, 1)),
+      budget_(opt.max_rounds) {
   const NodeId n = net.num_nodes();
   // Shard boundaries balanced by arc count: shard s (1..K) owns the node
   // range [shard_lo_[s-1], shard_lo_[s]). Arc ranges of distinct shards
@@ -268,6 +269,13 @@ PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
       result.quiesced = false;
       break;
     }
+    // The lifetime budget throws instead of returning a partial pass:
+    // callers stacking many passes (stage1 phases, stage2 walks) would
+    // otherwise have to thread quiesced checks through every layer.
+    if (budget_ != 0 && total_rounds_ >= budget_) {
+      throw RoundBudgetExceeded(budget_, total_rounds_);
+    }
+    ++total_rounds_;
     ++round_;
     cur_ ^= 1;
     aim_execs();

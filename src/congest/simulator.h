@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "congest/message.h"
@@ -78,6 +79,31 @@ struct SimOptions {
   // Minimum in-flight work (messages + wake-ups) per worker before a round
   // is dispatched to the pool; smaller rounds run inline on the caller.
   std::uint64_t parallel_grain = 2048;
+  // Cumulative round budget across *all* passes run on this Simulator
+  // (0 = unlimited). Unlike run()'s per-pass max_rounds -- which callers
+  // use to abandon one pass and read its partial cost -- exhausting this
+  // budget throws RoundBudgetExceeded out of run(), so a pathological
+  // instance cannot wedge a batch worker no matter how many passes the
+  // tester stacks on one simulator. The batch engine maps the throw to
+  // JobResult::timed_out.
+  std::uint64_t max_rounds = 0;
+};
+
+// Thrown by Simulator::run when SimOptions::max_rounds is exhausted. A
+// budget violation is deterministic (same instance, same seeds, same round
+// count), so catchers must not retry -- the engine records timed_out.
+class RoundBudgetExceeded : public std::runtime_error {
+ public:
+  RoundBudgetExceeded(std::uint64_t budget, std::uint64_t rounds)
+      : std::runtime_error("simulated round budget exceeded"),
+        budget_(budget),
+        rounds_(rounds) {}
+  std::uint64_t budget() const { return budget_; }
+  std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t rounds_;
 };
 
 // Resolves SimOptions::num_threads == 0 (see above). Exposed for CLIs and
@@ -106,6 +132,10 @@ class Simulator {
 
   // Round number of the round currently executing (1-based); 0 in begin().
   std::uint64_t current_round() const { return round_; }
+
+  // Rounds executed across all passes (the counter SimOptions::max_rounds
+  // is charged against).
+  std::uint64_t total_rounds() const { return total_rounds_; }
 
  private:
   friend class Exec;
@@ -146,6 +176,8 @@ class Simulator {
   std::unique_ptr<WorkerPool> pool_;  // only when workers_ > 1
   unsigned cur_ = 0;  // generation being delivered this round
   std::uint64_t round_ = 0;
+  std::uint64_t budget_ = 0;        // SimOptions::max_rounds (0 = unlimited)
+  std::uint64_t total_rounds_ = 0;  // lifetime rounds, all passes
 };
 
 // Execution context handed to Program callbacks: the sending surface of

@@ -23,6 +23,9 @@ struct TesterOptions {
   // Simulator workers for round execution (0 = CPT_TEST_THREADS env or 1).
   // Any value produces bit-identical verdicts, ledgers and partitions.
   unsigned num_threads = 0;
+  // Cumulative simulated-round budget across both stages (0 = unlimited);
+  // exhausting it throws congest::RoundBudgetExceeded (see simulator.h).
+  std::uint64_t max_rounds = 0;
   Stage1Options stage1;   // epsilon is overwritten from the field above
   Stage2Options stage2;   // epsilon/seed are overwritten from above
 };

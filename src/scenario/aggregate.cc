@@ -45,8 +45,14 @@ void StreamingAggregator::consume(const Job& job, const JobResult& result) {
   ++consumed_jobs_;
   std::string key = job.cell_key();
   const std::uint32_t seen = ++consumed_[key];
-  if (result.failed) {
-    ++failed_jobs_;
+  if (result.failed || result.timed_out) {
+    // Neither contributes values to a cell; both still tick the per-key
+    // counter so the cell finalizes when its last job arrives.
+    if (result.timed_out) {
+      ++timed_out_jobs_;
+    } else {
+      ++failed_jobs_;
+    }
   } else {
     auto [it, fresh] = index_.emplace(std::move(key), cells_.size());
     if (fresh) {
@@ -177,6 +183,15 @@ std::string render_aggregate_json(const Manifest& manifest,
   if (batch.failed_jobs > 0) {
     out += ",\n  \"failed_jobs\": " + json_render_uint(batch.failed_jobs);
   }
+  if (batch.timed_out_jobs > 0) {
+    out += ",\n  \"timed_out_jobs\": " +
+           json_render_uint(batch.timed_out_jobs);
+  }
+  if (batch.cancelled) {
+    out += ",\n  \"partial\": true";
+    out += ",\n  \"completed_jobs\": " +
+           json_render_uint(batch.completed_jobs);
+  }
   out += ",\n  \"unique_instances\": " +
          json_render_uint(batch.corpus.unique_instances);
   out += ",\n  \"cells\": [";
@@ -235,6 +250,12 @@ std::string render_timing_json(const Manifest& manifest,
   out += ",\n  \"threads\": " + json_render_uint(batch.threads_used);
   out += ",\n  \"jobs\": " + json_render_uint(batch.jobs.size());
   out += ",\n  \"wall_seconds\": " + json_render_double(batch.wall_seconds);
+  // Degradation counters live here, not in the aggregate document: a
+  // resumed run retries/resumes differently than an uninterrupted one, and
+  // the aggregate must stay byte-identical between the two.
+  out += ",\n  \"retried_jobs\": " + json_render_uint(batch.retried_jobs);
+  out += ", \"total_retries\": " + json_render_uint(batch.total_retries);
+  out += ", \"resumed_jobs\": " + json_render_uint(batch.resumed_jobs);
   out += ",\n  \"corpus\": {\"unique_instances\": " +
          json_render_uint(batch.corpus.unique_instances);
   out += ", \"disk_hits\": " + json_render_uint(batch.corpus.disk_hits);
@@ -274,6 +295,13 @@ std::string render_stream_footer(const BatchResult& batch, std::size_t cells) {
   std::string out = "{\"end\": true, \"cells\": " + json_render_uint(cells);
   out += ", \"jobs\": " + json_render_uint(batch.jobs.size());
   out += ", \"failed_jobs\": " + json_render_uint(batch.failed_jobs);
+  if (batch.timed_out_jobs > 0) {
+    out += ", \"timed_out_jobs\": " + json_render_uint(batch.timed_out_jobs);
+  }
+  if (batch.cancelled) {
+    out += ", \"partial\": true, \"completed_jobs\": " +
+           json_render_uint(batch.completed_jobs);
+  }
   out += ", \"unique_instances\": " +
          json_render_uint(batch.corpus.unique_instances);
   out += "}\n";

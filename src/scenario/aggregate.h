@@ -12,8 +12,12 @@
 // per-cell values: index(q) = floor(q * (count - 1) + 1/2) computed in
 // integer arithmetic (quarters: (k*(count-1) + 2) / 4 for k = 0..4).
 //
-// Failed jobs (JobResult::failed) contribute to no cell; callers surface
-// BatchResult::failed_jobs (rendered as "failed_jobs" when nonzero).
+// Failed jobs (JobResult::failed) and timed-out jobs (JobResult::
+// timed_out, the max_rounds guard) contribute to no cell; callers surface
+// BatchResult::failed_jobs / timed_out_jobs (rendered as "failed_jobs" /
+// "timed_out_jobs" when nonzero). A cancelled batch renders "partial":
+// true plus "completed_jobs" so a truncated document can never pass for a
+// finished sweep.
 //
 // Streaming: StreamingAggregator consumes (job, result) pairs in
 // job-index order -- the engine's streaming sink order -- holding per-job
@@ -91,6 +95,7 @@ class StreamingAggregator {
 
   std::uint32_t consumed_jobs() const { return consumed_jobs_; }
   std::uint32_t failed_jobs() const { return failed_jobs_; }
+  std::uint32_t timed_out_jobs() const { return timed_out_jobs_; }
   // High-water mark of cells holding live per-job value buffers.
   std::size_t peak_open_cells() const { return peak_open_cells_; }
 
@@ -114,6 +119,7 @@ class StreamingAggregator {
   std::size_t peak_open_cells_ = 0;
   std::uint32_t consumed_jobs_ = 0;
   std::uint32_t failed_jobs_ = 0;
+  std::uint32_t timed_out_jobs_ = 0;
   CellSink cell_sink_;
 };
 

@@ -1,10 +1,15 @@
 #include "scenario/corpus.h"
 
 #include <cstdio>
+#include <cstring>
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <vector>
+
+#include "scenario/faultinject.h"
 
 namespace cpt::scenario {
 
@@ -55,6 +60,28 @@ constexpr std::uint32_t kMaxCachedNodes = 1u << 27;
 
 }  // namespace
 
+CorpusStore::CorpusStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  // Sweep orphaned save temporaries: a process killed between fopen and
+  // rename leaves <hash>.cpg.tmp behind. They are never loaded (load()
+  // only opens final names), but without the sweep every crash leaks one
+  // file into the corpus forever.
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return;  // created later on first save
+  while (const dirent* entry = ::readdir(d)) {
+    const std::size_t len = std::strlen(entry->d_name);
+    constexpr const char* kSuffix = ".cpg.tmp";
+    constexpr std::size_t kSuffixLen = 8;
+    if (len <= kSuffixLen ||
+        std::strcmp(entry->d_name + (len - kSuffixLen), kSuffix) != 0) {
+      continue;
+    }
+    const std::string orphan = dir_ + "/" + entry->d_name;
+    std::remove(orphan.c_str());
+  }
+  ::closedir(d);
+}
+
 std::string CorpusStore::path_for(std::uint64_t hash) const {
   char name[32];
   std::snprintf(name, sizeof name, "%016llx.cpg",
@@ -68,6 +95,22 @@ CorpusStore::LoadStatus CorpusStore::load(std::uint64_t hash,
   const std::string path = path_for(hash);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return LoadStatus::kMiss;
+  // Injected read faults: corrupt-on-read exercises the regenerate path
+  // without touching the file; throw/badalloc surface as transient
+  // materialization failures.
+  const FaultAction fault = fault_check(FaultSite::kCorpusLoad, hash);
+  if (fault == FaultAction::kCorrupt) {
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "warning: corpus file %s is truncated or corrupt; "
+                 "regenerating the instance\n",
+                 path.c_str());
+    return LoadStatus::kCorrupt;
+  }
+  if (fault != FaultAction::kNone) {
+    std::fclose(f);
+    fault_raise(fault, FaultSite::kCorpusLoad, hash);
+  }
   std::uint32_t magic = 0, version = 0, n = 0, m = 0;
   bool ok = read_u32(f, &magic) && read_u32(f, &version) && read_u32(f, &n) &&
             read_u32(f, &m) && magic == kMagic && version == kVersion;
@@ -120,6 +163,23 @@ bool CorpusStore::save(std::uint64_t hash, const Graph& g) const {
   const std::string tmp_path = final_path + ".tmp";
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) return false;
+  // Injected save faults: shortwrite abandons a half-written temp file
+  // *without* cleaning it up (the constructor's orphan sweep is the test
+  // subject); exit kills the process mid-save the same way.
+  const FaultAction fault = fault_check(FaultSite::kCorpusSave, hash);
+  if (fault == FaultAction::kShortWrite || fault == FaultAction::kExit) {
+    write_u32(f, kMagic);
+    write_u32(f, kVersion);
+    std::fflush(f);
+    if (fault == FaultAction::kExit) ::_exit(kFaultExitCode);
+    std::fclose(f);
+    return false;
+  }
+  if (fault != FaultAction::kNone) {
+    std::fclose(f);
+    std::remove(tmp_path.c_str());
+    fault_raise(fault, FaultSite::kCorpusSave, hash);
+  }
   bool ok = write_u32(f, kMagic) && write_u32(f, kVersion) &&
             write_u32(f, g.num_nodes()) && write_u32(f, g.num_edges());
   std::uint64_t sum = checksum_step(
@@ -131,6 +191,10 @@ bool CorpusStore::save(std::uint64_t hash, const Graph& g) const {
   }
   ok = ok && write_u32(f, static_cast<std::uint32_t>(sum)) &&
        write_u32(f, static_cast<std::uint32_t>(sum >> 32));
+  // fsync before the rename: rename() orders metadata, not data -- without
+  // it a power cut can leave a fully *named* file with unwritten contents,
+  // which the checksum would then reject on every later run.
+  ok = ok && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   ok = (std::fclose(f) == 0) && ok;
   if (ok) ok = std::rename(tmp_path.c_str(), final_path.c_str()) == 0;
   if (!ok) std::remove(tmp_path.c_str());

@@ -34,8 +34,10 @@ namespace cpt::scenario {
 class CorpusStore {
  public:
   // dir == "" disables the disk layer (load always misses, save no-ops).
-  // The directory is created on first save if missing.
-  explicit CorpusStore(std::string dir) : dir_(std::move(dir)) {}
+  // The directory is created on first save if missing. Opening an existing
+  // directory sweeps orphaned *.tmp files (the residue of saves killed
+  // between fopen and rename) so they cannot accumulate across crashes.
+  explicit CorpusStore(std::string dir);
 
   bool enabled() const { return !dir_.empty(); }
   const std::string& dir() const { return dir_; }

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "apps/bipartite.h"
@@ -13,6 +14,7 @@
 #include "congest/simulator.h"
 #include "core/tester.h"
 #include "partition/random_partition.h"
+#include "scenario/faultinject.h"
 #include "util/parallel.h"
 
 namespace cpt::scenario {
@@ -27,18 +29,25 @@ double now_seconds() {
 
 }  // namespace
 
+bool is_transient_error(const std::string& message) {
+  return message.find("transient") != std::string::npos ||
+         message.find("bad_alloc") != std::string::npos;
+}
+
 JobResult run_job(const Job& job, const Graph& g) {
   JobResult r;
   r.n = g.num_nodes();
   r.m = g.num_edges();
   const double t0 = now_seconds();
   try {
+    fault_point(FaultSite::kRunJob, job.job_index);
     switch (job.tester) {
       case TesterKind::kPlanarity: {
         TesterOptions opt;
         opt.epsilon = job.epsilon;
         opt.seed = job.tester_seed;
         opt.num_threads = job.sim_threads;
+        opt.max_rounds = job.max_rounds;
         opt.stage1.adaptive = job.adaptive;
         opt.stage1.pipelined_streams = job.pipelined;
         const TesterResult tr = test_planarity(g, opt);
@@ -64,6 +73,7 @@ JobResult run_job(const Job& job, const Graph& g) {
         opt.adaptive_phases = job.adaptive;
         opt.pipelined_streams = job.pipelined;
         opt.num_threads = job.sim_threads;
+        opt.max_rounds = job.max_rounds;
         const AppResult ar = job.tester == TesterKind::kCycleFree
                                  ? test_cycle_freeness(g, opt)
                                  : test_bipartiteness(g, opt);
@@ -80,6 +90,7 @@ JobResult run_job(const Job& job, const Graph& g) {
         congest::Network net(g);
         congest::SimOptions sopt;
         sopt.num_threads = job.sim_threads;
+        sopt.max_rounds = job.max_rounds;
         congest::Simulator sim(net, sopt);
         congest::RoundLedger ledger;
         Stage1Options opt;
@@ -105,6 +116,7 @@ JobResult run_job(const Job& job, const Graph& g) {
         congest::Network net(g);
         congest::SimOptions sopt;
         sopt.num_threads = job.sim_threads;
+        sopt.max_rounds = job.max_rounds;
         congest::Simulator sim(net, sopt);
         congest::RoundLedger ledger;
         RandomPartitionOptions opt;
@@ -130,6 +142,15 @@ JobResult run_job(const Job& job, const Graph& g) {
         break;
       }
     }
+  } catch (const congest::RoundBudgetExceeded& e) {
+    // A refused job, not a failed one: deterministic (same instance, same
+    // budget, same round count), so never retried, and counted apart from
+    // failures so callers can render it distinctly.
+    r = JobResult{};
+    r.n = g.num_nodes();
+    r.m = g.num_edges();
+    r.timed_out = true;
+    r.error = e.what();
   } catch (const std::exception& e) {
     r = JobResult{};
     r.n = g.num_nodes();
@@ -142,6 +163,28 @@ JobResult run_job(const Job& job, const Graph& g) {
 }
 
 namespace {
+
+// Bounded retry around run_job: transient failures (is_transient_error)
+// re-run up to max_retries times with linear backoff; the returned
+// result's `retries` counts the re-runs it took. Deterministic failures
+// and timeouts return immediately -- re-running them cannot change the
+// outcome.
+JobResult run_job_retrying(const Job& job, const Graph& g,
+                           const BatchOptions& options) {
+  JobResult r = run_job(job, g);
+  std::uint32_t attempts = 0;
+  while (r.failed && is_transient_error(r.error) &&
+         attempts < options.max_retries) {
+    ++attempts;
+    if (options.retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.retry_backoff_ms * attempts));
+    }
+    r = run_job(job, g);
+    r.retries = attempts;
+  }
+  return r;
+}
 
 BatchResult run_batch_impl(const Manifest& manifest,
                            const BatchOptions& options, const ResultSink* sink,
@@ -179,11 +222,19 @@ BatchResult run_batch_impl(const Manifest& manifest,
 
   // Phase 1: materialize every unique instance (corpus load or generate),
   // embarrassingly parallel, one slot per instance. Generation failures
-  // are captured per slot -- worker callables must not throw.
+  // are captured per slot -- worker callables must not throw. Transient
+  // failures (memory spikes, injected io faults) get the same bounded
+  // retry as job execution; a corrupt corpus file is not an error at all
+  // (kCorrupt regenerates).
+  std::atomic<std::uint32_t> materialize_retries{0};
   {
+    const auto cancelled = [&] {
+      return options.cancel != nullptr &&
+             options.cancel->load(std::memory_order_relaxed);
+    };
     std::atomic<std::uint32_t> cursor{0};
     auto materialize = [&](unsigned) {
-      while (true) {
+      while (!cancelled()) {
         const std::uint32_t i =
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= slots.size()) return;
@@ -192,20 +243,33 @@ BatchResult run_batch_impl(const Manifest& manifest,
         // copy would silently survive edits to the edge-list file, so it
         // never touches the disk corpus (loading it is already cheap).
         const bool cacheable = slot.instance.family != "file";
-        try {
-          CorpusStore::LoadStatus status = CorpusStore::LoadStatus::kMiss;
-          if (cacheable) {
-            status = store.load(slot.instance.hash(), &slot.graph);
+        for (std::uint32_t attempt = 0;; ++attempt) {
+          try {
+            slot.error.clear();
+            fault_point(FaultSite::kMaterialize, slot.instance.hash());
+            CorpusStore::LoadStatus status = CorpusStore::LoadStatus::kMiss;
+            if (cacheable) {
+              status = store.load(slot.instance.hash(), &slot.graph);
+            }
+            if (status == CorpusStore::LoadStatus::kHit) {
+              slot.from_disk = true;
+            } else {
+              slot.corrupt_file = status == CorpusStore::LoadStatus::kCorrupt;
+              slot.graph = build_instance(slot.instance);
+              if (cacheable) store.save(slot.instance.hash(), slot.graph);
+            }
+          } catch (const std::exception& e) {
+            slot.error = e.what();
           }
-          if (status == CorpusStore::LoadStatus::kHit) {
-            slot.from_disk = true;
-          } else {
-            slot.corrupt_file = status == CorpusStore::LoadStatus::kCorrupt;
-            slot.graph = build_instance(slot.instance);
-            if (cacheable) store.save(slot.instance.hash(), slot.graph);
+          if (slot.error.empty() || !is_transient_error(slot.error) ||
+              attempt >= options.max_retries) {
+            break;
           }
-        } catch (const std::exception& e) {
-          slot.error = e.what();
+          materialize_retries.fetch_add(1, std::memory_order_relaxed);
+          if (options.retry_backoff_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                options.retry_backoff_ms * (attempt + 1)));
+          }
         }
       }
     };
@@ -219,70 +283,128 @@ BatchResult run_batch_impl(const Manifest& manifest,
     }
     if (slot.corrupt_file) ++out.corpus.corrupt_files;
   }
+  // Materialization re-runs count toward the degradation totals (no
+  // retried_jobs tick: that counter is per job, not per instance).
+  out.total_retries += materialize_retries.load(std::memory_order_relaxed);
 
   // Phase 2: run the jobs. Claiming order is racy; result placement is by
   // job slot, so the result array is schedule-independent.
+  const auto cancelled = [&] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+  const auto cached_result = [&](std::uint32_t j) -> const JobResult* {
+    if (options.completed == nullptr) return nullptr;
+    const auto it = options.completed->find(j);
+    return it == options.completed->end() ? nullptr : &it->second;
+  };
+  // One job's outcome: the resume cache, a materialization failure
+  // propagated to every dependent job, or an actual run (with retry).
+  const auto produce = [&](std::uint32_t j, bool* resumed) -> JobResult {
+    if (const JobResult* cached = cached_result(j)) {
+      *resumed = true;
+      return *cached;
+    }
+    *resumed = false;
+    const Slot& slot = slots[job_slot[j]];
+    if (!slot.error.empty()) {
+      JobResult r;
+      r.failed = true;
+      r.error = slot.error;
+      return r;
+    }
+    return run_job_retrying(out.jobs[j], slot.graph, options);
+  };
+  const auto tally = [&](const JobResult& r, bool resumed) {
+    if (r.timed_out) {
+      ++out.timed_out_jobs;
+    } else if (r.failed) {
+      ++out.failed_jobs;
+    }
+    if (r.retries > 0) {
+      ++out.retried_jobs;
+      out.total_retries += r.retries;
+    }
+    if (resumed) ++out.resumed_jobs;
+  };
   if (sink == nullptr) {
     out.results.resize(out.jobs.size());
+    // Per-index flags, each written by the one worker that claimed the
+    // index and read only after the pool joins -- no atomics needed.
+    std::vector<char> executed(out.jobs.size(), 0);
+    std::vector<char> resumed_flags(out.jobs.size(), 0);
     std::atomic<std::uint32_t> cursor{0};
     auto execute = [&](unsigned) {
-      while (true) {
+      while (!cancelled()) {
         const std::uint32_t j =
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (j >= out.jobs.size()) return;
-        const Slot& slot = slots[job_slot[j]];
-        if (!slot.error.empty()) {
-          out.results[j].failed = true;
-          out.results[j].error = slot.error;
-        } else {
-          out.results[j] = run_job(out.jobs[j], slot.graph);
-        }
+        bool resumed = false;
+        out.results[j] = produce(j, &resumed);
+        resumed_flags[j] = resumed ? 1 : 0;
+        executed[j] = 1;
       }
     };
     pool.run(execute);
-    for (const JobResult& r : out.results) {
-      if (r.failed) ++out.failed_jobs;
+    for (std::size_t j = 0; j < out.results.size(); ++j) {
+      if (executed[j] == 0) {
+        // Cancelled before this job ran: a default JobResult would count
+        // as an accept, so mark it failed -- partial retained batches must
+        // never aggregate silently.
+        out.results[j] = JobResult{};
+        out.results[j].failed = true;
+        out.results[j].error = "cancelled before execution";
+        out.cancelled = true;
+      } else {
+        ++out.completed_jobs;
+      }
+      tally(out.results[j], resumed_flags[j] != 0);
     }
   } else {
     // Streaming: completed results park in `pending` until every earlier
     // job has retired, so the sink sees expansion order. A worker about to
     // run a job far ahead of the retirement frontier waits instead --
     // `pending` (the only per-job result storage) stays O(workers).
+    //
+    // Cancellation drains: workers stop claiming, claimed-but-waiting jobs
+    // are abandoned (their index never lands in `pending`, so the frontier
+    // simply stops there), in-flight jobs finish and retire if contiguous.
+    // Every job below the final frontier went through the sink exactly
+    // once -- the journal written from the sink resumes from there.
     std::atomic<std::uint32_t> cursor{0};
     std::mutex mu;
     std::condition_variable cv;
-    std::unordered_map<std::uint32_t, JobResult> pending;
+    std::unordered_map<std::uint32_t, std::pair<JobResult, bool>> pending;
     std::uint32_t next_retire = 0;
     std::size_t peak_pending = 0;
     const std::uint32_t window = 4 * workers + 4;
     auto execute = [&](unsigned) {
-      while (true) {
+      while (!cancelled()) {
         const std::uint32_t j =
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (j >= out.jobs.size()) return;
         {
           // The worker owning the retirement frontier (j == next_retire)
-          // never waits, so the frontier always advances.
+          // never waits, so the frontier always advances. The wait polls
+          // the cancel flag (signal handlers cannot notify a condition
+          // variable), abandoning the claimed job on cancellation.
           std::unique_lock<std::mutex> lock(mu);
-          cv.wait(lock, [&] { return j < next_retire + window; });
+          while (j >= next_retire + window) {
+            if (cancelled()) return;
+            cv.wait_for(lock, std::chrono::milliseconds(20));
+          }
         }
-        const Slot& slot = slots[job_slot[j]];
-        JobResult r;
-        if (!slot.error.empty()) {
-          r.failed = true;
-          r.error = slot.error;
-        } else {
-          r = run_job(out.jobs[j], slot.graph);
-        }
+        bool resumed = false;
+        JobResult r = produce(j, &resumed);
         {
           std::lock_guard<std::mutex> lock(mu);
-          pending.emplace(j, std::move(r));
+          pending.emplace(j, std::make_pair(std::move(r), resumed));
           peak_pending = std::max(peak_pending, pending.size());
           while (true) {
             const auto it = pending.find(next_retire);
             if (it == pending.end()) break;
-            if (it->second.failed) ++out.failed_jobs;
-            (*sink)(out.jobs[next_retire], it->second);
+            tally(it->second.first, it->second.second);
+            (*sink)(out.jobs[next_retire], it->second.first);
             pending.erase(it);
             ++next_retire;
           }
@@ -291,6 +413,8 @@ BatchResult run_batch_impl(const Manifest& manifest,
       }
     };
     pool.run(execute);
+    out.completed_jobs = next_retire;
+    out.cancelled = next_retire < out.jobs.size();
     if (stats != nullptr) stats->peak_pending_results = peak_pending;
   }
 

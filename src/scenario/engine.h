@@ -30,9 +30,11 @@
 // exits nonzero) instead of trusting a silently partial aggregate.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/stage2.h"  // Verdict
@@ -41,14 +43,6 @@
 #include "scenario/manifest.h"
 
 namespace cpt::scenario {
-
-struct BatchOptions {
-  // Concurrent simulations. 0 resolves like the simulator's thread knob
-  // (CPT_TEST_THREADS env, else 1).
-  unsigned threads = 1;
-  // Corpus directory ("" = in-memory dedup only).
-  std::string corpus_dir;
-};
 
 struct JobResult {
   Verdict verdict = Verdict::kAccept;
@@ -72,7 +66,49 @@ struct JobResult {
   // no aggregate cell.
   bool failed = false;
   std::string error;
+  // Round budget violation (SimOptions::max_rounds via Job::max_rounds):
+  // deterministic, never retried, excluded from aggregate cells but
+  // counted separately (BatchResult::timed_out_jobs) -- a timed-out job
+  // is not a *failed* job, it is a refused one.
+  bool timed_out = false;
+  // Transient-failure re-runs this result took (0 = first attempt stood).
+  // Deterministic under an injected fault plan; excluded from the
+  // aggregate document (a resumed run retries differently than an
+  // uninterrupted one) and reported via the timing doc / CLI summary.
+  std::uint32_t retries = 0;
   double wall_seconds = 0;  // nondeterministic; excluded from aggregates
+};
+
+// Transient failures (worth retrying: injected transient faults, memory
+// pressure) vs deterministic ones (same input -> same failure: parse
+// errors, contract violations, budget timeouts). Classification is by
+// message: "transient" or "bad_alloc" substrings mark a retryable error.
+bool is_transient_error(const std::string& message);
+
+struct BatchOptions {
+  // Concurrent simulations. 0 resolves like the simulator's thread knob
+  // (CPT_TEST_THREADS env, else 1).
+  unsigned threads = 1;
+  // Corpus directory ("" = in-memory dedup only).
+  std::string corpus_dir;
+  // Bounded per-job retry for transient failures (is_transient_error):
+  // up to max_retries re-runs with linear backoff (attempt *
+  // retry_backoff_ms). Deterministic failures -- and round-budget
+  // timeouts -- are never retried: re-running them yields the same
+  // outcome by the determinism contract.
+  unsigned max_retries = 2;
+  unsigned retry_backoff_ms = 10;
+  // Cooperative cancellation (cpt_batch's SIGINT/SIGTERM path). When the
+  // pointee flips true, workers stop claiming jobs, in-flight jobs drain,
+  // and the streaming retirement frontier stops at the first unexecuted
+  // job -- everything retired before it reached the sink exactly once, so
+  // a journal written from the sink is resumable. BatchResult::cancelled
+  // reports the truncation.
+  const std::atomic<bool>* cancel = nullptr;
+  // Resume cache (journal replay): jobs present here are not re-executed;
+  // the cached result is fed through the sink / result slot unchanged.
+  // Counted in BatchResult::resumed_jobs.
+  const std::unordered_map<std::uint32_t, JobResult>* completed = nullptr;
 };
 
 struct CorpusCounters {
@@ -86,7 +122,18 @@ struct BatchResult {
   std::vector<Job> jobs;
   std::vector<JobResult> results;  // slot i <-> jobs[i]; empty when streamed
   CorpusCounters corpus;
-  std::uint32_t failed_jobs = 0;
+  std::uint32_t failed_jobs = 0;     // excludes timed_out jobs
+  std::uint32_t timed_out_jobs = 0;  // round-budget violations
+  // Degradation counters (deterministic under a fault plan; reported via
+  // the timing doc and the CLI summary, never the aggregate document).
+  std::uint32_t retried_jobs = 0;    // jobs needing >= 1 re-run
+  std::uint32_t total_retries = 0;   // re-runs across all jobs
+  std::uint32_t resumed_jobs = 0;    // served from the resume cache
+  // Cancellation (BatchOptions::cancel): true when the run stopped early.
+  // completed_jobs is the retirement frontier -- every job below it went
+  // through the sink exactly once; in a full run it equals jobs.size().
+  bool cancelled = false;
+  std::uint32_t completed_jobs = 0;
   double wall_seconds = 0;
   unsigned threads_used = 1;
 };

@@ -1,0 +1,118 @@
+// Crash-safe job journal for resumable batch runs (cpt_batch --journal /
+// --resume), schema cpt_batch_journal_v1.
+//
+// The journal is append-only JSONL written from the engine's in-order
+// streaming sink: one checksummed record per retired job, in job-index
+// order, fsync'd in bounded groups (default every 16 records) so a crash
+// loses at most one group plus a possibly torn final line. Every line is
+//
+//   {"sum": "<16 lowercase hex>", "rec": <object>}\n
+//
+// where `sum` is FNV-1a-64 over the exact byte text of <object>. The
+// fixed-width prefix puts the record text at a constant offset, so
+// validation never needs to re-render JSON: recompute FNV over the bytes
+// between the prefix and the closing brace and compare.
+//
+// Line 1's record is the header: schema, manifest name, base_seed, job
+// count, and a fingerprint folding every expanded job's identity
+// (instance hash, tester, epsilon, mode flags, seeds). --resume refuses a
+// journal whose fingerprint does not match the freshly expanded manifest:
+// replaying results into a different job list would silently mis-assign
+// them. Subsequent records carry one JobResult each -- exactly the fields
+// the aggregate document is a function of (verdict, rounds, messages,
+// n/m, failure/timeout state), plus retries and wall_seconds for the
+// timing report. (Per-phase trajectories are not journaled; resumable
+// runs are the streaming CLI path, which never retains them.)
+//
+// Loading tolerates exactly the damage a crash can cause: a torn or
+// corrupt *tail* is dropped (valid_bytes marks the keep-prefix, and the
+// writer truncates to it before appending on resume, so a torn line can
+// never splice into the next record). Corruption *before* valid records
+// -- a damaged middle line followed by intact ones -- is refused as a
+// hard error: that is bit rot or tampering, not a crash, and silently
+// dropping acknowledged results would violate the resume contract.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scenario/engine.h"
+#include "scenario/manifest.h"
+
+namespace cpt::scenario {
+
+// Folds the expanded job list's identity into 64 bits (see above).
+std::uint64_t journal_fingerprint(const Manifest& manifest,
+                                  const std::vector<Job>& jobs);
+
+// One line each, including the trailing newline.
+std::string render_journal_header(const Manifest& manifest,
+                                  const std::vector<Job>& jobs);
+std::string render_journal_record(const Job& job, const JobResult& result);
+
+struct JournalReplay {
+  std::string manifest_name;
+  std::uint64_t base_seed = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t jobs = 0;  // job count the journal was written against
+  // Retired results by job index (feed as BatchOptions::completed).
+  std::unordered_map<std::uint32_t, JobResult> completed;
+  std::size_t valid_bytes = 0;    // byte length of the intact prefix
+  std::size_t dropped_bytes = 0;  // torn/corrupt tail discarded
+};
+
+// Parses a journal file. True with a populated *out when the file has a
+// valid header and any prefix of valid records (a torn tail is normal
+// after a crash -- reported via dropped_bytes, not an error). False on a
+// missing/unreadable file, a bad header, or corruption before the tail.
+bool load_journal(const std::string& path, JournalReplay* out,
+                  std::string* error);
+
+// Appends records with grouped fsync. All methods return false on write
+// failure (and on injected kJournalWrite faults); after a failure the
+// journal's intact prefix is still a valid resumable journal.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter() { close(); }
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Creates/overwrites `path` with a fresh header (fsync'd immediately:
+  // the header must survive any later crash for the file to be a journal).
+  bool create(const std::string& path, const Manifest& manifest,
+              const std::vector<Job>& jobs);
+
+  // Opens an existing journal for append, first truncating to
+  // `valid_bytes` (JournalReplay::valid_bytes) so a torn tail line is cut
+  // before new records land after it.
+  bool open_resume(const std::string& path, std::size_t valid_bytes);
+
+  // Appends one record; fsyncs when `sync_every` records accumulated.
+  // Fault site kJournalWrite (key = job index): shortwrite tears the line
+  // mid-write and reports failure; exit tears it and kills the process.
+  bool append(const Job& job, const JobResult& result);
+
+  // Flushes and fsyncs any buffered group.
+  bool sync();
+
+  bool close();  // sync + fclose; safe to call twice
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  // Records per fsync group. 1 = sync every record (slow, loses nothing);
+  // the default trades <= 15 re-run jobs on power loss for one fsync per
+  // group.
+  static constexpr std::uint32_t kSyncEvery = 16;
+
+ private:
+  bool write_all(const char* data, std::size_t size);
+
+  std::FILE* file_ = nullptr;
+  std::uint32_t unsynced_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace cpt::scenario

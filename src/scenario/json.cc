@@ -1,5 +1,7 @@
 #include "scenario/json.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
@@ -304,10 +306,19 @@ bool read_text_file(const std::string& path, std::string* out) {
 }
 
 bool write_text_file(const std::string& path, std::string_view body) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // tmp + fsync + rename: consumers of these files (aggregate JSON/CSV,
+  // timing docs) treat existence as completeness, so a crashed or failed
+  // writer must leave either the old content or nothing -- never a
+  // truncated file that looks finished.
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) return false;
-  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  return std::fclose(f) == 0 && ok;
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = ok && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok) ok = std::rename(tmp_path.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(tmp_path.c_str());
+  return ok;
 }
 
 }  // namespace cpt::scenario

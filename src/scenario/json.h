@@ -74,6 +74,9 @@ std::string json_render_uint(std::uint64_t v);
 
 // Reads a whole file; returns false on I/O failure.
 bool read_text_file(const std::string& path, std::string* out);
+// Atomic whole-file write (tmp + fsync + rename): on failure or crash the
+// destination keeps its previous content (or stays absent) -- it can
+// never hold a truncated document that looks complete.
 bool write_text_file(const std::string& path, std::string_view body);
 
 }  // namespace cpt::scenario

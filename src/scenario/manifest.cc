@@ -49,6 +49,11 @@ std::string Job::cell_key() const {
     std::snprintf(buf, sizeof buf, "|delta=%.17g", delta);
     key += buf;
   }
+  if (max_rounds != 0) {
+    std::snprintf(buf, sizeof buf, "|maxr=%llu",
+                  static_cast<unsigned long long>(max_rounds));
+    key += buf;
+  }
   return key;
 }
 
@@ -201,10 +206,10 @@ bool get_bool(ParseCtx& ctx, const JsonValue* v, bool* out, const char* what) {
 // scalar fields); "defaults" accepts the scalar fields only.
 constexpr const char* kCellScalarKeys =
     "epsilon,tester,instances,trials,sim_threads,adaptive,randomized,"
-    "pipelined,delta,alpha";
+    "pipelined,delta,alpha,max_rounds";
 constexpr const char* kCellKeys =
     "scenario,family,params,perturb,epsilon,tester,instances,trials,"
-    "sim_threads,adaptive,randomized,pipelined,delta,alpha";
+    "sim_threads,adaptive,randomized,pipelined,delta,alpha,max_rounds";
 
 bool check_known_keys(ParseCtx& ctx, const JsonValue& obj, const char* allowed,
                       const std::string& where) {
@@ -287,6 +292,12 @@ bool parse_cell(ParseCtx& ctx, const JsonValue& cv, const JsonValue* defaults,
     return false;
   }
   cell->sim_threads = threads;
+  if (const JsonValue* mr = cell_field(cv, defaults, "max_rounds")) {
+    if (!mr->is_integer() || mr->as_int64() < 0) {
+      return ctx.fail("max_rounds: expected a non-negative integer");
+    }
+    cell->max_rounds = static_cast<std::uint64_t>(mr->as_int64());
+  }
   if (const JsonValue* delta = cell_field(cv, defaults, "delta")) {
     if (!delta->is_number()) return ctx.fail("delta: expected a number");
     cell->delta = delta->as_double();
@@ -396,6 +407,7 @@ void expand_axes(const Manifest& m, std::uint32_t cell_index,
           job.delta = cell.delta;
           job.alpha = cell.alpha;
           job.sim_threads = cell.sim_threads;
+          job.max_rounds = cell.max_rounds;
           job.tester_seed = derive_tester_seed(instance.seed, trial);
           out->push_back(std::move(job));
         }

@@ -77,6 +77,9 @@ struct ManifestCell {
   bool pipelined = true;              // Stage I pipelined streams (PR 2)
   double delta = 0.1;
   std::uint32_t alpha = 3;
+  // Cumulative simulated-round budget per job (0 = unlimited): a job
+  // exceeding it is recorded timed_out instead of wedging its worker.
+  std::uint64_t max_rounds = 0;
 };
 
 struct Manifest {
@@ -100,11 +103,12 @@ struct Job {
   double delta = 0.1;
   std::uint32_t alpha = 3;
   unsigned sim_threads = 1;
+  std::uint64_t max_rounds = 0;  // 0 = unlimited (see ManifestCell)
   std::uint64_t tester_seed = 0;
 
   // Aggregation key: instance label (seed-free) + tester + epsilon (+
-  // adaptive/randomized/unpipelined/delta markers). Jobs differing only in
-  // instance/trial index share a key and aggregate into one cell.
+  // adaptive/randomized/unpipelined/delta/maxr markers). Jobs differing
+  // only in instance/trial index share a key and aggregate into one cell.
   std::string cell_key() const;
 };
 

@@ -8,6 +8,7 @@
 
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "scenario/faultinject.h"
 #include "util/contracts.h"
 
 namespace cpt::scenario {
@@ -210,6 +211,18 @@ Graph f_file(const ScenarioParams& p, Rng&) {
   if (path.empty()) {
     throw std::runtime_error("file scenario requires path=");
   }
+  // Fault site for external input reads (keyed by path hash -- stable
+  // across schedules and job orders): corrupt simulates a malformed
+  // edge list, throw/badalloc a transient read failure. The hook lives
+  // here rather than in graph/io because the graph layer must not depend
+  // on the scenario layer.
+  const FaultAction fault =
+      fault_check(FaultSite::kEdgeListRead, fnv1a64(path));
+  if (fault == FaultAction::kCorrupt) {
+    throw std::runtime_error("file scenario: " + path +
+                             ": malformed edge list (injected corruption)");
+  }
+  fault_raise(fault, FaultSite::kEdgeListRead, fnv1a64(path));
   std::ifstream in(path);
   if (!in.good()) {
     throw std::runtime_error("file scenario: cannot open " + path);

@@ -16,25 +16,53 @@
 //                                           each sweep cell flushed as it
 //                                           completes; per-job results are
 //                                           never held in memory
+//       [--journal=FILE]                    append a checksummed JSONL record
+//                                           per retired job (schema
+//                                           cpt_batch_journal_v1); implies the
+//                                           streaming execution path
+//       [--resume]                          replay --journal, skip completed
+//                                           jobs, re-run only the remainder;
+//                                           the final aggregate is
+//                                           bit-identical to an uninterrupted
+//                                           run at any --threads
+//       [--fault-plan=SPEC]                 deterministic fault injection
+//                                           (also via CPT_FAULT_PLAN env; the
+//                                           flag wins) -- see
+//                                           scenario/faultinject.h
+//       [--max-retries=N]                   transient-failure retry budget
+//                                           per job (default 2)
 //       [--quiet]                           suppress the summary table
 //   cpt_batch gen <scenario> [k=v ...]      write one instance as an edge
 //       [--base-seed=S] [--index=I]         list to stdout (graph/io.h format)
 //
-// Exit status: nonzero when any job fails (unreadable file scenario,
-// generation/simulation error) -- the aggregate then covers only the jobs
-// that ran, and trusting it silently would be wrong.
+// Exit status:
+//    0  every job ran (timed-out jobs are reported, not fatal)
+//    1  hard failure: bad usage/manifest, unwritable output, failed jobs
+//       (the aggregate covers only the jobs that ran), fingerprint mismatch
+//    2  usage error
+//   75  resumable interruption (EX_TEMPFAIL): SIGINT/SIGTERM drained the
+//       in-flight jobs and flushed the journal + partial aggregate, or the
+//       journal itself could not be written -- re-run with --resume
+//  137  injected hard kill (fault plan `exit` action; mimics SIGKILL)
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/io.h"
 #include "scenario/aggregate.h"
 #include "scenario/engine.h"
+#include "scenario/faultinject.h"
+#include "scenario/journal.h"
 #include "scenario/json.h"
 #include "scenario/manifest.h"
 #include "scenario/registry.h"
@@ -44,6 +72,17 @@ using namespace cpt::scenario;
 
 namespace {
 
+// EX_TEMPFAIL: the run was interrupted but left a resumable journal.
+constexpr int kExitResumable = 75;
+
+std::atomic<bool> g_cancel{false};
+
+extern "C" void on_cancel_signal(int) {
+  // Relaxed store on a lock-free atomic: async-signal-safe. The engine's
+  // streaming wait polls this flag (a handler cannot notify a condvar).
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -52,7 +91,9 @@ int usage() {
                "  cpt_batch run <manifest.json> [--threads=N] [--corpus=DIR]\n"
                "                [--out=FILE] [--csv=FILE] [--timing-out=FILE]"
                " [--stream=FILE]\n"
-               "                [--quiet]\n"
+               "                [--journal=FILE] [--resume]"
+               " [--fault-plan=SPEC]\n"
+               "                [--max-retries=N] [--quiet]\n"
                "  cpt_batch gen <scenario> [key=value ...] [--base-seed=S]"
                " [--index=I]\n");
   return 2;
@@ -99,10 +140,10 @@ int cmd_expand(const std::string& path) {
   return 0;
 }
 
-int cmd_run(const std::string& path, const BatchOptions& options,
+int cmd_run(const std::string& path, BatchOptions options,
             const std::string& out_path, const std::string& csv_path,
             const std::string& timing_path, const std::string& stream_path,
-            bool quiet) {
+            const std::string& journal_path, bool resume, bool quiet) {
   Manifest manifest;
   std::string error;
   if (!load_manifest_file(path, &manifest, &error)) {
@@ -110,10 +151,18 @@ int cmd_run(const std::string& path, const BatchOptions& options,
     return 1;
   }
 
+  // SIGINT/SIGTERM drain in-flight jobs, flush the journal and the partial
+  // aggregate, and exit kExitResumable. Installed only for `run`: the other
+  // subcommands have nothing to flush.
+  std::signal(SIGINT, on_cancel_signal);
+  std::signal(SIGTERM, on_cancel_signal);
+  options.cancel = &g_cancel;
+
   BatchResult batch;
   std::vector<CellAggregate> cells;
   std::vector<std::string> job_errors;  // first few, for the failure report
-  if (stream_path.empty()) {
+  bool journal_ok = true;
+  if (stream_path.empty() && journal_path.empty()) {
     batch = run_batch(manifest, options);
     cells = aggregate_cells(batch);
     for (std::size_t j = 0; j < batch.results.size(); ++j) {
@@ -129,13 +178,33 @@ int cmd_run(const std::string& path, const BatchOptions& options,
     // run_batch re-expands internally -- expansion is pure and golden-
     // pinned (scenario_test.cc), so both lists are identical by contract,
     // and finish() flushes defensively even if they ever were not.
-    std::FILE* stream = std::fopen(stream_path.c_str(), "w");
-    if (stream == nullptr) {
-      std::fprintf(stderr, "error: cannot write %s\n", stream_path.c_str());
-      return 1;
+    // --journal rides this path too (it needs the in-order sink), with or
+    // without a stream file.
+    std::FILE* stream = nullptr;
+    if (!stream_path.empty()) {
+      stream = std::fopen(stream_path.c_str(), "w");
+      if (stream == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n", stream_path.c_str());
+        return 1;
+      }
     }
     bool write_ok = true;
+    std::uint64_t emit_ordinal = 0;  // schedule-independent fault key: the
+                                     // sink runs in job-index order
     const auto emit = [&](const std::string& chunk) {
+      if (stream == nullptr) return;
+      const FaultAction fault =
+          fault_check(FaultSite::kStreamWrite, emit_ordinal++);
+      if (fault != FaultAction::kNone) {
+        // Tear the chunk mid-write; the sink must not throw through the
+        // worker pool, so every injected action degrades to a half write
+        // (exit additionally kills the process, like a crash would).
+        std::fwrite(chunk.data(), 1, chunk.size() / 2, stream);
+        std::fflush(stream);
+        if (fault == FaultAction::kExit) ::_exit(kFaultExitCode);
+        write_ok = false;
+        return;
+      }
       write_ok = write_ok &&
                  std::fwrite(chunk.data(), 1, chunk.size(), stream) ==
                      chunk.size() &&
@@ -143,24 +212,83 @@ int cmd_run(const std::string& path, const BatchOptions& options,
                                             // finished cell
     };
     const std::vector<Job> jobs = expand_manifest(manifest);
+
+    JournalWriter journal;
+    JournalReplay replay;
+    if (!journal_path.empty()) {
+      bool fresh = true;
+      if (resume) {
+        std::FILE* probe = std::fopen(journal_path.c_str(), "rb");
+        if (probe != nullptr) {
+          std::fclose(probe);
+          std::string jerr;
+          if (!load_journal(journal_path, &replay, &jerr)) {
+            std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                         journal_path.c_str(), jerr.c_str());
+            return 1;
+          }
+          const std::uint64_t want = journal_fingerprint(manifest, jobs);
+          if (replay.fingerprint != want ||
+              replay.jobs != static_cast<std::uint64_t>(jobs.size())) {
+            std::fprintf(stderr,
+                         "error: journal %s was written for a different job "
+                         "list (fingerprint %016" PRIx64 ", want %016" PRIx64
+                         "; %" PRIu64 " jobs, want %zu); refusing to resume\n",
+                         journal_path.c_str(), replay.fingerprint, want,
+                         replay.jobs, jobs.size());
+            return 1;
+          }
+          if (replay.dropped_bytes > 0 && !quiet) {
+            std::fprintf(stderr,
+                         "# journal: dropped %zu torn tail byte(s) from %s\n",
+                         replay.dropped_bytes, journal_path.c_str());
+          }
+          if (!journal.open_resume(journal_path, replay.valid_bytes)) {
+            std::fprintf(stderr, "error: cannot append to journal %s\n",
+                         journal_path.c_str());
+            return 1;
+          }
+          options.completed = &replay.completed;
+          fresh = false;
+        }
+        // --resume with no journal file yet is a fresh start: the
+        // "retry until exit 0" loop shape needs the first attempt and
+        // every later one to be the same command line.
+      }
+      if (fresh && !journal.create(journal_path, manifest, jobs)) {
+        std::fprintf(stderr, "error: cannot write journal %s\n",
+                     journal_path.c_str());
+        return 1;
+      }
+    }
+
     emit(render_stream_header(manifest, jobs.size()));
     StreamingAggregator agg(jobs);
     agg.set_cell_sink(
         [&](const CellAggregate& cell) { emit(render_stream_cell(cell)); });
-    batch = run_batch(manifest, options,
-                      [&](const Job& job, const JobResult& result) {
-                        if (result.failed && job_errors.size() < 3) {
-                          job_errors.push_back(job.instance.label() + ": " +
-                                               result.error);
-                        }
-                        agg.consume(job, result);
-                      });
+    batch = run_batch(
+        manifest, options, [&](const Job& job, const JobResult& result) {
+          if (result.failed && job_errors.size() < 3) {
+            job_errors.push_back(job.instance.label() + ": " + result.error);
+          }
+          // Journal only freshly executed jobs: replayed ones are already
+          // in the intact prefix we appended after.
+          if (journal.ok() &&
+              (options.completed == nullptr ||
+               options.completed->count(job.job_index) == 0)) {
+            if (!journal.append(job, result)) journal_ok = false;
+          }
+          agg.consume(job, result);
+        });
     cells = agg.finish();
     emit(render_stream_footer(batch, cells.size()));
-    write_ok = (std::fclose(stream) == 0) && write_ok;
-    if (!write_ok) {
-      std::fprintf(stderr, "error: cannot write %s\n", stream_path.c_str());
-      return 1;
+    journal_ok = journal.close() && journal_ok;
+    if (stream != nullptr) {
+      write_ok = (std::fclose(stream) == 0) && write_ok;
+      if (!write_ok) {
+        std::fprintf(stderr, "error: cannot write %s\n", stream_path.c_str());
+        if (!batch.cancelled) return 1;
+      }
     }
   }
 
@@ -174,6 +302,13 @@ int cmd_run(const std::string& path, const BatchOptions& options,
                 batch.corpus.generated, batch.corpus.disk_hits,
                 options.corpus_dir.empty() ? "" : " in ",
                 options.corpus_dir.c_str());
+    if (batch.retried_jobs > 0 || batch.timed_out_jobs > 0 ||
+        batch.resumed_jobs > 0) {
+      std::printf("# degraded: %u job(s) retried (%u retries), %u timed out "
+                  "at the round budget, %u resumed from journal\n",
+                  batch.retried_jobs, batch.total_retries,
+                  batch.timed_out_jobs, batch.resumed_jobs);
+    }
     std::printf("%-44s %-10s %-6s %-10s %-12s %-12s\n", "scenario", "tester",
                 "eps", "detect", "rounds p50", "messages p50");
     for (const CellAggregate& cell : cells) {
@@ -200,6 +335,21 @@ int cmd_run(const std::string& path, const BatchOptions& options,
                        render_timing_json(manifest, batch, cells))) {
     std::fprintf(stderr, "error: cannot write %s\n", timing_path.c_str());
     return 1;
+  }
+  if (batch.cancelled) {
+    std::fprintf(stderr,
+                 "interrupted: %u of %zu jobs completed; %s and the partial "
+                 "aggregate are flushed -- re-run with --resume\n",
+                 batch.completed_jobs, batch.jobs.size(),
+                 journal_path.empty() ? "finished cells" : "the journal");
+    return kExitResumable;
+  }
+  if (!journal_ok) {
+    std::fprintf(stderr,
+                 "error: journal %s could not be fully written; its intact "
+                 "prefix is still resumable\n",
+                 journal_path.c_str());
+    return kExitResumable;
   }
   if (batch.failed_jobs > 0) {
     std::fprintf(stderr,
@@ -265,9 +415,11 @@ int cmd_gen(const std::vector<std::string>& args, std::uint64_t base_seed,
 
 int main(int argc, char** argv) {
   BatchOptions options;
-  std::string out_path, csv_path, timing_path, stream_path;
+  std::string out_path, csv_path, timing_path, stream_path, journal_path;
+  std::string fault_spec;
+  bool have_fault_spec = false;
   std::uint64_t base_seed = 1, index = 0;
-  bool quiet = false;
+  bool quiet = false, resume = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -283,6 +435,15 @@ int main(int argc, char** argv) {
       timing_path = a + 13;
     } else if (std::strncmp(a, "--stream=", 9) == 0) {
       stream_path = a + 9;
+    } else if (std::strncmp(a, "--journal=", 10) == 0) {
+      journal_path = a + 10;
+    } else if (std::strcmp(a, "--resume") == 0) {
+      resume = true;
+    } else if (std::strncmp(a, "--fault-plan=", 13) == 0) {
+      fault_spec = a + 13;
+      have_fault_spec = true;
+    } else if (std::strncmp(a, "--max-retries=", 14) == 0) {
+      options.max_retries = static_cast<unsigned>(std::atoi(a + 14));
     } else if (std::strncmp(a, "--base-seed=", 12) == 0) {
       base_seed = static_cast<std::uint64_t>(std::strtoull(a + 12, nullptr, 10));
     } else if (std::strncmp(a, "--index=", 8) == 0) {
@@ -296,13 +457,35 @@ int main(int argc, char** argv) {
       args.emplace_back(a);
     }
   }
+  if (!have_fault_spec) {
+    // Env fallback lets the CI harness inject faults into an otherwise
+    // unmodified command line; an explicit --fault-plan wins.
+    const char* env = std::getenv("CPT_FAULT_PLAN");
+    if (env != nullptr && *env != '\0') {
+      fault_spec = env;
+      have_fault_spec = true;
+    }
+  }
+  if (have_fault_spec) {
+    auto plan = std::make_shared<FaultPlan>();
+    std::string plan_error;
+    if (!FaultPlan::parse(fault_spec, plan.get(), &plan_error)) {
+      std::fprintf(stderr, "error: bad fault plan: %s\n", plan_error.c_str());
+      return usage();
+    }
+    install_fault_plan(std::move(plan));
+  }
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "error: --resume requires --journal=FILE\n");
+    return usage();
+  }
   if (args.empty()) return usage();
   const std::string cmd = args[0];
   if (cmd == "list") return cmd_list();
   if (cmd == "expand" && args.size() == 2) return cmd_expand(args[1]);
   if (cmd == "run" && args.size() == 2) {
     return cmd_run(args[1], options, out_path, csv_path, timing_path,
-                   stream_path, quiet);
+                   stream_path, journal_path, resume, quiet);
   }
   if (cmd == "gen") {
     return cmd_gen({args.begin() + 1, args.end()}, base_seed, index);
