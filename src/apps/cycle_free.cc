@@ -11,6 +11,7 @@ AppResult test_cycle_freeness(const Graph& g, const MinorFreeOptions& opt) {
   congest::SimOptions sim_opt;
   sim_opt.num_threads = opt.num_threads;
   sim_opt.max_rounds = opt.max_rounds;
+  sim_opt.memory = opt.sim_memory;
   congest::Simulator sim(net, sim_opt);
 
   const MinorFreePartition part = minor_free_partition(sim, g, opt, result.ledger);

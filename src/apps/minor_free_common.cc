@@ -24,6 +24,7 @@ MinorFreePartition minor_free_partition(congest::Simulator& sim, const Graph& g,
     rp.alpha = opt.alpha;
     rp.seed = opt.seed;
     rp.adaptive = opt.adaptive_phases;
+    rp.scratch = opt.scratch;
     out.forest = run_random_partition(sim, g, rp, ledger).forest;
   } else {
     Stage1Options s1;
@@ -31,6 +32,7 @@ MinorFreePartition minor_free_partition(congest::Simulator& sim, const Graph& g,
     s1.alpha = opt.alpha;
     s1.adaptive = opt.adaptive_phases;
     s1.pipelined_streams = opt.pipelined_streams;
+    s1.scratch = opt.scratch;
     Stage1Result r = run_stage1(sim, g, s1, ledger);
     out.rejected = r.rejected;
     out.rejecting_nodes = std::move(r.rejecting_nodes);

@@ -14,6 +14,8 @@
 
 namespace cpt {
 
+struct Stage1Scratch;  // partition/partition.h
+
 struct MinorFreeOptions {
   double epsilon = 0.1;
   std::uint32_t alpha = 3;    // arboricity bound of the promised class
@@ -28,6 +30,10 @@ struct MinorFreeOptions {
   // Cumulative simulated-round budget for the whole app run (0 =
   // unlimited); exhausting it throws congest::RoundBudgetExceeded.
   std::uint64_t max_rounds = 0;
+  // Optional pooled per-worker state (batch engine): simulator buffers and
+  // Stage I scratch. nullptr = fresh allocations; identical results.
+  congest::SimMemory* sim_memory = nullptr;
+  Stage1Scratch* scratch = nullptr;
 };
 
 // Per-node edge classification against a per-part BFS tree.

@@ -7,6 +7,24 @@
 
 namespace cpt::congest {
 
+// What a SimMemory keeps warm between Simulators: the two flight
+// generations (bitsets and payload vectors retain capacity through their
+// reset/clear paths), the shared slot maps, the gather inboxes, and --
+// when the previous owner ran multi-worker -- its WorkerPool, so pooled
+// batch jobs reuse live threads instead of spawning per job.
+struct SimMemory::Store {
+  std::vector<Simulator::Flight> flights[2];
+  std::vector<std::uint32_t> slot[2];
+  std::vector<std::vector<Inbound>> inbox;
+  std::unique_ptr<WorkerPool> pool;
+  unsigned pool_workers = 0;
+};
+
+SimMemory::SimMemory() = default;
+SimMemory::~SimMemory() = default;
+SimMemory::SimMemory(SimMemory&&) noexcept = default;
+SimMemory& SimMemory::operator=(SimMemory&&) noexcept = default;
+
 unsigned resolve_sim_threads(unsigned requested) {
   unsigned t = requested;
   if (t == 0) {
@@ -23,7 +41,29 @@ Simulator::Simulator(const Network& net, SimOptions opt)
     : net_(&net),
       workers_(resolve_sim_threads(opt.num_threads)),
       parallel_grain_(std::max<std::uint64_t>(opt.parallel_grain, 1)),
-      budget_(opt.max_rounds) {
+      budget_(opt.max_rounds),
+      memory_(opt.memory) {
+  // Adopt pooled buffers before the sizing code below: every reset /
+  // resize path reuses capacity, so a warm store turns the per-job O(m)
+  // allocations into plain size bookkeeping. The pool is only reusable at
+  // the same worker count (its thread team is fixed at construction).
+  if (memory_ != nullptr) {
+    if (memory_->store_ == nullptr) {
+      memory_->store_ = std::make_unique<SimMemory::Store>();
+    } else {
+      SimMemory::Store& s = *memory_->store_;
+      for (unsigned gen = 0; gen < 2; ++gen) {
+        flights_[gen] = std::move(s.flights[gen]);
+        slot_[gen] = std::move(s.slot[gen]);
+      }
+      inbox_ = std::move(s.inbox);
+      if (s.pool != nullptr && s.pool_workers == workers_) {
+        pool_ = std::move(s.pool);
+      }
+      s.pool.reset();
+      s.pool_workers = 0;
+    }
+  }
   const NodeId n = net.num_nodes();
   // Shard boundaries balanced by arc count: shard s (1..K) owns the node
   // range [shard_lo_[s-1], shard_lo_[s]). Arc ranges of distinct shards
@@ -50,7 +90,23 @@ Simulator::Simulator(const Network& net, SimOptions opt)
     execs_.emplace_back(new Exec(this, s));
   }
   inbox_.resize(workers_ + 1);
-  if (workers_ > 1) pool_ = std::make_unique<WorkerPool>(workers_);
+  if (workers_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(workers_);
+  } else if (workers_ == 1) {
+    pool_.reset();  // an adopted pool from a wider run is useless here
+  }
+}
+
+Simulator::~Simulator() {
+  if (memory_ == nullptr) return;
+  SimMemory::Store& s = *memory_->store_;
+  for (unsigned gen = 0; gen < 2; ++gen) {
+    s.flights[gen] = std::move(flights_[gen]);
+    s.slot[gen] = std::move(slot_[gen]);
+  }
+  s.inbox = std::move(inbox_);
+  s.pool = std::move(pool_);
+  s.pool_workers = s.pool != nullptr ? workers_ : 0;
 }
 
 void Simulator::clear_flight(Flight& f) {

@@ -71,11 +71,38 @@ struct PassResult {
   bool quiesced = true;  // false iff max_rounds was hit first
 };
 
+// Pooled simulator state: the flight payload buffers, arc->slot maps,
+// gather inboxes and (multi-worker) the WorkerPool of a destroyed
+// Simulator, kept warm for the next one. The batch engine owns one per
+// worker context so repeated jobs reuse hot memory -- and live threads --
+// instead of re-growing allocations job by job. A SimMemory may back at
+// most one live Simulator at a time (the Simulator adopts the store at
+// construction and returns it at destruction); results are bit-identical
+// with or without pooling because every adopted buffer is resized and
+// reset for the new network before use.
+class SimMemory {
+ public:
+  SimMemory();
+  ~SimMemory();
+  SimMemory(SimMemory&&) noexcept;
+  SimMemory& operator=(SimMemory&&) noexcept;
+  SimMemory(const SimMemory&) = delete;
+  SimMemory& operator=(const SimMemory&) = delete;
+
+ private:
+  friend class Simulator;
+  struct Store;
+  std::unique_ptr<Store> store_;
+};
+
 struct SimOptions {
   // Worker count for round execution. 0 resolves to the CPT_TEST_THREADS
   // environment variable if set (the CI knob that runs whole test suites
   // multi-threaded), else 1. Clamped to [1, kMaxWorkers].
   unsigned num_threads = 0;
+  // Optional pooled state to adopt (see SimMemory). nullptr = allocate
+  // fresh. The pointee must outlive the Simulator.
+  SimMemory* memory = nullptr;
   // Minimum in-flight work (messages + wake-ups) per worker before a round
   // is dispatched to the pool; smaller rounds run inline on the caller.
   std::uint64_t parallel_grain = 2048;
@@ -118,6 +145,8 @@ class Simulator {
   static constexpr unsigned kMaxWorkers = 32;
 
   explicit Simulator(const Network& net, SimOptions opt = {});
+  // Returns adopted buffers to the SimOptions::memory pool, if any.
+  ~Simulator();
 
   // The execution contexts hold back-pointers into this object.
   Simulator(const Simulator&) = delete;
@@ -139,6 +168,8 @@ class Simulator {
 
  private:
   friend class Exec;
+  friend class SimMemory;
+  friend struct SimMemory::Store;
 
   // Everything in flight toward one round from one execution context:
   // per-receiving-arc membership (ordered), the message payloads in send
@@ -174,6 +205,7 @@ class Simulator {
   std::vector<std::unique_ptr<Exec>> execs_;        // contexts 0..K
   std::vector<std::vector<Inbound>> inbox_;         // per-shard gather buffer
   std::unique_ptr<WorkerPool> pool_;  // only when workers_ > 1
+  SimMemory* memory_ = nullptr;       // pool to return the buffers to
   unsigned cur_ = 0;  // generation being delivered this round
   std::uint64_t round_ = 0;
   std::uint64_t budget_ = 0;        // SimOptions::max_rounds (0 = unlimited)

@@ -11,6 +11,7 @@ TesterResult test_planarity(const Graph& g, const TesterOptions& opt) {
   congest::SimOptions sim_opt;
   sim_opt.num_threads = opt.num_threads;
   sim_opt.max_rounds = opt.max_rounds;
+  sim_opt.memory = opt.sim_memory;
   congest::Simulator sim(net, sim_opt);
 
   Stage1Options s1 = opt.stage1;

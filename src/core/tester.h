@@ -26,6 +26,9 @@ struct TesterOptions {
   // Cumulative simulated-round budget across both stages (0 = unlimited);
   // exhausting it throws congest::RoundBudgetExceeded (see simulator.h).
   std::uint64_t max_rounds = 0;
+  // Optional pooled simulator buffers (congest::SimMemory); the batch
+  // engine reuses one per worker across jobs. nullptr = fresh allocation.
+  congest::SimMemory* sim_memory = nullptr;
   Stage1Options stage1;   // epsilon is overwritten from the field above
   Stage2Options stage2;   // epsilon/seed are overwritten from above
 };

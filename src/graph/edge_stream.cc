@@ -1,0 +1,151 @@
+#include "graph/edge_stream.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cpt::gen {
+
+namespace {
+
+// Row-major lattice walker. Per node v = (r, c), in order: east (v, v+1),
+// south (v, v+cols), and -- triangulated only -- south-east (v, v+cols+1).
+// For a fixed v these targets are strictly increasing, and v itself
+// ascends, so the output is sorted-normalized without any buffering. This
+// is the same edge set (and therefore the same edge-id order) as
+// gen::grid / gen::triangulated_grid.
+class LatticeStream final : public EdgeStream {
+ public:
+  LatticeStream(NodeId rows, NodeId cols, bool diagonals)
+      : rows_(rows), cols_(cols), diagonals_(diagonals) {
+    CPT_EXPECTS(rows >= 1 && cols >= 1);
+    CPT_EXPECTS(static_cast<std::uint64_t>(rows) * cols <= 0xFFFFFFFEULL);
+    const std::uint64_t horizontal =
+        static_cast<std::uint64_t>(rows) * (cols - 1);
+    const std::uint64_t vertical =
+        static_cast<std::uint64_t>(rows - 1) * cols;
+    const std::uint64_t diag =
+        diagonals ? static_cast<std::uint64_t>(rows - 1) * (cols - 1) : 0;
+    const std::uint64_t total = horizontal + vertical + diag;
+    CPT_EXPECTS(total <= 0xFFFFFFFFULL);
+    num_edges_ = static_cast<EdgeId>(total);
+  }
+
+  NodeId num_nodes() const override { return rows_ * cols_; }
+  EdgeId num_edges() const override { return num_edges_; }
+
+  void rewind() override {
+    r_ = 0;
+    c_ = 0;
+    step_ = 0;
+  }
+
+  bool next(Endpoints* out) override {
+    while (r_ < rows_) {
+      const NodeId v = r_ * cols_ + c_;
+      const bool east_ok = c_ + 1 < cols_;
+      const bool south_ok = r_ + 1 < rows_;
+      switch (step_) {
+        case 0:
+          ++step_;
+          if (east_ok) {
+            *out = {v, v + 1};
+            return true;
+          }
+          [[fallthrough]];
+        case 1:
+          ++step_;
+          if (south_ok) {
+            *out = {v, v + cols_};
+            return true;
+          }
+          [[fallthrough]];
+        default:
+          step_ = 0;
+          if (++c_ == cols_) {
+            c_ = 0;
+            ++r_;
+          }
+          if (diagonals_ && east_ok && south_ok) {
+            *out = {v, v + cols_ + 1};
+            return true;
+          }
+      }
+    }
+    return false;
+  }
+
+ private:
+  NodeId rows_;
+  NodeId cols_;
+  bool diagonals_;
+  EdgeId num_edges_ = 0;
+  NodeId r_ = 0;
+  NodeId c_ = 0;
+  unsigned step_ = 0;  // next emission for the current node: 0=E, 1=S, 2=SE
+};
+
+class MergedStream final : public EdgeStream {
+ public:
+  MergedStream(std::unique_ptr<EdgeStream> base, std::vector<Endpoints> extra)
+      : base_(std::move(base)), extra_(std::move(extra)) {
+    for ([[maybe_unused]] const Endpoints& e : extra_) CPT_EXPECTS(e.u < e.v);
+    std::sort(extra_.begin(), extra_.end(),
+              [](const Endpoints& a, const Endpoints& b) {
+                return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+    rewind();
+  }
+
+  NodeId num_nodes() const override { return base_->num_nodes(); }
+  EdgeId num_edges() const override {
+    return base_->num_edges() + static_cast<EdgeId>(extra_.size());
+  }
+
+  void rewind() override {
+    base_->rewind();
+    base_live_ = base_->next(&base_next_);
+    extra_pos_ = 0;
+  }
+
+  bool next(Endpoints* out) override {
+    const bool extra_live = extra_pos_ < extra_.size();
+    if (!base_live_ && !extra_live) return false;
+    const bool take_base =
+        base_live_ &&
+        (!extra_live || base_next_.u < extra_[extra_pos_].u ||
+         (base_next_.u == extra_[extra_pos_].u &&
+          base_next_.v < extra_[extra_pos_].v));
+    if (take_base) {
+      *out = base_next_;
+      base_live_ = base_->next(&base_next_);
+    } else {
+      *out = extra_[extra_pos_++];
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<EdgeStream> base_;
+  std::vector<Endpoints> extra_;
+  Endpoints base_next_{};
+  bool base_live_ = false;
+  std::size_t extra_pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<EdgeStream> grid_stream(NodeId rows, NodeId cols) {
+  return std::make_unique<LatticeStream>(rows, cols, false);
+}
+
+std::unique_ptr<EdgeStream> triangulated_grid_stream(NodeId rows, NodeId cols) {
+  return std::make_unique<LatticeStream>(rows, cols, true);
+}
+
+std::unique_ptr<EdgeStream> merge_extra_edges(std::unique_ptr<EdgeStream> base,
+                                              std::vector<Endpoints> extra) {
+  return std::make_unique<MergedStream>(std::move(base), std::move(extra));
+}
+
+}  // namespace cpt::gen

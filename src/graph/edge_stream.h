@@ -1,0 +1,47 @@
+// Pull-based edge producers for out-of-core graph materialization.
+//
+// An EdgeStream yields a graph's edge list in sorted-normalized order
+// (u < v, lexicographic) -- exactly the edge-id order GraphBuilder assigns
+// -- so a consumer can assign edge ids on the fly and produce the same CSR
+// a builder round-trip would, without the edges ever being resident all at
+// once. Streams are rewindable because the corpus v3 writer makes two
+// passes (degree counting, then arc placement; see scenario/corpus.cc).
+//
+// Analytic streams exist for the regular lattice families (grid,
+// triangulated grid); merge_extra_edges composes a base stream with a
+// small sorted in-memory extra set (the road-network flyovers), keeping
+// the resident footprint O(extras), not O(m).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cpt::gen {
+
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+  virtual NodeId num_nodes() const = 0;
+  virtual EdgeId num_edges() const = 0;
+  // Restart from the first edge.
+  virtual void rewind() = 0;
+  // Fills *out with the next edge and returns true; false at end. Edges
+  // come out strictly increasing in (u, v) with u < v.
+  virtual bool next(Endpoints* out) = 0;
+};
+
+// The lattice families of graph/generators.h, edge streams instead of
+// resident graphs: same node numbering (r * cols + c), same edge sets.
+std::unique_ptr<EdgeStream> grid_stream(NodeId rows, NodeId cols);
+std::unique_ptr<EdgeStream> triangulated_grid_stream(NodeId rows, NodeId cols);
+
+// Merges `extra` edges into `base`'s order. Preconditions: every extra is
+// normalized (u < v), the set is duplicate-free and disjoint from the base
+// stream's edges (callers dedup while sampling). `extra` need not arrive
+// sorted; it is sorted here.
+std::unique_ptr<EdgeStream> merge_extra_edges(std::unique_ptr<EdgeStream> base,
+                                              std::vector<Endpoints> extra);
+
+}  // namespace cpt::gen

@@ -1,14 +1,29 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace cpt {
+
+namespace {
+
+// Heap home of a builder-produced graph's CSR arrays; Graph spans point
+// into it and the type-erased shared_ptr keeps it alive across copies.
+struct OwnedCsr {
+  std::vector<std::uint32_t> offsets;
+  std::vector<Arc> arcs;
+  std::vector<Endpoints> edges;
+};
+
+}  // namespace
 
 Graph GraphBuilder::build() && {
   // Normalize and deduplicate: sort endpoint pairs (u < v), then unique.
   // Edge ids are assigned after dedup, in sorted-normalized order of first
   // insertion -- deterministic for a given edge multiset.
-  std::vector<Endpoints> edges = std::move(pending_);
+  auto own = std::make_shared<OwnedCsr>();
+  own->edges = std::move(pending_);
+  std::vector<Endpoints>& edges = own->edges;
   for (Endpoints& e : edges) {
     if (e.u > e.v) std::swap(e.u, e.v);
   }
@@ -21,41 +36,47 @@ Graph GraphBuilder::build() && {
                           }),
               edges.end());
 
-  Graph g;
-  g.edges_ = std::move(edges);
-  g.offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
-  for (const Endpoints& e : g.edges_) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
+  std::vector<std::uint32_t>& offsets = own->offsets;
+  offsets.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const Endpoints& e : edges) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
   }
-  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
-    g.offsets_[i] += g.offsets_[i - 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
   }
-  g.arcs_.resize(2 * static_cast<std::size_t>(g.edges_.size()));
-  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
-    const Endpoints ep = g.edges_[e];
-    g.arcs_[cursor[ep.u]++] = {ep.v, e, 0};
-    g.arcs_[cursor[ep.v]++] = {ep.u, e, 0};
+  std::vector<Arc>& arcs = own->arcs;
+  arcs.resize(2 * edges.size());
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    const Endpoints ep = edges[e];
+    arcs[cursor[ep.u]++] = {ep.v, e, 0};
+    arcs[cursor[ep.v]++] = {ep.u, e, 0};
   }
 
   // Fill Arc::peer_arc: record each endpoint's global arc index per
   // half-edge, then hand every arc the index of its reverse.
-  std::vector<std::uint32_t> side_arc(g.arcs_.size());
+  std::vector<std::uint32_t> side_arc(arcs.size());
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    for (std::uint32_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
-      const Arc& a = g.arcs_[i];
-      const std::uint32_t side = g.edges_[a.edge].u == v ? 0u : 1u;
+    for (std::uint32_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Arc& a = arcs[i];
+      const std::uint32_t side = edges[a.edge].u == v ? 0u : 1u;
       side_arc[2ULL * a.edge + side] = i;
     }
   }
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    for (std::uint32_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
-      Arc& a = g.arcs_[i];
-      const std::uint32_t side = g.edges_[a.edge].u == v ? 0u : 1u;
+    for (std::uint32_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      Arc& a = arcs[i];
+      const std::uint32_t side = edges[a.edge].u == v ? 0u : 1u;
       a.peer_arc = side_arc[2ULL * a.edge + (side ^ 1)];
     }
   }
+
+  Graph g;
+  g.offsets_ = own->offsets;
+  g.arcs_ = own->arcs;
+  g.edges_ = own->edges;
+  g.backing_ = std::move(own);
   return g;
 }
 

@@ -63,10 +63,13 @@ Stage1Result run_stage1(congest::Simulator& sim, const Graph& g,
   peel_opt.alpha = opt.alpha;
   peel_opt.super_rounds = opt.peel_super_rounds;
   peel_opt.pipelined = opt.pipelined_streams;
-  // Peeling/merge buffers amortized across phases.
-  PeelingResult peel;
-  PeelScratch peel_scratch;
-  MergeScratch merge_scratch;
+  // Peeling/merge buffers amortized across phases -- and, when the caller
+  // supplies pooled scratch, across runs.
+  Stage1Scratch local_scratch;
+  Stage1Scratch& scr = opt.scratch != nullptr ? *opt.scratch : local_scratch;
+  PeelingResult& peel = scr.peel;
+  PeelScratch& peel_scratch = scr.peel_scratch;
+  MergeScratch& merge_scratch = scr.merge_scratch;
 
   for (std::uint32_t phase = 1; phase <= result.phases_total; ++phase) {
     PhaseStats stats;

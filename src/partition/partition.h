@@ -9,9 +9,23 @@
 
 #include "congest/metrics.h"
 #include "congest/simulator.h"
+#include "partition/forest_decomposition.h"
+#include "partition/merge.h"
 #include "partition/part_forest.h"
 
 namespace cpt {
+
+// Pooled cross-run Stage I scratch: the reusable peeling result plus the
+// peel/merge relay buffers. Already amortized across phases within one
+// run; handing the same object to successive runs (the batch engine keeps
+// one per worker context) also amortizes it across jobs. Default state is
+// valid for any graph -- every table is resized and reset per call by the
+// peeling/merge passes.
+struct Stage1Scratch {
+  PeelingResult peel;
+  PeelScratch peel_scratch;
+  MergeScratch merge_scratch;
+};
 
 struct Stage1Options {
   double epsilon = 0.1;              // edge-cut parameter
@@ -25,6 +39,9 @@ struct Stage1Options {
   // fewer rounds and messages, identical partitions. Off reproduces the
   // unpipelined schedule; the differential tests cross-check the two.
   bool pipelined_streams = true;
+  // Optional pooled scratch reused across runs (see Stage1Scratch).
+  // nullptr = per-run locals; results are identical either way.
+  Stage1Scratch* scratch = nullptr;
 };
 
 struct PhaseStats {

@@ -175,7 +175,11 @@ RandomPartitionResult run_random_partition(congest::Simulator& sim,
 
   std::vector<std::vector<NodeId>> neighbor_root(n);
   for (NodeId v = 0; v < n; ++v) neighbor_root[v].assign(g.degree(v), kNoNode);
-  MergeScratch merge_scratch;  // relay buffers amortized across phases
+  // Relay buffers amortized across phases (and across runs when pooled).
+  MergeScratch local_merge_scratch;
+  MergeScratch& merge_scratch = opt.scratch != nullptr
+                                    ? opt.scratch->merge_scratch
+                                    : local_merge_scratch;
 
   for (std::uint32_t phase = 1; phase <= result.phases_total; ++phase) {
     PartForest& pf = result.forest;

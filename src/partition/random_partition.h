@@ -24,6 +24,9 @@ struct RandomPartitionOptions {
   std::uint32_t trials_override = 0;  // 0 = theory value (Lemma 13)
   bool adaptive = false;  // stop phases early when cut target reached
   std::uint64_t seed = 1;
+  // Optional pooled scratch (only the merge buffers are used: Theorem 4
+  // skips the peeling). nullptr = per-run locals; identical results.
+  Stage1Scratch* scratch = nullptr;
 };
 
 struct RandomPartitionResult {

@@ -4,29 +4,44 @@
 // and, when a corpus directory is configured, persists it as
 // <dir>/<16-hex-hash>.cpg so later runs load instead of generating.
 //
-// File format (little-endian u32s): magic 'CPTC', version, n, m, then m
-// (u, v) pairs in edge-id order, then a FNV-1a-64 checksum (two u32s,
-// low word first) over every preceding payload u32 (n, m, endpoints).
-// Loading rebuilds the graph through GraphBuilder, so arc layout and edge
-// ids match a freshly generated graph exactly -- cached and regenerated
-// instances are interchangeable bit-for-bit (pinned by scenario_test.cc).
-// The "file" family is exempt from the disk layer (see engine.cc): its
-// hash names a path, not the file's content, and must not shadow later
-// edits.
+// On-disk format v3 (the full layout lives in DESIGN.md section 8): a
+// 64-byte checksummed little-endian header (magic 'CPTC', version, n and m
+// as u64, payload checksum, header checksum) followed by the in-memory CSR
+// arrays verbatim, each section 64-byte aligned: node offsets ((n+1) x
+// u32), arcs (2m x 12-byte Arc, peer_arc prefilled), endpoints (m x 8
+// bytes). Because the file *is* the CSR, a corpus hit is a zero-copy mmap:
+// load() returns a read-only Graph view backed by the mapping
+// (Graph::from_csr) -- no GraphBuilder replay, no per-job O(m) allocation,
+// and no node-count cap (v2 refused graphs above 2^27 nodes; v3 accepts
+// anything within the format limits: n < 2^32 - 1, m < 2^31).
+//
+// Legacy v2 files (u32 header + endpoint list + FNV checksum) are still
+// read -- via the old GraphBuilder replay, with the size cross-check done
+// in u64 so a forged header cannot wrap it -- and are transparently
+// migrated: a v2 hit is re-saved as v3 so the next load maps it.
+//
+// Integrity policy: the header checksum and exact-size cross-check are
+// always enforced. The payload checksum is verified in full for files up
+// to 64 MiB -- and always when CPT_CORPUS_VERIFY=full -- while larger
+// files are admitted on the header alone (CPT_CORPUS_VERIFY=size makes
+// that unconditional), so a multi-gigabyte hit stays zero-copy instead of
+// paying a full read. Every file written by the test suite is far below
+// the threshold, so torn/bit-rot coverage always runs checksummed.
 //
 // Robustness: load() distinguishes a missing file (kMiss) from a damaged
-// one (kCorrupt: bad magic/version, truncated, out-of-range endpoints,
-// checksum mismatch, trailing bytes). Corrupt files earn a stderr warning
-// and the engine falls back to regeneration -- a half-written or garbled
-// cache entry can slow a sweep down, never poison it. Graphs above 2^27
-// nodes are never cached (the loader must bound its allocation before the
-// checksum can vouch for n, and save mirrors the cap so a legitimate
-// giant is skipped, not endlessly re-flagged corrupt).
+// one (kCorrupt: bad magic/version, truncated, size mismatch, checksum
+// mismatch, trailing bytes). Corrupt files earn a stderr warning and the
+// engine falls back to regeneration -- a half-written or garbled cache
+// entry can slow a sweep down, never poison it. Saves are durable: tmp +
+// fsync + rename + parent-directory fsync (util/fsio.h). The "file"
+// family is exempt from the disk layer (see engine.cc): its hash names a
+// path, not the file's content, and must not shadow later edits.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "graph/edge_stream.h"
 #include "graph/graph.h"
 
 namespace cpt::scenario {
@@ -44,19 +59,35 @@ class CorpusStore {
 
   enum class LoadStatus { kMiss, kHit, kCorrupt };
 
-  // kHit fills *out from <dir>/<hash>.cpg; kCorrupt means the file exists
-  // but failed validation (warned on stderr; caller should regenerate --
-  // the subsequent save() replaces the damaged file).
+  // kHit fills *out from <dir>/<hash>.cpg -- for v3 files a zero-copy
+  // mmap-backed view, for v2 files a GraphBuilder replay (then re-saved as
+  // v3). kCorrupt means the file exists but failed validation (warned on
+  // stderr; caller should regenerate -- the subsequent save() replaces the
+  // damaged file).
   LoadStatus load(std::uint64_t hash, Graph* out) const;
 
-  // Persists g under its hash; returns false on I/O failure (the batch
-  // engine treats that as non-fatal: the graph is still in memory).
+  // Persists g under its hash as v3; returns false on I/O failure (the
+  // batch engine treats that as non-fatal: the graph is still in memory).
   bool save(std::uint64_t hash, const Graph& g) const;
+
+  // Streaming save: materializes the stream straight into a v3 file in
+  // two passes (degree count, then sequential endpoint + scattered arc
+  // writes through a mapping of the output), so no resident Graph ever
+  // exists. Peak memory is O(n) cursor arrays plus a bounded mapping
+  // window (completed regions are released as the write frontier
+  // advances), not O(m). The resulting file is byte-identical to
+  // save(build(...)) for the same edge set -- pinned by tests.
+  bool save_stream(std::uint64_t hash, gen::EdgeStream& stream) const;
 
   std::string path_for(std::uint64_t hash) const;
 
  private:
   std::string dir_;
 };
+
+// Writes a legacy v2 corpus file (u32 header + endpoint list + checksum).
+// Production code always writes v3; this exists so migration tests can
+// manufacture genuine v2 files.
+bool write_corpus_v2(const std::string& path, const Graph& g);
 
 }  // namespace cpt::scenario

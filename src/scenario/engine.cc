@@ -15,6 +15,7 @@
 #include "core/tester.h"
 #include "partition/random_partition.h"
 #include "scenario/faultinject.h"
+#include "scenario/registry.h"
 #include "util/parallel.h"
 
 namespace cpt::scenario {
@@ -34,10 +35,13 @@ bool is_transient_error(const std::string& message) {
          message.find("bad_alloc") != std::string::npos;
 }
 
-JobResult run_job(const Job& job, const Graph& g) {
+JobResult run_job(const Job& job, const Graph& g, RunState* state) {
   JobResult r;
   r.n = g.num_nodes();
   r.m = g.num_edges();
+  congest::SimMemory* const mem =
+      state != nullptr ? &state->sim_memory : nullptr;
+  Stage1Scratch* const scratch = state != nullptr ? &state->stage1 : nullptr;
   const double t0 = now_seconds();
   try {
     fault_point(FaultSite::kRunJob, job.job_index);
@@ -48,8 +52,10 @@ JobResult run_job(const Job& job, const Graph& g) {
         opt.seed = job.tester_seed;
         opt.num_threads = job.sim_threads;
         opt.max_rounds = job.max_rounds;
+        opt.sim_memory = mem;
         opt.stage1.adaptive = job.adaptive;
         opt.stage1.pipelined_streams = job.pipelined;
+        opt.stage1.scratch = scratch;
         const TesterResult tr = test_planarity(g, opt);
         r.verdict = tr.verdict;
         r.rounds = tr.ledger.total_rounds();
@@ -74,6 +80,8 @@ JobResult run_job(const Job& job, const Graph& g) {
         opt.pipelined_streams = job.pipelined;
         opt.num_threads = job.sim_threads;
         opt.max_rounds = job.max_rounds;
+        opt.sim_memory = mem;
+        opt.scratch = scratch;
         const AppResult ar = job.tester == TesterKind::kCycleFree
                                  ? test_cycle_freeness(g, opt)
                                  : test_bipartiteness(g, opt);
@@ -91,6 +99,7 @@ JobResult run_job(const Job& job, const Graph& g) {
         congest::SimOptions sopt;
         sopt.num_threads = job.sim_threads;
         sopt.max_rounds = job.max_rounds;
+        sopt.memory = mem;
         congest::Simulator sim(net, sopt);
         congest::RoundLedger ledger;
         Stage1Options opt;
@@ -98,6 +107,7 @@ JobResult run_job(const Job& job, const Graph& g) {
         opt.alpha = job.alpha;
         opt.adaptive = job.adaptive;
         opt.pipelined_streams = job.pipelined;
+        opt.scratch = scratch;
         const Stage1Result sr = run_stage1(sim, g, opt, ledger);
         r.verdict = sr.rejected ? Verdict::kReject : Verdict::kAccept;
         r.rounds = ledger.total_rounds();
@@ -117,6 +127,7 @@ JobResult run_job(const Job& job, const Graph& g) {
         congest::SimOptions sopt;
         sopt.num_threads = job.sim_threads;
         sopt.max_rounds = job.max_rounds;
+        sopt.memory = mem;
         congest::Simulator sim(net, sopt);
         congest::RoundLedger ledger;
         RandomPartitionOptions opt;
@@ -125,6 +136,7 @@ JobResult run_job(const Job& job, const Graph& g) {
         opt.alpha = job.alpha;
         opt.adaptive = job.adaptive;
         opt.seed = job.tester_seed;
+        opt.scratch = scratch;
         const RandomPartitionResult rr =
             run_random_partition(sim, g, opt, ledger);
         r.verdict = Verdict::kAccept;  // Theorem 4 has no reject path
@@ -170,8 +182,8 @@ namespace {
 // and timeouts return immediately -- re-running them cannot change the
 // outcome.
 JobResult run_job_retrying(const Job& job, const Graph& g,
-                           const BatchOptions& options) {
-  JobResult r = run_job(job, g);
+                           const BatchOptions& options, RunState* state) {
+  JobResult r = run_job(job, g, state);
   std::uint32_t attempts = 0;
   while (r.failed && is_transient_error(r.error) &&
          attempts < options.max_retries) {
@@ -180,10 +192,41 @@ JobResult run_job_retrying(const Job& job, const Graph& g,
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options.retry_backoff_ms * attempts));
     }
-    r = run_job(job, g);
+    r = run_job(job, g, state);
     r.retries = attempts;
   }
   return r;
+}
+
+// Materializes one instance into `*out`: corpus hit (mmap for v3), else a
+// streaming generator straight into the store (then a mapped load-back),
+// else build_instance (+ save). Returns true if the graph came off disk.
+bool materialize_instance(const CorpusStore& store,
+                          const ScenarioInstance& instance, bool cacheable,
+                          Graph* out, bool* corrupt_file) {
+  fault_point(FaultSite::kMaterialize, instance.hash());
+  CorpusStore::LoadStatus status = CorpusStore::LoadStatus::kMiss;
+  if (cacheable) {
+    status = store.load(instance.hash(), out);
+  }
+  if (status == CorpusStore::LoadStatus::kHit) return true;
+  *corrupt_file = status == CorpusStore::LoadStatus::kCorrupt;
+  if (cacheable && store.enabled()) {
+    // Families with a streaming edge generator never build a heap-resident
+    // graph on a miss: the stream writes the v3 file directly and the
+    // instance is served by mapping that file -- same bytes either way
+    // (save_stream is pinned byte-identical to save(build_instance(...))).
+    if (const auto stream = make_edge_stream(instance)) {
+      if (store.save_stream(instance.hash(), *stream) &&
+          store.load(instance.hash(), out) ==
+              CorpusStore::LoadStatus::kHit) {
+        return false;  // generated this run (streamed), not a disk hit
+      }
+    }
+  }
+  *out = build_instance(instance);
+  if (cacheable) store.save(instance.hash(), *out);
+  return false;
 }
 
 BatchResult run_batch_impl(const Manifest& manifest,
@@ -246,18 +289,9 @@ BatchResult run_batch_impl(const Manifest& manifest,
         for (std::uint32_t attempt = 0;; ++attempt) {
           try {
             slot.error.clear();
-            fault_point(FaultSite::kMaterialize, slot.instance.hash());
-            CorpusStore::LoadStatus status = CorpusStore::LoadStatus::kMiss;
-            if (cacheable) {
-              status = store.load(slot.instance.hash(), &slot.graph);
-            }
-            if (status == CorpusStore::LoadStatus::kHit) {
-              slot.from_disk = true;
-            } else {
-              slot.corrupt_file = status == CorpusStore::LoadStatus::kCorrupt;
-              slot.graph = build_instance(slot.instance);
-              if (cacheable) store.save(slot.instance.hash(), slot.graph);
-            }
+            slot.from_disk = materialize_instance(
+                store, slot.instance, cacheable, &slot.graph,
+                &slot.corrupt_file);
           } catch (const std::exception& e) {
             slot.error = e.what();
           }
@@ -300,7 +334,8 @@ BatchResult run_batch_impl(const Manifest& manifest,
   };
   // One job's outcome: the resume cache, a materialization failure
   // propagated to every dependent job, or an actual run (with retry).
-  const auto produce = [&](std::uint32_t j, bool* resumed) -> JobResult {
+  const auto produce = [&](std::uint32_t j, bool* resumed,
+                           RunState* state) -> JobResult {
     if (const JobResult* cached = cached_result(j)) {
       *resumed = true;
       return *cached;
@@ -313,8 +348,12 @@ BatchResult run_batch_impl(const Manifest& manifest,
       r.error = slot.error;
       return r;
     }
-    return run_job_retrying(out.jobs[j], slot.graph, options);
+    return run_job_retrying(out.jobs[j], slot.graph, options, state);
   };
+  // One pooled RunState per batch worker, reused across every job that
+  // worker claims (never shared concurrently: worker w touches states[w]
+  // only). Allocation reuse only -- results stay schedule-independent.
+  std::vector<RunState> states(workers);
   const auto tally = [&](const JobResult& r, bool resumed) {
     if (r.timed_out) {
       ++out.timed_out_jobs;
@@ -334,13 +373,13 @@ BatchResult run_batch_impl(const Manifest& manifest,
     std::vector<char> executed(out.jobs.size(), 0);
     std::vector<char> resumed_flags(out.jobs.size(), 0);
     std::atomic<std::uint32_t> cursor{0};
-    auto execute = [&](unsigned) {
+    auto execute = [&](unsigned w) {
       while (!cancelled()) {
         const std::uint32_t j =
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (j >= out.jobs.size()) return;
         bool resumed = false;
-        out.results[j] = produce(j, &resumed);
+        out.results[j] = produce(j, &resumed, &states[w]);
         resumed_flags[j] = resumed ? 1 : 0;
         executed[j] = 1;
       }
@@ -378,7 +417,7 @@ BatchResult run_batch_impl(const Manifest& manifest,
     std::uint32_t next_retire = 0;
     std::size_t peak_pending = 0;
     const std::uint32_t window = 4 * workers + 4;
-    auto execute = [&](unsigned) {
+    auto execute = [&](unsigned w) {
       while (!cancelled()) {
         const std::uint32_t j =
             cursor.fetch_add(1, std::memory_order_relaxed);
@@ -395,7 +434,7 @@ BatchResult run_batch_impl(const Manifest& manifest,
           }
         }
         bool resumed = false;
-        JobResult r = produce(j, &resumed);
+        JobResult r = produce(j, &resumed, &states[w]);
         {
           std::lock_guard<std::mutex> lock(mu);
           pending.emplace(j, std::make_pair(std::move(r), resumed));
@@ -431,6 +470,78 @@ BatchResult run_batch(const Manifest& manifest, const BatchOptions& options) {
 BatchResult run_batch(const Manifest& manifest, const BatchOptions& options,
                       const ResultSink& sink, StreamStats* stats) {
   return run_batch_impl(manifest, options, &sink, stats);
+}
+
+MaterializeResult materialize_manifest(const Manifest& manifest,
+                                       const BatchOptions& options) {
+  MaterializeResult out;
+  const double t0 = now_seconds();
+  const std::vector<Job> jobs = expand_manifest(manifest);
+  // Unique instances by hash, first-job order (mirrors run_batch's dedup).
+  std::vector<ScenarioInstance> instances;
+  {
+    std::unordered_map<std::uint64_t, std::uint32_t> by_hash;
+    for (const Job& job : jobs) {
+      if (by_hash
+              .emplace(job.instance.hash(),
+                       static_cast<std::uint32_t>(instances.size()))
+              .second) {
+        instances.push_back(job.instance);
+      }
+    }
+  }
+  out.corpus.unique_instances = instances.size();
+
+  const CorpusStore store(options.corpus_dir);
+  const unsigned workers = congest::resolve_sim_threads(options.threads);
+  WorkerPool pool(workers);
+  std::mutex mu;  // guards the result counters/errors only
+  std::atomic<std::uint32_t> cursor{0};
+  auto work = [&](unsigned) {
+    while (true) {
+      const std::uint32_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= instances.size()) return;
+      const ScenarioInstance& instance = instances[i];
+      const bool cacheable = instance.family != "file";
+      std::string error;
+      bool from_disk = false;
+      bool corrupt = false;
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        try {
+          error.clear();
+          // The graph dies at scope exit: materialize-only never keeps an
+          // instance resident, so peak RSS is one instance (and streamed
+          // families never build one at all).
+          Graph g;
+          from_disk =
+              materialize_instance(store, instance, cacheable, &g, &corrupt);
+        } catch (const std::exception& e) {
+          error = e.what();
+        }
+        if (error.empty() || !is_transient_error(error) ||
+            attempt >= options.max_retries) {
+          break;
+        }
+        if (options.retry_backoff_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              options.retry_backoff_ms * (attempt + 1)));
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error.empty()) {
+        ++out.failed_instances;
+        out.errors.push_back(instance.label_with_seed() + ": " + error);
+      } else if (from_disk) {
+        ++out.corpus.disk_hits;
+      } else {
+        ++out.corpus.generated;
+      }
+      if (corrupt) ++out.corpus.corrupt_files;
+    }
+  };
+  pool.run(work);
+  out.wall_seconds = now_seconds() - t0;
+  return out;
 }
 
 }  // namespace cpt::scenario

@@ -37,8 +37,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "congest/simulator.h"  // SimMemory
 #include "core/stage2.h"  // Verdict
-#include "partition/partition.h"  // PhaseStats
+#include "partition/partition.h"  // PhaseStats, Stage1Scratch
 #include "scenario/corpus.h"
 #include "scenario/manifest.h"
 
@@ -138,10 +139,23 @@ struct BatchResult {
   unsigned threads_used = 1;
 };
 
+// Pooled per-worker run state: simulator buffers (flight payloads, inbox
+// shards, the intra-sim WorkerPool) and Stage I scratch (peeling +
+// merge-proposal arrays), reused across the jobs one batch worker claims.
+// Purely an allocation optimization: every pooled buffer is re-sized and
+// re-initialized by its consumer before use, so results are bit-identical
+// to fresh state at every --threads value (pinned by tests). A RunState
+// must never be shared between concurrently running jobs.
+struct RunState {
+  congest::SimMemory sim_memory;
+  Stage1Scratch stage1;
+};
+
 // Runs one job against a pre-built graph (also the single-simulation entry
 // point the migrated E1-E7 benches and the equivalence tests use).
-// Exceptions are captured into JobResult::failed/error.
-JobResult run_job(const Job& job, const Graph& g);
+// Exceptions are captured into JobResult::failed/error. `state` (optional)
+// donates pooled buffers for the run and receives them back afterwards.
+JobResult run_job(const Job& job, const Graph& g, RunState* state = nullptr);
 
 BatchResult run_batch(const Manifest& manifest, const BatchOptions& options);
 
@@ -158,5 +172,23 @@ struct StreamStats {
 
 BatchResult run_batch(const Manifest& manifest, const BatchOptions& options,
                       const ResultSink& sink, StreamStats* stats = nullptr);
+
+// Materialize-only mode (cpt_batch's `materialize` subcommand): resolves
+// every unique cacheable instance in the manifest into the corpus store --
+// via the registry's streaming edge generator where one exists (no
+// resident graph, O(n) peak memory), else build_instance + save -- and
+// releases each graph immediately, so peak RSS is bounded by one instance
+// regardless of manifest size. Requires options.corpus_dir != "".
+// Instances already present (and valid) in the store are verified-by-load
+// and counted as disk_hits.
+struct MaterializeResult {
+  CorpusCounters corpus;
+  std::uint32_t failed_instances = 0;
+  std::vector<std::string> errors;  // one message per failed instance
+  double wall_seconds = 0;
+};
+
+MaterializeResult materialize_manifest(const Manifest& manifest,
+                                       const BatchOptions& options);
 
 }  // namespace cpt::scenario

@@ -8,6 +8,7 @@
 #include "scenario/faultinject.h"
 #include "scenario/json.h"
 #include "scenario/registry.h"
+#include "util/fsio.h"
 
 namespace cpt::scenario {
 namespace {
@@ -319,8 +320,15 @@ bool JournalWriter::create(const std::string& path, const Manifest& manifest,
   }
   const std::string header = render_journal_header(manifest, jobs);
   if (!write_all(header.data(), header.size())) return false;
-  // The header must survive any later crash for the file to be a journal.
-  return sync();
+  // The header must survive any later crash for the file to be a journal
+  // -- including its directory entry, which fsync(file) alone does not
+  // cover for a freshly created file.
+  if (!sync()) return false;
+  if (!fsync_parent_dir(path)) {
+    failed_ = true;
+    return false;
+  }
+  return true;
 }
 
 bool JournalWriter::open_resume(const std::string& path,

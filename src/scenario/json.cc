@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/fsio.h"
+
 namespace cpt::scenario {
 
 const JsonValue* JsonValue::find(std::string_view key) const {
@@ -306,17 +308,18 @@ bool read_text_file(const std::string& path, std::string* out) {
 }
 
 bool write_text_file(const std::string& path, std::string_view body) {
-  // tmp + fsync + rename: consumers of these files (aggregate JSON/CSV,
-  // timing docs) treat existence as completeness, so a crashed or failed
-  // writer must leave either the old content or nothing -- never a
-  // truncated file that looks finished.
+  // tmp + fsync + durable rename (the parent directory is fsynced too, so
+  // the new entry survives a crash): consumers of these files (aggregate
+  // JSON/CSV, timing docs) treat existence as completeness, so a crashed
+  // or failed writer must leave either the old content or nothing --
+  // never a truncated file that looks finished.
   const std::string tmp_path = path + ".tmp";
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) return false;
   bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   ok = ok && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   ok = (std::fclose(f) == 0) && ok;
-  if (ok) ok = std::rename(tmp_path.c_str(), path.c_str()) == 0;
+  if (ok) ok = durable_rename(tmp_path, path);
   if (!ok) std::remove(tmp_path.c_str());
   return ok;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -444,6 +445,75 @@ Graph build_instance(const ScenarioInstance& instance) {
     g = perturb->apply(g, instance.perturb_params, rng);
   }
   return g;
+}
+
+namespace {
+
+// Analytic adjacency of the row-major lattice (node = r * cols + c), the
+// membership test streaming extras need without a resident base graph.
+// Expects a normalized pair (a < b).
+bool lattice_has_edge(NodeId a, NodeId b, NodeId cols, bool diagonals) {
+  const NodeId d = b - a;
+  const bool not_last_col = a % cols != cols - 1;
+  if (d == 1) return not_last_col;
+  if (d == cols) return true;  // b < n already implies r + 1 < rows
+  if (diagonals && d == cols + 1) return not_last_col;
+  return false;
+}
+
+// Replays planar_plus_random_edges' exact draw sequence (two next_below
+// per attempt, rejection on self-loops and already-present pairs) against
+// the analytic lattice adjacency plus the extras drawn so far -- the same
+// accept/reject decisions gen::planar_plus_random_edges makes against its
+// `present` set, so the resulting edge multiset is identical.
+std::vector<Endpoints> draw_lattice_extras(NodeId rows, NodeId cols,
+                                           bool diagonals, std::uint64_t extra,
+                                           std::uint64_t base_edges, Rng& rng) {
+  const std::uint64_t n = static_cast<std::uint64_t>(rows) * cols;
+  CPT_EXPECTS(base_edges + extra <= n * (n - 1) / 2);
+  std::unordered_set<std::uint64_t> drawn;
+  std::vector<Endpoints> added;
+  added.reserve(static_cast<std::size_t>(extra));
+  while (added.size() < extra) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(n));
+    const NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    const NodeId a = std::min(u, v);
+    const NodeId b = std::max(u, v);
+    if (lattice_has_edge(a, b, cols, diagonals)) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    if (drawn.insert(key).second) added.push_back({a, b});
+  }
+  return added;
+}
+
+}  // namespace
+
+std::unique_ptr<gen::EdgeStream> make_edge_stream(
+    const ScenarioInstance& instance) {
+  const bool diagonals = instance.family == "triangulated_grid";
+  if (!diagonals && instance.family != "grid") return nullptr;
+  if (!instance.perturb.empty() && instance.perturb != "plus_random_edges") {
+    return nullptr;
+  }
+  const NodeId rows = p_node(instance.params, "rows", 16);
+  const NodeId cols = p_node(instance.params, "cols", 16);
+  auto base = diagonals ? gen::triangulated_grid_stream(rows, cols)
+                        : gen::grid_stream(rows, cols);
+  if (instance.perturb.empty()) return base;
+  const auto extra = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, instance.perturb_params.get_int("extra", 0)));
+  if (extra == 0) {
+    // planar_plus_random_edges with extra=0 draws nothing; the base set is
+    // the whole graph.
+    return base;
+  }
+  // Mirror build_instance's seed discipline: the family generator ignores
+  // the Rng, so the perturbation draws from a fresh instance-seeded chain.
+  Rng rng(instance.seed);
+  std::vector<Endpoints> extras = draw_lattice_extras(
+      rows, cols, diagonals, extra, base->num_edges(), rng);
+  return gen::merge_extra_edges(std::move(base), std::move(extras));
 }
 
 }  // namespace cpt::scenario

@@ -1,0 +1,24 @@
+#include "util/fsio.h"
+
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace cpt {
+
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool durable_rename(const std::string& tmp_path, const std::string& final_path) {
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) return false;
+  return fsync_parent_dir(final_path);
+}
+
+}  // namespace cpt

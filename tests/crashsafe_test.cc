@@ -742,6 +742,67 @@ TEST(KillResumeHarness, SigtermDrainsFlushesAndExitsResumable) {
   EXPECT_EQ(slurp(out), slurp(clean_out));
 }
 
+// ---- CLI flag parsing (the bare-atoi regression) --------------------------
+
+TEST(CliParsing, RejectsNonNumericAndOutOfRangeFlagValues) {
+  const std::string manifest =
+      std::string(CPT_MANIFEST_DIR) + "/batch_sweep.json";
+  const std::string base = std::string(CPT_BATCH_BIN) + " run " + manifest +
+                           " --quiet 2>/dev/null";
+  // Bare atoi used to map these to 0 (or garbage) and run anyway; they
+  // must be usage errors now.
+  const char* bad[] = {
+      "--threads=abc",      "--threads=",      "--threads=-1",
+      "--threads=2x",       "--threads=1e3",   "--threads=99999999999",
+      "--max-retries=abc",  "--max-retries=-2",
+      "--max-retries=999999999999999999999",
+      "--base-seed=seven",  "--index=0.5",
+  };
+  for (const char* flag : bad) {
+    EXPECT_EQ(run_command(base + " " + flag), 2) << flag;
+  }
+}
+
+TEST(CliParsing, ThreadsZeroIsTheValidSerialPath) {
+  // --threads=0 defers to CPT_TEST_THREADS (unset here: serial). It must
+  // parse, run, and produce the same aggregate as an explicit --threads=1.
+  const std::string manifest =
+      std::string(CPT_MANIFEST_DIR) + "/ci_smoke.json";
+  const std::string dir = temp_dir();
+  const std::string out0 = dir + "/t0.json";
+  const std::string out1 = dir + "/t1.json";
+  ASSERT_EQ(run_command("env -u CPT_TEST_THREADS " +
+                        std::string(CPT_BATCH_BIN) + " run " + manifest +
+                        " --threads=0 --quiet --out=" + out0),
+            0);
+  ASSERT_EQ(run_command(std::string(CPT_BATCH_BIN) + " run " + manifest +
+                        " --threads=1 --quiet --out=" + out1),
+            0);
+  EXPECT_EQ(slurp(out0), slurp(out1));
+}
+
+TEST(CliParsing, MaterializeSubcommandPopulatesCorpusForRun) {
+  const std::string manifest =
+      std::string(CPT_MANIFEST_DIR) + "/ci_smoke.json";
+  const std::string dir = temp_dir();
+  const std::string corpus = dir + "/corpus";
+  // Without --corpus the subcommand is a usage error.
+  EXPECT_EQ(run_command(std::string(CPT_BATCH_BIN) + " materialize " +
+                        manifest + " --quiet 2>/dev/null"),
+            2);
+  ASSERT_EQ(run_command(std::string(CPT_BATCH_BIN) + " materialize " +
+                        manifest + " --threads=2 --quiet --corpus=" + corpus),
+            0);
+  // The populated corpus serves the run entirely from disk.
+  const std::string summary_path = dir + "/summary.txt";
+  ASSERT_EQ(run_command(std::string(CPT_BATCH_BIN) + " run " + manifest +
+                        " --threads=2 --corpus=" + corpus + " > " +
+                        summary_path),
+            0);
+  const std::string summary = slurp(summary_path);
+  EXPECT_NE(summary.find("0 generated"), std::string::npos) << summary;
+}
+
 #endif  // CPT_BATCH_BIN
 
 }  // namespace

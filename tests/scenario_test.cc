@@ -469,11 +469,12 @@ TEST(Corpus, DetectsCorruptFilesAndRecovers) {
     EXPECT_EQ(store.load(inst.hash(), &out), CorpusStore::LoadStatus::kCorrupt);
     ASSERT_TRUE(store.save(inst.hash(), g));
   }
-  // Garbled endpoint byte: size still right, checksum catches it.
+  // Garbled edge-count byte (v3 header m field at [16, 24)): the header
+  // checksum catches it before any size math runs.
   garble_file(path, 16 + 2);
   EXPECT_EQ(store.load(inst.hash(), &out), CorpusStore::LoadStatus::kCorrupt);
   ASSERT_TRUE(store.save(inst.hash(), g));
-  // Garbled node count: size cross-check catches it before any allocation.
+  // Garbled node-count byte (v3 header n field at [8, 16)): same.
   garble_file(path, 8 + 3);
   EXPECT_EQ(store.load(inst.hash(), &out), CorpusStore::LoadStatus::kCorrupt);
   ASSERT_TRUE(store.save(inst.hash(), g));

@@ -32,6 +32,14 @@
 //       [--max-retries=N]                   transient-failure retry budget
 //                                           per job (default 2)
 //       [--quiet]                           suppress the summary table
+//   cpt_batch materialize <manifest.json>   resolve every unique instance
+//       --corpus=DIR [--threads=N]          into the corpus store without
+//                                           running any jobs: streaming
+//                                           generators write v3 files
+//                                           directly (no resident graph),
+//                                           so peak RSS stays bounded by
+//                                           one instance regardless of
+//                                           sweep size
 //   cpt_batch gen <scenario> [k=v ...]      write one instance as an edge
 //       [--base-seed=S] [--index=I]         list to stdout (graph/io.h format)
 //
@@ -48,6 +56,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <csignal>
 #include <cstdio>
@@ -94,6 +103,8 @@ int usage() {
                "                [--journal=FILE] [--resume]"
                " [--fault-plan=SPEC]\n"
                "                [--max-retries=N] [--quiet]\n"
+               "  cpt_batch materialize <manifest.json> --corpus=DIR"
+               " [--threads=N] [--quiet]\n"
                "  cpt_batch gen <scenario> [key=value ...] [--base-seed=S]"
                " [--index=I]\n");
   return 2;
@@ -364,6 +375,66 @@ int cmd_run(const std::string& path, BatchOptions options,
   return 0;
 }
 
+int cmd_materialize(const std::string& path, const BatchOptions& options,
+                    bool quiet) {
+  if (options.corpus_dir.empty()) {
+    std::fprintf(stderr, "error: materialize requires --corpus=DIR\n");
+    return 2;
+  }
+  Manifest manifest;
+  std::string error;
+  if (!load_manifest_file(path, &manifest, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const MaterializeResult r = materialize_manifest(manifest, options);
+  if (!quiet) {
+    std::printf("# %s: %" PRIu64 " unique instance(s) into %s: %" PRIu64
+                " generated, %" PRIu64 " disk hit(s), %" PRIu64
+                " corrupt file(s) replaced, %.2fs wall\n",
+                manifest.name.c_str(), r.corpus.unique_instances,
+                options.corpus_dir.c_str(), r.corpus.generated,
+                r.corpus.disk_hits, r.corpus.corrupt_files, r.wall_seconds);
+  }
+  if (r.failed_instances > 0) {
+    std::fprintf(stderr, "error: %u instance(s) failed to materialize\n",
+                 r.failed_instances);
+    for (const std::string& e : r.errors) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
+// Strict unsigned-integer flag parsing. The old bare atoi silently mapped
+// "--threads=abc" to 0 and overflowed large values into garbage; here
+// anything but a plain decimal number in [0, max] is a usage error (exit
+// 2). "--threads=0" stays valid: 0 means "resolve from the environment"
+// (and resolves to the serial fast path when CPT_TEST_THREADS is unset).
+bool parse_uint_flag(const char* flag, const char* text, std::uint64_t max,
+                     std::uint64_t* out) {
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
+    // Also rejects "" and strtoull's surprising accepts: leading
+    // whitespace, "+", and "-1" (which would wrap to 2^64-1).
+    std::fprintf(stderr, "error: %s expects an unsigned integer, got \"%s\"\n",
+                 flag, text);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (*end != '\0' || errno == ERANGE || v > max) {
+    std::fprintf(stderr,
+                 "error: %s expects an unsigned integer <= %" PRIu64
+                 ", got \"%s\"\n",
+                 flag, max, text);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 // key=value -> typed ParamValue (int, else double, else string).
 bool parse_kv(const std::string& arg, ScenarioParams* params) {
   const std::size_t eq = arg.find('=');
@@ -423,8 +494,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
+    std::uint64_t parsed = 0;
     if (std::strncmp(a, "--threads=", 10) == 0) {
-      options.threads = static_cast<unsigned>(std::atoi(a + 10));
+      if (!parse_uint_flag("--threads", a + 10, 1u << 16, &parsed)) return 2;
+      options.threads = static_cast<unsigned>(parsed);
     } else if (std::strncmp(a, "--corpus=", 9) == 0) {
       options.corpus_dir = a + 9;
     } else if (std::strncmp(a, "--out=", 6) == 0) {
@@ -443,11 +516,16 @@ int main(int argc, char** argv) {
       fault_spec = a + 13;
       have_fault_spec = true;
     } else if (std::strncmp(a, "--max-retries=", 14) == 0) {
-      options.max_retries = static_cast<unsigned>(std::atoi(a + 14));
+      if (!parse_uint_flag("--max-retries", a + 14, 1000, &parsed)) return 2;
+      options.max_retries = static_cast<unsigned>(parsed);
     } else if (std::strncmp(a, "--base-seed=", 12) == 0) {
-      base_seed = static_cast<std::uint64_t>(std::strtoull(a + 12, nullptr, 10));
+      if (!parse_uint_flag("--base-seed", a + 12, UINT64_MAX, &parsed)) {
+        return 2;
+      }
+      base_seed = parsed;
     } else if (std::strncmp(a, "--index=", 8) == 0) {
-      index = static_cast<std::uint64_t>(std::strtoull(a + 8, nullptr, 10));
+      if (!parse_uint_flag("--index", a + 8, UINT64_MAX, &parsed)) return 2;
+      index = parsed;
     } else if (std::strcmp(a, "--quiet") == 0) {
       quiet = true;
     } else if (std::strncmp(a, "--", 2) == 0) {
@@ -486,6 +564,9 @@ int main(int argc, char** argv) {
   if (cmd == "run" && args.size() == 2) {
     return cmd_run(args[1], options, out_path, csv_path, timing_path,
                    stream_path, journal_path, resume, quiet);
+  }
+  if (cmd == "materialize" && args.size() == 2) {
+    return cmd_materialize(args[1], options, quiet);
   }
   if (cmd == "gen") {
     return cmd_gen({args.begin() + 1, args.end()}, base_seed, index);
