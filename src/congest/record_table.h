@@ -9,20 +9,26 @@
 //
 // Sharding (parallel rounds). A slot id encodes (shard, index): the high
 // kShardBits name one of kMaxShards independent arenas, each with its own
-// pool, chain links, touched list and watermark. push(v, r, shard) bumps
-// only that shard's watermark, so the simulator's workers (shard s = its
+// slot chunks, touched list and watermark. push(v, r, shard) bumps only
+// that shard's watermark, so the simulator's workers (shard s = its
 // Exec::shard()) append rows concurrently without locks or atomics. The
 // safety argument relies on the per-node-write-clean Program contract
 // (see DESIGN.md): rows of a node owned by worker s receive pushes only
 // from context s (rounds) and context 0 (driver code between passes), so
-//   * a shard's vectors grow only from its single owning context, and
-//   * cross-shard *reads* (worker s walking a chain into shard-0 slots
-//     written by the driver) only ever see frozen storage -- the driver
-//     never pushes while a round is in flight.
-// Chain links may point across shards (a row started by the driver and
-// extended by its worker); writing the old tail's `next` touches a
-// distinct element of the frozen shard's link array, which no other
-// context reads or writes during the round.
+//   * a shard's arena grows only from its single owning context, and
+//   * cross-shard accesses touch only *frozen* slots: slots allocated in
+//     earlier rounds (published by the round barrier), never the open end
+//     of a foreign arena.
+// Chain links may point across shards: a row started by the driver and
+// extended by its worker, or -- under the simulator's observed-load shard
+// rebalancing -- a row whose node migrated to a new worker mid-pass, whose
+// chain keeps growing from the new context while the old arena keeps
+// growing from its own. That is why slot storage is a table of doubling
+// chunks with stable addresses instead of one std::vector per shard: a
+// vector's realloc would move frozen slots out from under a concurrent
+// cross-shard chain walk (or a tail-`next` write), while chunked growth
+// only ever writes a previously-null chunk pointer no reader of frozen
+// slots dereferences.
 //
 // The pooling contract (unchanged from the single-arena version):
 //
@@ -49,8 +55,10 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <vector>
 
 #include "util/contracts.h"
@@ -90,7 +98,7 @@ class RecordTable {
     }
     for (Shard& sh : shards_) {
       sh.touched.clear();
-      sh.used = 0;
+      sh.used = 0;  // chunks stay allocated: the steady state is alloc-free
     }
   }
 
@@ -124,20 +132,19 @@ class RecordTable {
     if (idx >= kIdxMask) {
       contract_fail("Invariant", "record shard full", __FILE__, __LINE__);
     }
+    if (idx == sh.cap) grow(sh);
+    Slot& st = slot_at(sh, idx);
+    st.rec = r;
+    st.next = kNilSlot;
     const std::uint32_t slot = (shard << kIdxBits) | idx;
-    if (idx == sh.pool.size()) {
-      sh.pool.push_back(r);
-      sh.next.push_back(kNilSlot);
-    } else {
-      sh.pool[idx] = r;
-      sh.next[idx] = kNilSlot;
-    }
     RowHead& h = rows_[v];
     if (h.head == kNilSlot) {
       h.head = h.tail = slot;
       sh.touched.push_back(v);
     } else {
-      shards_[h.tail >> kIdxBits].next[h.tail & kIdxMask] = slot;
+      // Possibly a cross-shard write into a frozen slot of another arena
+      // (stable chunk storage; see the sharding notes above).
+      slot_at(shards_[h.tail >> kIdxBits], h.tail & kIdxMask).next = slot;
       h.tail = slot;
     }
     ++h.size;
@@ -204,10 +211,10 @@ class RecordTable {
   std::uint32_t head_slot(std::uint32_t v) const { return rows_[v].head; }
   std::uint32_t tail_slot(std::uint32_t v) const { return rows_[v].tail; }
   std::uint32_t next_slot(std::uint32_t slot) const {
-    return shards_[slot >> kIdxBits].next[slot & kIdxMask];
+    return slot_at(shards_[slot >> kIdxBits], slot & kIdxMask).next;
   }
   const Record& at_slot(std::uint32_t slot) const {
-    return shards_[slot >> kIdxBits].pool[slot & kIdxMask];
+    return slot_at(shards_[slot >> kIdxBits], slot & kIdxMask).rec;
   }
 
   std::uint32_t cursor(std::uint32_t v) const { return rows_[v].cursor; }
@@ -231,7 +238,7 @@ class RecordTable {
     RowIterator(TablePtr t, std::uint32_t slot) : t_(t), slot_(slot) {}
 
     reference operator*() const {
-      return t_->shards_[slot_ >> kIdxBits].pool[slot_ & kIdxMask];
+      return slot_at(t_->shards_[slot_ >> kIdxBits], slot_ & kIdxMask).rec;
     }
     pointer operator->() const { return &**this; }
     RowIterator& operator++() {
@@ -333,14 +340,54 @@ class RecordTable {
     std::uint32_t cursor = kNilSlot;
   };
 
-  // One arena: slot payloads and chain links (logical size = used), plus
-  // the rows first touched from this shard since the last reset.
+  // Slot payload + chain link, co-located so a chain hop touches one line.
+  struct Slot {
+    Record rec;
+    std::uint32_t next;
+  };
+
+  // Chunked arena geometry: chunk c holds 2^(kChunk0Bits + c) slots, so
+  // the chunk table covering all 2^kIdxBits indices is 17 pointers and a
+  // slot index decodes with one bit_width. Existing slots NEVER move --
+  // growth fills in the next null chunk pointer -- which is what makes
+  // cross-shard frozen-slot access safe while the owner appends.
+  static constexpr unsigned kChunk0Bits = 10;  // first chunk: 1024 slots
+  static constexpr unsigned kNumChunks = kIdxBits - kChunk0Bits + 1;
+
+  // One arena: stable-address slot chunks (logical size = used), plus the
+  // rows first touched from this shard since the last reset.
   struct Shard {
-    std::vector<Record> pool;
-    std::vector<std::uint32_t> next;
+    std::array<std::unique_ptr<Slot[]>, kNumChunks> chunks;
     std::vector<std::uint32_t> touched;
     std::uint32_t used = 0;
+    std::uint32_t cap = 0;  // slots allocated across chunks
   };
+
+  // idx -> (chunk, offset): bias by the first chunk's size so the chunk
+  // index is bit_width(biased) - (kChunk0Bits + 1) and the offset is the
+  // remainder below the chunk's base.
+  static Slot& slot_at(Shard& sh, std::uint32_t idx) {
+    const std::uint32_t biased = idx + (1u << kChunk0Bits);
+    const unsigned chunk =
+        static_cast<unsigned>(std::bit_width(biased)) - (kChunk0Bits + 1);
+    return sh.chunks[chunk][biased - (1u << (chunk + kChunk0Bits))];
+  }
+  static const Slot& slot_at(const Shard& sh, std::uint32_t idx) {
+    const std::uint32_t biased = idx + (1u << kChunk0Bits);
+    const unsigned chunk =
+        static_cast<unsigned>(std::bit_width(biased)) - (kChunk0Bits + 1);
+    return sh.chunks[chunk][biased - (1u << (chunk + kChunk0Bits))];
+  }
+
+  static void grow(Shard& sh) {
+    const std::uint32_t biased = sh.cap + (1u << kChunk0Bits);
+    const unsigned chunk =
+        static_cast<unsigned>(std::bit_width(biased)) - (kChunk0Bits + 1);
+    CPT_ASSERT(sh.chunks[chunk] == nullptr);
+    const std::uint32_t size = 1u << (kChunk0Bits + chunk);
+    sh.chunks[chunk] = std::make_unique<Slot[]>(size);
+    sh.cap += size;
+  }
 
   std::vector<RowHead> rows_;
   std::array<Shard, kMaxShards> shards_;

@@ -1,5 +1,6 @@
 #include "scenario/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -33,6 +34,35 @@ double now_seconds() {
 bool is_transient_error(const std::string& message) {
   return message.find("transient") != std::string::npos ||
          message.find("bad_alloc") != std::string::npos;
+}
+
+const char* sim_threads_policy_name(SimThreadsPolicy policy) {
+  switch (policy) {
+    case SimThreadsPolicy::kManifest:
+      return "manifest";
+    case SimThreadsPolicy::kSerialJobsWide:
+      return "serial-jobs-wide";
+    case SimThreadsPolicy::kThreadedJobsNarrow:
+      return "threaded-jobs-narrow";
+    case SimThreadsPolicy::kAuto:
+      return "auto";
+  }
+  return "manifest";
+}
+
+bool parse_sim_threads_policy(const std::string& name, SimThreadsPolicy* out) {
+  if (name == "manifest") {
+    *out = SimThreadsPolicy::kManifest;
+  } else if (name == "serial-jobs-wide") {
+    *out = SimThreadsPolicy::kSerialJobsWide;
+  } else if (name == "threaded-jobs-narrow") {
+    *out = SimThreadsPolicy::kThreadedJobsNarrow;
+  } else if (name == "auto") {
+    *out = SimThreadsPolicy::kAuto;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 JobResult run_job(const Job& job, const Graph& g, RunState* state) {
@@ -235,7 +265,48 @@ BatchResult run_batch_impl(const Manifest& manifest,
   BatchResult out;
   const double t0 = now_seconds();
   out.jobs = expand_manifest(manifest);
-  out.threads_used = congest::resolve_sim_threads(options.threads);
+
+  // Resolve the core split. `cores` is the resolved --threads value;
+  // `batch_workers` of them claim jobs concurrently and `sim_override`
+  // (0 = keep the manifest's per-job value) is forced into every executed
+  // job's sim_threads. kAuto resolves from the manifest alone -- job count
+  // vs cores and the largest instance's advertised size -- so the choice
+  // (like everything downstream of it) is schedule-deterministic.
+  const unsigned cores = congest::resolve_sim_threads(options.threads);
+  SimThreadsPolicy policy = options.sim_threads_policy;
+  if (policy == SimThreadsPolicy::kAuto) {
+    std::int64_t max_n = 0;
+    for (const Job& job : out.jobs) {
+      std::int64_t n = job.instance.params.get_int("n", 0);
+      if (n == 0) {
+        n = job.instance.params.get_int("rows", 0) *
+            job.instance.params.get_int("cols", 0);
+      }
+      max_n = std::max(max_n, n);
+    }
+    // Enough jobs to fill the cores -> cross-sim parallelism wins (no
+    // intra-sim overhead at all); fewer, large jobs -> put the cores
+    // inside the simulator, where a big instance can actually use them.
+    policy = (out.jobs.size() >= cores || max_n < 4096)
+                 ? SimThreadsPolicy::kSerialJobsWide
+                 : SimThreadsPolicy::kThreadedJobsNarrow;
+  }
+  unsigned batch_workers = cores;
+  unsigned sim_override = 0;
+  switch (policy) {
+    case SimThreadsPolicy::kManifest:
+    case SimThreadsPolicy::kAuto:  // resolved above; unreachable
+      break;
+    case SimThreadsPolicy::kSerialJobsWide:
+      sim_override = 1;
+      break;
+    case SimThreadsPolicy::kThreadedJobsNarrow:
+      batch_workers = 1;
+      sim_override = cores;
+      break;
+  }
+  out.sim_threads_policy = policy;
+  out.threads_used = batch_workers;
 
   // Unique instances (by hash), in first-job order, and the job -> slot map.
   struct Slot {
@@ -260,8 +331,10 @@ BatchResult run_batch_impl(const Manifest& manifest,
   out.corpus.unique_instances = slots.size();
 
   const CorpusStore store(options.corpus_dir);
-  const unsigned workers = out.threads_used;
-  WorkerPool pool(workers);
+  // Materialization is instance-parallel under every policy (no simulator
+  // runs yet), so the pool spans all cores; only the execute phase narrows
+  // to batch_workers.
+  WorkerPool pool(cores);
 
   // Phase 1: materialize every unique instance (corpus load or generate),
   // embarrassingly parallel, one slot per instance. Generation failures
@@ -348,12 +421,17 @@ BatchResult run_batch_impl(const Manifest& manifest,
       r.error = slot.error;
       return r;
     }
+    if (sim_override != 0) {
+      Job job = out.jobs[j];
+      job.sim_threads = sim_override;
+      return run_job_retrying(job, slot.graph, options, state);
+    }
     return run_job_retrying(out.jobs[j], slot.graph, options, state);
   };
   // One pooled RunState per batch worker, reused across every job that
   // worker claims (never shared concurrently: worker w touches states[w]
   // only). Allocation reuse only -- results stay schedule-independent.
-  std::vector<RunState> states(workers);
+  std::vector<RunState> states(cores);
   const auto tally = [&](const JobResult& r, bool resumed) {
     if (r.timed_out) {
       ++out.timed_out_jobs;
@@ -374,6 +452,7 @@ BatchResult run_batch_impl(const Manifest& manifest,
     std::vector<char> resumed_flags(out.jobs.size(), 0);
     std::atomic<std::uint32_t> cursor{0};
     auto execute = [&](unsigned w) {
+      if (w >= batch_workers) return;  // narrow policies idle extra cores
       while (!cancelled()) {
         const std::uint32_t j =
             cursor.fetch_add(1, std::memory_order_relaxed);
@@ -416,8 +495,9 @@ BatchResult run_batch_impl(const Manifest& manifest,
     std::unordered_map<std::uint32_t, std::pair<JobResult, bool>> pending;
     std::uint32_t next_retire = 0;
     std::size_t peak_pending = 0;
-    const std::uint32_t window = 4 * workers + 4;
+    const std::uint32_t window = 4 * batch_workers + 4;
     auto execute = [&](unsigned w) {
+      if (w >= batch_workers) return;  // narrow policies idle extra cores
       while (!cancelled()) {
         const std::uint32_t j =
             cursor.fetch_add(1, std::memory_order_relaxed);

@@ -280,5 +280,51 @@ TEST(RecordTableShards, FrozenDriverShardReadableDuringWorkerGrowth) {
   EXPECT_EQ(t.size(9), 20000u);
 }
 
+TEST(RecordTableShards, ChainsSpanArenaChunks) {
+  // A shard's arena grows in chunks of 1024, 2048, 4096... slots; one long
+  // row (and interleaved neighbours) must chain transparently across the
+  // chunk boundaries.
+  RecordTable t;
+  t.reset(3);
+  constexpr std::uint32_t kCount = 5000;  // spans chunks 0..2
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    t.push(0, {i, static_cast<std::int64_t>(i)}, 1);
+    t.push(1, {i, -static_cast<std::int64_t>(i)}, 1);
+  }
+  EXPECT_EQ(t.size(0), kCount);
+  EXPECT_EQ(t.size(1), kCount);
+  std::uint64_t want = 0;
+  for (const Record& rec : t[0]) {
+    ASSERT_EQ(rec.key, want);
+    ASSERT_EQ(rec.value, static_cast<std::int64_t>(want));
+    ++want;
+  }
+  EXPECT_EQ(want, kCount);
+  want = 0;
+  for (const Record& rec : t[1]) {
+    ASSERT_EQ(rec.value, -static_cast<std::int64_t>(want));
+    ++want;
+  }
+  // Reset reuses the chunks: re-filling lands on the same capacity.
+  t.reset(3);
+  for (std::uint32_t i = 0; i < kCount; ++i) t.push(2, {i, 7}, 1);
+  EXPECT_EQ(t.size(2), kCount);
+}
+
+TEST(RecordTableShards, SlotAddressesAreStableAcrossGrowth) {
+  // The rebalancing safety argument rests on this: a record's address never
+  // moves once pushed, no matter how much the shard's arena grows after.
+  RecordTable t;
+  t.reset(2);
+  t.push(0, {42, 420}, 1);
+  const Record* early = &t.at_slot(t.head_slot(0));
+  for (std::uint32_t i = 0; i < 100000; ++i) {  // many chunk allocations
+    t.push(1, {i, 1}, 1);
+  }
+  EXPECT_EQ(early, &t.at_slot(t.head_slot(0)));
+  EXPECT_EQ(early->key, 42u);
+  EXPECT_EQ(early->value, 420);
+}
+
 }  // namespace
 }  // namespace cpt::congest

@@ -151,5 +151,70 @@ TEST(ScenarioBatch, AggregateJsonBitIdenticalAcrossThreads) {
   }
 }
 
+// Strict parsing of the core-allocation policy names: exact matches only,
+// with round-trip through the canonical name.
+TEST(ScenarioBatch, SimThreadsPolicyParsesStrictly) {
+  const struct {
+    const char* name;
+    SimThreadsPolicy policy;
+  } kNames[] = {
+      {"manifest", SimThreadsPolicy::kManifest},
+      {"serial-jobs-wide", SimThreadsPolicy::kSerialJobsWide},
+      {"threaded-jobs-narrow", SimThreadsPolicy::kThreadedJobsNarrow},
+      {"auto", SimThreadsPolicy::kAuto},
+  };
+  for (const auto& c : kNames) {
+    SimThreadsPolicy got = SimThreadsPolicy::kManifest;
+    EXPECT_TRUE(parse_sim_threads_policy(c.name, &got)) << c.name;
+    EXPECT_EQ(got, c.policy) << c.name;
+    EXPECT_STREQ(sim_threads_policy_name(c.policy), c.name);
+  }
+  for (const char* bad :
+       {"", "Manifest", "serial", "serial-jobs-wide ", " auto", "auto\n",
+        "threaded", "wide", "0", "serial_jobs_wide"}) {
+    SimThreadsPolicy got = SimThreadsPolicy::kAuto;
+    EXPECT_FALSE(parse_sim_threads_policy(bad, &got))
+        << "accepted \"" << bad << '"';
+    EXPECT_EQ(got, SimThreadsPolicy::kAuto) << "output clobbered on reject";
+  }
+}
+
+// Every core-allocation policy must yield the same aggregate bytes as the
+// serial manifest-policy run: policies only move wall clock, never results.
+TEST(ScenarioBatch, AggregateJsonBitIdenticalAcrossPolicies) {
+  Manifest m;
+  std::string err;
+  ASSERT_TRUE(load_manifest_file(CPT_MANIFEST_DIR "/batch_sweep.json", &m,
+                                 &err))
+      << err;
+
+  BatchOptions serial;
+  serial.threads = 1;
+  const BatchResult ref = run_batch(m, serial);
+  const std::string ref_json =
+      render_aggregate_json(m, ref, aggregate_cells(ref));
+  EXPECT_EQ(ref.sim_threads_policy, SimThreadsPolicy::kManifest);
+
+  for (const SimThreadsPolicy policy :
+       {SimThreadsPolicy::kSerialJobsWide, SimThreadsPolicy::kThreadedJobsNarrow,
+        SimThreadsPolicy::kAuto}) {
+    SCOPED_TRACE(sim_threads_policy_name(policy));
+    BatchOptions opt;
+    opt.threads = 4;
+    opt.sim_threads_policy = policy;
+    const BatchResult b = run_batch(m, opt);
+    ASSERT_EQ(b.jobs.size(), ref.jobs.size());
+    EXPECT_EQ(render_aggregate_json(m, b, aggregate_cells(b)), ref_json);
+    if (policy == SimThreadsPolicy::kAuto) {
+      // batch_sweep has >= 200 jobs, far more than 4 cores: auto must
+      // resolve to serial-jobs-wide and use the full batch width.
+      EXPECT_EQ(b.sim_threads_policy, SimThreadsPolicy::kSerialJobsWide);
+      EXPECT_EQ(b.threads_used, 4u);
+    } else {
+      EXPECT_EQ(b.sim_threads_policy, policy);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cpt::scenario

@@ -6,6 +6,13 @@
 //   cpt_batch expand <manifest.json>        print the expanded job list
 //   cpt_batch run <manifest.json>           execute and aggregate
 //       [--threads=N]                       concurrent simulations (0 = env)
+//       [--sim-threads-policy=P]            core split between concurrent
+//                                           simulations and threads inside
+//                                           one: manifest | serial-jobs-wide
+//                                           | threaded-jobs-narrow | auto
+//                                           (wall-clock only; the aggregate
+//                                           is bit-identical under every
+//                                           policy)
 //       [--corpus=DIR]                      binary graph cache directory
 //       [--out=FILE]                        aggregate JSON (deterministic:
 //                                           bit-identical at every --threads)
@@ -97,7 +104,8 @@ int usage() {
                "usage:\n"
                "  cpt_batch list\n"
                "  cpt_batch expand <manifest.json>\n"
-               "  cpt_batch run <manifest.json> [--threads=N] [--corpus=DIR]\n"
+               "  cpt_batch run <manifest.json> [--threads=N]"
+               " [--sim-threads-policy=P] [--corpus=DIR]\n"
                "                [--out=FILE] [--csv=FILE] [--timing-out=FILE]"
                " [--stream=FILE]\n"
                "                [--journal=FILE] [--resume]"
@@ -498,6 +506,18 @@ int main(int argc, char** argv) {
     if (std::strncmp(a, "--threads=", 10) == 0) {
       if (!parse_uint_flag("--threads", a + 10, 1u << 16, &parsed)) return 2;
       options.threads = static_cast<unsigned>(parsed);
+    } else if (std::strncmp(a, "--sim-threads-policy=", 21) == 0) {
+      // Same strictness as the numeric flags: an unknown policy name is a
+      // usage error (exit 2) with the accepted values spelled out, never a
+      // silent fallback.
+      if (!parse_sim_threads_policy(a + 21, &options.sim_threads_policy)) {
+        std::fprintf(stderr,
+                     "error: --sim-threads-policy expects one of manifest, "
+                     "serial-jobs-wide, threaded-jobs-narrow, auto; got "
+                     "\"%s\"\n",
+                     a + 21);
+        return 2;
+      }
     } else if (std::strncmp(a, "--corpus=", 9) == 0) {
       options.corpus_dir = a + 9;
     } else if (std::strncmp(a, "--out=", 6) == 0) {
