@@ -2,9 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace cpt::bench {
@@ -53,6 +55,34 @@ std::string render_double(double v) {
 }
 
 }  // namespace
+
+void add_provenance(BenchJson& out) {
+#if defined(CPT_GIT_SHA)
+  out.meta("git_sha", CPT_GIT_SHA);
+#else
+  out.meta("git_sha", "unknown");
+#endif
+#if defined(CPT_BUILD_TYPE)
+  out.meta("build", CPT_BUILD_TYPE);
+#elif defined(NDEBUG)
+  out.meta("build", "release");
+#else
+  out.meta("build", "debug");
+#endif
+#if defined(CPT_BUILD_FLAGS)
+  out.meta("build_flags", CPT_BUILD_FLAGS);
+#else
+  out.meta("build_flags", "");
+#endif
+  std::string host = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') host = buf;
+#endif
+  out.meta("hostname", host);
+  out.meta("hardware_concurrency",
+           static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+}
 
 void BenchJson::meta(const std::string& key, const std::string& value) {
   std::string rendered;

@@ -17,6 +17,16 @@ namespace cpt::bench {
 // platform does not report it).
 std::uint64_t peak_rss_bytes();
 
+class BenchJson;
+
+// Stamps the shared provenance block every BENCH_*.json carries: git
+// SHA and build type/flags (CPT_GIT_SHA / CPT_BUILD_TYPE /
+// CPT_BUILD_FLAGS compile definitions, "unknown"/"" when absent),
+// hostname, and std::thread::hardware_concurrency. Call once, before
+// the experiment-specific meta, so trajectories across PRs identify
+// the machine and commit that produced them.
+void add_provenance(BenchJson& out);
+
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}

@@ -167,16 +167,12 @@ int main(int argc, char** argv) {
   std::printf("simulator workers: %u\n", sim.num_workers());
 
   bench::BenchJson out("congest_sim_throughput");
+  bench::add_provenance(out);
   out.meta("graph", "triangulated_grid");
   out.meta("threads", static_cast<std::int64_t>(sim.num_workers()));
   out.meta("side", static_cast<std::int64_t>(side));
   out.meta("nodes", static_cast<std::int64_t>(g.num_nodes()));
   out.meta("edges", static_cast<std::int64_t>(g.num_edges()));
-#ifdef NDEBUG
-  out.meta("build", "release");
-#else
-  out.meta("build", "debug");
-#endif
 
   // Stage I partition pass (the paper's Theorem 3 machinery).
   const Throughput stage1 = best_of(reps, [&] {

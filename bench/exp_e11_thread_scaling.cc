@@ -148,15 +148,11 @@ int main(int argc, char** argv) {
   congest::Network net(g);
 
   bench::BenchJson out("thread_scaling");
+  bench::add_provenance(out);
   out.meta("graph", "triangulated_grid");
   out.meta("side", static_cast<std::int64_t>(side));
   out.meta("nodes", static_cast<std::int64_t>(g.num_nodes()));
   out.meta("edges", static_cast<std::int64_t>(g.num_edges()));
-#ifdef NDEBUG
-  out.meta("build", "release");
-#else
-  out.meta("build", "debug");
-#endif
   {
     std::string list;
     for (const unsigned t : thread_list) {

@@ -259,11 +259,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   cpt::bench::BenchJson out("micro_kernels");
-#ifdef NDEBUG
-  out.meta("build", "release");
-#else
-  out.meta("build", "debug");
-#endif
+  cpt::bench::add_provenance(out);
   cpt::JsonTrajectoryReporter reporter(&out);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

@@ -12,7 +12,9 @@ AppResult test_cycle_freeness(const Graph& g, const MinorFreeOptions& opt) {
   sim_opt.num_threads = opt.num_threads;
   sim_opt.max_rounds = opt.max_rounds;
   sim_opt.memory = opt.sim_memory;
+  sim_opt.trace = opt.trace;
   congest::Simulator sim(net, sim_opt);
+  result.ledger.set_trace(opt.trace);
 
   const MinorFreePartition part = minor_free_partition(sim, g, opt, result.ledger);
   result.partition = measure_partition(g, part.forest);

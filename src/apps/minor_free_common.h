@@ -34,6 +34,9 @@ struct MinorFreeOptions {
   // Stage I scratch. nullptr = fresh allocations; identical results.
   congest::SimMemory* sim_memory = nullptr;
   Stage1Scratch* scratch = nullptr;
+  // Optional trace track: per-pass ledger spans + simulator events land
+  // here (see util/trace.h). nullptr = no tracing.
+  util::TraceBuffer* trace = nullptr;
 };
 
 // Per-node edge classification against a per-part BFS tree.

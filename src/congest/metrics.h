@@ -6,7 +6,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/trace.h"
 
 namespace cpt::congest {
 
@@ -18,7 +21,24 @@ struct PassStats {
 
 class RoundLedger {
  public:
+  // Mirror every pass into a trace track: each add_pass emits a span
+  // named after the pass covering the wall time since the previous
+  // pass boundary, so simulated-round cost and wall cost line up per
+  // pass in cpt_trace output. Null (the default) disables mirroring.
+  void set_trace(util::TraceBuffer* trace) {
+    trace_ = trace;
+    if (util::kTraceCompiled && trace_ != nullptr) {
+      mark_ns_ = trace_->now_ns();
+    }
+  }
+
   void add_pass(std::string name, std::uint64_t rounds, std::uint64_t messages) {
+    if (util::kTraceCompiled && trace_ != nullptr) {
+      util::TraceArgs args;
+      args.add("rounds", rounds).add("messages", messages);
+      trace_->complete_span(name, mark_ns_, std::move(args));
+      mark_ns_ = trace_->now_ns();
+    }
     total_rounds_ += rounds;
     total_messages_ += messages;
     passes_.push_back({std::move(name), rounds, messages});
@@ -47,6 +67,8 @@ class RoundLedger {
   std::uint64_t total_rounds_ = 0;
   std::uint64_t total_messages_ = 0;
   std::vector<PassStats> passes_;
+  util::TraceBuffer* trace_ = nullptr;  // not owned; may dangle in copies
+  std::uint64_t mark_ns_ = 0;           // previous pass boundary
 };
 
 }  // namespace cpt::congest

@@ -47,7 +47,8 @@ Simulator::Simulator(const Network& net, SimOptions opt)
       rebalance_(opt.rebalance_shards),
       rebalance_interval_(std::max<std::uint32_t>(opt.rebalance_interval, 1)),
       memory_(opt.memory),
-      budget_(opt.max_rounds) {
+      budget_(opt.max_rounds),
+      trace_(util::kTraceCompiled ? opt.trace : nullptr) {
   // Adopt pooled buffers before the sizing code below: every reset /
   // resize path reuses capacity, so a warm store turns the per-job O(m)
   // allocations into plain size bookkeeping. The pool is only reusable at
@@ -447,6 +448,22 @@ void Simulator::rebalance_now() {
   std::uint64_t weight[kMaxWorkers + 1];
   std::uint64_t cum[kMaxWorkers + 1];
   std::uint64_t arc_bound[kMaxWorkers + 1];
+  // Epoch loads and boundaries are schedule-invariant (see above), so the
+  // rebalance instant is part of the deterministic trace, not rt/ metrics.
+  // Captured before the fold below zeroes epoch_load_.
+  const bool tracing = util::kTraceCompiled && trace_ != nullptr;
+  std::string loads_csv;
+  std::string lo_before;
+  if (tracing) {
+    for (unsigned s = 1; s <= K; ++s) {
+      if (s > 1) loads_csv += ',';
+      loads_csv += std::to_string(epoch_load_[s]);
+    }
+    for (unsigned s = 0; s <= K; ++s) {
+      if (s > 0) lo_before += ',';
+      lo_before += std::to_string(shard_lo_[s]);
+    }
+  }
   cum[0] = 0;
   for (unsigned s = 1; s <= K; ++s) {
     shard_ewma_[s] = shard_ewma_[s] / 2 + epoch_load_[s];
@@ -488,6 +505,20 @@ void Simulator::rebalance_now() {
     prev = a;
   }
   // shard_lo_[0] == 0 and shard_lo_[K] == n are never rewritten.
+  if (tracing) {
+    std::string lo_after;
+    for (unsigned s = 0; s <= K; ++s) {
+      if (s > 0) lo_after += ',';
+      lo_after += std::to_string(shard_lo_[s]);
+    }
+    util::TraceArgs args;
+    args.add("round", round_)
+        .add("shards", K)
+        .add("loads", loads_csv)
+        .add("lo_before", lo_before)
+        .add("lo_after", lo_after);
+    trace_->instant("sim/rebalance", std::move(args));
+  }
 }
 
 PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
@@ -564,6 +595,21 @@ PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
       return union_delivery_ && work * 64 >= net_->num_arcs();
     };
 
+    // Delivery-path tallies are schedule-dependent (they vary with the
+    // worker count and the union/merge flag), so they flush to rt/
+    // metrics at the end of the pass rather than into the trace stream.
+    if (util::kTraceCompiled && trace_ != nullptr) {
+      if (workers_ == 1) {
+        ++trace_serial_rounds_;
+      } else if (use_union()) {
+        ++trace_union_rounds_;
+        trace_union_work_ += work;
+      } else {
+        ++trace_merge_rounds_;
+        trace_merge_work_ += work;
+      }
+    }
+
     // The out-generation flights still hold the round delivered two rounds
     // ago (delivery is a read-only walk; clearing is deferred to here so
     // the in-generation stays intact while every shard reads it). Nobody
@@ -581,7 +627,31 @@ PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
     } else if (pool_ != nullptr && work >= parallel_grain_ * workers_) {
       clear_flight(flights_[cur_ ^ 1][0]);
       Program* prog = &program;
-      if (use_union()) {
+      if (util::kTraceCompiled && trace_ != nullptr) {
+        // Traced pooled dispatch: sample each worker's wake latency
+        // (dispatch to first instruction) into an rt/ histogram. The
+        // extra timestamping lives only on this branch so untraced runs
+        // keep the exact lambdas below.
+        ++trace_pooled_rounds_;
+        const bool uni = use_union();
+        const std::uint64_t t0 = util::trace_now_ns();
+        std::uint64_t wake_at[kMaxWorkers] = {};
+        pool_->run([this, prog, uni, &wake_at](unsigned w) {
+          wake_at[w] = util::trace_now_ns();
+          const std::uint32_t s = w + 1;
+          clear_flight(flights_[cur_ ^ 1][s]);
+          if (uni) {
+            process_shard_union(*prog, s);
+          } else {
+            process_shard(*prog, s);
+          }
+        });
+        if (util::MetricsRegistry* m = trace_->metrics()) {
+          for (unsigned w = 0; w < workers_; ++w) {
+            m->record("rt/sim/pool_wake_ns", wake_at[w] - t0);
+          }
+        }
+      } else if (use_union()) {
         pool_->run([this, prog](unsigned w) {
           const std::uint32_t s = w + 1;
           clear_flight(flights_[cur_ ^ 1][s]);
@@ -607,6 +677,30 @@ PassResult Simulator::run(Program& program, std::uint64_t max_rounds) {
     harvest_counters(next_msgs, next_wakes);
   }
   result.rounds = round_;
+  if (util::kTraceCompiled && trace_ != nullptr) {
+    if (util::MetricsRegistry* m = trace_->metrics()) {
+      if (trace_serial_rounds_ != 0) {
+        m->add_counter("rt/sim/serial_rounds", trace_serial_rounds_);
+      }
+      if (trace_union_rounds_ != 0) {
+        m->add_counter("rt/sim/union_rounds", trace_union_rounds_);
+        m->add_counter("rt/sim/union_delivered_work", trace_union_work_);
+      }
+      if (trace_merge_rounds_ != 0) {
+        m->add_counter("rt/sim/merge_rounds", trace_merge_rounds_);
+        m->add_counter("rt/sim/merge_delivered_work", trace_merge_work_);
+      }
+      if (trace_pooled_rounds_ != 0) {
+        m->add_counter("rt/sim/pooled_rounds", trace_pooled_rounds_);
+      }
+    }
+    trace_serial_rounds_ = 0;
+    trace_union_rounds_ = 0;
+    trace_union_work_ = 0;
+    trace_merge_rounds_ = 0;
+    trace_merge_work_ = 0;
+    trace_pooled_rounds_ = 0;
+  }
   return result;
 }
 

@@ -64,6 +64,7 @@
 #include "congest/network.h"
 #include "util/indexed_bitset.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace cpt::congest {
 
@@ -150,6 +151,13 @@ struct SimOptions {
   // tester stacks on one simulator. The batch engine maps the throw to
   // JobResult::timed_out.
   std::uint64_t max_rounds = 0;
+  // Optional trace track (not owned; must outlive the Simulator). The
+  // round loop emits schedule-invariant "sim/rebalance" instants into it
+  // and schedule-dependent delivery/pool statistics into the owning
+  // session's MetricsRegistry under rt/ names (see util/trace.h for the
+  // determinism contract). Null disables all instrumentation; the only
+  // residual cost is one predictable branch per round.
+  util::TraceBuffer* trace = nullptr;
 };
 
 // Thrown by Simulator::run when SimOptions::max_rounds is exhausted. A
@@ -263,6 +271,15 @@ class Simulator {
   std::uint64_t round_ = 0;
   std::uint64_t budget_ = 0;        // SimOptions::max_rounds (0 = unlimited)
   std::uint64_t total_rounds_ = 0;  // lifetime rounds, all passes
+  // Tracing (SimOptions::trace; all zero-cost when trace_ is null).
+  // Per-pass delivery-path tallies, flushed to rt/ metrics at run() end.
+  util::TraceBuffer* trace_ = nullptr;
+  std::uint64_t trace_serial_rounds_ = 0;
+  std::uint64_t trace_union_rounds_ = 0;
+  std::uint64_t trace_union_work_ = 0;
+  std::uint64_t trace_merge_rounds_ = 0;
+  std::uint64_t trace_merge_work_ = 0;
+  std::uint64_t trace_pooled_rounds_ = 0;
 };
 
 // Execution context handed to Program callbacks: the sending surface of

@@ -12,7 +12,9 @@ TesterResult test_planarity(const Graph& g, const TesterOptions& opt) {
   sim_opt.num_threads = opt.num_threads;
   sim_opt.max_rounds = opt.max_rounds;
   sim_opt.memory = opt.sim_memory;
+  sim_opt.trace = opt.trace;
   congest::Simulator sim(net, sim_opt);
+  result.ledger.set_trace(opt.trace);
 
   Stage1Options s1 = opt.stage1;
   s1.epsilon = opt.epsilon;

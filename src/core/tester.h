@@ -29,6 +29,9 @@ struct TesterOptions {
   // Optional pooled simulator buffers (congest::SimMemory); the batch
   // engine reuses one per worker across jobs. nullptr = fresh allocation.
   congest::SimMemory* sim_memory = nullptr;
+  // Optional trace track: per-pass ledger spans + simulator events land
+  // here (see util/trace.h). nullptr = no tracing.
+  util::TraceBuffer* trace = nullptr;
   Stage1Options stage1;   // epsilon is overwritten from the field above
   Stage2Options stage2;   // epsilon/seed are overwritten from above
 };

@@ -244,7 +244,8 @@ std::string render_aggregate_csv(const std::vector<CellAggregate>& cells) {
 
 std::string render_timing_json(const Manifest& manifest,
                                const BatchResult& batch,
-                               const std::vector<CellAggregate>& cells) {
+                               const std::vector<CellAggregate>& cells,
+                               const util::MetricsRegistry* metrics) {
   std::string out = "{\n  \"schema\": \"cpt_batch_timing_v1\",\n  \"name\": ";
   json_append_escaped(out, manifest.name);
   out += ",\n  \"threads\": " + json_render_uint(batch.threads_used);
@@ -273,7 +274,11 @@ std::string render_timing_json(const Manifest& manifest,
     out += ", \"wall_seconds\": " + json_render_double(cells[c].wall_seconds);
     out += "}";
   }
-  out += "\n  ]\n}\n";
+  out += "\n  ]";
+  if (metrics != nullptr && !metrics->empty()) {
+    out += ",\n  \"metrics\": " + metrics->render_object(2);
+  }
+  out += "\n}\n";
   return out;
 }
 

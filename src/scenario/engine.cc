@@ -65,13 +65,17 @@ bool parse_sim_threads_policy(const std::string& name, SimThreadsPolicy* out) {
   return true;
 }
 
-JobResult run_job(const Job& job, const Graph& g, RunState* state) {
+JobResult run_job(const Job& job, const Graph& g, RunState* state,
+                  util::TraceBuffer* trace) {
   JobResult r;
   r.n = g.num_nodes();
   r.m = g.num_edges();
   congest::SimMemory* const mem =
       state != nullptr ? &state->sim_memory : nullptr;
   Stage1Scratch* const scratch = state != nullptr ? &state->stage1 : nullptr;
+  if (!util::kTraceCompiled) trace = nullptr;
+  std::size_t job_span = 0;
+  if (trace != nullptr) job_span = trace->begin_span("job");
   const double t0 = now_seconds();
   try {
     fault_point(FaultSite::kRunJob, job.job_index);
@@ -86,6 +90,7 @@ JobResult run_job(const Job& job, const Graph& g, RunState* state) {
         opt.stage1.adaptive = job.adaptive;
         opt.stage1.pipelined_streams = job.pipelined;
         opt.stage1.scratch = scratch;
+        opt.trace = trace;
         const TesterResult tr = test_planarity(g, opt);
         r.verdict = tr.verdict;
         r.rounds = tr.ledger.total_rounds();
@@ -112,6 +117,7 @@ JobResult run_job(const Job& job, const Graph& g, RunState* state) {
         opt.max_rounds = job.max_rounds;
         opt.sim_memory = mem;
         opt.scratch = scratch;
+        opt.trace = trace;
         const AppResult ar = job.tester == TesterKind::kCycleFree
                                  ? test_cycle_freeness(g, opt)
                                  : test_bipartiteness(g, opt);
@@ -130,8 +136,10 @@ JobResult run_job(const Job& job, const Graph& g, RunState* state) {
         sopt.num_threads = job.sim_threads;
         sopt.max_rounds = job.max_rounds;
         sopt.memory = mem;
+        sopt.trace = trace;
         congest::Simulator sim(net, sopt);
         congest::RoundLedger ledger;
+        ledger.set_trace(trace);
         Stage1Options opt;
         opt.epsilon = job.epsilon;
         opt.alpha = job.alpha;
@@ -158,8 +166,10 @@ JobResult run_job(const Job& job, const Graph& g, RunState* state) {
         sopt.num_threads = job.sim_threads;
         sopt.max_rounds = job.max_rounds;
         sopt.memory = mem;
+        sopt.trace = trace;
         congest::Simulator sim(net, sopt);
         congest::RoundLedger ledger;
+        ledger.set_trace(trace);
         RandomPartitionOptions opt;
         opt.epsilon = job.epsilon;
         opt.delta = job.delta;
@@ -201,6 +211,22 @@ JobResult run_job(const Job& job, const Graph& g, RunState* state) {
     r.error = e.what();
   }
   r.wall_seconds = now_seconds() - t0;
+  if (trace != nullptr) {
+    util::TraceArgs args;
+    args.add_hex("instance", job.instance.hash())
+        .add("tester", tester_name(job.tester))
+        .add("epsilon", job.epsilon)
+        .add("verdict", r.timed_out  ? "timed_out"
+                        : r.failed   ? "failed"
+                        : r.verdict == Verdict::kReject ? "reject"
+                                                        : "accept")
+        .add("rounds", r.rounds)
+        .add("messages", r.messages)
+        .add("n", static_cast<std::uint64_t>(r.n))
+        .add("m", static_cast<std::uint64_t>(r.m));
+    if (!r.error.empty()) args.add("error", r.error);
+    trace->end_span(job_span, std::move(args));
+  }
   return r;
 }
 
@@ -212,17 +238,26 @@ namespace {
 // and timeouts return immediately -- re-running them cannot change the
 // outcome.
 JobResult run_job_retrying(const Job& job, const Graph& g,
-                           const BatchOptions& options, RunState* state) {
-  JobResult r = run_job(job, g, state);
+                           const BatchOptions& options, RunState* state,
+                           util::TraceBuffer* trace = nullptr) {
+  JobResult r = run_job(job, g, state, trace);
   std::uint32_t attempts = 0;
   while (r.failed && is_transient_error(r.error) &&
          attempts < options.max_retries) {
     ++attempts;
+    if (options.progress != nullptr) {
+      options.progress->retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (util::kTraceCompiled && trace != nullptr) {
+      trace->instant("job/retry", util::TraceArgs()
+                                      .add("attempt", attempts)
+                                      .add("error", r.error));
+    }
     if (options.retry_backoff_ms > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options.retry_backoff_ms * attempts));
     }
-    r = run_job(job, g, state);
+    r = run_job(job, g, state, trace);
     r.retries = attempts;
   }
   return r;
@@ -259,12 +294,33 @@ bool materialize_instance(const CorpusStore& store,
   return false;
 }
 
+// Runs the execute-phase pool with a "batch/execute" span on the batch
+// track when tracing. During the pool run nothing else writes track 0
+// (workers write their own job tracks), so the span bracketing is safe.
+template <typename Fn>
+void run_execute_phase(util::TraceBuffer* batch_track, WorkerPool& pool,
+                       Fn&& fn) {
+  if (batch_track == nullptr) {
+    pool.run(fn);
+    return;
+  }
+  const std::uint64_t start = batch_track->now_ns();
+  pool.run(fn);
+  batch_track->complete_span("batch/execute", start);
+}
+
 BatchResult run_batch_impl(const Manifest& manifest,
                            const BatchOptions& options, const ResultSink* sink,
                            StreamStats* stats) {
   BatchResult out;
   const double t0 = now_seconds();
   out.jobs = expand_manifest(manifest);
+  util::TraceSession* const trace =
+      util::kTraceCompiled ? options.trace : nullptr;
+  if (options.progress != nullptr) {
+    options.progress->jobs_total.store(out.jobs.size(),
+                                       std::memory_order_relaxed);
+  }
 
   // Resolve the core split. `cores` is the resolved --threads value;
   // `batch_workers` of them claim jobs concurrently and `sim_override`
@@ -307,6 +363,19 @@ BatchResult run_batch_impl(const Manifest& manifest,
   }
   out.sim_threads_policy = policy;
   out.threads_used = batch_workers;
+
+  // Track 0 carries the batch phase spans. The resolved worker counts are
+  // --threads dependent, so they go to runtime metrics, keeping the trace
+  // stream byte-identical at every --threads value.
+  util::TraceBuffer* const batch_track =
+      trace != nullptr ? trace->make_track(0, "batch") : nullptr;
+  if (batch_track != nullptr) {
+    batch_track->instant("batch/start",
+                         util::TraceArgs().add(
+                             "jobs", static_cast<std::uint64_t>(out.jobs.size())));
+    trace->metrics().set_gauge("rt/batch/workers",
+                               static_cast<double>(batch_workers));
+  }
 
   // Unique instances (by hash), in first-job order, and the job -> slot map.
   struct Slot {
@@ -355,6 +424,13 @@ BatchResult run_batch_impl(const Manifest& manifest,
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= slots.size()) return;
         Slot& slot = slots[i];
+        util::TraceBuffer* slot_track = nullptr;
+        std::size_t slot_span = 0;
+        if (trace != nullptr) {
+          slot_track = trace->make_track(
+              1 + i, "instance " + slot.instance.label_with_seed());
+          slot_span = slot_track->begin_span("materialize");
+        }
         // The "file" family's identity is a path, not content: a cached
         // copy would silently survive edits to the edge-list file, so it
         // never touches the disk corpus (loading it is already cheap).
@@ -373,14 +449,54 @@ BatchResult run_batch_impl(const Manifest& manifest,
             break;
           }
           materialize_retries.fetch_add(1, std::memory_order_relaxed);
+          if (options.progress != nullptr) {
+            options.progress->retries.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (slot_track != nullptr) {
+            slot_track->instant("corpus/retry", util::TraceArgs()
+                                                    .add("attempt", attempt + 1)
+                                                    .add("error", slot.error));
+          }
           if (options.retry_backoff_ms > 0) {
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 options.retry_backoff_ms * (attempt + 1)));
           }
         }
+        if (options.progress != nullptr) {
+          auto& counter = slot.from_disk && slot.error.empty()
+                              ? options.progress->corpus_hits
+                              : options.progress->corpus_generated;
+          counter.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (slot_track != nullptr) {
+          if (slot.corrupt_file) slot_track->instant("corpus/corrupt");
+          util::TraceArgs args;
+          args.add_hex("hash", slot.instance.hash());
+          if (!slot.error.empty()) {
+            slot_track->instant("corpus/failed");
+            args.add("status", "failed").add("error", slot.error);
+          } else {
+            slot_track->instant(slot.from_disk ? "corpus/hit"
+                                               : "corpus/generated");
+            args.add("status", slot.from_disk ? "hit" : "generated")
+                .add("n", static_cast<std::uint64_t>(slot.graph.num_nodes()))
+                .add("m", static_cast<std::uint64_t>(slot.graph.num_edges()));
+          }
+          slot_track->end_span(slot_span, std::move(args));
+        }
       }
     };
-    pool.run(materialize);
+    if (batch_track != nullptr) {
+      const std::uint64_t mstart = batch_track->now_ns();
+      pool.run(materialize);
+      batch_track->complete_span(
+          "batch/materialize", mstart,
+          util::TraceArgs().add(
+              "unique_instances",
+              static_cast<std::uint64_t>(slots.size())));
+    } else {
+      pool.run(materialize);
+    }
   }
   for (const Slot& slot : slots) {
     if (slot.from_disk) {
@@ -409,8 +525,19 @@ BatchResult run_batch_impl(const Manifest& manifest,
   // propagated to every dependent job, or an actual run (with retry).
   const auto produce = [&](std::uint32_t j, bool* resumed,
                            RunState* state) -> JobResult {
+    // Job tracks follow the instance tracks in id space; the label is a
+    // pure function of the expansion, so the layout is schedule-invariant.
+    util::TraceBuffer* job_track = nullptr;
+    if (trace != nullptr) {
+      job_track = trace->make_track(
+          1 + slots.size() + j,
+          "job " + std::to_string(j) + " " + out.jobs[j].cell_key() + " i" +
+              std::to_string(out.jobs[j].instance_index) + " t" +
+              std::to_string(out.jobs[j].trial));
+    }
     if (const JobResult* cached = cached_result(j)) {
       *resumed = true;
+      if (job_track != nullptr) job_track->instant("job/resumed");
       return *cached;
     }
     *resumed = false;
@@ -419,19 +546,38 @@ BatchResult run_batch_impl(const Manifest& manifest,
       JobResult r;
       r.failed = true;
       r.error = slot.error;
+      if (job_track != nullptr) {
+        job_track->instant("job/slot_error",
+                           util::TraceArgs().add("error", slot.error));
+      }
       return r;
     }
     if (sim_override != 0) {
       Job job = out.jobs[j];
       job.sim_threads = sim_override;
-      return run_job_retrying(job, slot.graph, options, state);
+      return run_job_retrying(job, slot.graph, options, state, job_track);
     }
-    return run_job_retrying(out.jobs[j], slot.graph, options, state);
+    return run_job_retrying(out.jobs[j], slot.graph, options, state,
+                            job_track);
   };
   // One pooled RunState per batch worker, reused across every job that
   // worker claims (never shared concurrently: worker w touches states[w]
   // only). Allocation reuse only -- results stay schedule-independent.
   std::vector<RunState> states(cores);
+  // Per-worker busy nanoseconds (time inside produce), sampled only when
+  // tracing; flushed to an rt/ histogram after the pool joins.
+  std::vector<std::uint64_t> busy_ns(cores, 0);
+  const auto mark_done = [&] {
+    if (options.progress != nullptr) {
+      options.progress->jobs_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  const auto flush_busy = [&] {
+    if (trace == nullptr) return;
+    for (unsigned w = 0; w < batch_workers; ++w) {
+      trace->metrics().record("rt/batch/worker_busy_ns", busy_ns[w]);
+    }
+  };
   const auto tally = [&](const JobResult& r, bool resumed) {
     if (r.timed_out) {
       ++out.timed_out_jobs;
@@ -458,12 +604,17 @@ BatchResult run_batch_impl(const Manifest& manifest,
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (j >= out.jobs.size()) return;
         bool resumed = false;
+        const std::uint64_t b0 =
+            trace != nullptr ? util::trace_now_ns() : 0;
         out.results[j] = produce(j, &resumed, &states[w]);
+        if (trace != nullptr) busy_ns[w] += util::trace_now_ns() - b0;
         resumed_flags[j] = resumed ? 1 : 0;
         executed[j] = 1;
+        mark_done();
       }
     };
-    pool.run(execute);
+    run_execute_phase(batch_track, pool, execute);
+    flush_busy();
     for (std::size_t j = 0; j < out.results.size(); ++j) {
       if (executed[j] == 0) {
         // Cancelled before this job ran: a default JobResult would count
@@ -514,7 +665,11 @@ BatchResult run_batch_impl(const Manifest& manifest,
           }
         }
         bool resumed = false;
+        const std::uint64_t b0 =
+            trace != nullptr ? util::trace_now_ns() : 0;
         JobResult r = produce(j, &resumed, &states[w]);
+        if (trace != nullptr) busy_ns[w] += util::trace_now_ns() - b0;
+        mark_done();
         {
           std::lock_guard<std::mutex> lock(mu);
           pending.emplace(j, std::make_pair(std::move(r), resumed));
@@ -531,13 +686,34 @@ BatchResult run_batch_impl(const Manifest& manifest,
         cv.notify_all();
       }
     };
-    pool.run(execute);
+    run_execute_phase(batch_track, pool, execute);
+    flush_busy();
     out.completed_jobs = next_retire;
     out.cancelled = next_retire < out.jobs.size();
     if (stats != nullptr) stats->peak_pending_results = peak_pending;
+    if (trace != nullptr) {
+      trace->metrics().max_gauge("rt/batch/stream_window_peak",
+                                 static_cast<double>(peak_pending));
+    }
   }
 
   out.wall_seconds = now_seconds() - t0;
+  if (trace != nullptr) {
+    // Deterministic batch counters: pure functions of the manifest, the
+    // corpus state and the fault plan -- never of the schedule.
+    util::MetricsRegistry& m = trace->metrics();
+    m.add_counter("batch/jobs", out.jobs.size());
+    m.add_counter("batch/completed_jobs", out.completed_jobs);
+    m.add_counter("batch/failed_jobs", out.failed_jobs);
+    m.add_counter("batch/timed_out_jobs", out.timed_out_jobs);
+    m.add_counter("batch/resumed_jobs", out.resumed_jobs);
+    m.add_counter("batch/retried_jobs", out.retried_jobs);
+    m.add_counter("batch/total_retries", out.total_retries);
+    m.add_counter("corpus/unique_instances", out.corpus.unique_instances);
+    m.add_counter("corpus/disk_hits", out.corpus.disk_hits);
+    m.add_counter("corpus/generated", out.corpus.generated);
+    m.add_counter("corpus/corrupt_files", out.corpus.corrupt_files);
+  }
   return out;
 }
 

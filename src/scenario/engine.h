@@ -42,6 +42,7 @@
 #include "partition/partition.h"  // PhaseStats, Stage1Scratch
 #include "scenario/corpus.h"
 #include "scenario/manifest.h"
+#include "util/trace.h"
 
 namespace cpt::scenario {
 
@@ -113,6 +114,19 @@ const char* sim_threads_policy_name(SimThreadsPolicy policy);
 // anything else.
 bool parse_sim_threads_policy(const std::string& name, SimThreadsPolicy* out);
 
+// Live progress counters the batch engine bumps as it goes (relaxed
+// atomics; read-only consumers like cpt_batch's --progress heartbeat poll
+// them from another thread). Purely observational: nothing in the engine
+// reads them back, so they cannot perturb results, aggregates or journal
+// bytes.
+struct ProgressCounters {
+  std::atomic<std::uint64_t> jobs_total{0};
+  std::atomic<std::uint64_t> jobs_done{0};      // executed, resumed or failed
+  std::atomic<std::uint64_t> corpus_hits{0};    // instances served from disk
+  std::atomic<std::uint64_t> corpus_generated{0};
+  std::atomic<std::uint64_t> retries{0};        // job + materialize re-runs
+};
+
 struct BatchOptions {
   // Concurrent simulations. 0 resolves like the simulator's thread knob
   // (CPT_TEST_THREADS env, else 1).
@@ -140,6 +154,16 @@ struct BatchOptions {
   // the cached result is fed through the sink / result slot unchanged.
   // Counted in BatchResult::resumed_jobs.
   const std::unordered_map<std::uint32_t, JobResult>* completed = nullptr;
+  // Optional trace session (util/trace.h). The engine lays out tracks
+  // deterministically -- 0 = batch phases, 1+slot = instance
+  // materialization, 1+num_slots+job_index = jobs -- so the rendered
+  // stream's non-timestamp bytes are identical at every --threads value.
+  // Schedule-dependent quantities (worker busy time, reorder-window
+  // peaks, delivery-path tallies) go to the session registry under rt/
+  // names. nullptr = no tracing.
+  util::TraceSession* trace = nullptr;
+  // Optional live progress counters (see ProgressCounters). nullptr = off.
+  ProgressCounters* progress = nullptr;
 };
 
 struct CorpusCounters {
@@ -191,7 +215,10 @@ struct RunState {
 // point the migrated E1-E7 benches and the equivalence tests use).
 // Exceptions are captured into JobResult::failed/error. `state` (optional)
 // donates pooled buffers for the run and receives them back afterwards.
-JobResult run_job(const Job& job, const Graph& g, RunState* state = nullptr);
+// `trace` (optional) receives a "job" span wrapping per-pass ledger spans
+// and simulator events; it must be a track no other thread writes.
+JobResult run_job(const Job& job, const Graph& g, RunState* state = nullptr,
+                  util::TraceBuffer* trace = nullptr);
 
 BatchResult run_batch(const Manifest& manifest, const BatchOptions& options);
 

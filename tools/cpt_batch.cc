@@ -38,6 +38,22 @@
 //                                           scenario/faultinject.h
 //       [--max-retries=N]                   transient-failure retry budget
 //                                           per job (default 2)
+//       [--trace=FILE]                      structured span stream
+//                                           (cpt_trace_v1 JSONL; every
+//                                           non-timestamp field is
+//                                           bit-identical at every
+//                                           --threads -- see cpt_trace
+//                                           diff)
+//       [--metrics=FILE]                    counter/gauge/histogram
+//                                           snapshot (cpt_metrics_v1; the
+//                                           deterministic sections diff
+//                                           like aggregates, the
+//                                           "runtime" section does not)
+//       [--progress]                        ~1 Hz stderr heartbeat (jobs
+//                                           done/total, rate, ETA, corpus
+//                                           hits, retries); stderr only,
+//                                           never perturbs aggregates or
+//                                           journal bytes
 //       [--quiet]                           suppress the summary table
 //   cpt_batch materialize <manifest.json>   resolve every unique instance
 //       --corpus=DIR [--threads=N]          into the corpus store without
@@ -64,14 +80,18 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/io.h"
@@ -82,6 +102,7 @@
 #include "scenario/json.h"
 #include "scenario/manifest.h"
 #include "scenario/registry.h"
+#include "util/trace.h"
 
 using namespace cpt;
 using namespace cpt::scenario;
@@ -99,6 +120,78 @@ extern "C" void on_cancel_signal(int) {
   g_cancel.store(true, std::memory_order_relaxed);
 }
 
+// --progress heartbeat: one stderr line per second with jobs done/total,
+// throughput, ETA, corpus hits and retries, read from the engine's relaxed
+// ProgressCounters. Writes stderr only -- by construction it cannot touch
+// aggregates, journal bytes or the trace stream. On a tty the line
+// redraws in place; piped, it prints one line per tick.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(const ProgressCounters* counters)
+      : counters_(counters),
+        tty_(isatty(fileno(stderr)) != 0),
+        start_(std::chrono::steady_clock::now()),
+        thread_([this] { loop(); }) {}
+
+  ~ProgressMeter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    print(/*final=*/true);
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::seconds(1));
+      if (stop_) return;
+      lock.unlock();
+      print(/*final=*/false);
+      lock.lock();
+    }
+  }
+
+  void print(bool final) {
+    const auto relaxed = std::memory_order_relaxed;
+    const std::uint64_t total = counters_->jobs_total.load(relaxed);
+    const std::uint64_t done = counters_->jobs_done.load(relaxed);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0;
+    char eta[32] = "--";
+    if (rate > 0 && total > done) {
+      std::snprintf(eta, sizeof eta, "%.0fs",
+                    static_cast<double>(total - done) / rate);
+    }
+    std::fprintf(stderr,
+                 "%s# progress: %" PRIu64 "/%" PRIu64 " jobs  %.1f/s  eta %s"
+                 "  corpus %" PRIu64 " hit / %" PRIu64 " gen  retries %" PRIu64
+                 "%s",
+                 tty_ && !first_ ? "\r" : "", done, total, rate, eta,
+                 counters_->corpus_hits.load(relaxed),
+                 counters_->corpus_generated.load(relaxed),
+                 counters_->retries.load(relaxed),
+                 tty_ && !final ? "  " : "\n");
+    std::fflush(stderr);
+    first_ = false;
+  }
+
+  const ProgressCounters* counters_;
+  const bool tty_;
+  const std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool first_ = true;
+  std::thread thread_;
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -110,7 +203,8 @@ int usage() {
                " [--stream=FILE]\n"
                "                [--journal=FILE] [--resume]"
                " [--fault-plan=SPEC]\n"
-               "                [--max-retries=N] [--quiet]\n"
+               "                [--max-retries=N] [--trace=FILE]"
+               " [--metrics=FILE] [--progress] [--quiet]\n"
                "  cpt_batch materialize <manifest.json> --corpus=DIR"
                " [--threads=N] [--quiet]\n"
                "  cpt_batch gen <scenario> [key=value ...] [--base-seed=S]"
@@ -162,7 +256,9 @@ int cmd_expand(const std::string& path) {
 int cmd_run(const std::string& path, BatchOptions options,
             const std::string& out_path, const std::string& csv_path,
             const std::string& timing_path, const std::string& stream_path,
-            const std::string& journal_path, bool resume, bool quiet) {
+            const std::string& journal_path, const std::string& trace_path,
+            const std::string& metrics_path, bool progress, bool resume,
+            bool quiet) {
   Manifest manifest;
   std::string error;
   if (!load_manifest_file(path, &manifest, &error)) {
@@ -176,6 +272,28 @@ int cmd_run(const std::string& path, BatchOptions options,
   std::signal(SIGINT, on_cancel_signal);
   std::signal(SIGTERM, on_cancel_signal);
   options.cancel = &g_cancel;
+
+  std::unique_ptr<util::TraceSession> session;
+  util::TraceBuffer* cli_track = nullptr;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    if (!util::kTraceCompiled) {
+      std::fprintf(stderr,
+                   "error: tracing is compiled out of this build "
+                   "(CPT_TRACE_DISABLED); --trace/--metrics unavailable\n");
+      return 2;
+    }
+    session = std::make_unique<util::TraceSession>();
+    options.trace = session.get();
+    // CLI-side events (journal lifecycle) get the highest track id so the
+    // engine's deterministic batch/instance/job layout stays untouched.
+    cli_track = session->make_track(~std::uint64_t{0}, "cli");
+  }
+  ProgressCounters progress_counters;
+  std::unique_ptr<ProgressMeter> meter;
+  if (progress) {
+    options.progress = &progress_counters;
+    meter = std::make_unique<ProgressMeter>(&progress_counters);
+  }
 
   BatchResult batch;
   std::vector<CellAggregate> cells;
@@ -269,6 +387,13 @@ int cmd_run(const std::string& path, BatchOptions options,
           }
           options.completed = &replay.completed;
           fresh = false;
+          if (cli_track != nullptr) {
+            cli_track->instant(
+                "journal/resume",
+                util::TraceArgs().add(
+                    "completed",
+                    static_cast<std::uint64_t>(replay.completed.size())));
+          }
         }
         // --resume with no journal file yet is a fresh start: the
         // "retry until exit 0" loop shape needs the first attempt and
@@ -278,6 +403,12 @@ int cmd_run(const std::string& path, BatchOptions options,
         std::fprintf(stderr, "error: cannot write journal %s\n",
                      journal_path.c_str());
         return 1;
+      }
+      if (fresh && cli_track != nullptr) {
+        cli_track->instant(
+            "journal/create",
+            util::TraceArgs().add("jobs",
+                                  static_cast<std::uint64_t>(jobs.size())));
       }
     }
 
@@ -296,6 +427,13 @@ int cmd_run(const std::string& path, BatchOptions options,
               (options.completed == nullptr ||
                options.completed->count(job.job_index) == 0)) {
             if (!journal.append(job, result)) journal_ok = false;
+            if (cli_track != nullptr) {
+              // The sink runs serialized and in job-index order, so these
+              // instants are deterministic like the journal bytes they
+              // mirror.
+              cli_track->instant("journal/append",
+                                 util::TraceArgs().add("job", job.job_index));
+            }
           }
           agg.consume(job, result);
         });
@@ -310,6 +448,8 @@ int cmd_run(const std::string& path, BatchOptions options,
       }
     }
   }
+
+  meter.reset();  // joins the heartbeat thread; prints the final line
 
   if (!quiet) {
     std::printf("# %s: %zu jobs over %" PRIu64
@@ -350,9 +490,25 @@ int cmd_run(const std::string& path, BatchOptions options,
     return 1;
   }
   if (!timing_path.empty() &&
-      !write_text_file(timing_path,
-                       render_timing_json(manifest, batch, cells))) {
+      !write_text_file(
+          timing_path,
+          render_timing_json(manifest, batch, cells,
+                             session ? &session->metrics() : nullptr))) {
     std::fprintf(stderr, "error: cannot write %s\n", timing_path.c_str());
+    return 1;
+  }
+  // Trace/metrics flush happens before the cancelled check on purpose: the
+  // SIGINT/SIGTERM drain path (exit 75) keeps the snapshot alongside the
+  // partial aggregate, so interrupted runs stay diagnosable.
+  if (session != nullptr && !trace_path.empty() &&
+      !write_text_file(trace_path, session->render_jsonl(manifest.name))) {
+    std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  if (session != nullptr && !metrics_path.empty() &&
+      !write_text_file(metrics_path,
+                       session->metrics().render_json(manifest.name))) {
+    std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
     return 1;
   }
   if (batch.cancelled) {
@@ -495,10 +651,11 @@ int cmd_gen(const std::vector<std::string>& args, std::uint64_t base_seed,
 int main(int argc, char** argv) {
   BatchOptions options;
   std::string out_path, csv_path, timing_path, stream_path, journal_path;
+  std::string trace_path, metrics_path;
   std::string fault_spec;
   bool have_fault_spec = false;
   std::uint64_t base_seed = 1, index = 0;
-  bool quiet = false, resume = false;
+  bool quiet = false, resume = false, progress = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -530,6 +687,12 @@ int main(int argc, char** argv) {
       stream_path = a + 9;
     } else if (std::strncmp(a, "--journal=", 10) == 0) {
       journal_path = a + 10;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      trace_path = a + 8;
+    } else if (std::strncmp(a, "--metrics=", 10) == 0) {
+      metrics_path = a + 10;
+    } else if (std::strcmp(a, "--progress") == 0) {
+      progress = true;
     } else if (std::strcmp(a, "--resume") == 0) {
       resume = true;
     } else if (std::strncmp(a, "--fault-plan=", 13) == 0) {
@@ -583,7 +746,8 @@ int main(int argc, char** argv) {
   if (cmd == "expand" && args.size() == 2) return cmd_expand(args[1]);
   if (cmd == "run" && args.size() == 2) {
     return cmd_run(args[1], options, out_path, csv_path, timing_path,
-                   stream_path, journal_path, resume, quiet);
+                   stream_path, journal_path, trace_path, metrics_path,
+                   progress, resume, quiet);
   }
   if (cmd == "materialize" && args.size() == 2) {
     return cmd_materialize(args[1], options, quiet);
