@@ -259,10 +259,12 @@ std::string render_timing_json(const Manifest& manifest,
   out += ",\n  \"retried_jobs\": " + json_render_uint(batch.retried_jobs);
   out += ", \"total_retries\": " + json_render_uint(batch.total_retries);
   out += ", \"resumed_jobs\": " + json_render_uint(batch.resumed_jobs);
+  out += ", \"cache_hit_jobs\": " + json_render_uint(batch.cache_hit_jobs);
   out += ",\n  \"corpus\": {\"unique_instances\": " +
          json_render_uint(batch.corpus.unique_instances);
   out += ", \"disk_hits\": " + json_render_uint(batch.corpus.disk_hits);
   out += ", \"generated\": " + json_render_uint(batch.corpus.generated);
+  out += ", \"skipped\": " + json_render_uint(batch.corpus.skipped);
   out += ", \"corrupt_files\": " + json_render_uint(batch.corpus.corrupt_files);
   out += "},\n  \"cells\": [";
   for (std::size_t c = 0; c < cells.size(); ++c) {

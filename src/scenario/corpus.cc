@@ -269,19 +269,17 @@ bool load_v3_mapped(int fd, std::uint64_t file_size, Graph* out) {
 CorpusStore::CorpusStore(std::string dir) : dir_(std::move(dir)) {
   if (dir_.empty()) return;
   // Sweep orphaned save temporaries: a process killed between fopen and
-  // rename leaves <hash>.cpg.tmp behind. They are never loaded (load()
-  // only opens final names), but without the sweep every crash leaks one
-  // file into the corpus forever.
+  // rename leaves <hash>.cpg.tmp.<pid>.<n> behind (unique_tmp_path names;
+  // the bare <hash>.cpg.tmp spelling predates it and is swept too). They
+  // are never loaded (load() only opens final names), but without the
+  // sweep every crash leaks one file into the corpus forever.
+  // sweepable_tmp keeps temps whose owning pid is still alive -- another
+  // process (or thread) may be mid-save in a shared directory, and
+  // unlinking its temp out from under the rename would fail that save.
   DIR* d = ::opendir(dir_.c_str());
   if (d == nullptr) return;  // created later on first save
   while (const dirent* entry = ::readdir(d)) {
-    const std::size_t len = std::strlen(entry->d_name);
-    constexpr const char* kSuffix = ".cpg.tmp";
-    constexpr std::size_t kSuffixLen = 8;
-    if (len <= kSuffixLen ||
-        std::strcmp(entry->d_name + (len - kSuffixLen), kSuffix) != 0) {
-      continue;
-    }
+    if (!sweepable_tmp(entry->d_name, ".cpg.tmp")) continue;
     const std::string orphan = dir_ + "/" + entry->d_name;
     std::remove(orphan.c_str());
   }
@@ -355,10 +353,15 @@ bool CorpusStore::save(std::uint64_t hash, const Graph& g) const {
   LayoutV3 layout;
   if (!compute_layout_v3(n, m, &layout)) return false;
   ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; failures surface at fopen
-  // Write to a temp name then rename: a batch killed mid-save must not
-  // leave a truncated file a later run would trust.
+  // Write to a writer-unique temp name then rename: a batch killed
+  // mid-save must not leave a truncated file a later run would trust, and
+  // two concurrent writers of the same instance (daemon + CLI, or two
+  // batch workers in different processes) must not share a temp file --
+  // with a fixed name, one writer's rename can publish the other's
+  // half-written bytes. Concurrent renames of complete files are fine:
+  // both wrote identical bytes (saves are deterministic), last one wins.
   const std::string final_path = path_for(hash);
-  const std::string tmp_path = final_path + ".tmp";
+  const std::string tmp_path = unique_tmp_path(final_path);
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) return false;
   // Injected save faults: shortwrite abandons a half-written temp file
@@ -437,7 +440,7 @@ bool CorpusStore::save_stream(std::uint64_t hash,
   if (!compute_layout_v3(n, m, &layout)) return false;
   ::mkdir(dir_.c_str(), 0755);
   const std::string final_path = path_for(hash);
-  const std::string tmp_path = final_path + ".tmp";
+  const std::string tmp_path = unique_tmp_path(final_path);  // see save()
   const int fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
   // Same injected-fault surface as save(): the streaming writer is just

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -17,6 +18,7 @@
 #include "partition/random_partition.h"
 #include "scenario/faultinject.h"
 #include "scenario/registry.h"
+#include "scenario/result_cache.h"
 #include "util/parallel.h"
 
 namespace cpt::scenario {
@@ -322,13 +324,16 @@ BatchResult run_batch_impl(const Manifest& manifest,
                                        std::memory_order_relaxed);
   }
 
-  // Resolve the core split. `cores` is the resolved --threads value;
-  // `batch_workers` of them claim jobs concurrently and `sim_override`
+  // Resolve the core split. `cores` is the resolved --threads value (a
+  // shared external pool's width when one is donated); `batch_workers`
+  // of them claim jobs concurrently and `sim_override`
   // (0 = keep the manifest's per-job value) is forced into every executed
   // job's sim_threads. kAuto resolves from the manifest alone -- job count
   // vs cores and the largest instance's advertised size -- so the choice
   // (like everything downstream of it) is schedule-deterministic.
-  const unsigned cores = congest::resolve_sim_threads(options.threads);
+  const unsigned cores = options.pool != nullptr
+                             ? options.pool->num_workers()
+                             : congest::resolve_sim_threads(options.threads);
   SimThreadsPolicy policy = options.sim_threads_policy;
   if (policy == SimThreadsPolicy::kAuto) {
     std::int64_t max_n = 0;
@@ -402,27 +407,93 @@ BatchResult run_batch_impl(const Manifest& manifest,
   const CorpusStore store(options.corpus_dir);
   // Materialization is instance-parallel under every policy (no simulator
   // runs yet), so the pool spans all cores; only the execute phase narrows
-  // to batch_workers.
-  WorkerPool pool(cores);
+  // to batch_workers. A donated external pool (cpt_serve) is reused as-is;
+  // otherwise the batch owns one for the call.
+  std::optional<WorkerPool> owned_pool;
+  if (options.pool == nullptr) owned_pool.emplace(cores);
+  WorkerPool& pool = options.pool != nullptr ? *options.pool : *owned_pool;
 
-  // Phase 1: materialize every unique instance (corpus load or generate),
-  // embarrassingly parallel, one slot per instance. Generation failures
-  // are captured per slot -- worker callables must not throw. Transient
-  // failures (memory spikes, injected io faults) get the same bounded
-  // retry as job execution; a corrupt corpus file is not an error at all
-  // (kCorrupt regenerates).
+  const auto cancelled = [&] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+  const auto resumed_job = [&](std::uint32_t j) {
+    return options.completed != nullptr &&
+           options.completed->count(j) != 0;
+  };
+
+  // Phase 0: consult the persistent result cache. Lookups are per-job
+  // file reads, parallel across the pool; the hit set is a pure function
+  // of the cache directory's state and the job list, never the schedule.
+  ResultCache* const cache =
+      options.result_cache != nullptr && options.result_cache->enabled()
+          ? options.result_cache
+          : nullptr;
+  std::vector<JobResult> cache_results;
+  std::vector<char> cache_hit;
+  if (cache != nullptr) {
+    cache_results.resize(out.jobs.size());
+    cache_hit.assign(out.jobs.size(), 0);
+    std::atomic<std::uint32_t> cursor{0};
+    pool.run([&](unsigned) {
+      while (!cancelled()) {
+        const std::uint32_t j =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (j >= out.jobs.size()) return;
+        if (resumed_job(j)) continue;  // journal replay wins; no I/O
+        JobResult r;
+        if (cache->load(out.jobs[j], &r) == ResultCache::LoadStatus::kHit) {
+          cache_results[j] = std::move(r);
+          cache_hit[j] = 1;
+        }
+      }
+    });
+  }
+  const auto cache_hit_job = [&](std::uint32_t j) {
+    return !cache_hit.empty() && cache_hit[j] != 0;
+  };
+
+  // Instances whose every job is already served (resume map or result
+  // cache) never need their graph: skip materialization entirely, the
+  // big win of a warm cache. The skip set derives from phase 0, so it is
+  // schedule-deterministic like everything else.
+  std::vector<char> slot_needed(slots.size(),
+                                options.completed == nullptr &&
+                                        cache == nullptr
+                                    ? 1
+                                    : 0);
+  if (options.completed != nullptr || cache != nullptr) {
+    for (std::size_t j = 0; j < out.jobs.size(); ++j) {
+      if (!resumed_job(static_cast<std::uint32_t>(j)) &&
+          !cache_hit_job(static_cast<std::uint32_t>(j))) {
+        slot_needed[job_slot[j]] = 1;
+      }
+    }
+  }
+
+  // Phase 1: materialize every needed unique instance (corpus load or
+  // generate), embarrassingly parallel, one slot per instance. Generation
+  // failures are captured per slot -- worker callables must not throw.
+  // Transient failures (memory spikes, injected io faults) get the same
+  // bounded retry as job execution; a corrupt corpus file is not an error
+  // at all (kCorrupt regenerates).
   std::atomic<std::uint32_t> materialize_retries{0};
   {
-    const auto cancelled = [&] {
-      return options.cancel != nullptr &&
-             options.cancel->load(std::memory_order_relaxed);
-    };
     std::atomic<std::uint32_t> cursor{0};
     auto materialize = [&](unsigned) {
       while (!cancelled()) {
         const std::uint32_t i =
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= slots.size()) return;
+        if (slot_needed[i] == 0) {
+          if (trace != nullptr) {
+            trace
+                ->make_track(1 + i,
+                             "instance " + slots[i].instance.label_with_seed())
+                ->instant("corpus/skipped");
+          }
+          continue;
+        }
         Slot& slot = slots[i];
         util::TraceBuffer* slot_track = nullptr;
         std::size_t slot_span = 0;
@@ -498,13 +569,17 @@ BatchResult run_batch_impl(const Manifest& manifest,
       pool.run(materialize);
     }
   }
-  for (const Slot& slot : slots) {
-    if (slot.from_disk) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slot_needed[i] == 0) {
+      ++out.corpus.skipped;
+      continue;
+    }
+    if (slots[i].from_disk) {
       ++out.corpus.disk_hits;
     } else {
       ++out.corpus.generated;
     }
-    if (slot.corrupt_file) ++out.corpus.corrupt_files;
+    if (slots[i].corrupt_file) ++out.corpus.corrupt_files;
   }
   // Materialization re-runs count toward the degradation totals (no
   // retried_jobs tick: that counter is per job, not per instance).
@@ -512,18 +587,15 @@ BatchResult run_batch_impl(const Manifest& manifest,
 
   // Phase 2: run the jobs. Claiming order is racy; result placement is by
   // job slot, so the result array is schedule-independent.
-  const auto cancelled = [&] {
-    return options.cancel != nullptr &&
-           options.cancel->load(std::memory_order_relaxed);
-  };
   const auto cached_result = [&](std::uint32_t j) -> const JobResult* {
     if (options.completed == nullptr) return nullptr;
     const auto it = options.completed->find(j);
     return it == options.completed->end() ? nullptr : &it->second;
   };
-  // One job's outcome: the resume cache, a materialization failure
-  // propagated to every dependent job, or an actual run (with retry).
-  const auto produce = [&](std::uint32_t j, bool* resumed,
+  // One job's outcome: the resume cache, the result cache (phase 0), a
+  // materialization failure propagated to every dependent job, or an
+  // actual run (with retry).
+  const auto produce = [&](std::uint32_t j, bool* resumed, bool* from_cache,
                            RunState* state) -> JobResult {
     // Job tracks follow the instance tracks in id space; the label is a
     // pure function of the expansion, so the layout is schedule-invariant.
@@ -535,12 +607,18 @@ BatchResult run_batch_impl(const Manifest& manifest,
               std::to_string(out.jobs[j].instance_index) + " t" +
               std::to_string(out.jobs[j].trial));
     }
+    *resumed = false;
+    *from_cache = false;
     if (const JobResult* cached = cached_result(j)) {
       *resumed = true;
       if (job_track != nullptr) job_track->instant("job/resumed");
       return *cached;
     }
-    *resumed = false;
+    if (cache_hit_job(j)) {
+      *from_cache = true;
+      if (job_track != nullptr) job_track->instant("job/cache_hit");
+      return cache_results[j];
+    }
     const Slot& slot = slots[job_slot[j]];
     if (!slot.error.empty()) {
       JobResult r;
@@ -578,7 +656,7 @@ BatchResult run_batch_impl(const Manifest& manifest,
       trace->metrics().record("rt/batch/worker_busy_ns", busy_ns[w]);
     }
   };
-  const auto tally = [&](const JobResult& r, bool resumed) {
+  const auto tally = [&](const JobResult& r, bool resumed, bool from_cache) {
     if (r.timed_out) {
       ++out.timed_out_jobs;
     } else if (r.failed) {
@@ -589,6 +667,17 @@ BatchResult run_batch_impl(const Manifest& manifest,
       out.total_retries += r.retries;
     }
     if (resumed) ++out.resumed_jobs;
+    if (from_cache) ++out.cache_hit_jobs;
+  };
+  // Freshly executed results populate the cache on retire (hits and
+  // journal-replayed results are already there or equivalent; failures are
+  // rejected by store()). A store failure only costs the next run a
+  // re-execution, so it is not an error.
+  const auto publish = [&](std::uint32_t j, const JobResult& r, bool resumed,
+                           bool from_cache) {
+    if (cache != nullptr && !resumed && !from_cache && !r.failed) {
+      cache->store(out.jobs[j], r);
+    }
   };
   if (sink == nullptr) {
     out.results.resize(out.jobs.size());
@@ -596,6 +685,7 @@ BatchResult run_batch_impl(const Manifest& manifest,
     // index and read only after the pool joins -- no atomics needed.
     std::vector<char> executed(out.jobs.size(), 0);
     std::vector<char> resumed_flags(out.jobs.size(), 0);
+    std::vector<char> cache_flags(out.jobs.size(), 0);
     std::atomic<std::uint32_t> cursor{0};
     auto execute = [&](unsigned w) {
       if (w >= batch_workers) return;  // narrow policies idle extra cores
@@ -604,11 +694,14 @@ BatchResult run_batch_impl(const Manifest& manifest,
             cursor.fetch_add(1, std::memory_order_relaxed);
         if (j >= out.jobs.size()) return;
         bool resumed = false;
+        bool from_cache = false;
         const std::uint64_t b0 =
             trace != nullptr ? util::trace_now_ns() : 0;
-        out.results[j] = produce(j, &resumed, &states[w]);
+        out.results[j] = produce(j, &resumed, &from_cache, &states[w]);
         if (trace != nullptr) busy_ns[w] += util::trace_now_ns() - b0;
+        publish(j, out.results[j], resumed, from_cache);
         resumed_flags[j] = resumed ? 1 : 0;
+        cache_flags[j] = from_cache ? 1 : 0;
         executed[j] = 1;
         mark_done();
       }
@@ -627,7 +720,7 @@ BatchResult run_batch_impl(const Manifest& manifest,
       } else {
         ++out.completed_jobs;
       }
-      tally(out.results[j], resumed_flags[j] != 0);
+      tally(out.results[j], resumed_flags[j] != 0, cache_flags[j] != 0);
     }
   } else {
     // Streaming: completed results park in `pending` until every earlier
@@ -643,7 +736,12 @@ BatchResult run_batch_impl(const Manifest& manifest,
     std::atomic<std::uint32_t> cursor{0};
     std::mutex mu;
     std::condition_variable cv;
-    std::unordered_map<std::uint32_t, std::pair<JobResult, bool>> pending;
+    struct Pending {
+      JobResult result;
+      bool resumed;
+      bool from_cache;
+    };
+    std::unordered_map<std::uint32_t, Pending> pending;
     std::uint32_t next_retire = 0;
     std::size_t peak_pending = 0;
     const std::uint32_t window = 4 * batch_workers + 4;
@@ -665,20 +763,26 @@ BatchResult run_batch_impl(const Manifest& manifest,
           }
         }
         bool resumed = false;
+        bool from_cache = false;
         const std::uint64_t b0 =
             trace != nullptr ? util::trace_now_ns() : 0;
-        JobResult r = produce(j, &resumed, &states[w]);
+        JobResult r = produce(j, &resumed, &from_cache, &states[w]);
         if (trace != nullptr) busy_ns[w] += util::trace_now_ns() - b0;
+        // Cache publish happens outside the retirement lock (it is file
+        // I/O) and before the result is surfaced, so a crash after the
+        // sink ran never leaves a journaled-but-uncached fresh result.
+        publish(j, r, resumed, from_cache);
         mark_done();
         {
           std::lock_guard<std::mutex> lock(mu);
-          pending.emplace(j, std::make_pair(std::move(r), resumed));
+          pending.emplace(j, Pending{std::move(r), resumed, from_cache});
           peak_pending = std::max(peak_pending, pending.size());
           while (true) {
             const auto it = pending.find(next_retire);
             if (it == pending.end()) break;
-            tally(it->second.first, it->second.second);
-            (*sink)(out.jobs[next_retire], it->second.first);
+            tally(it->second.result, it->second.resumed,
+                  it->second.from_cache);
+            (*sink)(out.jobs[next_retire], it->second.result);
             pending.erase(it);
             ++next_retire;
           }
@@ -709,10 +813,12 @@ BatchResult run_batch_impl(const Manifest& manifest,
     m.add_counter("batch/resumed_jobs", out.resumed_jobs);
     m.add_counter("batch/retried_jobs", out.retried_jobs);
     m.add_counter("batch/total_retries", out.total_retries);
+    m.add_counter("batch/cache_hit_jobs", out.cache_hit_jobs);
     m.add_counter("corpus/unique_instances", out.corpus.unique_instances);
     m.add_counter("corpus/disk_hits", out.corpus.disk_hits);
     m.add_counter("corpus/generated", out.corpus.generated);
     m.add_counter("corpus/corrupt_files", out.corpus.corrupt_files);
+    m.add_counter("corpus/skipped", out.corpus.skipped);
   }
   return out;
 }

@@ -44,7 +44,13 @@
 #include "scenario/manifest.h"
 #include "util/trace.h"
 
+namespace cpt {
+class WorkerPool;  // util/parallel.h
+}
+
 namespace cpt::scenario {
+
+class ResultCache;  // scenario/result_cache.h
 
 struct JobResult {
   Verdict verdict = Verdict::kAccept;
@@ -154,6 +160,20 @@ struct BatchOptions {
   // the cached result is fed through the sink / result slot unchanged.
   // Counted in BatchResult::resumed_jobs.
   const std::unordered_map<std::uint32_t, JobResult>* completed = nullptr;
+  // Persistent result cache (scenario/result_cache.h). Consulted before
+  // execution -- hits flow through the sink / result slot exactly like
+  // resumed jobs, so aggregates stay byte-identical to uncached runs --
+  // and populated as freshly executed jobs retire. Instances whose every
+  // job is served from the cache (or the resume map) are not materialized
+  // at all. Counted in BatchResult::cache_hit_jobs. nullptr = off.
+  ResultCache* result_cache = nullptr;
+  // External WorkerPool to run on instead of constructing one per batch
+  // (cpt_serve shares one pool across requests, amortizing thread
+  // creation and keeping the daemon's core budget fixed). When set, the
+  // pool's worker count overrides `threads` as the resolved core count.
+  // The pool must not be running anything else for the duration of the
+  // call (WorkerPool is not reentrant).
+  WorkerPool* pool = nullptr;
   // Optional trace session (util/trace.h). The engine lays out tracks
   // deterministically -- 0 = batch phases, 1+slot = instance
   // materialization, 1+num_slots+job_index = jobs -- so the rendered
@@ -171,6 +191,10 @@ struct CorpusCounters {
   std::uint64_t disk_hits = 0;   // loaded from the corpus store
   std::uint64_t generated = 0;   // built by the registry (disk misses)
   std::uint64_t corrupt_files = 0;  // rejected .cpg files (regenerated)
+  // Instances never materialized because every dependent job was served
+  // from the result cache / resume map (disk_hits + generated + skipped
+  // == unique_instances).
+  std::uint64_t skipped = 0;
 };
 
 struct BatchResult {
@@ -184,6 +208,10 @@ struct BatchResult {
   std::uint32_t retried_jobs = 0;    // jobs needing >= 1 re-run
   std::uint32_t total_retries = 0;   // re-runs across all jobs
   std::uint32_t resumed_jobs = 0;    // served from the resume cache
+  // Served from the persistent result cache (BatchOptions::result_cache).
+  // Like resumed_jobs, reported via the timing doc / CLI summary only:
+  // the aggregate document is byte-identical either way.
+  std::uint32_t cache_hit_jobs = 0;
   // Cancellation (BatchOptions::cancel): true when the run stopped early.
   // completed_jobs is the retirement frontier -- every job below it went
   // through the sink exactly once; in a full run it equals jobs.size().

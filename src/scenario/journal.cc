@@ -11,13 +11,10 @@
 #include "util/fsio.h"
 
 namespace cpt::scenario {
-namespace {
 
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-// Incremental FNV-1a folds (registry's fnv1a64 restarts from the offset
-// basis; the fingerprint and checksums chain instead).
-std::uint64_t fold_bytes(std::uint64_t h, const char* data, std::size_t n) {
+std::uint64_t fnv_fold_bytes(std::uint64_t h, const char* data,
+                             std::size_t n) {
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
   for (std::size_t i = 0; i < n; ++i) {
     h ^= static_cast<unsigned char>(data[i]);
     h *= kFnvPrime;
@@ -25,7 +22,8 @@ std::uint64_t fold_bytes(std::uint64_t h, const char* data, std::size_t n) {
   return h;
 }
 
-std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) {
+std::uint64_t fnv_fold_u64(std::uint64_t h, std::uint64_t v) {
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
   for (int i = 0; i < 8; ++i) {
     h ^= (v >> (8 * i)) & 0xff;
     h *= kFnvPrime;
@@ -33,27 +31,20 @@ std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
-std::string hex16(std::uint64_t v) {
+std::string fnv_hex16(std::uint64_t v) {
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(v));
   return buf;
 }
 
+namespace {
+
 // Line layout: {"sum": "<16hex>", "rec": <object>}\n -- the record text
 // starts at byte kRecOffset and ends 2 bytes before the line's end.
 constexpr std::size_t kRecOffset = 35;
 constexpr const char* kLinePrefix = "{\"sum\": \"";   // 9 bytes
 constexpr const char* kLineInfix = "\", \"rec\": ";   // 10 bytes, at 25
-
-std::string checksummed_line(const std::string& rec) {
-  std::string line = kLinePrefix;
-  line += hex16(fold_bytes(fnv1a64(""), rec.data(), rec.size()));
-  line += kLineInfix;
-  line += rec;
-  line += "}\n";
-  return line;
-}
 
 const char* verdict_name(Verdict v) {
   switch (v) {
@@ -84,25 +75,7 @@ bool get_flag(const JsonValue& obj, const char* key) {
   return v != nullptr && v->is_bool() && v->as_bool();
 }
 
-// Validates one line's shape + checksum; on success points *rec_text at
-// the record substring (inside `line`).
-bool split_line(std::string_view line, std::string_view* rec_text) {
-  if (line.size() < kRecOffset + 2) return false;
-  if (line.substr(0, 9) != kLinePrefix) return false;
-  if (line.substr(25, 10) != kLineInfix) return false;
-  if (line.back() != '}') return false;
-  for (std::size_t i = 9; i < 25; ++i) {
-    const char c = line[i];
-    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
-    if (!hex) return false;
-  }
-  const std::string_view rec = line.substr(kRecOffset,
-                                           line.size() - kRecOffset - 1);
-  const std::uint64_t sum = fold_bytes(fnv1a64(""), rec.data(), rec.size());
-  if (hex16(sum) != line.substr(9, 16)) return false;
-  *rec_text = rec;
-  return true;
-}
+}  // namespace
 
 bool parse_hex16(std::string_view s, std::uint64_t* out) {
   if (s.size() != 16) return false;
@@ -117,41 +90,36 @@ bool parse_hex16(std::string_view s, std::uint64_t* out) {
   return true;
 }
 
-}  // namespace
+std::string checksummed_record_line(const std::string& rec) {
+  std::string line = kLinePrefix;
+  line += fnv_hex16(fnv_fold_bytes(fnv1a64(""), rec.data(), rec.size()));
+  line += kLineInfix;
+  line += rec;
+  line += "}\n";
+  return line;
+}
 
-std::uint64_t journal_fingerprint(const Manifest& manifest,
-                                  const std::vector<Job>& jobs) {
-  std::uint64_t h = fnv1a64(manifest.name);
-  h = fold_u64(h, manifest.base_seed);
-  h = fold_u64(h, jobs.size());
-  for (const Job& job : jobs) {
-    // cell_key covers label, tester, epsilon and every mode marker; the
-    // hashes and seeds pin the exact instances and trial randomness.
-    const std::string key = job.cell_key();
-    h = fold_bytes(h, key.data(), key.size());
-    h = fold_u64(h, job.instance.hash());
-    h = fold_u64(h, job.tester_seed);
-    h = fold_u64(h, job.sim_threads);
+bool split_checksummed_line(std::string_view line,
+                            std::string_view* rec_text) {
+  if (line.size() < kRecOffset + 2) return false;
+  if (line.substr(0, 9) != kLinePrefix) return false;
+  if (line.substr(25, 10) != kLineInfix) return false;
+  if (line.back() != '}') return false;
+  for (std::size_t i = 9; i < 25; ++i) {
+    const char c = line[i];
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
   }
-  return h;
+  const std::string_view rec = line.substr(kRecOffset,
+                                           line.size() - kRecOffset - 1);
+  const std::uint64_t sum =
+      fnv_fold_bytes(fnv1a64(""), rec.data(), rec.size());
+  if (fnv_hex16(sum) != line.substr(9, 16)) return false;
+  *rec_text = rec;
+  return true;
 }
 
-std::string render_journal_header(const Manifest& manifest,
-                                  const std::vector<Job>& jobs) {
-  std::string rec = "{\"schema\": \"cpt_batch_journal_v1\", \"manifest\": ";
-  json_append_escaped(rec, manifest.name);
-  rec += ", \"base_seed\": " + json_render_uint(manifest.base_seed);
-  rec += ", \"jobs\": " + json_render_uint(jobs.size());
-  rec += ", \"fingerprint\": \"" + hex16(journal_fingerprint(manifest, jobs));
-  rec += "\"}";
-  return checksummed_line(rec);
-}
-
-std::string render_journal_record(const Job& job, const JobResult& r) {
-  std::string rec = "{\"job\": " + json_render_uint(job.job_index);
-  rec += ", \"key\": ";
-  json_append_escaped(rec, job.cell_key());
-  rec += ", \"seed\": " + json_render_uint(job.tester_seed);
+void append_result_fields(std::string& rec, const JobResult& r) {
   rec += ", \"n\": " + json_render_uint(r.n);
   rec += ", \"m\": " + json_render_uint(r.m);
   if (r.failed) {
@@ -179,8 +147,86 @@ std::string render_journal_record(const Job& job, const JobResult& r) {
   }
   if (r.retries > 0) rec += ", \"retries\": " + json_render_uint(r.retries);
   rec += ", \"wall_seconds\": " + json_render_double(r.wall_seconds);
+}
+
+bool parse_result_fields(const JsonValue& rec, JobResult* out,
+                         std::string* error) {
+  JobResult r;
+  r.n = static_cast<NodeId>(get_u64(rec, "n"));
+  r.m = static_cast<EdgeId>(get_u64(rec, "m"));
+  r.failed = get_flag(rec, "failed");
+  r.timed_out = get_flag(rec, "timed_out");
+  if (r.failed || r.timed_out) {
+    if (const JsonValue* e = rec.find("error")) {
+      if (e->is_string()) r.error = e->as_string();
+    }
+  } else {
+    const JsonValue* verdict = rec.find("verdict");
+    if (verdict == nullptr || !verdict->is_string() ||
+        !parse_verdict(verdict->as_string(), &r.verdict)) {
+      if (error != nullptr) *error = "record with bad verdict";
+      return false;
+    }
+    r.rounds = get_u64(rec, "rounds");
+    r.messages = get_u64(rec, "messages");
+    r.num_parts = static_cast<NodeId>(get_u64(rec, "num_parts"));
+    r.cut_edges = get_u64(rec, "cut_edges");
+    r.max_part_ecc =
+        static_cast<std::uint32_t>(get_u64(rec, "max_part_ecc"));
+    r.max_tree_depth =
+        static_cast<std::uint32_t>(get_u64(rec, "max_tree_depth"));
+    r.stage1_phases =
+        static_cast<std::uint32_t>(get_u64(rec, "stage1_phases"));
+    r.stage1_phases_total =
+        static_cast<std::uint32_t>(get_u64(rec, "stage1_phases_total"));
+    r.trials_per_phase =
+        static_cast<std::uint32_t>(get_u64(rec, "trials_per_phase"));
+  }
+  r.retries = static_cast<std::uint32_t>(get_u64(rec, "retries"));
+  if (const JsonValue* w = rec.find("wall_seconds")) {
+    if (w->is_number()) r.wall_seconds = w->as_double();
+  }
+  *out = std::move(r);
+  return true;
+}
+
+std::uint64_t journal_fingerprint(const Manifest& manifest,
+                                  const std::vector<Job>& jobs) {
+  std::uint64_t h = fnv1a64(manifest.name);
+  h = fnv_fold_u64(h, manifest.base_seed);
+  h = fnv_fold_u64(h, jobs.size());
+  for (const Job& job : jobs) {
+    // cell_key covers label, tester, epsilon and every mode marker; the
+    // hashes and seeds pin the exact instances and trial randomness.
+    const std::string key = job.cell_key();
+    h = fnv_fold_bytes(h, key.data(), key.size());
+    h = fnv_fold_u64(h, job.instance.hash());
+    h = fnv_fold_u64(h, job.tester_seed);
+    h = fnv_fold_u64(h, job.sim_threads);
+  }
+  return h;
+}
+
+std::string render_journal_header(const Manifest& manifest,
+                                  const std::vector<Job>& jobs) {
+  std::string rec = "{\"schema\": \"cpt_batch_journal_v1\", \"manifest\": ";
+  json_append_escaped(rec, manifest.name);
+  rec += ", \"base_seed\": " + json_render_uint(manifest.base_seed);
+  rec += ", \"jobs\": " + json_render_uint(jobs.size());
+  rec += ", \"fingerprint\": \"" +
+         fnv_hex16(journal_fingerprint(manifest, jobs));
+  rec += "\"}";
+  return checksummed_record_line(rec);
+}
+
+std::string render_journal_record(const Job& job, const JobResult& r) {
+  std::string rec = "{\"job\": " + json_render_uint(job.job_index);
+  rec += ", \"key\": ";
+  json_append_escaped(rec, job.cell_key());
+  rec += ", \"seed\": " + json_render_uint(job.tester_seed);
+  append_result_fields(rec, r);
   rec += "}";
-  return checksummed_line(rec);
+  return checksummed_record_line(rec);
 }
 
 bool load_journal(const std::string& path, JournalReplay* out,
@@ -210,7 +256,7 @@ bool load_journal(const std::string& path, JournalReplay* out,
     std::string_view rec_text;
     JsonValue rec;
     std::string jerr;
-    if (!split_line(line, &rec_text) ||
+    if (!split_checksummed_line(line, &rec_text) ||
         !JsonValue::parse(rec_text, &rec, &jerr) || !rec.is_object()) {
       tail_start = pos;
       break;
@@ -240,38 +286,9 @@ bool load_journal(const std::string& path, JournalReplay* out,
       }
       const std::uint32_t j = static_cast<std::uint32_t>(jv->as_int64());
       JobResult r;
-      r.n = static_cast<NodeId>(get_u64(rec, "n"));
-      r.m = static_cast<EdgeId>(get_u64(rec, "m"));
-      r.failed = get_flag(rec, "failed");
-      r.timed_out = get_flag(rec, "timed_out");
-      if (r.failed || r.timed_out) {
-        if (const JsonValue* e = rec.find("error")) {
-          if (e->is_string()) r.error = e->as_string();
-        }
-      } else {
-        const JsonValue* verdict = rec.find("verdict");
-        if (verdict == nullptr || !verdict->is_string() ||
-            !parse_verdict(verdict->as_string(), &r.verdict)) {
-          return fail("journal record with bad verdict");
-        }
-        r.rounds = get_u64(rec, "rounds");
-        r.messages = get_u64(rec, "messages");
-        r.num_parts = static_cast<NodeId>(get_u64(rec, "num_parts"));
-        r.cut_edges = get_u64(rec, "cut_edges");
-        r.max_part_ecc =
-            static_cast<std::uint32_t>(get_u64(rec, "max_part_ecc"));
-        r.max_tree_depth =
-            static_cast<std::uint32_t>(get_u64(rec, "max_tree_depth"));
-        r.stage1_phases =
-            static_cast<std::uint32_t>(get_u64(rec, "stage1_phases"));
-        r.stage1_phases_total =
-            static_cast<std::uint32_t>(get_u64(rec, "stage1_phases_total"));
-        r.trials_per_phase =
-            static_cast<std::uint32_t>(get_u64(rec, "trials_per_phase"));
-      }
-      r.retries = static_cast<std::uint32_t>(get_u64(rec, "retries"));
-      if (const JsonValue* w = rec.find("wall_seconds")) {
-        if (w->is_number()) r.wall_seconds = w->as_double();
+      std::string perr;
+      if (!parse_result_fields(rec, &r, &perr)) {
+        return fail("journal " + perr);
       }
       out->completed[j] = std::move(r);
     }
@@ -290,7 +307,7 @@ bool load_journal(const std::string& path, JournalReplay* out,
       if (nl == std::string::npos) break;
       const std::string_view line(text.data() + p, nl - p);
       std::string_view rec_text;
-      if (split_line(line, &rec_text)) {
+      if (split_checksummed_line(line, &rec_text)) {
         return fail("corrupt record followed by valid data (not a torn "
                     "tail; refusing to resume)");
       }
@@ -378,9 +395,17 @@ bool JournalWriter::sync() {
   return true;
 }
 
+bool JournalWriter::finish() {
+  // No journal (or already closed) with no recorded failure is vacuously
+  // durable -- cpt_batch calls finish() unconditionally after the sink
+  // drains, journal or not.
+  if (file_ == nullptr) return !failed_;
+  return sync();
+}
+
 bool JournalWriter::close() {
   if (file_ == nullptr) return !failed_;
-  const bool synced = failed_ ? false : sync();
+  const bool synced = finish();
   const bool closed = std::fclose(file_) == 0;
   file_ = nullptr;
   return synced && closed && !failed_;

@@ -36,13 +36,50 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "scenario/engine.h"
+#include "scenario/json.h"
 #include "scenario/manifest.h"
 
 namespace cpt::scenario {
+
+// ---- Checksummed-record plumbing ----------------------------------------
+// Shared by the journal and the result cache (scenario/result_cache.h),
+// which stores one journal-style line per cached JobResult so both layers
+// validate and round-trip results with the same code.
+
+// Incremental FNV-1a-64 folds (the registry's fnv1a64 restarts from the
+// offset basis; these continue an existing hash) and the fixed 16-hex
+// rendering checksums and fingerprints use.
+std::uint64_t fnv_fold_bytes(std::uint64_t h, const char* data, std::size_t n);
+std::uint64_t fnv_fold_u64(std::uint64_t h, std::uint64_t v);
+std::string fnv_hex16(std::uint64_t v);
+// Inverse of fnv_hex16: exactly 16 lowercase hex digits. Hex strings are
+// how full-range u64 identities (hashes, seeds) round-trip through JSON
+// records -- a bare integer above INT64_MAX falls back to double in the
+// parser and silently loses low bits.
+bool parse_hex16(std::string_view s, std::uint64_t* out);
+
+// Wraps `rec`'s exact byte text as {"sum": "<16hex>", "rec": <rec>}\n.
+std::string checksummed_record_line(const std::string& rec);
+// Validates one line's shape + checksum (no trailing newline); on success
+// points *rec_text at the record substring inside `line`.
+bool split_checksummed_line(std::string_view line, std::string_view* rec_text);
+
+// The JobResult body both record kinds share: every field the aggregate
+// document is a function of (verdict, rounds, messages, n/m,
+// failure/timeout state) plus retries and wall_seconds for the timing
+// report. append starts with ", " (callers open the object and write
+// their identity prefix first); parse reads the same fields back and
+// fails only on a missing/unknown verdict.
+void append_result_fields(std::string& rec, const JobResult& r);
+bool parse_result_fields(const JsonValue& rec, JobResult* out,
+                         std::string* error);
+
+// ---- Journal ------------------------------------------------------------
 
 // Folds the expanded job list's identity into 64 bits (see above).
 std::uint64_t journal_fingerprint(const Manifest& manifest,
@@ -99,7 +136,17 @@ class JournalWriter {
   // Flushes and fsyncs any buffered group.
   bool sync();
 
-  bool close();  // sync + fclose; safe to call twice
+  // Makes every appended record durable: flushes + fsyncs the partial
+  // group past the last kSyncEvery boundary (up to 15 records that
+  // append() alone leaves in the stdio buffer). Callers must invoke this
+  // -- or close(), which includes it -- once the final record is in;
+  // cpt_batch calls it as soon as the sink drains, *before* writing the
+  // stream footer or any aggregate file, so a crash anywhere in the
+  // output-publishing tail can no longer lose acknowledged records.
+  // True only when every record is durably on disk.
+  bool finish();
+
+  bool close();  // finish + fclose; safe to call twice
   bool ok() const { return file_ != nullptr && !failed_; }
 
   // Records per fsync group. 1 = sync every record (slow, loses nothing);

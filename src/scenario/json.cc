@@ -138,6 +138,42 @@ class JsonParser {
     }
   }
 
+  // Four hex digits after "\u"; advances past them.
+  bool parse_u_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    *out = code;
+    return true;
+  }
+
+  // Encodes one Unicode scalar value (<= 0x10ffff, surrogates excluded by
+  // the caller) as UTF-8.
+  static void append_utf8(std::string* out, unsigned code) {
+    if (code <= 0x7f) {
+      out->push_back(static_cast<char>(code));
+    } else if (code <= 0x7ff) {
+      out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code <= 0xffff) {
+      out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
   bool parse_string(std::string* out) {
     ++pos_;  // opening quote
     while (true) {
@@ -161,18 +197,30 @@ class JsonParser {
         case 'b': out->push_back('\b'); break;
         case 'f': out->push_back('\f'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return fail("bad \\u escape");
+          if (!parse_u_hex4(&code)) return false;
+          // Surrogate pairs: a high surrogate must be immediately followed
+          // by an escaped low surrogate (JSON strings cannot carry raw
+          // UTF-16); anything else -- a lone half in either order -- is a
+          // hard parse error, never silently passed through.
+          if (code >= 0xd800 && code <= 0xdbff) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("high surrogate \\u escape without a low "
+                          "surrogate pair");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_u_hex4(&low)) return false;
+            if (low < 0xdc00 || low > 0xdfff) {
+              return fail("high surrogate \\u escape paired with a "
+                          "non-low-surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return fail("lone low surrogate \\u escape");
           }
-          if (code > 0x7f) return fail("non-ASCII \\u escape unsupported");
-          out->push_back(static_cast<char>(code));
+          append_utf8(out, code);
           break;
         }
         default: return fail("unknown escape");
@@ -313,7 +361,10 @@ bool write_text_file(const std::string& path, std::string_view body) {
   // JSON/CSV, timing docs) treat existence as completeness, so a crashed
   // or failed writer must leave either the old content or nothing --
   // never a truncated file that looks finished.
-  const std::string tmp_path = path + ".tmp";
+  // unique_tmp_path: the daemon and a CLI run (or two daemon requests)
+  // may publish the same output path concurrently; a shared ".tmp" name
+  // would let one writer's rename publish the other's partial bytes.
+  const std::string tmp_path = unique_tmp_path(path);
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) return false;
   bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();

@@ -1,11 +1,16 @@
-// Minimal JSON reader/writer for the scenario engine (manifests in,
-// aggregates out). No third-party dependency, mirroring bench/bench_json's
-// approach on the write side. The reader is a strict recursive-descent
-// parser for the JSON subset manifests need: objects (insertion order
-// preserved -- sweep-axis order is load-bearing, see manifest.h), arrays,
-// strings (escapes \" \\ \/ \n \t \r \b \f \uXXXX for ASCII), numbers,
-// booleans and null. Integers that fit std::int64_t stay exact; everything
-// else is a double.
+// Minimal JSON reader/writer for the scenario engine (manifests in --
+// including ones arriving over cpt_serve's socket -- aggregates out). No
+// third-party dependency, mirroring bench/bench_json's approach on the
+// write side. The reader is a strict recursive-descent parser for the
+// JSON subset manifests need: objects (insertion order preserved --
+// sweep-axis order is load-bearing, see manifest.h), arrays, strings,
+// numbers, booleans and null. String escapes cover the full JSON set
+// (\" \\ \/ \n \t \r \b \f \uXXXX): \u escapes decode to UTF-8 for every
+// code point, with surrogate pairs combined and lone/mismatched
+// surrogates rejected as line-numbered parse errors. Raw non-ASCII bytes
+// pass through unchanged (the writer emits UTF-8 strings verbatim, so
+// parse(render(s)) == s). Integers that fit std::int64_t stay exact;
+// everything else is a double.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,93 @@
+// Persistent content-addressed result cache (cpt_serve's reason repeated
+// sweeps cost nothing), living next to the corpus store: one file per
+// cached JobResult, keyed by the job's content address.
+//
+// Key derivation reuses the journal fingerprint's FNV-1a-64 chain over
+// exactly the identity a result is a function of: the cell_key string
+// (family, params, perturbation, epsilon, tester, mode flags), the
+// instance hash (pins the exact graph incl. its seed chain) and the
+// tester seed. Deliberately *not* folded: job_index (the same cell can
+// appear at different indices across manifests and must still hit) and
+// sim_threads (results are bit-identical at every thread count by the
+// determinism contract, so a result computed at --threads 4 serves a
+// --threads 1 request byte-for-byte).
+//
+// Entries are single checksummed lines in the journal's record format
+// ({"sum": "<16hex>", "rec": {...}}, FNV over the record bytes -- the
+// same validate-before-trust discipline as corpus v3), written via
+// unique-tmp + fsync + durable_rename so concurrent writers (threads or
+// processes) can never publish a torn entry: a reader sees the old
+// complete entry, the new complete entry, or a miss. The record carries
+// the full identity (cell_key text, instance hash, seed), and load()
+// verifies all three against the requesting job -- a 64-bit filename
+// collision degrades to a miss, never to a wrong result.
+//
+// Corrupt entries (bit rot, torn by a mid-write power cut) are removed
+// and reported as kCorrupt; the engine re-executes and re-stores, so the
+// cache self-heals exactly like the corpus. Failed results are never
+// stored (they may be transient); timed-out results are (a round-budget
+// refusal is deterministic).
+//
+// Eviction: with max_entries > 0, store() scans the directory after
+// publishing and removes the oldest entries by mtime until the count is
+// back under the cap -- write-time FIFO, not LRU (reads do not touch
+// mtime), which is cheap, multi-process safe (remove() of an already
+// evicted entry is a no-op) and good enough for a bounded scratch cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "scenario/engine.h"
+#include "scenario/manifest.h"
+
+namespace cpt::scenario {
+
+class ResultCache {
+ public:
+  // dir = "" disables the cache (every load misses, every store no-ops).
+  // max_entries = 0 means unbounded.
+  explicit ResultCache(std::string dir, std::uint64_t max_entries = 0);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  // The 64-bit content address (see file comment for what it folds).
+  static std::uint64_t key_for(const Job& job);
+
+  enum class LoadStatus { kMiss, kHit, kCorrupt };
+
+  // kHit fills *out with a result byte-equivalent to re-running the job
+  // (same round-trip as journal replay). kCorrupt means an entry existed
+  // but failed validation and was removed -- callers re-execute, exactly
+  // like a miss. Thread- and process-safe against concurrent store()s.
+  LoadStatus load(const Job& job, JobResult* out) const;
+
+  // Publishes the result under the job's key (atomic replace; last writer
+  // wins -- both wrote equivalent results by the determinism contract).
+  // Failed results are rejected (returns false without writing).
+  bool store(const Job& job, const JobResult& result) const;
+
+  // Monotonic counters since construction (relaxed atomics; exact once
+  // concurrent runs quiesce). Evictions count files this instance removed
+  // to enforce max_entries; corrupt counts entries load() rejected.
+  struct Counters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> corrupt{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  std::string path_for(std::uint64_t key) const;
+  void evict_over_cap() const;
+
+  std::string dir_;
+  std::uint64_t max_entries_ = 0;
+  mutable Counters counters_;
+};
+
+}  // namespace cpt::scenario

@@ -7,7 +7,9 @@
 // edge-stream equivalence with the materialized generators, and the
 // engine's pooled RunState reuse pinned bit-identical to fresh state at
 // every thread count.
+#include <dirent.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -318,6 +320,105 @@ TEST(CorpusV3, StreamedSaveIsByteIdenticalToSave) {
               slurp_bytes(stream_store.path_for(inst.hash())))
         << name;
   }
+}
+
+TEST(CorpusV3, ConcurrentSavesFromTwoProcessesNeverTearFiles) {
+  // Regression for the fixed "<hash>.cpg.tmp" publish name: two writers
+  // racing on the same instance used to interleave writes into one temp
+  // file, so the winning rename could publish a torn hybrid. With
+  // pid+counter-suffixed temps each writer owns its bytes and the final
+  // rename is atomic-replace of a complete file, whoever wins.
+  const std::string dir = temp_dir();
+  std::vector<ScenarioInstance> insts;
+  for (int i = 0; i < 4; ++i) {
+    ScenarioParams params;
+    params.set_int("rows", 8 + i);
+    params.set_int("cols", 9);
+    insts.push_back(resolve_scenario("grid", params, 21, 0));
+  }
+  constexpr int kRounds = 8;
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    const CorpusStore store(dir);
+    for (int round = 0; round < kRounds; ++round) {
+      for (const ScenarioInstance& inst : insts) {
+        if (!store.save(inst.hash(), build_instance(inst))) _exit(1);
+      }
+    }
+    _exit(0);
+  }
+  {
+    const CorpusStore store(dir);
+    for (int round = 0; round < kRounds; ++round) {
+      for (const ScenarioInstance& inst : insts) {
+        EXPECT_TRUE(store.save(inst.hash(), build_instance(inst)));
+      }
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // No temp litter (every unique tmp was renamed or removed), and every
+  // published file is complete: it loads as a hit with the exact bytes a
+  // solo save produces.
+  std::size_t tmp_litter = 0;
+  if (DIR* d = opendir(dir.c_str())) {
+    while (const dirent* entry = readdir(d)) {
+      if (std::strstr(entry->d_name, ".tmp") != nullptr) ++tmp_litter;
+    }
+    closedir(d);
+  }
+  EXPECT_EQ(tmp_litter, 0u);
+  const std::string solo_dir = temp_dir();
+  const CorpusStore raced(dir);
+  const CorpusStore solo(solo_dir);
+  for (const ScenarioInstance& inst : insts) {
+    const Graph expect = build_instance(inst);
+    Graph got;
+    EXPECT_EQ(raced.load(inst.hash(), &got), CorpusStore::LoadStatus::kHit);
+    EXPECT_EQ(got.num_nodes(), expect.num_nodes());
+    EXPECT_EQ(got.num_edges(), expect.num_edges());
+    ASSERT_TRUE(solo.save(inst.hash(), expect));
+    EXPECT_EQ(slurp_bytes(raced.path_for(inst.hash())),
+              slurp_bytes(solo.path_for(inst.hash())));
+  }
+}
+
+TEST(CorpusV3, OrphanSweepCoversSuffixedAndLegacyTmpNames) {
+  const std::string dir = temp_dir();
+  { const CorpusStore create(dir); }  // not strictly needed: mkdtemp made it
+  // Legacy bare-marker and dead-pid temps are orphans; a temp owned by a
+  // live pid (ours here) must survive the sweep -- its writer may still
+  // be mid-save. 999999999 exceeds any kernel pid_max, so kill() reports
+  // ESRCH deterministically.
+  const std::string live_name =
+      "aaaa000000000004.cpg.tmp." + std::to_string(::getpid()) + ".5";
+  for (const std::string& name :
+       {std::string("aaaa000000000001.cpg.tmp"),
+        std::string("aaaa000000000002.cpg.tmp.999999999.7"),
+        std::string("aaaa000000000003.cpg.tmp.999999999.0"), live_name}) {
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("orphaned partial write", f);
+    std::fclose(f);
+  }
+  const CorpusStore swept(dir);
+  std::size_t remaining = 0;
+  bool live_kept = false;
+  if (DIR* d = opendir(dir.c_str())) {
+    while (const dirent* entry = readdir(d)) {
+      if (std::strstr(entry->d_name, ".cpg.tmp") != nullptr) {
+        ++remaining;
+        live_kept = live_kept || live_name == entry->d_name;
+      }
+    }
+    closedir(d);
+  }
+  EXPECT_EQ(remaining, 1u);
+  EXPECT_TRUE(live_kept);
 }
 
 // ---- Engine integration ----------------------------------------------------

@@ -10,12 +10,14 @@
 // Every test that installs a fault plan uninstalls it on exit (the plan is
 // process-global); plans are re-parsed per run because check() consumes
 // per-key budgets.
+#include <dirent.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -83,6 +85,23 @@ bool file_exists(const std::string& path) {
   if (f == nullptr) return false;
   std::fclose(f);
   return true;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+}
+
+std::size_t count_files_containing(const std::string& dir,
+                                   const std::string& infix) {
+  std::size_t count = 0;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  while (const dirent* entry = readdir(d)) {
+    if (std::string(entry->d_name).find(infix) != std::string::npos) ++count;
+  }
+  closedir(d);
+  return count;
 }
 
 // ---- Fault-plan grammar and determinism ---------------------------------
@@ -317,7 +336,6 @@ TEST(CrashSafe, ShortWriteLeavesTmpAndConstructorSweepsIt) {
   std::snprintf(name, sizeof name, "%016llx.cpg",
                 static_cast<unsigned long long>(inst.hash()));
   const std::string final_path = dir + "/" + name;
-  const std::string tmp_path = final_path + ".tmp";
 
   {
     CorpusStore store(dir);
@@ -325,12 +343,33 @@ TEST(CrashSafe, ShortWriteLeavesTmpAndConstructorSweepsIt) {
                          std::to_string(inst.hash()));
     EXPECT_FALSE(store.save(inst.hash(), g));
   }
-  // The half-written temp file was deliberately left behind...
-  EXPECT_TRUE(file_exists(tmp_path));
+  // The half-written temp file (now pid+counter suffixed so concurrent
+  // writers never collide) was deliberately left behind...
+  EXPECT_EQ(count_files_containing(dir, ".cpg.tmp"), 1u);
   EXPECT_FALSE(file_exists(final_path));
-  // ...and opening the corpus again sweeps it.
+  // ...and opening the corpus again sweeps true orphans -- legacy
+  // fixed-name temps and dead-pid temps -- but keeps ours: its suffix
+  // carries this (live) process's pid, so for all the sweep can tell a
+  // sibling thread is still mid-save.
+  write_file(dir + "/" + name + ".tmp", "legacy orphan");
+  write_file(dir + "/" + name + ".tmp.999999999.0", "dead-pid orphan");
   CorpusStore swept(dir);
-  EXPECT_FALSE(file_exists(tmp_path));
+  EXPECT_EQ(count_files_containing(dir, ".cpg.tmp"), 1u);
+  // Once the owner is gone (simulated by renaming to a dead pid), the
+  // next sweep collects it too.
+  {
+    DIR* d = opendir(dir.c_str());
+    ASSERT_NE(d, nullptr);
+    while (const dirent* entry = readdir(d)) {
+      if (std::strstr(entry->d_name, ".cpg.tmp") != nullptr) {
+        std::rename((dir + "/" + entry->d_name).c_str(),
+                    (dir + "/" + name + ".tmp.999999999.1").c_str());
+      }
+    }
+    closedir(d);
+  }
+  CorpusStore swept_again(dir);
+  EXPECT_EQ(count_files_containing(dir, ".cpg.tmp"), 0u);
   // The store still works after the sweep.
   EXPECT_TRUE(swept.save(inst.hash(), g));
   Graph loaded;
@@ -538,6 +577,35 @@ TEST(Journal, ShortWriteFaultKeepsResumablePrefix) {
   EXPECT_GT(replay.dropped_bytes, 0u);
 }
 
+TEST(Journal, FinishMakesThePartialTailGroupDurable) {
+  const Manifest m = small_manifest();
+  const std::vector<Job> jobs = expand_manifest(m);
+  const std::string dir = temp_dir();
+  const std::string path = dir + "/tail.journal";
+
+  JournalWriter writer;
+  ASSERT_TRUE(writer.create(path, m, jobs));
+  JobResult r;
+  r.verdict = Verdict::kAccept;
+  r.rounds = 3;
+  r.messages = 9;
+  // Strictly inside one fsync group: append() alone leaves these records
+  // in the stdio buffer until the group fills.
+  const std::uint32_t n = JournalWriter::kSyncEvery - 9;
+  static_assert(JournalWriter::kSyncEvery > 9);
+  for (std::uint32_t j = 0; j < n; ++j) ASSERT_TRUE(writer.append(jobs[j], r));
+  ASSERT_TRUE(writer.finish());
+
+  // The writer is still open -- no close() yet -- but every appended
+  // record must already be parseable from disk, with nothing torn.
+  JournalReplay replay;
+  std::string err;
+  ASSERT_TRUE(load_journal(path, &replay, &err)) << err;
+  EXPECT_EQ(replay.completed.size(), n);
+  EXPECT_EQ(replay.dropped_bytes, 0u);
+  EXPECT_TRUE(writer.close());
+}
+
 // ---- Resume and cancellation (in-process) --------------------------------
 
 TEST(CrashSafe, ResumeSkipsCompletedJobsAndReproducesTheAggregate) {
@@ -743,6 +811,43 @@ TEST(KillResumeHarness, SigtermDrainsFlushesAndExitsResumable) {
 }
 
 // ---- CLI flag parsing (the bare-atoi regression) --------------------------
+
+TEST(KillResumeHarness, KillAtFooterWriteLosesNoJournaledRecords) {
+  // Regression for the journal fsync ordering in cmd_run: the buffered
+  // tail group is made durable (JournalWriter::finish) *before* the
+  // stream footer is emitted. A process killed exactly at the footer
+  // write -- after every job retired -- must leave a journal that already
+  // holds every record; before the fix, up to kSyncEvery-1 records
+  // evaporated with the stdio buffer even though the sweep had finished.
+  const std::string dir = temp_dir();
+  const std::string manifest_path = dir + "/footer.json";
+  // 7 jobs: strictly inside one fsync group, so the whole tail is at
+  // stake. One cell -> stream emit ordinals: header=0, cell=1, footer=2.
+  write_file(manifest_path, R"({
+    "name": "footer", "base_seed": 3,
+    "defaults": {"trials": 7, "epsilon": 0.15, "tester": "planarity"},
+    "cells": [{"scenario": "grid", "params": {"rows": 8, "cols": 8}}]})");
+  const std::string journal = dir + "/footer.journal";
+  const std::string base = std::string(CPT_BATCH_BIN) + " run " +
+                           manifest_path + " --threads=2 --quiet --journal=" +
+                           journal + " --stream=" + dir + "/footer.jsonl";
+
+  EXPECT_EQ(run_command(base + " --fault-plan=exit@stream_write:key=2"
+                               " 2>/dev/null"),
+            kFaultExitCode);
+
+  Manifest m;
+  JournalReplay replay;
+  std::string err;
+  ASSERT_TRUE(load_manifest_file(manifest_path, &m, &err)) << err;
+  ASSERT_TRUE(load_journal(journal, &replay, &err)) << err;
+  EXPECT_EQ(replay.dropped_bytes, 0u);
+  EXPECT_EQ(replay.completed.size(), expand_manifest(m).size());
+
+  // And the resume completes without re-running anything: exit 0 with the
+  // full job set already journaled.
+  EXPECT_EQ(run_command(base + " --resume"), 0);
+}
 
 TEST(CliParsing, RejectsNonNumericAndOutOfRangeFlagValues) {
   const std::string manifest =

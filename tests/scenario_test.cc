@@ -68,6 +68,53 @@ TEST(Json, RejectsMalformedDocuments) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  JsonValue v;
+  std::string err;
+  // ASCII, 2-byte (é U+00E9), 3-byte (€ U+20AC), and a surrogate pair
+  // (U+1F600) -- each must decode to its exact UTF-8 byte sequence.
+  ASSERT_TRUE(JsonValue::parse(R"("\u0041\u00e9\u20AC\ud83d\ude00")", &v,
+                               &err))
+      << err;
+  EXPECT_EQ(v.as_string(),
+            "A"
+            "\xc3\xa9"
+            "\xe2\x82\xac"
+            "\xf0\x9f\x98\x80");
+  // NUL decodes too (std::string carries it fine).
+  ASSERT_TRUE(JsonValue::parse(R"("a\u0000b")", &v, &err)) << err;
+  ASSERT_EQ(v.as_string().size(), 3u);
+  EXPECT_EQ(v.as_string()[1], '\0');
+  // Raw UTF-8 passes through untouched, and the writer escapes only what
+  // JSON requires: parse(render(s)) == s for non-ASCII content.
+  const std::string original = "caf\xc3\xa9 \xe2\x82\xac" "5";
+  std::string rendered;
+  json_append_escaped(rendered, original);
+  ASSERT_TRUE(JsonValue::parse(rendered, &v, &err)) << err;
+  EXPECT_EQ(v.as_string(), original);
+}
+
+TEST(Json, LoneAndMismatchedSurrogatesAreLineNumberedErrors) {
+  JsonValue v;
+  std::string err;
+  const char* bad[] = {
+      R"("\ud83d")",         // lone high surrogate at end of string
+      R"("\ud83d abc")",     // high surrogate followed by plain text
+      R"("\ud83d\u0041")",   // high surrogate paired with a non-surrogate
+      R"("\ud83d\ud83d")",   // high surrogate paired with another high
+      R"("\ude00")",         // lone low surrogate
+      R"("\ud8")",           // truncated escape
+      R"("\uZZZZ")",         // non-hex digits
+  };
+  for (const char* doc : bad) {
+    EXPECT_FALSE(JsonValue::parse(doc, &v, &err)) << doc;
+    EXPECT_NE(err.find("line 1"), std::string::npos) << doc << " -> " << err;
+  }
+  // The line number tracks the failing escape, not the document start.
+  EXPECT_FALSE(JsonValue::parse("[\n1,\n\"\\ud83d\"\n]", &v, &err));
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
 // ---- Registry / seeds -----------------------------------------------------
 
 TEST(Registry, EveryFamilyBuildsAGraph) {
